@@ -1,0 +1,29 @@
+//! Criterion bench for the compression substrate: one 256-sample block
+//! through the DWT codec (node-side cost) and the CS codec including
+//! FISTA reconstruction (coordinator-side cost) — the asymmetry that
+//! motivates CS on ultra-low-power nodes (§4.3).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wbsn_dsp::compress::{CsCodec, DwtCodec};
+use wbsn_dsp::ecg::EcgGenerator;
+use wbsn_dsp::wavelet::{wavedec, Wavelet};
+
+fn bench_compression(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let block = EcgGenerator::default().generate(256, &mut rng);
+
+    let dwt = DwtCodec::default();
+    c.bench_function("dwt_codec_block_256", |b| b.iter(|| dwt.process(&block, 0.25)));
+
+    let cs = CsCodec::default();
+    c.bench_function("cs_codec_block_256_fista", |b| {
+        b.iter(|| cs.process(&block, 0.25, &mut rng))
+    });
+
+    c.bench_function("wavedec_db4_256x4", |b| b.iter(|| wavedec(&block, Wavelet::Db4, 4)));
+}
+
+criterion_group!(benches, bench_compression);
+criterion_main!(benches);

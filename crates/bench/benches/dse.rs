@@ -1,0 +1,24 @@
+//! Criterion bench for the exploration layer: a short NSGA-II run
+//! (population 50, five generations) over the model evaluator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wbsn_dse::evaluator::ModelEvaluator;
+use wbsn_dse::nsga2::{nsga2, Nsga2Config};
+use wbsn_model::space::DesignSpace;
+
+fn bench_dse(c: &mut Criterion) {
+    let space = DesignSpace::case_study(6);
+    let eval = ModelEvaluator::shimmer();
+    c.bench_function("nsga2_pop50_5_generations", |b| {
+        b.iter(|| {
+            nsga2(
+                &space,
+                &eval,
+                &Nsga2Config { population: 50, generations: 5, seed: 1, ..Nsga2Config::default() },
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_dse);
+criterion_main!(benches);

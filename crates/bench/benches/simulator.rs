@@ -1,0 +1,37 @@
+//! Criterion bench for the packet-level simulator: cost of simulating
+//! ten seconds of the six-node case-study network (the denominator of
+//! the §5.2 model-vs-simulation speedup).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wbsn_model::evaluate::half_dwt_half_cs;
+use wbsn_model::ieee802154::Ieee802154Config;
+use wbsn_model::units::Hertz;
+use wbsn_sim::engine::{AlertConfig, NetworkBuilder};
+
+fn bench_simulator(c: &mut Criterion) {
+    let mac = Ieee802154Config::new(114, 6, 6).expect("valid");
+    let nodes = half_dwt_half_cs(6, 0.25, Hertz::from_mhz(8.0));
+    c.bench_function("simulate_10s_6_nodes", |b| {
+        b.iter(|| {
+            NetworkBuilder::new(mac, nodes.clone())
+                .duration_s(10.0)
+                .build()
+                .expect("feasible")
+                .run()
+        })
+    });
+
+    c.bench_function("simulate_10s_6_nodes_with_cap_alerts", |b| {
+        b.iter(|| {
+            NetworkBuilder::new(mac, nodes.clone())
+                .duration_s(10.0)
+                .alerts(AlertConfig { mean_interval_s: 1.0, payload_bytes: 20 })
+                .build()
+                .expect("feasible")
+                .run()
+        })
+    });
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

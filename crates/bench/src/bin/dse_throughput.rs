@@ -1,0 +1,86 @@
+//! §5.2 evaluation-speed comparison: analytical model vs packet-level
+//! simulation.
+//!
+//! Paper's result: the model evaluates ≈4800 configurations per second
+//! while one network simulation takes 5–10 minutes — about six orders of
+//! magnitude. Our Rust model is faster and our simulator much faster
+//! than Castalia, but the *ratio* is what the experiment establishes.
+//!
+//! Run: `cargo run --release -p wbsn-bench --bin dse_throughput`
+
+use std::time::Instant;
+use wbsn_model::evaluate::{half_dwt_half_cs, WbsnModel};
+use wbsn_model::ieee802154::Ieee802154Config;
+use wbsn_model::space::DesignSpace;
+use wbsn_model::units::Hertz;
+use wbsn_sim::engine::NetworkBuilder;
+
+const MODEL_EVALS: usize = 200_000;
+const SIM_RUNS: usize = 5;
+const SIM_SECONDS: f64 = 60.0;
+
+fn main() {
+    println!("# §5.2 — evaluation throughput, model vs simulation\n");
+    let model = WbsnModel::shimmer();
+    let space = DesignSpace::case_study(6);
+
+    // Cycle through distinct design points so the benchmark cannot be
+    // constant-folded and covers feasible + infeasible regions.
+    let mut counter = 0usize;
+    let points: Vec<_> = (0..512)
+        .map(|i| {
+            space.point_with(|dim| {
+                counter = counter.wrapping_mul(6364136223846793005).wrapping_add(i + dim);
+                counter % dim.max(1)
+            })
+        })
+        .collect();
+
+    let t0 = Instant::now();
+    let mut feasible = 0usize;
+    for i in 0..MODEL_EVALS {
+        let p = &points[i % points.len()];
+        if model.evaluate(&p.mac, &p.nodes).is_ok() {
+            feasible += 1;
+        }
+    }
+    let model_elapsed = t0.elapsed();
+    let model_per_s = MODEL_EVALS as f64 / model_elapsed.as_secs_f64();
+    println!(
+        "model: {MODEL_EVALS} evaluations in {:.3} s  =>  {:.0} evaluations/s ({feasible} feasible)",
+        model_elapsed.as_secs_f64(),
+        model_per_s
+    );
+
+    let mac = Ieee802154Config::new(114, 6, 6).expect("valid");
+    let nodes = half_dwt_half_cs(6, 0.25, Hertz::from_mhz(8.0));
+    let t0 = Instant::now();
+    for seed in 0..SIM_RUNS {
+        let report = NetworkBuilder::new(mac, nodes.clone())
+            .duration_s(SIM_SECONDS)
+            .seed(seed as u64)
+            .build()
+            .expect("feasible")
+            .run();
+        assert!(report.all_feasible());
+    }
+    let sim_elapsed = t0.elapsed().as_secs_f64() / SIM_RUNS as f64;
+    println!(
+        "simulation: one {SIM_SECONDS:.0}-simulated-second evaluation takes {:.4} s (avg of {SIM_RUNS})",
+        sim_elapsed
+    );
+
+    let ratio = model_per_s * sim_elapsed;
+    println!("\nmodel-vs-simulation speedup: {ratio:.2e}x");
+    println!(
+        "paper: ~4800 evaluations/s vs 5-10 min per simulation (~10^6x)\n\
+         shape check (model faster than paper's 4800/s AND >100x our own simulator): {}",
+        if model_per_s > 4800.0 && ratio > 1e2 { "PASS" } else { "FAIL" }
+    );
+    println!(
+        "note: Castalia needs minutes per configuration where our simulator needs {:.0} ms — \n\
+         against a Castalia-like 300 s simulation the model's speedup would be {:.1e}x",
+        sim_elapsed * 1e3,
+        model_per_s * 300.0
+    );
+}

@@ -1,0 +1,109 @@
+//! # wbsn-bench — experiment harness for the DAC 2012 reproduction
+//!
+//! One binary per table/figure of the paper (see `DESIGN.md` §4 and
+//! `EXPERIMENTS.md`):
+//!
+//! | binary | artefact |
+//! |---|---|
+//! | `fig3_energy` | Fig. 3 — node energy, model vs simulation |
+//! | `fig4_prd` | Fig. 4 — PRD, polynomial model vs real codecs |
+//! | `delay_validation` | §5.1 — Eq. 9 bound vs 130 simulations |
+//! | `fig5_pareto` | Fig. 5 — 3-objective vs energy/delay Pareto fronts |
+//! | `dse_throughput` | §5.2 — model vs simulation evaluation speed |
+//! | `optimizer_comparison` | §5.2 — NSGA-II vs MOSA vs random |
+//! | `fit_prd` | support — regenerates the `P5(CR)` coefficients |
+//!
+//! This library holds the small shared reporting helpers.
+
+#![warn(missing_docs)]
+
+/// Relative error of `estimate` against `reference`, in percent.
+///
+/// ```
+/// assert!((wbsn_bench::percent_error(102.0, 100.0) - 2.0).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn percent_error(estimate: f64, reference: f64) -> f64 {
+    if reference == 0.0 {
+        return 0.0;
+    }
+    ((estimate - reference) / reference).abs() * 100.0
+}
+
+/// Prints a Markdown-style table row.
+pub fn row(cells: &[String]) {
+    println!("| {} |", cells.join(" | "));
+}
+
+/// Prints a Markdown-style table header with separator.
+pub fn header(cells: &[&str]) {
+    println!("| {} |", cells.join(" | "));
+    println!("|{}|", cells.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+}
+
+/// Simple accumulator for average/maximum error summaries.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ErrorSummary {
+    count: u64,
+    sum: f64,
+    max: f64,
+}
+
+impl ErrorSummary {
+    /// Creates an empty summary.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one error observation (percent).
+    pub fn record(&mut self, err: f64) {
+        self.count += 1;
+        self.sum += err;
+        self.max = self.max.max(err);
+    }
+
+    /// Mean error in percent.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Maximum error in percent.
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Observation count.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percent_error_cases() {
+        assert_eq!(percent_error(1.0, 0.0), 0.0);
+        assert!((percent_error(98.26, 100.0) - 1.74).abs() < 1e-9);
+        assert!((percent_error(100.0, 98.0) - 2.0408163265306123).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_accumulates() {
+        let mut s = ErrorSummary::new();
+        s.record(1.0);
+        s.record(3.0);
+        assert_eq!(s.count(), 2);
+        assert!((s.mean() - 2.0).abs() < 1e-12);
+        assert!((s.max() - 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,120 @@
+//! Application-layer abstraction of §3.3.
+//!
+//! The paper models the pre-processing application through three functions:
+//! the output stream `φout = h(φin, χnode)`, the resource-usage vector
+//! `u = k(φin, χnode)` and the loss-of-quality function `e(φin, χnode)`.
+//! [`ApplicationModel`] exposes those three, with the node configuration
+//! `χnode` captured inside the implementing type (compression ratio) and
+//! the microcontroller frequency passed explicitly because it is the other
+//! half of `χnode` in the case study.
+
+use crate::units::{ByteRate, DutyCycle, Hertz};
+
+/// Resource-usage vector `u = (Dutyapp, Mapp, γapp, …)` of §3.3.
+///
+/// The three named components are the ones the node energy equations
+/// consume: the microcontroller duty cycle (Eq. 4), the resident memory
+/// footprint and the memory-access rate (Eq. 5).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResourceUsage {
+    /// `Dutyapp`: fraction of time the microcontroller is busy.
+    pub duty: DutyCycle,
+    /// `Mapp`: bytes of memory resident during execution.
+    pub mem_bytes: f64,
+    /// `γapp`: memory accesses per second.
+    pub mem_accesses_per_s: f64,
+}
+
+impl ResourceUsage {
+    /// A zero-usage vector (idle application).
+    #[must_use]
+    pub fn idle() -> Self {
+        Self { duty: DutyCycle::new(0.0), mem_bytes: 0.0, mem_accesses_per_s: 0.0 }
+    }
+}
+
+/// Model of the data pre-processing application executed on a node.
+///
+/// Implementations are *configured* applications: e.g.
+/// [`crate::shimmer::DwtApp`] holds its compression ratio. The trait is
+/// object-safe so a heterogeneous network (half DWT, half CS in the case
+/// study) can store nodes uniformly.
+pub trait ApplicationModel {
+    /// Output stream `φout = h(φin, χnode)` in bytes per second.
+    fn output_rate(&self, phi_in: ByteRate) -> ByteRate;
+
+    /// Resource usage `u = k(φin, χnode)` at microcontroller clock `f_mcu`.
+    fn resource_usage(&self, phi_in: ByteRate, f_mcu: Hertz) -> ResourceUsage;
+
+    /// Loss of quality `e(φin, χnode)` between original and reconstructed
+    /// data. For the ECG case study this is the PRD in percent.
+    fn quality_loss(&self, phi_in: ByteRate) -> f64;
+
+    /// Human-readable application name (used in reports).
+    fn name(&self) -> &'static str;
+}
+
+/// A pass-through application: no compression, no CPU cost, no loss.
+///
+/// Useful as a degenerate baseline and in tests of the network layer where
+/// the application is irrelevant.
+///
+/// ```
+/// use wbsn_model::app::{ApplicationModel, Passthrough};
+/// use wbsn_model::units::{ByteRate, Hertz};
+///
+/// let app = Passthrough;
+/// let phi_in = ByteRate::new(375.0);
+/// assert_eq!(app.output_rate(phi_in).value(), 375.0);
+/// assert_eq!(app.quality_loss(phi_in), 0.0);
+/// assert!(app.resource_usage(phi_in, Hertz::from_mhz(1.0)).duty.is_feasible());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Passthrough;
+
+impl ApplicationModel for Passthrough {
+    fn output_rate(&self, phi_in: ByteRate) -> ByteRate {
+        phi_in
+    }
+
+    fn resource_usage(&self, _phi_in: ByteRate, _f_mcu: Hertz) -> ResourceUsage {
+        ResourceUsage::idle()
+    }
+
+    fn quality_loss(&self, _phi_in: ByteRate) -> f64 {
+        0.0
+    }
+
+    fn name(&self) -> &'static str {
+        "passthrough"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passthrough_preserves_rate() {
+        let app = Passthrough;
+        for rate in [0.0, 1.0, 375.0, 10_000.0] {
+            assert_eq!(app.output_rate(ByteRate::new(rate)).value(), rate);
+        }
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let app: Box<dyn ApplicationModel> = Box::new(Passthrough);
+        assert_eq!(app.name(), "passthrough");
+        let usage = app.resource_usage(ByteRate::new(375.0), Hertz::from_mhz(8.0));
+        assert_eq!(usage, ResourceUsage::idle());
+    }
+
+    #[test]
+    fn idle_usage_is_zero() {
+        let u = ResourceUsage::idle();
+        assert_eq!(u.duty.fraction(), 0.0);
+        assert_eq!(u.mem_bytes, 0.0);
+        assert_eq!(u.mem_accesses_per_s, 0.0);
+    }
+}

@@ -1,0 +1,216 @@
+//! Transmission-interval assignment (Eq. 1–2 of §3.2).
+//!
+//! The MAC must find, for each node `n`, the smallest integer `k(n)` such
+//! that `Δtx(n) = k(n)·δ ≥ Ttx(φout + Ω(φout))`, subject to the protocol's
+//! capacity (`Σ Δtx ≤` [`MacModel::allocatable_time`]; for IEEE 802.15.4
+//! this is the 7-GTS cap of §4.2).
+
+use crate::error::ModelError;
+use crate::mac::MacModel;
+use crate::units::{ByteRate, Seconds};
+
+/// Result of the Eq. 1–2 assignment: per-node slot counts and intervals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlotAssignment {
+    /// `k(n)`: base-time-unit multiples granted to each node.
+    pub slots: Vec<u32>,
+    /// `Δtx(n)` per second granted to each node.
+    pub delta_tx: Vec<Seconds>,
+    /// The base time unit `δ` the slots refer to (per allocation round).
+    pub base_unit: Seconds,
+    /// Channel time per second left unallocated within the data budget.
+    pub unused: Seconds,
+}
+
+impl SlotAssignment {
+    /// Total data transmission time handed out per second, `Σ Δtx`.
+    #[must_use]
+    pub fn total_delta_tx(&self) -> Seconds {
+        self.delta_tx.iter().copied().sum()
+    }
+
+    /// Total slots handed out per allocation round, `Σ k(n)`.
+    #[must_use]
+    pub fn total_slots(&self) -> u32 {
+        self.slots.iter().sum()
+    }
+
+    /// Verifies the Eq. 2 budget identity: allocated time plus unallocated
+    /// remainder equals the protocol's allocatable budget (all per second).
+    #[must_use]
+    pub fn budget_residual(&self, mac: &dyn MacModel) -> f64 {
+        (self.total_delta_tx() + self.unused).value() - mac.allocatable_time().value()
+    }
+}
+
+/// Assigns transmission intervals to `N` nodes with output streams
+/// `phi_out` under the configured MAC (Eq. 1–2).
+///
+/// `k(n)` is the minimal multiple of `δ` per superframe (allocation round)
+/// covering the node's required airtime; nodes with zero traffic receive
+/// zero slots.
+///
+/// # Errors
+///
+/// * [`ModelError::BandwidthExceeded`] when a single node needs more than
+///   the entire allocatable budget.
+/// * [`ModelError::GtsCapacityExceeded`] when the per-round slot total
+///   exceeds the protocol capacity (7 GTSs for IEEE 802.15.4).
+///
+/// ```
+/// use wbsn_model::assignment::assign_slots;
+/// use wbsn_model::ieee802154::{Ieee802154Config, Ieee802154Mac};
+/// use wbsn_model::units::ByteRate;
+///
+/// let mac = Ieee802154Mac::new(Ieee802154Config::new(114, 6, 6)?, 6);
+/// let rates = vec![ByteRate::new(63.75); 6];
+/// let assignment = assign_slots(&mac, &rates)?;
+/// assert_eq!(assignment.slots.len(), 6);
+/// assert!(assignment.total_slots() <= 7);
+/// # Ok::<(), wbsn_model::ModelError>(())
+/// ```
+pub fn assign_slots(
+    mac: &dyn MacModel,
+    phi_out: &[ByteRate],
+) -> Result<SlotAssignment, ModelError> {
+    let delta = mac.base_time_unit();
+    let allocatable_per_s = mac.allocatable_time();
+    let rounds_per_second = mac.allocation_rounds_per_second();
+    let capacity = mac.capacity_slots_per_round();
+
+    let mut slots = Vec::with_capacity(phi_out.len());
+    let mut delta_tx = Vec::with_capacity(phi_out.len());
+
+    for (node, &phi) in phi_out.iter().enumerate() {
+        if phi.value() <= 0.0 {
+            slots.push(0);
+            delta_tx.push(Seconds::zero());
+            continue;
+        }
+        // Required airtime per second, then per allocation round.
+        let per_second = mac.tx_time(phi);
+        let per_round = per_second.value() / rounds_per_second;
+        let k = (per_round / delta.value() - 1e-9).ceil().max(1.0);
+        let max_per_round = f64::from(capacity) * delta.value();
+        if per_round > max_per_round + 1e-12 {
+            return Err(ModelError::BandwidthExceeded {
+                node,
+                needed_s: per_round,
+                available_s: max_per_round,
+            });
+        }
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let k = k as u32;
+        slots.push(k);
+        delta_tx.push(delta * f64::from(k) * rounds_per_second);
+    }
+
+    let total: u32 = slots.iter().sum();
+    if total > capacity {
+        return Err(ModelError::GtsCapacityExceeded { required: total, available: capacity });
+    }
+
+    let used: Seconds = delta_tx.iter().copied().sum();
+    Ok(SlotAssignment {
+        slots,
+        delta_tx,
+        base_unit: delta,
+        unused: allocatable_per_s - used,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ieee802154::{Ieee802154Config, Ieee802154Mac};
+    use crate::mac::TdmaMac;
+
+    fn mac_802154(payload: u16, sfo: u8, bco: u8) -> Ieee802154Mac {
+        Ieee802154Mac::new(Ieee802154Config::new(payload, sfo, bco).expect("valid"), 6)
+    }
+
+    #[test]
+    fn eq1_slots_cover_required_airtime() {
+        let mac = mac_802154(114, 6, 6);
+        let rates: Vec<ByteRate> =
+            [63.75, 86.25, 120.0, 142.5, 63.75, 86.25].iter().map(|&r| ByteRate::new(r)).collect();
+        let a = assign_slots(&mac, &rates).expect("feasible");
+        for (i, &phi) in rates.iter().enumerate() {
+            // Eq. 1: Δtx ≥ Ttx(φout + Ω).
+            assert!(
+                a.delta_tx[i].value() + 1e-12 >= mac.tx_time(phi).value(),
+                "node {i}: {} < {}",
+                a.delta_tx[i].value(),
+                mac.tx_time(phi).value()
+            );
+            // Minimality: one slot less would violate Eq. 1.
+            if a.slots[i] > 0 {
+                let smaller = a.delta_tx[i] - a.base_unit * mac.config().superframes_per_second();
+                assert!(smaller.value() < mac.tx_time(phi).value());
+            }
+        }
+    }
+
+    #[test]
+    fn zero_rate_gets_zero_slots() {
+        let mac = mac_802154(114, 6, 6);
+        let rates = [ByteRate::zero(), ByteRate::new(63.75)];
+        let a = assign_slots(&mac, &rates).expect("feasible");
+        assert_eq!(a.slots[0], 0);
+        assert!(a.slots[1] >= 1);
+    }
+
+    #[test]
+    fn capacity_overflow_detected() {
+        // Six nodes each needing two slots overflows the 7-GTS cap while
+        // staying within each node's own bandwidth.
+        let mac = mac_802154(114, 6, 6);
+        let rates = vec![ByteRate::new(2600.0); 6];
+        let err = assign_slots(&mac, &rates).expect_err("must overflow");
+        match err {
+            ModelError::GtsCapacityExceeded { required, available } => {
+                assert!(required > available);
+                assert_eq!(available, 7);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn single_node_bandwidth_overflow_detected() {
+        let mac = mac_802154(114, 0, 0);
+        // One node pushing far more than 250 kb/s worth of slots.
+        let err = assign_slots(&mac, &[ByteRate::new(100_000.0)]).expect_err("must overflow");
+        assert!(matches!(err, ModelError::BandwidthExceeded { node: 0, .. }));
+    }
+
+    #[test]
+    fn budget_identity_holds() {
+        let mac = mac_802154(100, 6, 8);
+        let rates = vec![ByteRate::new(63.75); 4];
+        let a = assign_slots(&mac, &rates).expect("feasible");
+        assert!(a.budget_residual(&mac).abs() < 1e-12);
+    }
+
+    #[test]
+    fn works_for_generic_tdma_mac() {
+        // 100 slots of 10 ms each per second; 90 allocatable.
+        let mac = TdmaMac::new(Seconds::from_millis(10.0), 0.1, 250_000.0);
+        let rates = vec![ByteRate::new(31_250.0 * 0.05); 3]; // 5 % airtime each
+        let a = assign_slots(&mac, &rates).expect("feasible");
+        assert_eq!(a.slots.len(), 3);
+        for (i, &phi) in rates.iter().enumerate() {
+            assert!(a.delta_tx[i].value() + 1e-12 >= mac.tx_time(phi).value());
+        }
+        assert!(a.budget_residual(&mac).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_network_is_trivially_feasible() {
+        let mac = mac_802154(114, 6, 6);
+        let a = assign_slots(&mac, &[]).expect("feasible");
+        assert!(a.slots.is_empty());
+        assert_eq!(a.total_slots(), 0);
+        assert!((a.unused.value() - mac.allocatable_time().value()).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,256 @@
+//! Contention-access adaptation of the network model (§3.2).
+//!
+//! The paper notes that the abstraction "can be also adapted to a
+//! contention access protocol (in fact, the `Δtx`'s can be statistically
+//! determined as the average amount of time a node can successfully
+//! transmit per second, as shown in \[19\] for the CSMA/CA)". This module
+//! provides that adaptation: a Kleinrock–Tobagi non-persistent CSMA
+//! throughput model determines the expected successful channel share,
+//! which plays the role of the allocatable time in [`MacModel`].
+
+use crate::error::ModelError;
+use crate::mac::MacModel;
+use crate::units::{ByteRate, Seconds};
+
+/// Statistical model of a non-persistent CSMA channel shared by `n`
+/// identical nodes.
+///
+/// The classic Kleinrock–Tobagi result gives the channel utilization
+/// `S(G) = G·e^{−aG} / (G(1 + 2a) + e^{−aG})` for offered load `G`
+/// (normalized to the frame time) and normalized propagation/detection
+/// delay `a`. The expected transmission interval of a node is then its
+/// share of the successful time, `Δtx(n) = S / n` seconds per second.
+///
+/// ```
+/// use wbsn_model::csma::CsmaMacModel;
+/// use wbsn_model::mac::MacModel;
+/// use wbsn_model::units::ByteRate;
+///
+/// let mac = CsmaMacModel::new(6, 0.004, 0.01, 250_000.0, 13)?;
+/// // With light load most airtime is usable.
+/// assert!(mac.allocatable_time().value() > 0.5);
+/// # Ok::<(), wbsn_model::ModelError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CsmaMacModel {
+    nodes: u32,
+    frame_time: Seconds,
+    a: f64,
+    bit_rate: f64,
+    overhead_bytes_per_packet: u32,
+    offered_load: f64,
+}
+
+impl CsmaMacModel {
+    /// Creates a CSMA channel model.
+    ///
+    /// * `nodes` — contending stations;
+    /// * `frame_time_s` — mean frame airtime in seconds;
+    /// * `a` — normalized propagation + carrier-sense delay (`τ/T`);
+    /// * `bit_rate` — channel bit rate, bit/s;
+    /// * `overhead_bytes_per_packet` — header/trailer bytes per frame.
+    ///
+    /// The offered load defaults to the throughput-optimal point
+    /// `G* = 1/√(2a)` and can be overridden with
+    /// [`CsmaMacModel::with_offered_load`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidParameter`] for non-positive counts,
+    /// times or rates, or `a` outside `(0, 1]`.
+    pub fn new(
+        nodes: u32,
+        frame_time_s: f64,
+        a: f64,
+        bit_rate: f64,
+        overhead_bytes_per_packet: u32,
+    ) -> Result<Self, ModelError> {
+        if nodes == 0 {
+            return Err(ModelError::InvalidParameter {
+                name: "nodes",
+                reason: "need at least one station".into(),
+            });
+        }
+        if !(frame_time_s > 0.0 && frame_time_s.is_finite()) {
+            return Err(ModelError::InvalidParameter {
+                name: "frame_time_s",
+                reason: format!("must be positive, got {frame_time_s}"),
+            });
+        }
+        if !(a > 0.0 && a <= 1.0) {
+            return Err(ModelError::InvalidParameter {
+                name: "a",
+                reason: format!("normalized delay must be in (0, 1], got {a}"),
+            });
+        }
+        if !(bit_rate > 0.0) {
+            return Err(ModelError::InvalidParameter {
+                name: "bit_rate",
+                reason: format!("must be positive, got {bit_rate}"),
+            });
+        }
+        Ok(Self {
+            nodes,
+            frame_time: Seconds::new(frame_time_s),
+            a,
+            bit_rate,
+            overhead_bytes_per_packet,
+            offered_load: 1.0 / (2.0 * a).sqrt(),
+        })
+    }
+
+    /// Overrides the normalized offered load `G`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidParameter`] for non-positive `G`.
+    pub fn with_offered_load(mut self, g: f64) -> Result<Self, ModelError> {
+        if !(g > 0.0 && g.is_finite()) {
+            return Err(ModelError::InvalidParameter {
+                name: "offered_load",
+                reason: format!("must be positive, got {g}"),
+            });
+        }
+        self.offered_load = g;
+        Ok(self)
+    }
+
+    /// Kleinrock–Tobagi non-persistent CSMA utilization `S(G)`.
+    #[must_use]
+    pub fn utilization(g: f64, a: f64) -> f64 {
+        let e = (-a * g).exp();
+        g * e / (g * (1.0 + 2.0 * a) + e)
+    }
+
+    /// Channel utilization at the configured operating point.
+    #[must_use]
+    pub fn channel_share(&self) -> f64 {
+        Self::utilization(self.offered_load, self.a)
+    }
+
+    /// The statistically determined transmission interval of one node,
+    /// `Δtx = S / n` seconds per second (the paper's adaptation).
+    #[must_use]
+    pub fn average_delta_tx(&self) -> Seconds {
+        Seconds::new(self.channel_share() / f64::from(self.nodes))
+    }
+}
+
+impl MacModel for CsmaMacModel {
+    fn data_overhead(&self, phi_out: ByteRate) -> ByteRate {
+        // Per-frame headers: frames carry frame_time·rate payload bytes.
+        let payload_per_frame =
+            (self.frame_time.value() * self.bit_rate / 8.0).max(1.0);
+        ByteRate::new(
+            f64::from(self.overhead_bytes_per_packet) * phi_out.value() / payload_per_frame,
+        )
+    }
+
+    fn control_to_node(&self, _phi_out: ByteRate) -> ByteRate {
+        ByteRate::zero()
+    }
+
+    fn control_from_node(&self, _phi_out: ByteRate) -> ByteRate {
+        ByteRate::zero()
+    }
+
+    fn timing_overhead(&self) -> Seconds {
+        // Everything the channel loses to collisions, backoff idle time
+        // and sensing: 1 − S.
+        Seconds::new(1.0 - self.channel_share())
+    }
+
+    fn base_time_unit(&self) -> Seconds {
+        self.frame_time
+    }
+
+    fn allocatable_time(&self) -> Seconds {
+        Seconds::new(self.channel_share())
+    }
+
+    fn tx_time(&self, phi_out: ByteRate) -> Seconds {
+        let total = phi_out + self.data_overhead(phi_out);
+        Seconds::new(total.bits_per_second() / self.bit_rate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assignment::assign_slots;
+
+    fn model() -> CsmaMacModel {
+        CsmaMacModel::new(6, 0.004, 0.01, 250_000.0, 13).expect("valid")
+    }
+
+    #[test]
+    fn utilization_has_classic_shape() {
+        let a = 0.01;
+        // S is low at tiny load, peaks, then collapses under overload.
+        let s_tiny = CsmaMacModel::utilization(0.01, a);
+        let s_opt = CsmaMacModel::utilization(1.0 / (2.0 * a).sqrt(), a);
+        let s_heavy = CsmaMacModel::utilization(500.0, a);
+        assert!(s_tiny < s_opt, "{s_tiny} !< {s_opt}");
+        assert!(s_heavy < s_opt, "{s_heavy} !< {s_opt}");
+        assert!(s_opt > 0.7, "non-persistent CSMA with a=0.01 peaks high, got {s_opt}");
+        assert!((0.0..=1.0).contains(&s_tiny));
+        assert!((0.0..=1.0).contains(&s_heavy));
+    }
+
+    #[test]
+    fn delta_tx_is_fair_share() {
+        let m = model();
+        let per_node = m.average_delta_tx().value();
+        assert!((per_node * 6.0 - m.channel_share()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn budget_identity_s_plus_loss_is_one() {
+        let m = model();
+        let total = m.allocatable_time().value() + m.timing_overhead().value();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn assignment_works_on_csma_channel() {
+        // The generic Eq. 1–2 machinery runs unchanged on the CSMA model,
+        // demonstrating the paper's claimed generality.
+        let m = model();
+        let rates = vec![ByteRate::new(500.0); 4];
+        let a = assign_slots(&m, &rates).expect("light load fits");
+        assert_eq!(a.slots.len(), 4);
+        for (i, &phi) in rates.iter().enumerate() {
+            assert!(a.delta_tx[i].value() + 1e-12 >= m.tx_time(phi).value());
+        }
+    }
+
+    #[test]
+    fn overload_rejected_by_assignment() {
+        let m = model();
+        // Six nodes each demanding ~30 kB/s saturate a 250 kb/s channel
+        // that only achieves S < 1.
+        let rates = vec![ByteRate::new(30_000.0); 6];
+        assert!(assign_slots(&m, &rates).is_err());
+    }
+
+    #[test]
+    fn parameter_validation() {
+        assert!(CsmaMacModel::new(0, 0.004, 0.01, 250_000.0, 13).is_err());
+        assert!(CsmaMacModel::new(6, 0.0, 0.01, 250_000.0, 13).is_err());
+        assert!(CsmaMacModel::new(6, 0.004, 0.0, 250_000.0, 13).is_err());
+        assert!(CsmaMacModel::new(6, 0.004, 1.5, 250_000.0, 13).is_err());
+        assert!(CsmaMacModel::new(6, 0.004, 0.01, -1.0, 13).is_err());
+        assert!(model().with_offered_load(0.0).is_err());
+        assert!(model().with_offered_load(2.0).is_ok());
+    }
+
+    #[test]
+    fn default_operating_point_is_near_optimal() {
+        let m = model();
+        let s_default = m.channel_share();
+        for g in [0.5, 1.0, 2.0, 5.0, 20.0] {
+            let s = CsmaMacModel::utilization(g, 0.01);
+            assert!(s <= s_default + 0.05, "G={g}: S={s} beats default {s_default}");
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Worst-case delay bound (Eq. 9 of §4.2).
+//!
+//! Compression produces a uniform output rate, so the dominant delay term
+//! is channel access: in the worst case a node's data becomes ready just
+//! as its own GTS passes, and must wait for every other node's
+//! transmission intervals plus the control overhead — beacon,
+//! contention-access period, *unallocated* slots and the inactive period
+//! — of each superframe boundary it crosses, and finally its own
+//! transmission interval to be delivered.
+
+use crate::assignment::SlotAssignment;
+use crate::ieee802154::{Ieee802154Mac, MAX_GTS_SLOTS, NUM_SUPERFRAME_SLOTS};
+use crate::units::Seconds;
+
+/// Channel time per superframe that is unavailable to the waiting node:
+/// beacon airtime, every slot not allocated as a GTS (the ≥9 CAP slots
+/// plus unused GTS capacity) and the inactive period.
+#[must_use]
+pub fn control_time_per_superframe(mac: &Ieee802154Mac, assignment: &SlotAssignment) -> Seconds {
+    let unallocated = NUM_SUPERFRAME_SLOTS - assignment.total_slots();
+    mac.beacon_airtime()
+        + mac.config().slot_duration() * f64::from(unallocated)
+        + mac.config().inactive_duration()
+}
+
+/// Eq. 9 worst-case delay for node `n` under a slot assignment:
+///
+/// `d(n) ≤ Σ_{i≠n} Δtx(i) + ⌈Σ_{i≠n} k(i) / 7⌉ · Δcontrol + Δtx(n) + T_pkt`
+///
+/// with transmission intervals per superframe and `Δcontrol` from
+/// [`control_time_per_superframe`]. The own-interval term covers the
+/// delivery of the waiting data itself, and the final packet-transaction
+/// term is the non-preemptive blocking of data that becomes ready while
+/// a transmission is already in flight.
+///
+/// # Panics
+///
+/// Panics if `n` is out of range for the assignment (programming error).
+///
+/// ```
+/// use wbsn_model::assignment::assign_slots;
+/// use wbsn_model::delay::worst_case_delay;
+/// use wbsn_model::ieee802154::{Ieee802154Config, Ieee802154Mac};
+/// use wbsn_model::units::ByteRate;
+///
+/// let mac = Ieee802154Mac::new(Ieee802154Config::new(114, 6, 6)?, 6);
+/// let rates = vec![ByteRate::new(63.75); 6];
+/// let a = assign_slots(&mac, &rates)?;
+/// let d0 = worst_case_delay(&mac, &a, 0);
+/// // Never better than one beacon interval for single-slot nodes.
+/// assert!(d0.value() >= mac.config().beacon_interval().value());
+/// # Ok::<(), wbsn_model::ModelError>(())
+/// ```
+#[must_use]
+pub fn worst_case_delay(mac: &Ieee802154Mac, assignment: &SlotAssignment, n: usize) -> Seconds {
+    assert!(n < assignment.slots.len(), "node index out of range");
+    let delta = mac.config().slot_duration();
+    let others_slots: u32 =
+        assignment.slots.iter().enumerate().filter(|&(i, _)| i != n).map(|(_, &k)| k).sum();
+    let others_time = delta * f64::from(others_slots);
+    let own_time = delta * f64::from(assignment.slots[n]);
+    let superframes_crossed = others_slots.div_ceil(MAX_GTS_SLOTS).max(1);
+    others_time
+        + control_time_per_superframe(mac, assignment) * f64::from(superframes_crossed)
+        + own_time
+        + mac.packet_transaction_time()
+}
+
+/// Worst-case delays for every node of the assignment.
+#[must_use]
+pub fn worst_case_delays(mac: &Ieee802154Mac, assignment: &SlotAssignment) -> Vec<Seconds> {
+    (0..assignment.slots.len()).map(|n| worst_case_delay(mac, assignment, n)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assignment::assign_slots;
+    use crate::ieee802154::Ieee802154Config;
+    use crate::units::ByteRate;
+
+    fn setup(rates: &[f64], sfo: u8, bco: u8) -> (Ieee802154Mac, SlotAssignment) {
+        let mac = Ieee802154Mac::new(
+            Ieee802154Config::new(114, sfo, bco).expect("valid"),
+            rates.len() as u32,
+        );
+        let rates: Vec<ByteRate> = rates.iter().map(|&r| ByteRate::new(r)).collect();
+        let a = assign_slots(&mac, &rates).expect("feasible");
+        (mac, a)
+    }
+
+    #[test]
+    fn bound_covers_a_full_beacon_cycle() {
+        // The worst-case wait spans at least one full beacon interval:
+        // all slots (own + others + unallocated) plus beacon + inactive.
+        for (sfo, bco) in [(6u8, 6u8), (5, 6), (4, 7)] {
+            let (mac, a) = setup(&[63.75; 4], sfo, bco);
+            for n in 0..4 {
+                let d = worst_case_delay(&mac, &a, n);
+                assert!(
+                    d.value() >= mac.config().beacon_interval().value(),
+                    "sfo={sfo} bco={bco} node={n}: {} < BI",
+                    d.value()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn control_time_counts_unallocated_slots() {
+        let (mac, a) = setup(&[63.75; 3], 6, 6);
+        // 3 nodes × 1 slot: 13 unallocated slots.
+        assert_eq!(a.total_slots(), 3);
+        let control = control_time_per_superframe(&mac, &a);
+        let expect = mac.beacon_airtime().value()
+            + 13.0 * mac.config().slot_duration().value()
+            + mac.config().inactive_duration().value();
+        assert!((control.value() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heavier_neighbours_mean_longer_delay() {
+        let (mac_light, a_light) = setup(&[40.0, 40.0, 40.0], 6, 6);
+        let (mac_heavy, a_heavy) = setup(&[40.0, 2500.0, 2500.0], 6, 6);
+        let d_light = worst_case_delay(&mac_light, &a_light, 0);
+        let d_heavy = worst_case_delay(&mac_heavy, &a_heavy, 0);
+        // More neighbour slots shrink the unallocated share one-for-one,
+        // so the bound grows only via the ceil term — but never shrinks.
+        assert!(d_heavy.value() + 1e-12 >= d_light.value());
+    }
+
+    #[test]
+    fn longer_beacon_interval_increases_delay() {
+        let (mac_short, a_short) = setup(&[63.75; 4], 6, 6);
+        let (mac_long, a_long) = setup(&[63.75; 4], 6, 9);
+        let d_short = worst_case_delay(&mac_short, &a_short, 0);
+        let d_long = worst_case_delay(&mac_long, &a_long, 0);
+        assert!(d_long.value() > d_short.value());
+    }
+
+    #[test]
+    fn delays_vector_matches_scalar() {
+        let (mac, a) = setup(&[63.75, 120.0, 86.25], 6, 6);
+        let ds = worst_case_delays(&mac, &a);
+        for (n, &d) in ds.iter().enumerate() {
+            assert_eq!(d, worst_case_delay(&mac, &a, n));
+        }
+    }
+
+    #[test]
+    fn asymmetric_traffic_gives_asymmetric_bounds() {
+        let (mac, a) = setup(&[40.0, 2500.0, 40.0], 6, 6);
+        // Node 1 owns more slots; the waiting time of nodes 0/2 includes
+        // them, while node 1 waits only for the single slots of 0 and 2.
+        let d0 = worst_case_delay(&mac, &a, 0);
+        let d1 = worst_case_delay(&mac, &a, 1);
+        assert!(
+            (d0.value() - d1.value()).abs() < 1e-12,
+            "with unallocated slots absorbed, totals match a full cycle"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_node_panics() {
+        let (mac, a) = setup(&[63.75], 6, 6);
+        let _ = worst_case_delay(&mac, &a, 3);
+    }
+}

@@ -1,0 +1,98 @@
+//! Error type for model construction and evaluation.
+
+use std::fmt;
+
+/// Errors produced while validating or evaluating a WBSN configuration.
+///
+/// Infeasibility is a first-class outcome of design-space exploration: the
+/// DSE layer treats these errors as "reject this configuration", so they
+/// carry enough detail to explain *why* a point is infeasible.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// The application duty cycle exceeds 100 % on the selected clock
+    /// (e.g. DWT at `fµC` = 1 MHz in the case study).
+    DutyCycleExceeded {
+        /// Index of the offending node.
+        node: usize,
+        /// Computed duty-cycle fraction (> 1).
+        duty: f64,
+    },
+    /// The slot assignment of Eq. 1 needs more GTSs than the protocol
+    /// provides (7 per superframe in IEEE 802.15.4).
+    GtsCapacityExceeded {
+        /// Slots required by all nodes together.
+        required: u32,
+        /// Slots available per superframe.
+        available: u32,
+    },
+    /// A node's traffic cannot fit even when given every available slot
+    /// (per-node bandwidth shortfall).
+    BandwidthExceeded {
+        /// Index of the offending node.
+        node: usize,
+        /// Transmission time needed per superframe, in seconds.
+        needed_s: f64,
+        /// Transmission time available per superframe, in seconds.
+        available_s: f64,
+    },
+    /// A configuration parameter is outside its legal range.
+    InvalidParameter {
+        /// Which parameter.
+        name: &'static str,
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::DutyCycleExceeded { node, duty } => write!(
+                f,
+                "node {node}: application duty cycle {:.1}% exceeds 100%",
+                duty * 100.0
+            ),
+            Self::GtsCapacityExceeded { required, available } => write!(
+                f,
+                "slot assignment needs {required} GTSs but only {available} are available"
+            ),
+            Self::BandwidthExceeded { node, needed_s, available_s } => write!(
+                f,
+                "node {node}: needs {:.3} ms of airtime per superframe, only {:.3} ms available",
+                needed_s * 1e3,
+                available_s * 1e3
+            ),
+            Self::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = ModelError::DutyCycleExceeded { node: 2, duty: 2.2656 };
+        assert_eq!(format!("{e}"), "node 2: application duty cycle 226.6% exceeds 100%");
+
+        let e = ModelError::GtsCapacityExceeded { required: 9, available: 7 };
+        assert!(format!("{e}").contains("9 GTSs"));
+
+        let e = ModelError::BandwidthExceeded { node: 0, needed_s: 0.01, available_s: 0.005 };
+        assert!(format!("{e}").contains("10.000 ms"));
+
+        let e = ModelError::InvalidParameter { name: "sfo", reason: "must be <= bco".into() };
+        assert!(format!("{e}").contains("`sfo`"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_error::<ModelError>();
+    }
+}

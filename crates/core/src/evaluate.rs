@@ -1,0 +1,436 @@
+//! End-to-end system-level evaluation: the object the DSE loop calls
+//! thousands of times per second (§5.2 reports ≈4800 evaluations/s for the
+//! authors' implementation).
+//!
+//! [`WbsnModel::evaluate`] chains the whole paper: application models
+//! (§3.3) → node energy (Eq. 3–7) → slot assignment (Eq. 1–2) → delay
+//! bound (Eq. 9) → balanced network metrics (Eq. 8).
+
+use crate::app::ApplicationModel;
+use crate::assignment::{assign_slots, SlotAssignment};
+use crate::delay::worst_case_delays;
+use crate::error::ModelError;
+use crate::ieee802154::{Ieee802154Config, Ieee802154Mac};
+use crate::metrics::{balanced_metric, NetworkObjectives};
+use crate::node::{NodeEnergyBreakdown, NodeModel};
+use crate::shimmer::{self, CompressionKind};
+use crate::units::{Hertz, Seconds};
+
+/// Per-node configuration `χnode = {CR, fµC}` plus the application choice
+/// (fixed per node in the case study: half DWT, half CS).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeConfig {
+    /// Which compression application the node runs.
+    pub kind: CompressionKind,
+    /// Compression ratio `CR ∈ (0, 1]`.
+    pub cr: f64,
+    /// Microcontroller clock `fµC`.
+    pub f_mcu: Hertz,
+}
+
+impl NodeConfig {
+    /// Convenience constructor.
+    #[must_use]
+    pub fn new(kind: CompressionKind, cr: f64, f_mcu: Hertz) -> Self {
+        Self { kind, cr, f_mcu }
+    }
+}
+
+/// Everything the model computes for a single node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeEvaluation {
+    /// Energy breakdown (Eq. 3–7).
+    pub energy: NodeEnergyBreakdown,
+    /// Worst-case delay bound (Eq. 9).
+    pub delay_bound: Seconds,
+    /// Estimated PRD (quality loss, §4.3).
+    pub prd: f64,
+    /// GTS slots granted per superframe.
+    pub slots: u32,
+}
+
+/// Full evaluation of one network configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemEvaluation {
+    /// The three network objectives (Eq. 8 combinations).
+    pub objectives: NetworkObjectives,
+    /// Per-node details.
+    pub per_node: Vec<NodeEvaluation>,
+    /// The Eq. 1–2 slot assignment.
+    pub assignment: SlotAssignment,
+}
+
+impl SystemEvaluation {
+    /// `Enet` in mJ/s.
+    #[must_use]
+    pub fn energy_metric(&self) -> f64 {
+        self.objectives.energy
+    }
+
+    /// Balanced delay metric in seconds.
+    #[must_use]
+    pub fn delay_metric(&self) -> f64 {
+        self.objectives.delay
+    }
+
+    /// Balanced PRD metric in percent.
+    #[must_use]
+    pub fn prd_metric(&self) -> f64 {
+        self.objectives.prd
+    }
+}
+
+/// The proposed multi-layer analytical model, configured for a platform.
+///
+/// ```
+/// use wbsn_model::evaluate::{NodeConfig, WbsnModel};
+/// use wbsn_model::ieee802154::Ieee802154Config;
+/// use wbsn_model::shimmer::CompressionKind;
+/// use wbsn_model::units::Hertz;
+///
+/// let model = WbsnModel::shimmer();
+/// let mac = Ieee802154Config::new(114, 6, 6)?;
+/// let nodes: Vec<NodeConfig> = (0..6)
+///     .map(|i| {
+///         let kind = if i < 3 { CompressionKind::Dwt } else { CompressionKind::Cs };
+///         NodeConfig::new(kind, 0.25, Hertz::from_mhz(8.0))
+///     })
+///     .collect();
+/// let eval = model.evaluate(&mac, &nodes)?;
+/// assert!(eval.energy_metric() > 0.0);
+/// assert_eq!(eval.per_node.len(), 6);
+/// # Ok::<(), wbsn_model::ModelError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct WbsnModel {
+    node_model: NodeModel,
+    theta: f64,
+    packet_error_rate: f64,
+}
+
+impl WbsnModel {
+    /// Model over the calibrated Shimmer platform with ϑ = 1 and a clean
+    /// channel (the case study sets the carrier power "to a sufficient
+    /// level in order to minimize the probability of a packet error").
+    #[must_use]
+    pub fn shimmer() -> Self {
+        Self { node_model: shimmer::node_model(), theta: 1.0, packet_error_rate: 0.0 }
+    }
+
+    /// Model over a custom node model.
+    #[must_use]
+    pub fn new(node_model: NodeModel, theta: f64) -> Self {
+        Self { node_model, theta, packet_error_rate: 0.0 }
+    }
+
+    /// Sets the imbalance weight ϑ of Eq. 8.
+    #[must_use]
+    pub fn with_theta(mut self, theta: f64) -> Self {
+        self.theta = theta;
+        self
+    }
+
+    /// Enables the §3.3 retransmission extension: "if an estimation of
+    /// the transmission errors is available, then the average amount of
+    /// retransmitted data can be added to the original φout". With ARQ,
+    /// a packet error rate `p` inflates the effective stream to
+    /// `φout / (1 − p)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1)`.
+    #[must_use]
+    pub fn with_packet_error_rate(mut self, p: f64) -> Self {
+        assert!((0.0..1.0).contains(&p), "packet error rate must be in [0, 1), got {p}");
+        self.packet_error_rate = p;
+        self
+    }
+
+    /// The configured packet error rate.
+    #[must_use]
+    pub fn packet_error_rate(&self) -> f64 {
+        self.packet_error_rate
+    }
+
+    /// The configured imbalance weight ϑ.
+    #[must_use]
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// The underlying node model.
+    #[must_use]
+    pub fn node_model(&self) -> &NodeModel {
+        &self.node_model
+    }
+
+    /// Evaluates one full network configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates every infeasibility the paper's model detects:
+    /// duty-cycle overflow ([`ModelError::DutyCycleExceeded`], tagged with
+    /// the node index), GTS capacity overflow
+    /// ([`ModelError::GtsCapacityExceeded`]), per-node bandwidth shortfall
+    /// ([`ModelError::BandwidthExceeded`]) and invalid parameters.
+    pub fn evaluate(
+        &self,
+        mac_cfg: &Ieee802154Config,
+        nodes: &[NodeConfig],
+    ) -> Result<SystemEvaluation, ModelError> {
+        mac_cfg.validate()?;
+        let mac = Ieee802154Mac::new(*mac_cfg, nodes.len() as u32);
+        let phi_in = self.node_model.input_rate();
+
+        // §3.3 retransmission extension: ARQ over a lossy channel carries
+        // each packet 1/(1−p) times on average.
+        let retransmission_factor = 1.0 / (1.0 - self.packet_error_rate);
+
+        let mut breakdowns = Vec::with_capacity(nodes.len());
+        let mut prds = Vec::with_capacity(nodes.len());
+        let mut phi_outs = Vec::with_capacity(nodes.len());
+        for (i, node) in nodes.iter().enumerate() {
+            let app = RetransmittingApp {
+                inner: node.kind.app(node.cr)?,
+                factor: retransmission_factor,
+            };
+            let breakdown = self
+                .node_model
+                .energy_per_second(&app, node.f_mcu, &mac)
+                .map_err(|e| match e {
+                    ModelError::DutyCycleExceeded { duty, .. } => {
+                        ModelError::DutyCycleExceeded { node: i, duty }
+                    }
+                    other => other,
+                })?;
+            phi_outs.push(breakdown.phi_out);
+            prds.push(app.quality_loss(phi_in));
+            breakdowns.push(breakdown);
+        }
+
+        let assignment = assign_slots(&mac, &phi_outs)?;
+        let delays = worst_case_delays(&mac, &assignment);
+
+        let energies: Vec<f64> = breakdowns.iter().map(|b| b.total().mj_per_s()).collect();
+        let delay_vals: Vec<f64> = delays.iter().map(|d| d.value()).collect();
+        let objectives = NetworkObjectives {
+            energy: balanced_metric(&energies, self.theta),
+            delay: balanced_metric(&delay_vals, self.theta),
+            prd: balanced_metric(&prds, self.theta),
+        };
+
+        let per_node = breakdowns
+            .into_iter()
+            .zip(delays)
+            .zip(prds)
+            .zip(&assignment.slots)
+            .map(|(((energy, delay_bound), prd), &slots)| NodeEvaluation {
+                energy,
+                delay_bound,
+                prd,
+                slots,
+            })
+            .collect();
+
+        Ok(SystemEvaluation { objectives, per_node, assignment })
+    }
+}
+
+impl Default for WbsnModel {
+    fn default() -> Self {
+        Self::shimmer()
+    }
+}
+
+/// Wraps an application model, inflating its output stream by the ARQ
+/// retransmission factor (§3.3 extension). Quality and resource usage are
+/// unchanged: retransmissions cost radio bytes, not CPU or fidelity.
+struct RetransmittingApp {
+    inner: Box<dyn ApplicationModel>,
+    factor: f64,
+}
+
+impl ApplicationModel for RetransmittingApp {
+    fn output_rate(&self, phi_in: crate::units::ByteRate) -> crate::units::ByteRate {
+        self.inner.output_rate(phi_in) * self.factor
+    }
+
+    fn resource_usage(
+        &self,
+        phi_in: crate::units::ByteRate,
+        f_mcu: Hertz,
+    ) -> crate::app::ResourceUsage {
+        self.inner.resource_usage(phi_in, f_mcu)
+    }
+
+    fn quality_loss(&self, phi_in: crate::units::ByteRate) -> f64 {
+        self.inner.quality_loss(phi_in)
+    }
+
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+}
+
+/// Builds the paper's reference scenario: `n` nodes, the first half running
+/// DWT and the rest CS (§4.1), all at the same `cr` and `f_mcu`.
+#[must_use]
+pub fn half_dwt_half_cs(n: usize, cr: f64, f_mcu: Hertz) -> Vec<NodeConfig> {
+    (0..n)
+        .map(|i| {
+            let kind = if i < n / 2 { CompressionKind::Dwt } else { CompressionKind::Cs };
+            NodeConfig::new(kind, cr, f_mcu)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn default_mac() -> Ieee802154Config {
+        Ieee802154Config::new(114, 6, 6).expect("valid")
+    }
+
+    #[test]
+    fn six_node_case_study_is_feasible_at_8mhz() {
+        let model = WbsnModel::shimmer();
+        let nodes = half_dwt_half_cs(6, 0.25, Hertz::from_mhz(8.0));
+        let eval = model.evaluate(&default_mac(), &nodes).expect("feasible");
+        assert_eq!(eval.per_node.len(), 6);
+        // Plausible absolute range (mJ/s per node, per Fig. 3): 1..10.
+        for n in &eval.per_node {
+            let e = n.energy.total().mj_per_s();
+            assert!((0.5..10.0).contains(&e), "node energy {e} out of plausible range");
+        }
+        assert!(eval.energy_metric() > 0.0);
+        assert!(eval.delay_metric() > 0.0);
+        assert!(eval.prd_metric() > 0.0);
+    }
+
+    #[test]
+    fn dwt_at_1mhz_is_rejected_with_node_index() {
+        let model = WbsnModel::shimmer();
+        let mut nodes = half_dwt_half_cs(6, 0.25, Hertz::from_mhz(8.0));
+        nodes[2].f_mcu = Hertz::from_mhz(1.0); // node 2 runs DWT
+        let err = model.evaluate(&default_mac(), &nodes).expect_err("infeasible");
+        assert!(matches!(err, ModelError::DutyCycleExceeded { node: 2, .. }), "{err:?}");
+    }
+
+    #[test]
+    fn cs_at_1mhz_is_feasible() {
+        let model = WbsnModel::shimmer();
+        let nodes = vec![NodeConfig::new(CompressionKind::Cs, 0.25, Hertz::from_mhz(1.0)); 4];
+        model.evaluate(&default_mac(), &nodes).expect("CS fits in 1 MHz");
+    }
+
+    #[test]
+    fn higher_cr_means_more_energy_less_prd() {
+        let model = WbsnModel::shimmer();
+        let lo = model
+            .evaluate(&default_mac(), &half_dwt_half_cs(6, 0.17, Hertz::from_mhz(8.0)))
+            .expect("feasible");
+        let hi = model
+            .evaluate(&default_mac(), &half_dwt_half_cs(6, 0.38, Hertz::from_mhz(8.0)))
+            .expect("feasible");
+        assert!(hi.energy_metric() > lo.energy_metric(), "more data ⇒ more radio energy");
+        assert!(hi.prd_metric() < lo.prd_metric(), "more data ⇒ better quality");
+    }
+
+    #[test]
+    fn theta_zero_matches_mean_energy() {
+        let model = WbsnModel::shimmer().with_theta(0.0);
+        let nodes = half_dwt_half_cs(6, 0.25, Hertz::from_mhz(8.0));
+        let eval = model.evaluate(&default_mac(), &nodes).expect("feasible");
+        let mean = eval.per_node.iter().map(|n| n.energy.total().mj_per_s()).sum::<f64>() / 6.0;
+        assert!((eval.energy_metric() - mean).abs() < 1e-12);
+    }
+
+    #[test]
+    fn theta_penalizes_imbalance() {
+        let model = WbsnModel::shimmer();
+        let balanced = half_dwt_half_cs(6, 0.25, Hertz::from_mhz(8.0));
+        let mut unbalanced = balanced.clone();
+        // Same *average* CR, spread apart: imbalance must not decrease Enet.
+        unbalanced[3].cr = 0.17;
+        unbalanced[4].cr = 0.33;
+        let e_bal = model.evaluate(&default_mac(), &balanced).expect("ok");
+        let e_unb = model.evaluate(&default_mac(), &unbalanced).expect("ok");
+        let theta0 = WbsnModel::shimmer().with_theta(0.0);
+        let m_bal = theta0.evaluate(&default_mac(), &balanced).expect("ok");
+        let m_unb = theta0.evaluate(&default_mac(), &unbalanced).expect("ok");
+        let spread_with = e_unb.energy_metric() - m_unb.energy_metric();
+        let spread_without = e_bal.energy_metric() - m_bal.energy_metric();
+        assert!(spread_with > spread_without);
+    }
+
+    #[test]
+    fn invalid_mac_config_propagates() {
+        let model = WbsnModel::shimmer();
+        let bad = Ieee802154Config { payload_bytes: 0, ..Ieee802154Config::default() };
+        let nodes = half_dwt_half_cs(2, 0.25, Hertz::from_mhz(8.0));
+        assert!(model.evaluate(&bad, &nodes).is_err());
+    }
+
+    #[test]
+    fn helper_splits_applications() {
+        let nodes = half_dwt_half_cs(6, 0.3, Hertz::from_mhz(4.0));
+        assert_eq!(nodes.iter().filter(|n| n.kind == CompressionKind::Dwt).count(), 3);
+        assert_eq!(nodes.iter().filter(|n| n.kind == CompressionKind::Cs).count(), 3);
+        let nodes = half_dwt_half_cs(5, 0.3, Hertz::from_mhz(4.0));
+        assert_eq!(nodes.iter().filter(|n| n.kind == CompressionKind::Dwt).count(), 2);
+    }
+
+    #[test]
+    fn retransmissions_inflate_radio_energy_and_slots() {
+        let mac = default_mac();
+        let nodes = half_dwt_half_cs(6, 0.3, Hertz::from_mhz(8.0));
+        let clean = WbsnModel::shimmer().evaluate(&mac, &nodes).expect("ok");
+        let lossy =
+            WbsnModel::shimmer().with_packet_error_rate(0.3).evaluate(&mac, &nodes).expect("ok");
+        for (c, l) in clean.per_node.iter().zip(&lossy.per_node) {
+            assert!(
+                l.energy.radio.value() > c.energy.radio.value() * 1.3,
+                "30% PER must inflate radio energy by >30%: {} vs {}",
+                l.energy.radio.value(),
+                c.energy.radio.value()
+            );
+            // Non-radio components are untouched.
+            assert_eq!(l.energy.mcu, c.energy.mcu);
+            assert_eq!(l.energy.sensor, c.energy.sensor);
+            assert_eq!(l.prd, c.prd);
+        }
+        assert!(lossy.energy_metric() > clean.energy_metric());
+    }
+
+    #[test]
+    fn extreme_per_exhausts_gts_capacity() {
+        let mac = default_mac();
+        let nodes = half_dwt_half_cs(6, 0.38, Hertz::from_mhz(8.0));
+        // 92 % loss rate: 12.5x the traffic cannot fit in 7 GTSs.
+        let err = WbsnModel::shimmer()
+            .with_packet_error_rate(0.92)
+            .evaluate(&mac, &nodes)
+            .expect_err("saturated");
+        assert!(matches!(
+            err,
+            ModelError::GtsCapacityExceeded { .. } | ModelError::BandwidthExceeded { .. }
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "packet error rate")]
+    fn per_validation() {
+        let _ = WbsnModel::shimmer().with_packet_error_rate(1.0);
+    }
+
+    #[test]
+    fn slots_reported_per_node() {
+        let model = WbsnModel::shimmer();
+        let nodes = half_dwt_half_cs(6, 0.25, Hertz::from_mhz(8.0));
+        let eval = model.evaluate(&default_mac(), &nodes).expect("feasible");
+        for n in &eval.per_node {
+            assert!(n.slots >= 1, "every active node needs at least one slot");
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! # wbsn-model — system-level analytical model of body sensor networks
+//!
+//! Rust implementation of the multi-layer WBSN model proposed by
+//! *Beretta et al., "Design Exploration of Energy-Performance Trade-Offs
+//! for Wireless Sensor Networks", DAC 2012*.
+//!
+//! The model evaluates a full network configuration — MAC parameters plus
+//! one `{CR, fµC}` pair per node — in microseconds, producing three
+//! network-level objectives (energy, worst-case delay, application
+//! quality), which makes exhaustive or heuristic design-space exploration
+//! practical where packet-level simulation is six orders of magnitude too
+//! slow.
+//!
+//! ## Layers
+//!
+//! * [`mac`] — the abstract MAC characterization of §3.2 (`Ω`, `Ψ`,
+//!   `Δcontrol`, `δ`), instantiated for beacon-enabled IEEE 802.15.4 in
+//!   [`ieee802154`].
+//! * [`node`] — the §3.3 component energy models (Eq. 3–7) driven by an
+//!   [`app::ApplicationModel`].
+//! * [`assignment`] / [`delay`] — the Eq. 1–2 transmission-interval sizing
+//!   and the Eq. 9 worst-case delay bound.
+//! * [`metrics`] / [`evaluate`] — the Eq. 8 balanced network metrics and
+//!   the end-to-end [`evaluate::WbsnModel`] evaluator.
+//! * [`shimmer`] — the §4.3 case-study instantiation (Shimmer platform,
+//!   DWT and compressed-sensing applications).
+//! * [`space`] — the §4.1 configuration space.
+//! * [`csma`] — the §3.2 contention-access adaptation: `Δtx` determined
+//!   statistically from a non-persistent CSMA throughput model.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use wbsn_model::evaluate::{half_dwt_half_cs, WbsnModel};
+//! use wbsn_model::ieee802154::Ieee802154Config;
+//! use wbsn_model::units::Hertz;
+//!
+//! let model = WbsnModel::shimmer();
+//! let mac = Ieee802154Config::new(114, 6, 6)?;
+//! let nodes = half_dwt_half_cs(6, 0.25, Hertz::from_mhz(8.0));
+//! let eval = model.evaluate(&mac, &nodes)?;
+//! println!(
+//!     "Enet = {:.2} mJ/s, delay ≤ {:.0} ms, PRD = {:.1} %",
+//!     eval.energy_metric(),
+//!     eval.delay_metric() * 1e3,
+//!     eval.prd_metric(),
+//! );
+//! # Ok::<(), wbsn_model::ModelError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::pedantic)]
+#![allow(clippy::module_name_repetitions)]
+#![allow(clippy::must_use_candidate)]
+#![allow(clippy::cast_precision_loss)]
+
+pub mod app;
+pub mod assignment;
+pub mod csma;
+pub mod delay;
+pub mod error;
+pub mod evaluate;
+pub mod ieee802154;
+pub mod lifetime;
+pub mod mac;
+pub mod math;
+pub mod metrics;
+pub mod node;
+pub mod shimmer;
+pub mod space;
+pub mod units;
+
+pub use error::ModelError;
+pub use evaluate::{NodeConfig, SystemEvaluation, WbsnModel};
+pub use ieee802154::{Ieee802154Config, Ieee802154Mac};
+pub use metrics::NetworkObjectives;
+pub use shimmer::CompressionKind;
+pub use space::{DesignPoint, DesignSpace};

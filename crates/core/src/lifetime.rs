@@ -1,0 +1,120 @@
+//! Battery-lifetime conversion: from the model's mJ/s to the days of
+//! operation the paper's introduction motivates ("a WSN has to …
+//! guarantee a sufficient lifetime").
+
+use crate::error::ModelError;
+use crate::units::MilliWatts;
+
+/// A battery described by capacity and nominal voltage.
+///
+/// ```
+/// use wbsn_model::lifetime::Battery;
+/// use wbsn_model::units::MilliWatts;
+///
+/// // The Shimmer's 450 mAh Li-ion cell at 3.7 V.
+/// let battery = Battery::new(450.0, 3.7)?;
+/// // A DWT node drawing 4.1 mJ/s lasts about 17 days.
+/// let days = battery.lifetime_days(MilliWatts::new(4.1));
+/// assert!((days - 16.9).abs() < 0.1, "{days}");
+/// # Ok::<(), wbsn_model::ModelError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Battery {
+    capacity_mah: f64,
+    voltage_v: f64,
+}
+
+impl Battery {
+    /// Creates a battery from capacity (mAh) and nominal voltage (V).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidParameter`] for non-positive values.
+    pub fn new(capacity_mah: f64, voltage_v: f64) -> Result<Self, ModelError> {
+        if !(capacity_mah > 0.0 && capacity_mah.is_finite()) {
+            return Err(ModelError::InvalidParameter {
+                name: "capacity_mah",
+                reason: format!("must be positive, got {capacity_mah}"),
+            });
+        }
+        if !(voltage_v > 0.0 && voltage_v.is_finite()) {
+            return Err(ModelError::InvalidParameter {
+                name: "voltage_v",
+                reason: format!("must be positive, got {voltage_v}"),
+            });
+        }
+        Ok(Self { capacity_mah, voltage_v })
+    }
+
+    /// The Shimmer platform's 450 mAh / 3.7 V Li-ion cell.
+    #[must_use]
+    pub fn shimmer() -> Self {
+        Self { capacity_mah: 450.0, voltage_v: 3.7 }
+    }
+
+    /// Total energy content in joules.
+    #[must_use]
+    pub fn energy_j(&self) -> f64 {
+        // mAh × 3.6 = coulombs; × V = joules.
+        self.capacity_mah * 3.6 * self.voltage_v
+    }
+
+    /// Lifetime in seconds at a constant draw.
+    ///
+    /// Returns `f64::INFINITY` for a zero draw.
+    #[must_use]
+    pub fn lifetime_s(&self, draw: MilliWatts) -> f64 {
+        if draw.value() <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.energy_j() / (draw.value() * 1e-3)
+    }
+
+    /// Lifetime in days at a constant draw.
+    #[must_use]
+    pub fn lifetime_days(&self, draw: MilliWatts) -> f64 {
+        self.lifetime_s(draw) / 86_400.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shimmer_cell_energy() {
+        // 450 mAh × 3.6 × 3.7 V = 5994 J.
+        assert!((Battery::shimmer().energy_j() - 5994.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lifetime_scales_inversely_with_draw() {
+        let b = Battery::shimmer();
+        let d1 = b.lifetime_days(MilliWatts::new(2.0));
+        let d2 = b.lifetime_days(MilliWatts::new(4.0));
+        assert!((d1 - 2.0 * d2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn case_study_lifetimes_are_plausible() {
+        // DWT node ~4.1 mJ/s → ~17 days; CS node ~1.7 mJ/s → ~41 days.
+        let b = Battery::shimmer();
+        let dwt = b.lifetime_days(MilliWatts::new(4.11));
+        let cs = b.lifetime_days(MilliWatts::new(1.71));
+        assert!((16.0..18.0).contains(&dwt), "{dwt}");
+        assert!((39.0..42.0).contains(&cs), "{cs}");
+    }
+
+    #[test]
+    fn zero_draw_is_infinite() {
+        assert_eq!(Battery::shimmer().lifetime_s(MilliWatts::zero()), f64::INFINITY);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(Battery::new(0.0, 3.7).is_err());
+        assert!(Battery::new(450.0, 0.0).is_err());
+        assert!(Battery::new(-1.0, 3.7).is_err());
+        assert!(Battery::new(f64::NAN, 3.7).is_err());
+    }
+}

@@ -1,0 +1,190 @@
+//! MAC-layer abstraction of §3.2.
+//!
+//! The paper characterizes any collision-free MAC through five quantities:
+//! a data overhead `Ω(φout)`, control-message volumes `Ψc→n` / `Ψn→c`, a
+//! timing overhead `Δcontrol` and a base time unit `δ`. [`MacModel`]
+//! captures exactly that surface; [`crate::ieee802154::Ieee802154Mac`] is
+//! the paper's instantiation and [`TdmaMac`] is a minimal second
+//! instantiation demonstrating that the abstraction is not 802.15.4-shaped.
+
+use crate::units::{ByteRate, Seconds};
+
+/// Abstract model of a collision-free MAC protocol (paper §3.2).
+///
+/// A `MacModel` value represents a *configured* protocol: the paper's
+/// `χmac` lives inside the implementing type, so the methods only take the
+/// per-node output stream `φout`.
+///
+/// All rate-like quantities are per second, matching the paper's convention
+/// that Eq. 2 budgets exactly one second of channel time.
+pub trait MacModel {
+    /// Data overhead `Ω(φout, χmac)`: extra bytes per second required to
+    /// carry `φout` (packet headers, trailers, flow control).
+    fn data_overhead(&self, phi_out: ByteRate) -> ByteRate;
+
+    /// Control traffic `Ψc→n(χmac)` from the coordinator to a node
+    /// (beacons, acknowledgements), in bytes per second. May depend on the
+    /// node's own `φout` when the protocol acknowledges per packet.
+    fn control_to_node(&self, phi_out: ByteRate) -> ByteRate;
+
+    /// Control traffic `Ψn→c(χmac)` from a node to the coordinator, in
+    /// bytes per second.
+    fn control_from_node(&self, phi_out: ByteRate) -> ByteRate;
+
+    /// Timing overhead `Δcontrol(χmac)`: channel time per second that is
+    /// unavailable to data (control transmissions plus enforced idle).
+    fn timing_overhead(&self) -> Seconds;
+
+    /// Base time unit `δ`: transmission intervals are multiples of this.
+    fn base_time_unit(&self) -> Seconds;
+
+    /// Channel time per second that the protocol can hand out as data
+    /// transmission intervals (`Σ Δtx` may not exceed this; Eq. 2 combined
+    /// with protocol-specific caps such as the 7-GTS limit).
+    fn allocatable_time(&self) -> Seconds;
+
+    /// `Ttx(φout + Ω(φout))`: physical transmission time needed per second
+    /// to deliver the node's data stream, including per-packet radio
+    /// overheads (preamble, acknowledgement turnaround, inter-frame
+    /// spacing). "Depends on the physical radio" (paper, Eq. 1).
+    fn tx_time(&self, phi_out: ByteRate) -> Seconds;
+
+    /// Extra bytes per second the *radio* transmits beyond `φout + Ω + Ψ`
+    /// (physical-layer preamble/header). Zero for an ideal radio. Default
+    /// implementation returns zero so simple MACs need not care.
+    fn phy_overhead(&self, _phi_out: ByteRate) -> ByteRate {
+        ByteRate::zero()
+    }
+
+    /// How many allocation rounds (frames, superframes) happen per second:
+    /// the `δ`-grid repeats once per round. Defaults to one round/second.
+    fn allocation_rounds_per_second(&self) -> f64 {
+        1.0
+    }
+
+    /// Maximum base-time-unit multiples assignable per allocation round
+    /// (`Σ k(n) ≤` this; 7 GTSs for IEEE 802.15.4). The default derives it
+    /// from the per-second budget.
+    fn capacity_slots_per_round(&self) -> u32 {
+        let per_round =
+            self.allocatable_time().value() / self.allocation_rounds_per_second();
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        {
+            (per_round / self.base_time_unit().value() + 1e-9).floor() as u32
+        }
+    }
+}
+
+/// A deliberately simple TDMA MAC over an ideal radio.
+///
+/// Frames of `slot` seconds repeat back-to-back; each frame reserves
+/// `control_fraction` of its duration for synchronization. There is no
+/// per-packet overhead and no acknowledgement. This is *not* used by the
+/// case study — it exists to exercise the [`MacModel`] abstraction with a
+/// second protocol (and in tests).
+///
+/// ```
+/// use wbsn_model::mac::{MacModel, TdmaMac};
+/// use wbsn_model::units::{ByteRate, Seconds};
+///
+/// let mac = TdmaMac::new(Seconds::from_millis(10.0), 0.1, 250_000.0);
+/// assert_eq!(mac.data_overhead(ByteRate::new(100.0)).value(), 0.0);
+/// assert!((mac.timing_overhead().value() - 0.1).abs() < 1e-12);
+/// assert!((mac.allocatable_time().value() - 0.9).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TdmaMac {
+    slot: Seconds,
+    control_fraction: f64,
+    bit_rate: f64,
+}
+
+impl TdmaMac {
+    /// Creates a TDMA MAC with the given slot length, fraction of time
+    /// reserved for control, and radio bit rate in bit/s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `control_fraction` is outside `[0, 1)` or `bit_rate` is
+    /// not positive.
+    #[must_use]
+    pub fn new(slot: Seconds, control_fraction: f64, bit_rate: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&control_fraction),
+            "control fraction must be in [0, 1)"
+        );
+        assert!(bit_rate > 0.0, "bit rate must be positive");
+        Self { slot, control_fraction, bit_rate }
+    }
+}
+
+impl MacModel for TdmaMac {
+    fn data_overhead(&self, _phi_out: ByteRate) -> ByteRate {
+        ByteRate::zero()
+    }
+
+    fn control_to_node(&self, _phi_out: ByteRate) -> ByteRate {
+        ByteRate::zero()
+    }
+
+    fn control_from_node(&self, _phi_out: ByteRate) -> ByteRate {
+        ByteRate::zero()
+    }
+
+    fn timing_overhead(&self) -> Seconds {
+        Seconds::new(self.control_fraction)
+    }
+
+    fn base_time_unit(&self) -> Seconds {
+        self.slot
+    }
+
+    fn allocatable_time(&self) -> Seconds {
+        Seconds::new(1.0 - self.control_fraction)
+    }
+
+    fn tx_time(&self, phi_out: ByteRate) -> Seconds {
+        Seconds::new(phi_out.bits_per_second() / self.bit_rate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tdma_is_object_safe() {
+        let mac = TdmaMac::new(Seconds::from_millis(5.0), 0.2, 250_000.0);
+        let dyn_mac: &dyn MacModel = &mac;
+        assert_eq!(dyn_mac.base_time_unit(), Seconds::from_millis(5.0));
+        assert_eq!(dyn_mac.phy_overhead(ByteRate::new(10.0)).value(), 0.0);
+    }
+
+    #[test]
+    fn tdma_tx_time_scales_with_rate() {
+        let mac = TdmaMac::new(Seconds::from_millis(5.0), 0.0, 250_000.0);
+        // 31250 B/s == 250 kb/s == the whole second.
+        assert!((mac.tx_time(ByteRate::new(31_250.0)).value() - 1.0).abs() < 1e-12);
+        assert!((mac.tx_time(ByteRate::new(3_125.0)).value() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tdma_budget_identity() {
+        // allocatable + control == 1 s (Eq. 2 with everything handed out).
+        let mac = TdmaMac::new(Seconds::from_millis(1.0), 0.37, 250_000.0);
+        let total = mac.allocatable_time() + mac.timing_overhead();
+        assert!((total.value() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "control fraction")]
+    fn tdma_rejects_bad_fraction() {
+        let _ = TdmaMac::new(Seconds::from_millis(1.0), 1.0, 250_000.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bit rate")]
+    fn tdma_rejects_bad_bit_rate() {
+        let _ = TdmaMac::new(Seconds::from_millis(1.0), 0.1, 0.0);
+    }
+}

@@ -1,0 +1,383 @@
+//! Small numerical toolbox: statistics, polynomials and least squares.
+//!
+//! The paper needs three numerical ingredients outside the closed-form
+//! energy equations: the sample standard deviation of Eq. 8, the
+//! fifth-order polynomial PRD fits `P5(CR)` of §4.3, and the least-squares
+//! procedure that produces those fits from empirical (CR, PRD) samples.
+
+use std::fmt;
+
+/// Arithmetic mean of a slice. Returns 0 for an empty slice.
+///
+/// ```
+/// assert_eq!(wbsn_model::math::mean(&[1.0, 2.0, 3.0]), 2.0);
+/// ```
+#[must_use]
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Sample standard deviation (the `N − 1` denominator of Eq. 8).
+///
+/// Returns 0 for slices with fewer than two elements, matching the paper's
+/// intent that a single-node network has no imbalance penalty.
+///
+/// ```
+/// let s = wbsn_model::math::sample_std(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+/// assert!((s - 2.138089935299395).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn sample_std(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    let ss: f64 = values.iter().map(|v| (v - m) * (v - m)).sum();
+    (ss / (values.len() - 1) as f64).sqrt()
+}
+
+/// A univariate polynomial with an affine input normalization.
+///
+/// Evaluation computes `Σ cᵢ·tⁱ` with `t = (x − offset) / scale`. The
+/// normalization keeps the Vandermonde system well-conditioned when fitting
+/// over a narrow range such as the compression ratios `CR ∈ [0.17, 0.38]`
+/// of the case study.
+///
+/// ```
+/// use wbsn_model::math::Polynomial;
+/// // p(x) = 1 + 2x + 3x²
+/// let p = Polynomial::new(vec![1.0, 2.0, 3.0]);
+/// assert_eq!(p.eval(2.0), 17.0);
+/// assert_eq!(p.degree(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Polynomial {
+    coeffs: Vec<f64>,
+    offset: f64,
+    scale: f64,
+}
+
+impl Polynomial {
+    /// Creates a polynomial from coefficients in ascending-power order,
+    /// with identity input normalization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeffs` is empty.
+    #[must_use]
+    pub fn new(coeffs: Vec<f64>) -> Self {
+        Self::with_normalization(coeffs, 0.0, 1.0)
+    }
+
+    /// Creates a polynomial evaluated on `t = (x − offset) / scale`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeffs` is empty or `scale` is zero.
+    #[must_use]
+    pub fn with_normalization(coeffs: Vec<f64>, offset: f64, scale: f64) -> Self {
+        assert!(!coeffs.is_empty(), "polynomial needs at least one coefficient");
+        assert!(scale != 0.0, "normalization scale must be non-zero");
+        Self { coeffs, offset, scale }
+    }
+
+    /// Coefficients in ascending-power order (of the normalized variable).
+    #[must_use]
+    pub fn coeffs(&self) -> &[f64] {
+        &self.coeffs
+    }
+
+    /// Input normalization as `(offset, scale)`.
+    #[must_use]
+    pub fn normalization(&self) -> (f64, f64) {
+        (self.offset, self.scale)
+    }
+
+    /// Degree of the polynomial.
+    #[must_use]
+    pub fn degree(&self) -> usize {
+        self.coeffs.len() - 1
+    }
+
+    /// Evaluates the polynomial at `x` using Horner's scheme.
+    #[must_use]
+    pub fn eval(&self, x: f64) -> f64 {
+        let t = (x - self.offset) / self.scale;
+        self.coeffs.iter().rev().fold(0.0, |acc, &c| acc * t + c)
+    }
+}
+
+impl fmt::Display for Polynomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, c) in self.coeffs.iter().enumerate() {
+            if i == 0 {
+                write!(f, "{c:.6}")?;
+            } else {
+                write!(f, " {} {:.6}·t^{i}", if *c < 0.0 { "-" } else { "+" }, c.abs())?;
+            }
+        }
+        if self.offset != 0.0 || self.scale != 1.0 {
+            write!(f, "  with t = (x - {:.4})/{:.4}", self.offset, self.scale)?;
+        }
+        Ok(())
+    }
+}
+
+/// Error returned by [`polyfit`] and [`solve_linear_system`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FitError {
+    /// Fewer samples than coefficients to estimate.
+    NotEnoughSamples {
+        /// Samples provided.
+        got: usize,
+        /// Samples required (degree + 1).
+        need: usize,
+    },
+    /// `xs` and `ys` differ in length.
+    LengthMismatch,
+    /// The normal-equation system is singular (e.g. duplicate abscissae).
+    SingularSystem,
+}
+
+impl fmt::Display for FitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NotEnoughSamples { got, need } => {
+                write!(f, "need at least {need} samples for the fit, got {got}")
+            }
+            Self::LengthMismatch => write!(f, "xs and ys have different lengths"),
+            Self::SingularSystem => write!(f, "normal equations are singular"),
+        }
+    }
+}
+
+impl std::error::Error for FitError {}
+
+/// Solves the dense linear system `A·x = b` by Gaussian elimination with
+/// partial pivoting. `a` is row-major, consumed as scratch space.
+///
+/// # Errors
+///
+/// Returns [`FitError::SingularSystem`] when a pivot is (numerically) zero.
+pub fn solve_linear_system(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Result<Vec<f64>, FitError> {
+    let n = b.len();
+    debug_assert!(a.len() == n && a.iter().all(|row| row.len() == n));
+    for col in 0..n {
+        // Partial pivoting: bring the largest remaining entry to the diagonal.
+        let pivot_row = (col..n)
+            .max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).expect("finite"))
+            .expect("non-empty range");
+        if a[pivot_row][col].abs() < 1e-300 {
+            return Err(FitError::SingularSystem);
+        }
+        a.swap(col, pivot_row);
+        b.swap(col, pivot_row);
+        let pivot = a[col][col];
+        for row in (col + 1)..n {
+            let factor = a[row][col] / pivot;
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                a[row][k] -= factor * a[col][k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for k in (row + 1)..n {
+            acc -= a[row][k] * x[k];
+        }
+        x[row] = acc / a[row][row];
+    }
+    Ok(x)
+}
+
+/// Least-squares polynomial fit of the given degree through `(xs, ys)`.
+///
+/// Inputs are normalized to `t = (x − mid) / half` before building the
+/// normal equations, which keeps degree-5 fits over `[0.17, 0.38]` stable.
+///
+/// # Errors
+///
+/// * [`FitError::LengthMismatch`] if `xs.len() != ys.len()`.
+/// * [`FitError::NotEnoughSamples`] if there are fewer than `degree + 1`
+///   samples.
+/// * [`FitError::SingularSystem`] if the abscissae are degenerate.
+///
+/// ```
+/// use wbsn_model::math::polyfit;
+/// let xs: Vec<f64> = (0..20).map(|i| 0.17 + 0.01 * i as f64).collect();
+/// let ys: Vec<f64> = xs.iter().map(|x| 3.0 - 2.0 * x + 0.5 * x * x).collect();
+/// let p = polyfit(&xs, &ys, 2)?;
+/// assert!((p.eval(0.25) - (3.0 - 0.5 + 0.03125)).abs() < 1e-9);
+/// # Ok::<(), wbsn_model::math::FitError>(())
+/// ```
+pub fn polyfit(xs: &[f64], ys: &[f64], degree: usize) -> Result<Polynomial, FitError> {
+    if xs.len() != ys.len() {
+        return Err(FitError::LengthMismatch);
+    }
+    let n_coeff = degree + 1;
+    if xs.len() < n_coeff {
+        return Err(FitError::NotEnoughSamples { got: xs.len(), need: n_coeff });
+    }
+    let (lo, hi) = xs
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &x| (lo.min(x), hi.max(x)));
+    let offset = 0.5 * (lo + hi);
+    let half = 0.5 * (hi - lo);
+    let scale = if half > 0.0 { half } else { 1.0 };
+
+    // Normal equations: (VᵀV)·c = Vᵀy with V the Vandermonde matrix of t.
+    let mut ata = vec![vec![0.0; n_coeff]; n_coeff];
+    let mut atb = vec![0.0; n_coeff];
+    let mut powers = vec![0.0; n_coeff];
+    for (&x, &y) in xs.iter().zip(ys) {
+        let t = (x - offset) / scale;
+        let mut p = 1.0;
+        for slot in powers.iter_mut() {
+            *slot = p;
+            p *= t;
+        }
+        for i in 0..n_coeff {
+            atb[i] += powers[i] * y;
+            for j in 0..n_coeff {
+                ata[i][j] += powers[i] * powers[j];
+            }
+        }
+    }
+    let coeffs = solve_linear_system(ata, atb)?;
+    Ok(Polynomial::with_normalization(coeffs, offset, scale))
+}
+
+/// Root-mean-square residual of a polynomial over a sample set.
+///
+/// Used by the experiments to report the PRD-fit quality of Fig. 4.
+#[must_use]
+pub fn rms_residual(poly: &Polynomial, xs: &[f64], ys: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let ss: f64 = xs
+        .iter()
+        .zip(ys)
+        .map(|(&x, &y)| {
+            let r = poly.eval(x) - y;
+            r * r
+        })
+        .sum();
+    (ss / xs.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std_known_values() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        // Sample std of this classic set is sqrt(32/7).
+        assert!((sample_std(&xs) - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn std_of_singleton_is_zero() {
+        assert_eq!(sample_std(&[42.0]), 0.0);
+        assert_eq!(sample_std(&[]), 0.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn horner_matches_naive() {
+        let p = Polynomial::new(vec![1.0, -2.0, 0.0, 4.0]);
+        for &x in &[-2.0, -0.5, 0.0, 0.3, 1.0, 7.0] {
+            let naive = 1.0 - 2.0 * x + 4.0 * x * x * x;
+            assert!((p.eval(x) - naive).abs() < 1e-9, "x={x}");
+        }
+    }
+
+    #[test]
+    fn normalized_eval() {
+        // p(t) = t with t = (x - 10)/2  =>  p(12) = 1
+        let p = Polynomial::with_normalization(vec![0.0, 1.0], 10.0, 2.0);
+        assert!((p.eval(12.0) - 1.0).abs() < 1e-12);
+        assert!((p.eval(10.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one coefficient")]
+    fn empty_polynomial_panics() {
+        let _ = Polynomial::new(vec![]);
+    }
+
+    #[test]
+    fn solve_identity() {
+        let a = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let x = solve_linear_system(a, vec![3.0, -4.0]).expect("solvable");
+        assert_eq!(x, vec![3.0, -4.0]);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Leading zero forces a row swap.
+        let a = vec![vec![0.0, 1.0], vec![1.0, 1.0]];
+        let x = solve_linear_system(a, vec![2.0, 5.0]).expect("solvable");
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_singular_detected() {
+        let a = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
+        assert_eq!(solve_linear_system(a, vec![1.0, 2.0]), Err(FitError::SingularSystem));
+    }
+
+    #[test]
+    fn polyfit_recovers_exact_quintic() {
+        let truth = |x: f64| 1.0 + x - 3.0 * x.powi(2) + 0.5 * x.powi(3) - x.powi(4) + 2.0 * x.powi(5);
+        let xs: Vec<f64> = (0..40).map(|i| 0.17 + 0.0054 * f64::from(i)).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| truth(x)).collect();
+        let p = polyfit(&xs, &ys, 5).expect("fit");
+        for &x in &xs {
+            assert!((p.eval(x) - truth(x)).abs() < 1e-7, "x={x}");
+        }
+        assert!(rms_residual(&p, &xs, &ys) < 1e-7);
+    }
+
+    #[test]
+    fn polyfit_rejects_bad_inputs() {
+        assert_eq!(polyfit(&[1.0], &[1.0, 2.0], 1), Err(FitError::LengthMismatch));
+        assert_eq!(
+            polyfit(&[1.0, 2.0], &[1.0, 2.0], 5),
+            Err(FitError::NotEnoughSamples { got: 2, need: 6 })
+        );
+        // All samples at the same x cannot determine a slope.
+        assert_eq!(polyfit(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0], 1), Err(FitError::SingularSystem));
+    }
+
+    #[test]
+    fn polyfit_is_least_squares_not_interpolation() {
+        // Overdetermined noisy line: fitted slope must be between extremes.
+        let xs: Vec<f64> = (0..100).map(f64::from).collect();
+        let ys: Vec<f64> = xs.iter().enumerate().map(|(i, &x)| 2.0 * x + if i % 2 == 0 { 0.5 } else { -0.5 }).collect();
+        let p = polyfit(&xs, &ys, 1).expect("fit");
+        let slope = (p.eval(100.0) - p.eval(0.0)) / 100.0;
+        // The alternating noise is not exactly orthogonal to x, so allow a
+        // small least-squares tilt.
+        assert!((slope - 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let p = Polynomial::with_normalization(vec![1.0, 2.0], 0.5, 2.0);
+        let s = format!("{p}");
+        assert!(s.contains("t = (x - 0.5000)/2.0000"));
+    }
+}

@@ -1,0 +1,222 @@
+//! Design-space definition (§4.1: "the number of possible network
+//! configurations of this case study exceeds the tens of millions").
+//!
+//! A design point is a MAC configuration `χmac` (payload, SFO, BCO) plus
+//! one `χnode = {CR, fµC}` per node. The application kind of each node is
+//! fixed by the deployment (half DWT, half CS in the case study), so it is
+//! part of the space definition, not of the point.
+
+use crate::evaluate::NodeConfig;
+use crate::ieee802154::Ieee802154Config;
+use crate::shimmer::{CompressionKind, CR_MAX, CR_MIN, F_MCU_OPTIONS_MHZ};
+use crate::units::Hertz;
+
+/// A full design point: the paper's `(χmac, χnode(1..N))`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignPoint {
+    /// MAC configuration.
+    pub mac: Ieee802154Config,
+    /// Per-node configurations.
+    pub nodes: Vec<NodeConfig>,
+}
+
+/// The discrete configuration space explored by the DSE.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignSpace {
+    /// Compression-ratio grid per node.
+    pub cr_values: Vec<f64>,
+    /// Microcontroller clock options per node.
+    pub f_mcu_values: Vec<Hertz>,
+    /// Packet payload options (`Lpayload`).
+    pub payload_values: Vec<u16>,
+    /// Legal `(SFO, BCO)` pairs.
+    pub order_pairs: Vec<(u8, u8)>,
+    /// Application of each node (fixed by the deployment).
+    pub node_kinds: Vec<CompressionKind>,
+}
+
+impl DesignSpace {
+    /// The paper's case study: 6 nodes (3 DWT + 3 CS), CR from 0.17 to
+    /// 0.38 in steps of 0.01, `fµC` ∈ {1, 2, 4, 8} MHz, payloads from 30
+    /// to 114 bytes, superframe/beacon orders from 4 to 9.
+    ///
+    /// ```
+    /// use wbsn_model::space::DesignSpace;
+    /// let space = DesignSpace::case_study(6);
+    /// // "exceeds the tens of millions" (§4.1)
+    /// assert!(space.cardinality() > 10_000_000);
+    /// ```
+    #[must_use]
+    pub fn case_study(n_nodes: usize) -> Self {
+        let mut cr_values = Vec::new();
+        let mut cr = CR_MIN;
+        while cr <= CR_MAX + 1e-9 {
+            cr_values.push((cr * 100.0).round() / 100.0);
+            cr += 0.01;
+        }
+        let mut order_pairs = Vec::new();
+        for sfo in 4u8..=9 {
+            for bco in sfo..=9 {
+                order_pairs.push((sfo, bco));
+            }
+        }
+        let node_kinds = (0..n_nodes)
+            .map(|i| if i < n_nodes / 2 { CompressionKind::Dwt } else { CompressionKind::Cs })
+            .collect();
+        Self {
+            cr_values,
+            f_mcu_values: F_MCU_OPTIONS_MHZ.iter().map(|&m| Hertz::from_mhz(m)).collect(),
+            payload_values: vec![30, 50, 70, 90, 114],
+            order_pairs,
+            node_kinds,
+        }
+    }
+
+    /// Number of nodes in the deployment.
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.node_kinds.len()
+    }
+
+    /// Total number of configurations:
+    /// `(|CR| · |fµC|)^N · |Lpayload| · |(SFO, BCO)|`.
+    #[must_use]
+    pub fn cardinality(&self) -> u128 {
+        let per_node = (self.cr_values.len() * self.f_mcu_values.len()) as u128;
+        per_node.pow(self.num_nodes() as u32)
+            * self.payload_values.len() as u128
+            * self.order_pairs.len() as u128
+    }
+
+    /// Materializes a design point from index choices.
+    ///
+    /// `pick` is called with the size of each dimension and must return an
+    /// index below it; passing a uniform sampler yields a uniform random
+    /// point. Keeping the sampler abstract avoids coupling the model crate
+    /// to an RNG implementation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pick` returns an out-of-range index.
+    pub fn point_with(&self, mut pick: impl FnMut(usize) -> usize) -> DesignPoint {
+        let checked = |idx: usize, len: usize, dim: &str| {
+            assert!(idx < len, "pick returned {idx} for dimension `{dim}` of size {len}");
+            idx
+        };
+        let payload =
+            self.payload_values[checked(pick(self.payload_values.len()), self.payload_values.len(), "payload")];
+        let (sfo, bco) =
+            self.order_pairs[checked(pick(self.order_pairs.len()), self.order_pairs.len(), "orders")];
+        let nodes = self
+            .node_kinds
+            .iter()
+            .map(|&kind| {
+                let cr = self.cr_values
+                    [checked(pick(self.cr_values.len()), self.cr_values.len(), "cr")];
+                let f = self.f_mcu_values
+                    [checked(pick(self.f_mcu_values.len()), self.f_mcu_values.len(), "f_mcu")];
+                NodeConfig::new(kind, cr, f)
+            })
+            .collect();
+        DesignPoint {
+            mac: Ieee802154Config {
+                payload_bytes: payload,
+                sfo,
+                bco,
+                beacon_payload_bytes: 0,
+                acknowledged: true,
+            },
+            nodes,
+        }
+    }
+
+    /// Enumerates every MAC configuration of the space (the per-node
+    /// dimensions usually make full enumeration intractable; this iterator
+    /// covers the tractable global part).
+    pub fn mac_configs(&self) -> impl Iterator<Item = Ieee802154Config> + '_ {
+        self.payload_values.iter().flat_map(move |&payload| {
+            self.order_pairs.iter().map(move |&(sfo, bco)| Ieee802154Config {
+                payload_bytes: payload,
+                sfo,
+                bco,
+                beacon_payload_bytes: 0,
+                acknowledged: true,
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_study_cardinality_exceeds_tens_of_millions() {
+        let space = DesignSpace::case_study(6);
+        assert!(space.cardinality() > 10_000_000, "got {}", space.cardinality());
+    }
+
+    #[test]
+    fn cr_grid_covers_paper_range() {
+        let space = DesignSpace::case_study(6);
+        assert_eq!(space.cr_values.first().copied(), Some(0.17));
+        assert_eq!(space.cr_values.last().copied(), Some(0.38));
+        assert_eq!(space.cr_values.len(), 22);
+    }
+
+    #[test]
+    fn order_pairs_respect_sfo_le_bco() {
+        let space = DesignSpace::case_study(6);
+        assert!(space.order_pairs.iter().all(|&(sfo, bco)| sfo <= bco));
+    }
+
+    #[test]
+    fn deterministic_pick_yields_first_point() {
+        let space = DesignSpace::case_study(4);
+        let point = space.point_with(|_| 0);
+        assert_eq!(point.mac.payload_bytes, 30);
+        assert_eq!(point.mac.sfo, 4);
+        assert_eq!(point.nodes.len(), 4);
+        assert_eq!(point.nodes[0].cr, 0.17);
+        point.mac.validate().expect("generated configs are valid");
+    }
+
+    #[test]
+    fn picks_address_every_dimension() {
+        let space = DesignSpace::case_study(2);
+        let mut sizes = Vec::new();
+        let _ = space.point_with(|n| {
+            sizes.push(n);
+            n - 1 // always pick the last element
+        });
+        // payload, orders, then (cr, f) per node.
+        assert_eq!(sizes.len(), 2 + 2 * 2);
+        let point = space.point_with(|n| n - 1);
+        assert_eq!(point.mac.payload_bytes, 114);
+        assert_eq!(point.nodes[1].cr, 0.38);
+    }
+
+    #[test]
+    #[should_panic(expected = "pick returned")]
+    fn out_of_range_pick_panics() {
+        let space = DesignSpace::case_study(2);
+        let _ = space.point_with(|n| n);
+    }
+
+    #[test]
+    fn mac_config_enumeration_size() {
+        let space = DesignSpace::case_study(6);
+        let count = space.mac_configs().count();
+        assert_eq!(count, space.payload_values.len() * space.order_pairs.len());
+        for cfg in space.mac_configs() {
+            cfg.validate().expect("enumerated configs are valid");
+        }
+    }
+
+    #[test]
+    fn kinds_split_half() {
+        let space = DesignSpace::case_study(6);
+        let dwt = space.node_kinds.iter().filter(|&&k| k == CompressionKind::Dwt).count();
+        assert_eq!(dwt, 3);
+    }
+}

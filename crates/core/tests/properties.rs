@@ -1,0 +1,156 @@
+//! Property-based tests of the analytical model invariants.
+
+use proptest::prelude::*;
+use wbsn_model::assignment::assign_slots;
+use wbsn_model::delay::worst_case_delays;
+use wbsn_model::evaluate::{NodeConfig, WbsnModel};
+use wbsn_model::ieee802154::{Ieee802154Config, Ieee802154Mac, MAX_GTS_SLOTS};
+use wbsn_model::mac::MacModel;
+use wbsn_model::math::{polyfit, sample_std};
+use wbsn_model::metrics::balanced_metric;
+use wbsn_model::shimmer::CompressionKind;
+use wbsn_model::units::{ByteRate, Hertz};
+use wbsn_model::ModelError;
+
+fn valid_mac() -> impl Strategy<Value = Ieee802154Config> {
+    (1u16..=114, 0u8..=10).prop_flat_map(|(payload, sfo)| {
+        (Just(payload), Just(sfo), sfo..=10u8).prop_map(|(payload, sfo, bco)| {
+            Ieee802154Config::new(payload, sfo, bco).expect("constrained to valid")
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn slot_assignment_satisfies_eq1_and_capacity(
+        mac_cfg in valid_mac(),
+        rates in prop::collection::vec(0.0f64..400.0, 1..=7),
+    ) {
+        let mac = Ieee802154Mac::new(mac_cfg, rates.len() as u32);
+        let rates: Vec<ByteRate> = rates.iter().map(|&r| ByteRate::new(r)).collect();
+        match assign_slots(&mac, &rates) {
+            Ok(a) => {
+                // Capacity: Σ k(n) ≤ 7.
+                prop_assert!(a.total_slots() <= MAX_GTS_SLOTS);
+                // Eq. 1: Δtx(n) ≥ Ttx(φout + Ω) for every node.
+                for (i, &phi) in rates.iter().enumerate() {
+                    prop_assert!(
+                        a.delta_tx[i].value() + 1e-12 >= mac.tx_time(phi).value(),
+                        "node {i}"
+                    );
+                    // Minimality of k(n).
+                    if a.slots[i] > 1 {
+                        let one_less = a.delta_tx[i].value()
+                            - a.base_unit.value() * mac.config().superframes_per_second();
+                        prop_assert!(one_less < mac.tx_time(phi).value());
+                    }
+                }
+                // Budget residual of Eq. 2 is exactly zero.
+                prop_assert!(a.budget_residual(&mac).abs() < 1e-9);
+            }
+            Err(ModelError::GtsCapacityExceeded { required, available }) => {
+                prop_assert!(required > available);
+            }
+            Err(ModelError::BandwidthExceeded { .. }) => {}
+            Err(other) => prop_assert!(false, "unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn delay_bound_at_least_one_beacon_interval(
+        mac_cfg in valid_mac(),
+        rates in prop::collection::vec(10.0f64..120.0, 2..=6),
+    ) {
+        let mac = Ieee802154Mac::new(mac_cfg, rates.len() as u32);
+        let rates: Vec<ByteRate> = rates.iter().map(|&r| ByteRate::new(r)).collect();
+        if let Ok(a) = assign_slots(&mac, &rates) {
+            for d in worst_case_delays(&mac, &a) {
+                prop_assert!(d.value() >= mac.config().beacon_interval().value());
+                prop_assert!(d.is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn balanced_metric_bounds(
+        values in prop::collection::vec(0.0f64..100.0, 1..=16),
+        theta in 0.0f64..5.0,
+    ) {
+        let m = balanced_metric(&values, theta);
+        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        // ϑ ≥ 0 ⇒ metric ≥ mean; equality iff perfectly balanced.
+        prop_assert!(m >= mean - 1e-12);
+        prop_assert!((m - mean - theta * sample_std(&values)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn model_evaluation_total_is_component_sum(
+        cr in 0.17f64..0.38,
+        f_idx in 0usize..2,
+        n in 2usize..=6,
+    ) {
+        let f = [4.0, 8.0][f_idx];
+        let model = WbsnModel::shimmer();
+        let mac = Ieee802154Config::new(114, 6, 6).expect("valid");
+        let nodes: Vec<NodeConfig> = (0..n)
+            .map(|i| {
+                let kind = if i % 2 == 0 { CompressionKind::Dwt } else { CompressionKind::Cs };
+                NodeConfig::new(kind, cr, Hertz::from_mhz(f))
+            })
+            .collect();
+        let eval = model.evaluate(&mac, &nodes).expect("feasible at 4/8 MHz");
+        for node in &eval.per_node {
+            let sum = node.energy.sensor + node.energy.mcu + node.energy.memory
+                + node.energy.radio;
+            prop_assert!((node.energy.total().value() - sum.value()).abs() < 1e-12);
+            prop_assert!(node.prd >= 0.0);
+        }
+        // Monotone: network energy of every node is positive.
+        prop_assert!(eval.energy_metric() > 0.0);
+    }
+
+    #[test]
+    fn model_energy_monotone_in_cr(
+        cr_lo in 0.17f64..0.27,
+        delta in 0.02f64..0.11,
+    ) {
+        let model = WbsnModel::shimmer();
+        let mac = Ieee802154Config::new(114, 6, 6).expect("valid");
+        let mk = |cr: f64| vec![NodeConfig::new(CompressionKind::Cs, cr, Hertz::from_mhz(8.0)); 3];
+        let lo = model.evaluate(&mac, &mk(cr_lo)).expect("feasible");
+        let hi = model.evaluate(&mac, &mk(cr_lo + delta)).expect("feasible");
+        // More transmitted data ⇒ strictly more radio energy ⇒ more total.
+        prop_assert!(hi.energy_metric() > lo.energy_metric());
+        // And strictly better (lower) PRD.
+        prop_assert!(hi.prd_metric() < lo.prd_metric());
+    }
+
+    #[test]
+    fn polyfit_interpolates_exact_polynomials(
+        coeffs in prop::collection::vec(-5.0f64..5.0, 1..=5),
+        x0 in -2.0f64..2.0,
+    ) {
+        let truth = |x: f64| coeffs.iter().rev().fold(0.0, |acc, &c| acc * x + c);
+        let xs: Vec<f64> = (0..30).map(|i| x0 + 0.1 * f64::from(i)).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| truth(x)).collect();
+        let p = polyfit(&xs, &ys, coeffs.len() - 1).expect("well-posed");
+        for &x in &xs {
+            let err = (p.eval(x) - truth(x)).abs();
+            prop_assert!(err < 1e-6 * (1.0 + truth(x).abs()), "x={x} err={err}");
+        }
+    }
+
+    #[test]
+    fn omega_scales_linearly_with_rate(
+        mac_cfg in valid_mac(),
+        rate in 1.0f64..1000.0,
+        factor in 1.0f64..10.0,
+    ) {
+        let mac = Ieee802154Mac::new(mac_cfg, 1);
+        let o1 = mac.data_overhead(ByteRate::new(rate)).value();
+        let o2 = mac.data_overhead(ByteRate::new(rate * factor)).value();
+        prop_assert!((o2 - o1 * factor).abs() < 1e-9 * o2.max(1.0));
+        // Ω is 13/Lpayload of the stream.
+        prop_assert!((o1 - 13.0 * rate / f64::from(mac.config().payload_bytes)).abs() < 1e-9);
+    }
+}

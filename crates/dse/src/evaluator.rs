@@ -1,0 +1,136 @@
+//! Bridges between design points and objective vectors.
+//!
+//! [`ModelEvaluator`] is the paper's proposal: the three-objective
+//! (energy, delay, PRD) analytical model. [`EnergyDelayEvaluator`] is the
+//! state-of-the-art baseline the paper compares against ([26]): the same
+//! energy/delay physics but *blind to application quality* — the reason
+//! it recovers only ~7 % of the true trade-offs (Fig. 5).
+
+use crate::objective::ObjectiveVector;
+use wbsn_model::evaluate::WbsnModel;
+use wbsn_model::space::DesignPoint;
+
+/// Maps a design point to objectives; `None` marks infeasibility.
+pub trait Evaluator {
+    /// Evaluates one configuration; `None` when infeasible (duty-cycle
+    /// overflow, GTS overflow, bandwidth shortfall).
+    fn evaluate(&self, point: &DesignPoint) -> Option<ObjectiveVector>;
+
+    /// Number of objectives produced.
+    fn num_objectives(&self) -> usize;
+
+    /// Human-readable name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// The proposed multi-layer model: objectives `(Enet, delay, PRD)`.
+#[derive(Debug, Clone)]
+pub struct ModelEvaluator {
+    model: WbsnModel,
+}
+
+impl ModelEvaluator {
+    /// Uses the Shimmer case-study model.
+    #[must_use]
+    pub fn shimmer() -> Self {
+        Self { model: WbsnModel::shimmer() }
+    }
+
+    /// Uses a custom model (e.g. different ϑ).
+    #[must_use]
+    pub fn new(model: WbsnModel) -> Self {
+        Self { model }
+    }
+}
+
+impl Evaluator for ModelEvaluator {
+    fn evaluate(&self, point: &DesignPoint) -> Option<ObjectiveVector> {
+        self.model
+            .evaluate(&point.mac, &point.nodes)
+            .ok()
+            .map(|e| ObjectiveVector::new(e.objectives.to_array().to_vec()))
+    }
+
+    fn num_objectives(&self) -> usize {
+        3
+    }
+
+    fn name(&self) -> &'static str {
+        "proposed-model"
+    }
+}
+
+/// The energy/delay-only baseline model ([26]): same physics, no
+/// application-quality axis.
+#[derive(Debug, Clone)]
+pub struct EnergyDelayEvaluator {
+    model: WbsnModel,
+}
+
+impl EnergyDelayEvaluator {
+    /// Uses the Shimmer case-study model.
+    #[must_use]
+    pub fn shimmer() -> Self {
+        Self { model: WbsnModel::shimmer() }
+    }
+}
+
+impl Evaluator for EnergyDelayEvaluator {
+    fn evaluate(&self, point: &DesignPoint) -> Option<ObjectiveVector> {
+        self.model
+            .evaluate(&point.mac, &point.nodes)
+            .ok()
+            .map(|e| ObjectiveVector::new(e.objectives.energy_delay().to_vec()))
+    }
+
+    fn num_objectives(&self) -> usize {
+        2
+    }
+
+    fn name(&self) -> &'static str {
+        "energy-delay-baseline"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wbsn_model::space::DesignSpace;
+
+    #[test]
+    fn model_evaluator_produces_three_objectives() {
+        let space = DesignSpace::case_study(6);
+        let eval = ModelEvaluator::shimmer();
+        // The all-last point uses fµC = 8 MHz: feasible.
+        let point = space.point_with(|n| n - 1);
+        let obj = eval.evaluate(&point).expect("feasible");
+        assert_eq!(obj.len(), 3);
+        assert_eq!(eval.num_objectives(), 3);
+        assert!(obj.values().iter().all(|v| v.is_finite() && *v > 0.0));
+    }
+
+    #[test]
+    fn baseline_drops_prd_axis() {
+        let space = DesignSpace::case_study(6);
+        let point = space.point_with(|n| n - 1);
+        let full = ModelEvaluator::shimmer().evaluate(&point).expect("feasible");
+        let base = EnergyDelayEvaluator::shimmer().evaluate(&point).expect("feasible");
+        assert_eq!(base.len(), 2);
+        assert_eq!(base.values()[0], full.values()[0]);
+        assert_eq!(base.values()[1], full.values()[1]);
+    }
+
+    #[test]
+    fn infeasible_points_map_to_none() {
+        let space = DesignSpace::case_study(6);
+        // First index everywhere ⇒ fµC = 1 MHz on DWT nodes ⇒ infeasible.
+        let point = space.point_with(|_| 0);
+        assert!(ModelEvaluator::shimmer().evaluate(&point).is_none());
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(ModelEvaluator::shimmer().name(), "proposed-model");
+        assert_eq!(EnergyDelayEvaluator::shimmer().name(), "energy-delay-baseline");
+    }
+}

@@ -1,0 +1,142 @@
+//! Exhaustive enumeration for small design spaces: the ground truth the
+//! metaheuristics are validated against.
+
+use crate::evaluator::Evaluator;
+use crate::nsga2::SearchResult;
+use crate::pareto::ParetoArchive;
+use wbsn_model::space::DesignSpace;
+
+/// Total number of points the mixed-radix enumeration would visit.
+#[must_use]
+pub fn enumeration_size(space: &DesignSpace) -> u128 {
+    space.cardinality()
+}
+
+/// Exhaustively evaluates every configuration of `space`, returning the
+/// exact Pareto front.
+///
+/// # Panics
+///
+/// Panics if the space holds more than `limit` points — exhaustive search
+/// is a ground-truth tool for reduced spaces, not a production explorer.
+///
+/// ```
+/// use wbsn_dse::evaluator::ModelEvaluator;
+/// use wbsn_dse::exhaustive::exhaustive;
+/// use wbsn_model::space::DesignSpace;
+///
+/// let mut space = DesignSpace::case_study(2);
+/// space.cr_values = vec![0.17, 0.38];
+/// space.payload_values = vec![114];
+/// space.order_pairs = vec![(6, 6)];
+/// let result = exhaustive(&space, &ModelEvaluator::shimmer(), 10_000);
+/// assert!(!result.front.is_empty());
+/// ```
+#[must_use]
+pub fn exhaustive(space: &DesignSpace, evaluator: &dyn Evaluator, limit: u128) -> SearchResult {
+    let total = enumeration_size(space);
+    assert!(
+        total <= limit,
+        "space holds {total} points, above the exhaustive limit {limit}"
+    );
+    let mut front = ParetoArchive::new();
+    let mut evaluations = 0u64;
+    let mut infeasible = 0u64;
+
+    // Mixed-radix odometer over the pick sequence consumed by
+    // `DesignSpace::point_with` (payload, orders, then per-node cr/f).
+    let mut digits: Vec<usize> = Vec::new();
+    let mut radices: Vec<usize> = Vec::new();
+    // Discover the dimension sizes with a dry run.
+    let _ = space.point_with(|n| {
+        radices.push(n);
+        0
+    });
+    digits.resize(radices.len(), 0);
+
+    loop {
+        let mut it = digits.iter().copied();
+        let point = space.point_with(|_| it.next().expect("digit per dimension"));
+        evaluations += 1;
+        match evaluator.evaluate(&point) {
+            Some(obj) => {
+                front.insert(obj, point);
+            }
+            None => infeasible += 1,
+        }
+        // Increment the odometer.
+        let mut pos = 0;
+        loop {
+            if pos == digits.len() {
+                return SearchResult { front, evaluations, infeasible };
+            }
+            digits[pos] += 1;
+            if digits[pos] < radices[pos] {
+                break;
+            }
+            digits[pos] = 0;
+            pos += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluator::ModelEvaluator;
+    use crate::nsga2::{nsga2, Nsga2Config};
+
+    fn tiny_space() -> DesignSpace {
+        let mut space = DesignSpace::case_study(2);
+        space.cr_values = vec![0.17, 0.25, 0.33];
+        space.f_mcu_values = vec![
+            wbsn_model::units::Hertz::from_mhz(4.0),
+            wbsn_model::units::Hertz::from_mhz(8.0),
+        ];
+        space.payload_values = vec![70, 114];
+        space.order_pairs = vec![(5, 5), (6, 6), (6, 8)];
+        space
+    }
+
+    #[test]
+    fn visits_every_point_exactly_once() {
+        let space = tiny_space();
+        let result = exhaustive(&space, &ModelEvaluator::shimmer(), 100_000);
+        assert_eq!(u128::from(result.evaluations), space.cardinality());
+        // All DWT/CS nodes at 4/8 MHz are feasible here.
+        assert_eq!(result.infeasible, 0);
+        assert!(!result.front.is_empty());
+    }
+
+    #[test]
+    fn nsga2_recovers_the_exact_front_on_a_tiny_space() {
+        let space = tiny_space();
+        let truth = exhaustive(&space, &ModelEvaluator::shimmer(), 100_000);
+        let ga = nsga2(
+            &space,
+            &ModelEvaluator::shimmer(),
+            &Nsga2Config { population: 60, generations: 40, seed: 11, ..Nsga2Config::default() },
+        );
+        // Every true Pareto point must be weakly dominated by (i.e.
+        // present in) the GA's archive, and vice versa.
+        for t in truth.front.objectives() {
+            assert!(
+                ga.front.objectives().any(|g| g.weakly_dominates(t)),
+                "GA missed the true trade-off {t}"
+            );
+        }
+        for g in ga.front.objectives() {
+            assert!(
+                truth.front.objectives().any(|t| t.weakly_dominates(g)),
+                "GA returned a non-optimal point {g}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "above the exhaustive limit")]
+    fn refuses_oversized_spaces() {
+        let space = DesignSpace::case_study(6);
+        let _ = exhaustive(&space, &ModelEvaluator::shimmer(), 1000);
+    }
+}

@@ -1,0 +1,162 @@
+//! Genome encoding of a WBSN configuration for the evolutionary search.
+//!
+//! A genome is a vector of indices into the [`DesignSpace`] grids: one
+//! payload index, one (SFO, BCO) pair index, and a (CR, fµC) index pair
+//! per node. Index encoding keeps every crossover/mutation product inside
+//! the legal space by construction — no repair step needed.
+
+use rand::Rng;
+use wbsn_model::space::{DesignPoint, DesignSpace};
+
+/// An index-encoded design point.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Genome {
+    payload_idx: usize,
+    order_idx: usize,
+    /// One (cr_idx, f_idx) pair per node.
+    node_genes: Vec<(usize, usize)>,
+}
+
+impl Genome {
+    /// Samples a uniform random genome.
+    pub fn random<R: Rng + ?Sized>(space: &DesignSpace, rng: &mut R) -> Self {
+        Self {
+            payload_idx: rng.gen_range(0..space.payload_values.len()),
+            order_idx: rng.gen_range(0..space.order_pairs.len()),
+            node_genes: (0..space.num_nodes())
+                .map(|_| {
+                    (
+                        rng.gen_range(0..space.cr_values.len()),
+                        rng.gen_range(0..space.f_mcu_values.len()),
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// Decodes the genome into a concrete design point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the genome was built against a different space shape.
+    #[must_use]
+    pub fn decode(&self, space: &DesignSpace) -> DesignPoint {
+        assert_eq!(self.node_genes.len(), space.num_nodes(), "genome/space shape mismatch");
+        let mut picks: Vec<usize> = Vec::with_capacity(2 + 2 * self.node_genes.len());
+        picks.push(self.payload_idx);
+        picks.push(self.order_idx);
+        for &(cr, f) in &self.node_genes {
+            picks.push(cr);
+            picks.push(f);
+        }
+        let mut it = picks.into_iter();
+        space.point_with(|_| it.next().expect("pick sequence matches space dimensions"))
+    }
+
+    /// Uniform crossover: each gene comes from either parent with equal
+    /// probability.
+    pub fn crossover<R: Rng + ?Sized>(&self, other: &Self, rng: &mut R) -> Self {
+        debug_assert_eq!(self.node_genes.len(), other.node_genes.len());
+        Self {
+            payload_idx: if rng.gen() { self.payload_idx } else { other.payload_idx },
+            order_idx: if rng.gen() { self.order_idx } else { other.order_idx },
+            node_genes: self
+                .node_genes
+                .iter()
+                .zip(&other.node_genes)
+                .map(|(&a, &b)| if rng.gen() { a } else { b })
+                .collect(),
+        }
+    }
+
+    /// Mutates each gene with probability `rate` by resampling it
+    /// uniformly (always staying in bounds).
+    pub fn mutate<R: Rng + ?Sized>(&mut self, space: &DesignSpace, rate: f64, rng: &mut R) {
+        if rng.gen::<f64>() < rate {
+            self.payload_idx = rng.gen_range(0..space.payload_values.len());
+        }
+        if rng.gen::<f64>() < rate {
+            self.order_idx = rng.gen_range(0..space.order_pairs.len());
+        }
+        for gene in &mut self.node_genes {
+            if rng.gen::<f64>() < rate {
+                gene.0 = rng.gen_range(0..space.cr_values.len());
+            }
+            if rng.gen::<f64>() < rate {
+                gene.1 = rng.gen_range(0..space.f_mcu_values.len());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn space() -> DesignSpace {
+        DesignSpace::case_study(6)
+    }
+
+    #[test]
+    fn random_genomes_decode_to_valid_points() {
+        let space = space();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let g = Genome::random(&space, &mut rng);
+            let point = g.decode(&space);
+            point.mac.validate().expect("decoded MAC must be valid");
+            assert_eq!(point.nodes.len(), 6);
+            for n in &point.nodes {
+                assert!(space.cr_values.contains(&n.cr));
+            }
+        }
+    }
+
+    #[test]
+    fn crossover_mixes_parents_only() {
+        let space = space();
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = Genome::random(&space, &mut rng);
+        let b = Genome::random(&space, &mut rng);
+        for _ in 0..50 {
+            let child = a.crossover(&b, &mut rng);
+            assert!(child.payload_idx == a.payload_idx || child.payload_idx == b.payload_idx);
+            assert!(child.order_idx == a.order_idx || child.order_idx == b.order_idx);
+            for (i, gene) in child.node_genes.iter().enumerate() {
+                assert!(*gene == a.node_genes[i] || *gene == b.node_genes[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn mutation_stays_in_bounds() {
+        let space = space();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut g = Genome::random(&space, &mut rng);
+        for _ in 0..100 {
+            g.mutate(&space, 0.5, &mut rng);
+            let p = g.decode(&space);
+            p.mac.validate().expect("mutated genome still valid");
+        }
+    }
+
+    #[test]
+    fn zero_rate_mutation_is_identity() {
+        let space = space();
+        let mut rng = StdRng::seed_from_u64(4);
+        let g0 = Genome::random(&space, &mut rng);
+        let mut g = g0.clone();
+        g.mutate(&space, 0.0, &mut rng);
+        assert_eq!(g, g0);
+    }
+
+    #[test]
+    fn decode_is_deterministic() {
+        let space = space();
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = Genome::random(&space, &mut rng);
+        assert_eq!(g.decode(&space), g.decode(&space));
+    }
+}

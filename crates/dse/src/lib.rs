@@ -1,0 +1,50 @@
+//! # wbsn-dse — multi-objective design-space exploration for WBSNs
+//!
+//! The exploration layer of the DAC 2012 reproduction: given the
+//! analytical model of `wbsn-model` as a fast evaluator, search the
+//! configuration space (§4.1: tens of millions of points) for the
+//! Pareto-optimal energy/delay/quality trade-offs (Fig. 5).
+//!
+//! * [`objective`] / [`pareto`] — dominance, non-dominated archives;
+//! * [`genome`] — index encoding of a full network configuration;
+//! * [`evaluator`] — the proposed 3-objective model and the
+//!   energy/delay-only state-of-the-art baseline ([26]);
+//! * [`nsga2`] — elitist non-dominated sorting GA;
+//! * [`mosa`] — multi-objective simulated annealing ([27]) and a random
+//!   search baseline;
+//! * [`quality`] — C-metric, Pareto membership, hypervolume.
+//!
+//! ```no_run
+//! use wbsn_dse::evaluator::ModelEvaluator;
+//! use wbsn_dse::nsga2::{nsga2, Nsga2Config};
+//! use wbsn_model::space::DesignSpace;
+//!
+//! let space = DesignSpace::case_study(6);
+//! let cfg = Nsga2Config { population: 120, generations: 150, ..Nsga2Config::default() };
+//! let result = nsga2(&space, &ModelEvaluator::shimmer(), &cfg);
+//! for entry in result.front.entries() {
+//!     println!("{}", entry.objectives);
+//! }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::pedantic)]
+#![allow(clippy::module_name_repetitions)]
+#![allow(clippy::must_use_candidate)]
+#![allow(clippy::cast_precision_loss)]
+
+pub mod evaluator;
+pub mod exhaustive;
+pub mod genome;
+pub mod mosa;
+pub mod nsga2;
+pub mod objective;
+pub mod pareto;
+pub mod quality;
+
+pub use evaluator::{EnergyDelayEvaluator, Evaluator, ModelEvaluator};
+pub use genome::Genome;
+pub use mosa::{mosa, random_search, MosaConfig};
+pub use nsga2::{nsga2, Nsga2Config, SearchResult};
+pub use objective::{Dominance, ObjectiveVector};
+pub use pareto::ParetoArchive;

@@ -1,0 +1,191 @@
+//! Multi-objective simulated annealing (the paper's second optimizer,
+//! §5.2, citing Nam & Park [27]).
+//!
+//! Archive-based acceptance: a candidate that is not dominated by the
+//! current solution is always accepted; a dominated candidate is accepted
+//! with probability `exp(−ΔE / T)`, where the domination energy `ΔE`
+//! counts how much worse it is across objectives (normalized per axis).
+//! Every feasible visited point feeds the Pareto archive.
+
+use crate::evaluator::Evaluator;
+use crate::genome::Genome;
+use crate::nsga2::SearchResult;
+use crate::objective::{Dominance, ObjectiveVector};
+use crate::pareto::ParetoArchive;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wbsn_model::space::DesignSpace;
+
+/// Simulated-annealing hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MosaConfig {
+    /// Total candidate evaluations.
+    pub iterations: usize,
+    /// Initial temperature (in normalized objective units).
+    pub initial_temperature: f64,
+    /// Geometric cooling factor applied every iteration.
+    pub cooling: f64,
+    /// Per-gene mutation probability of the proposal move.
+    pub mutation_rate: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MosaConfig {
+    fn default() -> Self {
+        Self {
+            iterations: 10_000,
+            initial_temperature: 1.0,
+            cooling: 0.9995,
+            mutation_rate: 0.15,
+            seed: 42,
+        }
+    }
+}
+
+/// Relative worsening of `b` vs `a`, summed over objectives (0 when `b`
+/// is no worse anywhere).
+fn domination_energy(a: &ObjectiveVector, b: &ObjectiveVector) -> f64 {
+    a.values()
+        .iter()
+        .zip(b.values())
+        .map(|(&va, &vb)| {
+            let scale = va.abs().max(1e-9);
+            ((vb - va) / scale).max(0.0)
+        })
+        .sum()
+}
+
+/// Runs multi-objective simulated annealing.
+///
+/// ```no_run
+/// use wbsn_dse::evaluator::ModelEvaluator;
+/// use wbsn_dse::mosa::{mosa, MosaConfig};
+/// use wbsn_model::space::DesignSpace;
+///
+/// let space = DesignSpace::case_study(6);
+/// let result = mosa(&space, &ModelEvaluator::shimmer(), &MosaConfig::default());
+/// println!("{} Pareto points", result.front.len());
+/// ```
+#[must_use]
+pub fn mosa(space: &DesignSpace, evaluator: &dyn Evaluator, cfg: &MosaConfig) -> SearchResult {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut evaluations = 0u64;
+    let mut infeasible = 0u64;
+    let mut archive = ParetoArchive::new();
+
+    // Find a feasible starting point.
+    let mut current_genome;
+    let mut current_obj;
+    loop {
+        let g = Genome::random(space, &mut rng);
+        evaluations += 1;
+        let point = g.decode(space);
+        if let Some(obj) = evaluator.evaluate(&point) {
+            archive.insert(obj.clone(), point);
+            current_genome = g;
+            current_obj = obj;
+            break;
+        }
+        infeasible += 1;
+        if evaluations > 10_000 {
+            // Space looks infeasible; bail with whatever we have.
+            return SearchResult { front: archive, evaluations, infeasible };
+        }
+    }
+
+    let mut temperature = cfg.initial_temperature;
+    while evaluations < cfg.iterations as u64 {
+        let mut candidate = current_genome.clone();
+        candidate.mutate(space, cfg.mutation_rate, &mut rng);
+        evaluations += 1;
+        temperature *= cfg.cooling;
+        let point = candidate.decode(space);
+        let Some(obj) = evaluator.evaluate(&point) else {
+            infeasible += 1;
+            continue;
+        };
+        archive.insert(obj.clone(), point);
+        let accept = match current_obj.compare(&obj) {
+            Dominance::DominatedBy | Dominance::Equal | Dominance::Incomparable => true,
+            Dominance::Dominates => {
+                let delta = domination_energy(&current_obj, &obj);
+                rng.gen::<f64>() < (-delta / temperature.max(1e-12)).exp()
+            }
+        };
+        if accept {
+            current_genome = candidate;
+            current_obj = obj;
+        }
+    }
+    SearchResult { front: archive, evaluations, infeasible }
+}
+
+/// Pure random search with the same evaluation budget — the sanity
+/// baseline every metaheuristic must beat.
+#[must_use]
+pub fn random_search(
+    space: &DesignSpace,
+    evaluator: &dyn Evaluator,
+    iterations: usize,
+    seed: u64,
+) -> SearchResult {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut archive = ParetoArchive::new();
+    let mut infeasible = 0u64;
+    for _ in 0..iterations {
+        let point = Genome::random(space, &mut rng).decode(space);
+        match evaluator.evaluate(&point) {
+            Some(obj) => {
+                archive.insert(obj, point);
+            }
+            None => infeasible += 1,
+        }
+    }
+    SearchResult { front: archive, evaluations: iterations as u64, infeasible }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluator::ModelEvaluator;
+
+    #[test]
+    fn energy_is_zero_for_improvements() {
+        let a = ObjectiveVector::new(vec![2.0, 2.0]);
+        let better = ObjectiveVector::new(vec![1.0, 1.0]);
+        assert_eq!(domination_energy(&a, &better), 0.0);
+        let worse = ObjectiveVector::new(vec![3.0, 2.0]);
+        assert!((domination_energy(&a, &worse) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mosa_finds_points() {
+        let space = DesignSpace::case_study(4);
+        let cfg = MosaConfig { iterations: 400, seed: 5, ..MosaConfig::default() };
+        let result = mosa(&space, &ModelEvaluator::shimmer(), &cfg);
+        assert!(!result.front.is_empty());
+        assert_eq!(result.evaluations, 400);
+    }
+
+    #[test]
+    fn mosa_deterministic_for_seed() {
+        let space = DesignSpace::case_study(4);
+        let cfg = MosaConfig { iterations: 300, seed: 6, ..MosaConfig::default() };
+        let a = mosa(&space, &ModelEvaluator::shimmer(), &cfg);
+        let b = mosa(&space, &ModelEvaluator::shimmer(), &cfg);
+        let ao: Vec<_> = a.front.objectives().cloned().collect();
+        let bo: Vec<_> = b.front.objectives().cloned().collect();
+        assert_eq!(ao, bo);
+    }
+
+    #[test]
+    fn random_search_counts_infeasible() {
+        let space = DesignSpace::case_study(4);
+        let result = random_search(&space, &ModelEvaluator::shimmer(), 500, 8);
+        // 2 of 6 DWT-node clocks are infeasible (1, 2 MHz): expect a
+        // substantial infeasible fraction.
+        assert!(result.infeasible > 50, "infeasible {}", result.infeasible);
+        assert!(!result.front.is_empty());
+    }
+}

@@ -1,0 +1,169 @@
+//! Objective vectors and Pareto dominance (all objectives minimized).
+
+use std::fmt;
+
+/// Relation between two objective vectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dominance {
+    /// Left dominates right (≤ everywhere, < somewhere).
+    Dominates,
+    /// Left is dominated by right.
+    DominatedBy,
+    /// Neither dominates (the interesting Pareto case).
+    Incomparable,
+    /// Identical vectors.
+    Equal,
+}
+
+/// A point in objective space; smaller is better on every axis.
+///
+/// ```
+/// use wbsn_dse::objective::{Dominance, ObjectiveVector};
+/// let a = ObjectiveVector::new(vec![1.0, 2.0]);
+/// let b = ObjectiveVector::new(vec![2.0, 3.0]);
+/// assert_eq!(a.compare(&b), Dominance::Dominates);
+/// assert!(a.dominates(&b));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObjectiveVector(Vec<f64>);
+
+impl ObjectiveVector {
+    /// Wraps raw objective values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty or contains NaN.
+    #[must_use]
+    pub fn new(values: Vec<f64>) -> Self {
+        assert!(!values.is_empty(), "objective vector cannot be empty");
+        assert!(values.iter().all(|v| !v.is_nan()), "objectives must not be NaN");
+        Self(values)
+    }
+
+    /// The raw values.
+    #[must_use]
+    pub fn values(&self) -> &[f64] {
+        &self.0
+    }
+
+    /// Number of objectives.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Always `false`: construction forbids empty vectors.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Pareto comparison.
+    ///
+    /// # Panics
+    ///
+    /// Panics when vectors have different dimensionality.
+    #[must_use]
+    pub fn compare(&self, other: &Self) -> Dominance {
+        assert_eq!(self.0.len(), other.0.len(), "objective dimensionality mismatch");
+        let mut better = false;
+        let mut worse = false;
+        for (a, b) in self.0.iter().zip(&other.0) {
+            if a < b {
+                better = true;
+            } else if a > b {
+                worse = true;
+            }
+        }
+        match (better, worse) {
+            (true, false) => Dominance::Dominates,
+            (false, true) => Dominance::DominatedBy,
+            (false, false) => Dominance::Equal,
+            (true, true) => Dominance::Incomparable,
+        }
+    }
+
+    /// `true` when `self` strictly dominates `other`.
+    #[must_use]
+    pub fn dominates(&self, other: &Self) -> bool {
+        self.compare(other) == Dominance::Dominates
+    }
+
+    /// `true` when `self` dominates or equals `other`.
+    #[must_use]
+    pub fn weakly_dominates(&self, other: &Self) -> bool {
+        matches!(self.compare(other), Dominance::Dominates | Dominance::Equal)
+    }
+}
+
+impl fmt::Display for ObjectiveVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v:.4}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ov(v: &[f64]) -> ObjectiveVector {
+        ObjectiveVector::new(v.to_vec())
+    }
+
+    #[test]
+    fn dominance_cases() {
+        assert_eq!(ov(&[1.0, 1.0]).compare(&ov(&[2.0, 2.0])), Dominance::Dominates);
+        assert_eq!(ov(&[2.0, 2.0]).compare(&ov(&[1.0, 1.0])), Dominance::DominatedBy);
+        assert_eq!(ov(&[1.0, 2.0]).compare(&ov(&[2.0, 1.0])), Dominance::Incomparable);
+        assert_eq!(ov(&[1.0, 2.0]).compare(&ov(&[1.0, 2.0])), Dominance::Equal);
+        // Weak dominance: equal on one axis, better on the other.
+        assert_eq!(ov(&[1.0, 1.0]).compare(&ov(&[1.0, 2.0])), Dominance::Dominates);
+    }
+
+    #[test]
+    fn dominance_is_irreflexive_and_antisymmetric() {
+        let a = ov(&[1.0, 2.0, 3.0]);
+        assert!(!a.dominates(&a));
+        assert!(a.weakly_dominates(&a));
+        let b = ov(&[2.0, 3.0, 4.0]);
+        assert!(a.dominates(&b) && !b.dominates(&a));
+    }
+
+    #[test]
+    fn dominance_is_transitive() {
+        let a = ov(&[1.0, 1.0]);
+        let b = ov(&[2.0, 2.0]);
+        let c = ov(&[3.0, 3.0]);
+        assert!(a.dominates(&b) && b.dominates(&c) && a.dominates(&c));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = ov(&[1.0]).compare(&ov(&[1.0, 2.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be NaN")]
+    fn nan_rejected() {
+        let _ = ov(&[f64::NAN]);
+    }
+
+    #[test]
+    fn infinity_is_dominated() {
+        // Infeasible points encoded as +∞ are dominated by any feasible.
+        assert!(ov(&[1.0, 1.0]).dominates(&ov(&[f64::INFINITY, f64::INFINITY])));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(format!("{}", ov(&[1.0, 2.5])), "(1.0000, 2.5000)");
+    }
+}

@@ -1,0 +1,177 @@
+//! Non-dominated archive: the running Pareto set of a search.
+
+use crate::objective::ObjectiveVector;
+
+/// An entry of the archive: objectives plus an arbitrary payload (the
+/// design point that produced them).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArchiveEntry<T> {
+    /// Objective values.
+    pub objectives: ObjectiveVector,
+    /// The design point (or any payload).
+    pub payload: T,
+}
+
+/// A Pareto archive: keeps only mutually non-dominated entries.
+///
+/// ```
+/// use wbsn_dse::objective::ObjectiveVector;
+/// use wbsn_dse::pareto::ParetoArchive;
+///
+/// let mut archive = ParetoArchive::new();
+/// assert!(archive.insert(ObjectiveVector::new(vec![2.0, 2.0]), "a"));
+/// assert!(archive.insert(ObjectiveVector::new(vec![1.0, 3.0]), "b"));
+/// // Dominated by "a": rejected.
+/// assert!(!archive.insert(ObjectiveVector::new(vec![3.0, 3.0]), "c"));
+/// // Dominates "a": replaces it.
+/// assert!(archive.insert(ObjectiveVector::new(vec![1.5, 1.5]), "d"));
+/// assert_eq!(archive.len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParetoArchive<T> {
+    entries: Vec<ArchiveEntry<T>>,
+}
+
+impl<T> ParetoArchive<T> {
+    /// Creates an empty archive.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { entries: Vec::new() }
+    }
+
+    /// Attempts to insert a point. Returns `true` when the point enters
+    /// the archive (it was not weakly dominated); dominated incumbents
+    /// are evicted.
+    pub fn insert(&mut self, objectives: ObjectiveVector, payload: T) -> bool {
+        if self
+            .entries
+            .iter()
+            .any(|e| e.objectives.weakly_dominates(&objectives))
+        {
+            return false;
+        }
+        self.entries.retain(|e| !objectives.dominates(&e.objectives));
+        self.entries.push(ArchiveEntry { objectives, payload });
+        true
+    }
+
+    /// Number of non-dominated entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the archive is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The entries.
+    #[must_use]
+    pub fn entries(&self) -> &[ArchiveEntry<T>] {
+        &self.entries
+    }
+
+    /// Iterates over the objective vectors of the front.
+    pub fn objectives(&self) -> impl Iterator<Item = &ObjectiveVector> {
+        self.entries.iter().map(|e| &e.objectives)
+    }
+
+    /// Consumes the archive, returning its entries.
+    #[must_use]
+    pub fn into_entries(self) -> Vec<ArchiveEntry<T>> {
+        self.entries
+    }
+}
+
+impl<T> Default for ParetoArchive<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Extracts the non-dominated subset of a list of objective vectors,
+/// returning their indices.
+#[must_use]
+pub fn non_dominated_indices(points: &[ObjectiveVector]) -> Vec<usize> {
+    (0..points.len())
+        .filter(|&i| {
+            !points.iter().enumerate().any(|(j, other)| {
+                j != i
+                    && (other.dominates(&points[i])
+                        || (other == &points[i] && j < i))
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ov(v: &[f64]) -> ObjectiveVector {
+        ObjectiveVector::new(v.to_vec())
+    }
+
+    #[test]
+    fn archive_never_holds_dominated_pairs() {
+        let mut archive = ParetoArchive::new();
+        let pts = [
+            [3.0, 1.0],
+            [1.0, 3.0],
+            [2.0, 2.0],
+            [2.5, 2.5], // dominated
+            [0.5, 4.0],
+            [2.0, 2.0], // duplicate
+        ];
+        for (i, p) in pts.iter().enumerate() {
+            archive.insert(ov(p), i);
+        }
+        for a in archive.objectives() {
+            for b in archive.objectives() {
+                assert!(!a.dominates(b), "{a} dominates {b} inside the archive");
+            }
+        }
+        assert_eq!(archive.len(), 4);
+    }
+
+    #[test]
+    fn duplicates_rejected() {
+        let mut archive = ParetoArchive::new();
+        assert!(archive.insert(ov(&[1.0, 1.0]), ()));
+        assert!(!archive.insert(ov(&[1.0, 1.0]), ()));
+        assert_eq!(archive.len(), 1);
+    }
+
+    #[test]
+    fn dominating_insert_evicts_multiple() {
+        let mut archive = ParetoArchive::new();
+        archive.insert(ov(&[5.0, 1.0]), "a");
+        archive.insert(ov(&[1.0, 5.0]), "b");
+        archive.insert(ov(&[3.0, 3.0]), "c");
+        // Dominates everything: archive collapses to one entry.
+        assert!(archive.insert(ov(&[0.5, 0.5]), "king"));
+        assert_eq!(archive.len(), 1);
+        assert_eq!(archive.entries()[0].payload, "king");
+    }
+
+    #[test]
+    fn non_dominated_indices_basic() {
+        let pts = vec![ov(&[1.0, 4.0]), ov(&[2.0, 2.0]), ov(&[4.0, 1.0]), ov(&[3.0, 3.0])];
+        assert_eq!(non_dominated_indices(&pts), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn non_dominated_keeps_first_duplicate() {
+        let pts = vec![ov(&[1.0, 1.0]), ov(&[1.0, 1.0])];
+        assert_eq!(non_dominated_indices(&pts), vec![0]);
+    }
+
+    #[test]
+    fn empty_cases() {
+        let archive: ParetoArchive<()> = ParetoArchive::default();
+        assert!(archive.is_empty());
+        assert!(non_dominated_indices(&[]).is_empty());
+    }
+}

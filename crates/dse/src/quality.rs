@@ -1,0 +1,188 @@
+//! Front-quality metrics: set coverage, hypervolume, spread.
+//!
+//! Used by the Fig. 5 reproduction to quantify "the energy/delay model
+//! only contains ≈7 % of the trade-offs found by the proposed model".
+
+use crate::objective::ObjectiveVector;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// C-metric (Zitzler): fraction of `b` weakly dominated by some point of
+/// `a`. `coverage(a, b) = 1` means `a` covers all of `b`.
+///
+/// Returns 0 when `b` is empty.
+#[must_use]
+pub fn coverage(a: &[ObjectiveVector], b: &[ObjectiveVector]) -> f64 {
+    if b.is_empty() {
+        return 0.0;
+    }
+    let covered = b
+        .iter()
+        .filter(|bp| a.iter().any(|ap| ap.weakly_dominates(bp)))
+        .count();
+    covered as f64 / b.len() as f64
+}
+
+/// Fraction of `candidates` that are members of the reference Pareto set
+/// (not dominated by it and present up to dominance-equivalence).
+///
+/// This is the paper's Fig. 5 statistic: how many of the baseline's
+/// solutions are *true* trade-offs of the full three-objective problem.
+#[must_use]
+pub fn membership_in_front(
+    candidates: &[ObjectiveVector],
+    reference: &[ObjectiveVector],
+) -> f64 {
+    if candidates.is_empty() {
+        return 0.0;
+    }
+    let members = candidates
+        .iter()
+        .filter(|c| !reference.iter().any(|r| r.dominates(c)))
+        .count();
+    members as f64 / candidates.len() as f64
+}
+
+/// Exact 2-D hypervolume dominated by `front` relative to `reference`
+/// (both objectives minimized; points beyond the reference are clipped).
+///
+/// # Panics
+///
+/// Panics if any point has a dimensionality other than 2.
+#[must_use]
+pub fn hypervolume_2d(front: &[ObjectiveVector], reference: [f64; 2]) -> f64 {
+    let mut pts: Vec<(f64, f64)> = front
+        .iter()
+        .map(|p| {
+            assert_eq!(p.len(), 2, "hypervolume_2d needs 2-D points");
+            (p.values()[0].min(reference[0]), p.values()[1].min(reference[1]))
+        })
+        .collect();
+    pts.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite").then(a.1.partial_cmp(&b.1).expect("finite")));
+    let mut hv = 0.0;
+    let mut best_y = reference[1];
+    for (x, y) in pts {
+        if y < best_y {
+            hv += (reference[0] - x) * (best_y - y);
+            best_y = y;
+        }
+    }
+    hv
+}
+
+/// Monte-Carlo hypervolume for any dimensionality (seeded, deterministic).
+///
+/// Samples `samples` points uniformly in the box `[ideal, reference]` and
+/// returns the dominated fraction times the box volume.
+///
+/// # Panics
+///
+/// Panics if `ideal`/`reference` lengths differ from the front's
+/// dimensionality or if the box is degenerate.
+#[must_use]
+pub fn hypervolume_monte_carlo(
+    front: &[ObjectiveVector],
+    ideal: &[f64],
+    reference: &[f64],
+    samples: usize,
+    seed: u64,
+) -> f64 {
+    assert_eq!(ideal.len(), reference.len(), "box corners must match");
+    assert!(
+        ideal.iter().zip(reference).all(|(i, r)| i < r),
+        "reference must dominate... be worse than ideal on every axis"
+    );
+    if front.is_empty() {
+        return 0.0;
+    }
+    let dims = ideal.len();
+    for p in front {
+        assert_eq!(p.len(), dims, "front dimensionality mismatch");
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut hits = 0usize;
+    let mut sample = vec![0.0; dims];
+    for _ in 0..samples {
+        for d in 0..dims {
+            sample[d] = rng.gen_range(ideal[d]..reference[d]);
+        }
+        if front.iter().any(|p| p.values().iter().zip(&sample).all(|(v, s)| v <= s)) {
+            hits += 1;
+        }
+    }
+    let volume: f64 = ideal.iter().zip(reference).map(|(i, r)| r - i).product();
+    volume * hits as f64 / samples as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ov(v: &[f64]) -> ObjectiveVector {
+        ObjectiveVector::new(v.to_vec())
+    }
+
+    #[test]
+    fn coverage_cases() {
+        let a = vec![ov(&[1.0, 1.0])];
+        let b = vec![ov(&[2.0, 2.0]), ov(&[0.5, 0.5])];
+        assert!((coverage(&a, &b) - 0.5).abs() < 1e-12);
+        assert_eq!(coverage(&a, &[]), 0.0);
+        // Self-coverage is total (weak dominance includes equality).
+        assert!((coverage(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn membership_counts_undominated() {
+        let reference = vec![ov(&[1.0, 5.0, 5.0]), ov(&[5.0, 1.0, 5.0]), ov(&[5.0, 5.0, 1.0])];
+        // First candidate is dominated in 3-D; second is not.
+        let candidates = vec![ov(&[2.0, 6.0, 6.0]), ov(&[0.5, 6.0, 6.0])];
+        assert!((membership_in_front(&candidates, &reference) - 0.5).abs() < 1e-12);
+        assert_eq!(membership_in_front(&[], &reference), 0.0);
+    }
+
+    #[test]
+    fn hypervolume_2d_single_point() {
+        let front = vec![ov(&[1.0, 1.0])];
+        // Box from (1,1) to (3,3): area 4.
+        assert!((hypervolume_2d(&front, [3.0, 3.0]) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hypervolume_2d_staircase() {
+        let front = vec![ov(&[1.0, 3.0]), ov(&[2.0, 2.0]), ov(&[3.0, 1.0])];
+        // Reference (4,4): 3 + 2 + 1 = ... compute: (4-1)(4-3)=3, (4-2)(3-2)=2, (4-3)(2-1)=1 → 6.
+        assert!((hypervolume_2d(&front, [4.0, 4.0]) - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hypervolume_2d_ignores_dominated() {
+        let with_dominated =
+            vec![ov(&[1.0, 1.0]), ov(&[2.0, 2.0])];
+        let clean = vec![ov(&[1.0, 1.0])];
+        let r = [3.0, 3.0];
+        assert!((hypervolume_2d(&with_dominated, r) - hypervolume_2d(&clean, r)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monte_carlo_matches_exact_2d() {
+        let front = vec![ov(&[1.0, 3.0]), ov(&[2.0, 2.0]), ov(&[3.0, 1.0])];
+        let exact = hypervolume_2d(&front, [4.0, 4.0]);
+        let mc = hypervolume_monte_carlo(&front, &[0.0, 0.0], &[4.0, 4.0], 200_000, 1);
+        assert!((mc - exact).abs() / exact < 0.02, "mc {mc} vs exact {exact}");
+    }
+
+    #[test]
+    fn monte_carlo_monotone_under_additions() {
+        let small = vec![ov(&[2.0, 2.0, 2.0])];
+        let large = vec![ov(&[2.0, 2.0, 2.0]), ov(&[1.0, 3.0, 1.0])];
+        let hv_small = hypervolume_monte_carlo(&small, &[0.0; 3], &[4.0; 3], 100_000, 2);
+        let hv_large = hypervolume_monte_carlo(&large, &[0.0; 3], &[4.0; 3], 100_000, 2);
+        assert!(hv_large >= hv_small);
+    }
+
+    #[test]
+    fn empty_front_has_zero_volume() {
+        assert_eq!(hypervolume_monte_carlo(&[], &[0.0], &[1.0], 100, 3), 0.0);
+    }
+}

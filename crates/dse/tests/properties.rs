@@ -1,0 +1,121 @@
+//! Property-based tests of the DSE invariants.
+
+use proptest::prelude::*;
+use wbsn_dse::nsga2::fast_non_dominated_sort;
+use wbsn_dse::objective::{Dominance, ObjectiveVector};
+use wbsn_dse::pareto::{non_dominated_indices, ParetoArchive};
+use wbsn_dse::quality::{coverage, hypervolume_2d};
+
+fn objective_vec(dims: usize) -> impl Strategy<Value = ObjectiveVector> {
+    prop::collection::vec(0.0f64..100.0, dims..=dims).prop_map(ObjectiveVector::new)
+}
+
+proptest! {
+    #[test]
+    fn dominance_is_antisymmetric_and_consistent(
+        a in objective_vec(3),
+        b in objective_vec(3),
+    ) {
+        match a.compare(&b) {
+            Dominance::Dominates => {
+                prop_assert_eq!(b.compare(&a), Dominance::DominatedBy);
+                prop_assert!(a.dominates(&b) && !b.dominates(&a));
+            }
+            Dominance::DominatedBy => {
+                prop_assert_eq!(b.compare(&a), Dominance::Dominates);
+            }
+            Dominance::Incomparable => {
+                prop_assert_eq!(b.compare(&a), Dominance::Incomparable);
+                prop_assert!(!a.dominates(&b) && !b.dominates(&a));
+            }
+            Dominance::Equal => {
+                prop_assert_eq!(b.compare(&a), Dominance::Equal);
+                prop_assert!(a.weakly_dominates(&b) && b.weakly_dominates(&a));
+            }
+        }
+    }
+
+    #[test]
+    fn archive_invariant_no_internal_domination(
+        points in prop::collection::vec(objective_vec(2), 1..60),
+    ) {
+        let mut archive = ParetoArchive::new();
+        for (i, p) in points.iter().enumerate() {
+            archive.insert(p.clone(), i);
+        }
+        let objs: Vec<_> = archive.objectives().cloned().collect();
+        for (i, a) in objs.iter().enumerate() {
+            for (j, b) in objs.iter().enumerate() {
+                if i != j {
+                    prop_assert!(!a.weakly_dominates(b), "{a} weakly dominates {b}");
+                }
+            }
+        }
+        // Every input point is weakly dominated by something in the archive.
+        for p in &points {
+            prop_assert!(objs.iter().any(|a| a.weakly_dominates(p)));
+        }
+    }
+
+    #[test]
+    fn archive_matches_batch_filter(
+        points in prop::collection::vec(objective_vec(3), 1..40),
+    ) {
+        let mut archive = ParetoArchive::new();
+        for (i, p) in points.iter().enumerate() {
+            archive.insert(p.clone(), i);
+        }
+        let batch = non_dominated_indices(&points);
+        // Same cardinality (both deduplicate dominance-equivalent points).
+        prop_assert_eq!(archive.len(), batch.len());
+    }
+
+    #[test]
+    fn first_front_of_sort_is_the_non_dominated_set(
+        points in prop::collection::vec(objective_vec(2), 1..40),
+    ) {
+        let fronts = fast_non_dominated_sort(&points);
+        prop_assert!(!fronts.is_empty());
+        // Every index appears exactly once across fronts.
+        let mut seen: Vec<usize> = fronts.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        prop_assert_eq!(seen, (0..points.len()).collect::<Vec<_>>());
+        // Front 0 members are never dominated.
+        for &i in &fronts[0] {
+            prop_assert!(!points.iter().any(|p| p.dominates(&points[i])));
+        }
+        // Members of front k+1 are dominated by someone in front ≤ k.
+        for k in 1..fronts.len() {
+            for &i in &fronts[k] {
+                let dominated = fronts[..k]
+                    .iter()
+                    .flatten()
+                    .any(|&j| points[j].dominates(&points[i]));
+                prop_assert!(dominated, "front {k} member {i} undominated by earlier fronts");
+            }
+        }
+    }
+
+    #[test]
+    fn hypervolume_monotone_under_point_addition(
+        points in prop::collection::vec(objective_vec(2), 1..20),
+        extra in objective_vec(2),
+    ) {
+        let reference = [120.0, 120.0];
+        let hv1 = hypervolume_2d(&points, reference);
+        let mut more = points.clone();
+        more.push(extra);
+        let hv2 = hypervolume_2d(&more, reference);
+        prop_assert!(hv2 + 1e-9 >= hv1, "{hv2} < {hv1}");
+    }
+
+    #[test]
+    fn coverage_bounds_and_self_coverage(
+        a in prop::collection::vec(objective_vec(2), 1..20),
+        b in prop::collection::vec(objective_vec(2), 1..20),
+    ) {
+        let c = coverage(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&c));
+        prop_assert!((coverage(&a, &a) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,437 @@
+//! Compressed-sensing codec ([13] of the paper).
+//!
+//! Encoder (runs on the node — this is why CS has such a small duty
+//! cycle): `y = Φ·x` with a Bernoulli ±1 sensing matrix, `m = CR·n`
+//! measurements quantized to 12 bits.
+//!
+//! Decoder (runs on the coordinator): basis-pursuit denoising in the
+//! wavelet domain, solved with FISTA by default, with an orthogonal
+//! matching pursuit (OMP) alternative for cross-validation.
+
+use super::{CodecError, ProcessedBlock};
+use crate::linalg::{dot, least_squares, norm2, Matrix};
+use crate::quantize::Quantizer;
+use crate::wavelet::{wavedec, waverec, WaveDec, Wavelet};
+use rand::Rng;
+
+/// Bits per transmitted measurement.
+const MEASUREMENT_BITS: u32 = 12;
+/// Side-information bytes per block (measurement scale).
+const SCALE_BYTES: usize = 2;
+
+/// Which sparse solver the decoder uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CsReconstruction {
+    /// Fast iterative shrinkage-thresholding (default).
+    Fista,
+    /// Orthogonal matching pursuit (greedy; used for validation).
+    Omp,
+}
+
+/// The compressed-sensing application.
+///
+/// ```
+/// use rand::SeedableRng;
+/// use wbsn_dsp::compress::CsCodec;
+/// use wbsn_dsp::ecg::EcgGenerator;
+/// use wbsn_dsp::metrics::prd;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+/// let block = EcgGenerator::default().generate(256, &mut rng);
+/// let out = CsCodec::default().process(&block, 0.35, &mut rng)?;
+/// let p = prd(&block, &out.reconstructed);
+/// assert!(p < 40.0, "CS at CR 0.35 reconstructs the morphology, PRD {p}");
+/// # Ok::<(), wbsn_dsp::compress::CodecError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsCodec {
+    /// Sparsifying wavelet for the reconstruction.
+    pub wavelet: Wavelet,
+    /// Decomposition depth of the sparsifying transform.
+    pub levels: usize,
+    /// Solver choice.
+    pub reconstruction: CsReconstruction,
+    /// FISTA iterations.
+    pub fista_iterations: usize,
+    /// Regularization weight, relative to `max|Aᵀy|`.
+    pub lambda_rel: f64,
+}
+
+impl Default for CsCodec {
+    /// db4 / 4 levels, FISTA with 150 iterations, λ = 1 % of `max|Aᵀy|`
+    /// (tuned on synthetic ECG; see `DESIGN.md`).
+    fn default() -> Self {
+        Self {
+            wavelet: Wavelet::Db4,
+            levels: 4,
+            reconstruction: CsReconstruction::Fista,
+            fista_iterations: 150,
+            lambda_rel: 0.01,
+        }
+    }
+}
+
+impl CsCodec {
+    /// Creates a codec with the chosen solver and default hyperparameters.
+    #[must_use]
+    pub fn new(wavelet: Wavelet, levels: usize, reconstruction: CsReconstruction) -> Self {
+        Self { wavelet, levels, reconstruction, ..Self::default() }
+    }
+
+    /// Compresses and reconstructs one block at compression ratio `cr`.
+    ///
+    /// The RNG generates the Bernoulli sensing matrix; sensor and
+    /// coordinator share it (a real deployment derives it from a common
+    /// seed).
+    ///
+    /// # Errors
+    ///
+    /// * [`CodecError::BadCompressionRatio`] for `cr` outside `(0, 1]`.
+    /// * [`CodecError::Wavelet`] for block lengths incompatible with the
+    ///   sparsifying transform.
+    /// * [`CodecError::Reconstruction`] when OMP hits a singular
+    ///   least-squares step.
+    pub fn process<R: Rng + ?Sized>(
+        &self,
+        block: &[f64],
+        cr: f64,
+        rng: &mut R,
+    ) -> Result<ProcessedBlock, CodecError> {
+        if !(cr > 0.0 && cr <= 1.0) {
+            return Err(CodecError::BadCompressionRatio(cr));
+        }
+        let n = block.len();
+        if n == 0 {
+            return Err(CodecError::BadBlockLength { len: 0, divisor: 1 << self.levels });
+        }
+        // Validate length against the transform up front.
+        let template = wavedec(block, self.wavelet, self.levels)?;
+
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let m = ((cr * n as f64).round() as usize).clamp(4, n);
+
+        // Bernoulli ±1/√m sensing matrix.
+        let scale = 1.0 / (m as f64).sqrt();
+        let mut phi = Matrix::zeros(m, n);
+        for r in 0..m {
+            for c in 0..n {
+                let sign = if rng.gen::<bool>() { scale } else { -scale };
+                phi.set(r, c, sign);
+            }
+        }
+
+        // Encode: y = Φx, quantized to 12 bits (scale sent as side info).
+        let y_raw = phi.matvec(block).expect("dimensions match by construction");
+        let y_max = y_raw.iter().fold(0.0f64, |acc, &v| acc.max(v.abs())).max(1e-12);
+        let quant = Quantizer::new(MEASUREMENT_BITS, -y_max, y_max)
+            .expect("y_max > 0 gives a valid range");
+        let y: Vec<f64> = y_raw.iter().map(|&v| quant.round_trip(v)).collect();
+
+        let coeffs = match self.reconstruction {
+            CsReconstruction::Fista => self.fista(&phi, &y, &template),
+            CsReconstruction::Omp => self.omp(&phi, &y, &template)?,
+        };
+        let reconstructed = waverec(&template.with_flat(&coeffs));
+        let compressed_bytes = (m * MEASUREMENT_BITS as usize).div_ceil(8) + SCALE_BYTES;
+        Ok(ProcessedBlock { reconstructed, compressed_bytes })
+    }
+
+    /// Applies `A = Φ·W⁻¹` to wavelet coefficients `s`.
+    fn apply_a(&self, phi: &Matrix, s: &[f64], template: &WaveDec) -> Vec<f64> {
+        let x = waverec(&template.with_flat(s));
+        phi.matvec(&x).expect("dimensions match")
+    }
+
+    /// Applies `Aᵀ = W·Φᵀ` to a measurement residual `r`.
+    fn apply_at(&self, phi: &Matrix, r: &[f64], _template: &WaveDec) -> Vec<f64> {
+        let xt = phi.matvec_t(r).expect("dimensions match");
+        wavedec(&xt, self.wavelet, self.levels)
+            .expect("template validated the length")
+            .to_flat()
+    }
+
+    /// Per-coefficient ℓ1 weights: the approximation band is dense by
+    /// nature (baseline + morphology), so it is not penalized; detail
+    /// bands are penalized progressively more towards the finest scale.
+    fn l1_weights(template: &WaveDec) -> Vec<f64> {
+        let mut w = vec![0.0; template.approx.len()];
+        let n_levels = template.details.len().max(1);
+        for (level, d) in template.details.iter().enumerate() {
+            let weight = 0.5 + 0.5 * (level + 1) as f64 / n_levels as f64;
+            w.extend(std::iter::repeat(weight).take(d.len()));
+        }
+        w
+    }
+
+    /// FISTA for `min ½‖A·s − y‖² + λ‖w ⊙ s‖₁`, followed by a
+    /// least-squares debias on the recovered support.
+    fn fista(&self, phi: &Matrix, y: &[f64], template: &WaveDec) -> Vec<f64> {
+        let n = phi.cols();
+        // Lipschitz constant of ∇f via power iteration on AᵀA.
+        let mut v = vec![1.0; n];
+        let mut lip = 1.0;
+        for _ in 0..15 {
+            let av = self.apply_a(phi, &v, template);
+            let atav = self.apply_at(phi, &av, template);
+            let norm = norm2(&atav);
+            if norm < 1e-12 {
+                break;
+            }
+            lip = norm / norm2(&v).max(1e-12);
+            let inv = 1.0 / norm;
+            v = atav.iter().map(|&c| c * inv).collect();
+        }
+        let step = 1.0 / lip.max(1e-12);
+
+        let aty = self.apply_at(phi, y, template);
+        let lambda = self.lambda_rel * aty.iter().fold(0.0f64, |acc, &c| acc.max(c.abs()));
+        let weights = Self::l1_weights(template);
+
+        let mut s = vec![0.0; n];
+        let mut z = s.clone();
+        let mut t = 1.0f64;
+        for _ in 0..self.fista_iterations {
+            let az = self.apply_a(phi, &z, template);
+            let residual: Vec<f64> = az.iter().zip(y).map(|(a, b)| a - b).collect();
+            let grad = self.apply_at(phi, &residual, template);
+            let s_next: Vec<f64> = (0..n)
+                .map(|i| soft_threshold(z[i] - step * grad[i], lambda * step * weights[i]))
+                .collect();
+            let t_next = 0.5 * (1.0 + (1.0 + 4.0 * t * t).sqrt());
+            let momentum = (t - 1.0) / t_next;
+            z = s_next
+                .iter()
+                .zip(&s)
+                .map(|(&new, &old)| new + momentum * (new - old))
+                .collect();
+            s = s_next;
+            t = t_next;
+        }
+        self.debias(phi, y, template, s)
+    }
+
+    /// Least-squares refit on the support selected by FISTA: removes the
+    /// systematic amplitude shrinkage of the ℓ1 penalty. Falls back to the
+    /// FISTA estimate when the support is too large to refit.
+    fn debias(
+        &self,
+        phi: &Matrix,
+        y: &[f64],
+        template: &WaveDec,
+        s: Vec<f64>,
+    ) -> Vec<f64> {
+        let m = phi.rows();
+        let support: Vec<usize> =
+            (0..s.len()).filter(|&i| s[i] != 0.0 || i < template.approx.len()).collect();
+        if support.is_empty() || support.len() + 2 > m {
+            return s;
+        }
+        // Columns of A restricted to the support.
+        let mut sub = Matrix::zeros(m, support.len());
+        let mut unit = vec![0.0; s.len()];
+        for (ci, &j) in support.iter().enumerate() {
+            unit[j] = 1.0;
+            let col = self.apply_a(phi, &unit, template);
+            for (r, &v) in col.iter().enumerate() {
+                sub.set(r, ci, v);
+            }
+            unit[j] = 0.0;
+        }
+        match least_squares(&sub, y) {
+            Ok(coef) => {
+                let mut out = vec![0.0; s.len()];
+                for (ci, &j) in support.iter().enumerate() {
+                    out[j] = coef[ci];
+                }
+                out
+            }
+            Err(_) => s,
+        }
+    }
+
+    /// Orthogonal matching pursuit over the explicit dictionary `Φ·W⁻¹`.
+    fn omp(
+        &self,
+        phi: &Matrix,
+        y: &[f64],
+        template: &WaveDec,
+    ) -> Result<Vec<f64>, CodecError> {
+        let n = phi.cols();
+        let m = phi.rows();
+        // Build the dictionary column by column: D[:, j] = Φ·W⁻¹·e_j.
+        let mut dict = Matrix::zeros(m, n);
+        let mut unit = vec![0.0; n];
+        for j in 0..n {
+            unit[j] = 1.0;
+            let col = self.apply_a(phi, &unit, template);
+            for (r, &v) in col.iter().enumerate() {
+                dict.set(r, j, v);
+            }
+            unit[j] = 0.0;
+        }
+
+        let sparsity = (m / 2).max(1);
+        let mut support: Vec<usize> = Vec::with_capacity(sparsity);
+        let mut residual = y.to_vec();
+        let mut solution = vec![0.0; n];
+        for _ in 0..sparsity {
+            // Most correlated unused atom.
+            let mut best = None;
+            let mut best_corr = 0.0;
+            for j in 0..n {
+                if support.contains(&j) {
+                    continue;
+                }
+                let corr = dot(&dict.column(j), &residual).abs();
+                if corr > best_corr {
+                    best_corr = corr;
+                    best = Some(j);
+                }
+            }
+            let Some(j) = best else { break };
+            if best_corr < 1e-10 {
+                break;
+            }
+            support.push(j);
+
+            // Least squares on the current support.
+            let k = support.len();
+            let mut sub = Matrix::zeros(m, k);
+            for (ci, &j) in support.iter().enumerate() {
+                for r in 0..m {
+                    sub.set(r, ci, dict.get(r, j));
+                }
+            }
+            let coef = least_squares(&sub, y)
+                .map_err(|e| CodecError::Reconstruction(e.to_string()))?;
+            // Residual update.
+            let approx = sub.matvec(&coef).expect("dimensions match");
+            residual = y.iter().zip(&approx).map(|(a, b)| a - b).collect();
+            solution.fill(0.0);
+            for (ci, &j) in support.iter().enumerate() {
+                solution[j] = coef[ci];
+            }
+            if norm2(&residual) < 1e-8 * norm2(y).max(1e-12) {
+                break;
+            }
+        }
+        Ok(solution)
+    }
+}
+
+/// Soft-thresholding operator `sign(x)·max(|x| − t, 0)`.
+fn soft_threshold(x: f64, t: f64) -> f64 {
+    if x > t {
+        x - t
+    } else if x < -t {
+        x + t
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ecg::EcgGenerator;
+    use crate::metrics::prd;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ecg_block(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        EcgGenerator::default().generate(n, &mut rng)
+    }
+
+    #[test]
+    fn soft_threshold_cases() {
+        assert_eq!(soft_threshold(3.0, 1.0), 2.0);
+        assert_eq!(soft_threshold(-3.0, 1.0), -2.0);
+        assert_eq!(soft_threshold(0.5, 1.0), 0.0);
+        assert_eq!(soft_threshold(-0.5, 1.0), 0.0);
+    }
+
+    #[test]
+    fn fista_recovers_ecg_shape() {
+        let block = ecg_block(256, 11);
+        let mut rng = StdRng::seed_from_u64(100);
+        let out = CsCodec::default().process(&block, 0.38, &mut rng).expect("ok");
+        let p = prd(&block, &out.reconstructed);
+        assert!(p < 35.0, "FISTA at CR 0.38: PRD {p}");
+    }
+
+    #[test]
+    fn prd_improves_with_more_measurements() {
+        let block = ecg_block(256, 12);
+        let codec = CsCodec::default();
+        let mut rng = StdRng::seed_from_u64(200);
+        let p_low = prd(&block, &codec.process(&block, 0.17, &mut rng).expect("ok").reconstructed);
+        let mut rng = StdRng::seed_from_u64(200);
+        let p_high = prd(&block, &codec.process(&block, 0.38, &mut rng).expect("ok").reconstructed);
+        assert!(
+            p_high < p_low,
+            "more measurements should not hurt: {p_high} !< {p_low}"
+        );
+    }
+
+    #[test]
+    fn rate_accounting_matches_cr() {
+        let block = ecg_block(256, 13);
+        let mut rng = StdRng::seed_from_u64(300);
+        for cr in [0.17, 0.25, 0.38] {
+            let out = CsCodec::default().process(&block, cr, &mut rng).expect("ok");
+            let achieved = out.compressed_bytes as f64 / (256.0 * 1.5);
+            assert!((achieved - cr).abs() < 0.03, "cr={cr} achieved={achieved}");
+        }
+    }
+
+    #[test]
+    fn omp_reconstructs_sparse_signal_exactly() {
+        // A signal that is exactly 4-sparse in the Haar domain must be
+        // recovered (near-)exactly from 64 of 128 measurements.
+        let n = 128;
+        let template = wavedec(&vec![0.0; n], Wavelet::Haar, 3).expect("ok");
+        let mut flat = vec![0.0; n];
+        flat[0] = 2.0;
+        flat[3] = -1.0;
+        flat[20] = 0.7;
+        flat[90] = 1.3;
+        let signal = waverec(&template.with_flat(&flat));
+
+        let codec = CsCodec {
+            reconstruction: CsReconstruction::Omp,
+            wavelet: Wavelet::Haar,
+            levels: 3,
+            ..CsCodec::default()
+        };
+        let mut rng = StdRng::seed_from_u64(400);
+        let out = codec.process(&signal, 0.5, &mut rng).expect("ok");
+        let p = prd(&signal, &out.reconstructed);
+        assert!(p < 2.0, "OMP on exactly-sparse signal: PRD {p}");
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let codec = CsCodec::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(matches!(
+            codec.process(&[0.0; 256], 0.0, &mut rng),
+            Err(CodecError::BadCompressionRatio(_))
+        ));
+        assert!(matches!(
+            codec.process(&[0.0; 100], 0.3, &mut rng),
+            Err(CodecError::Wavelet(_))
+        ));
+        assert!(codec.process(&[], 0.3, &mut rng).is_err());
+    }
+
+    #[test]
+    fn minimum_measurement_floor() {
+        // Tiny CR still sends at least 4 measurements.
+        let block = ecg_block(64, 14);
+        let codec = CsCodec { levels: 2, ..CsCodec::default() };
+        let mut rng = StdRng::seed_from_u64(15);
+        let out = codec.process(&block, 0.01, &mut rng).expect("ok");
+        assert!(out.compressed_bytes >= 4 * 12 / 8);
+    }
+}

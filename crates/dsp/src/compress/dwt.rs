@@ -1,0 +1,193 @@
+//! Threshold-based wavelet compression ([23] of the paper).
+//!
+//! The encoder transforms a block, keeps only the largest-magnitude
+//! coefficients that fit the bit budget implied by the target compression
+//! ratio (each kept coefficient costs its quantized value plus its
+//! position index), and quantizes them to 12 bits. The decoder re-inserts
+//! the survivors and inverse-transforms.
+
+use super::{CodecError, ProcessedBlock};
+use crate::quantize::Quantizer;
+use crate::wavelet::{wavedec, waverec, Wavelet};
+
+/// Bits used to encode each kept coefficient's value.
+const COEFF_BITS: u32 = 12;
+/// Bytes spent per block on side information (coefficient scale).
+const SCALE_BYTES: usize = 2;
+
+/// The wavelet transform-coding application.
+///
+/// ```
+/// use rand::SeedableRng;
+/// use wbsn_dsp::compress::DwtCodec;
+/// use wbsn_dsp::ecg::EcgGenerator;
+/// use wbsn_dsp::metrics::prd;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let block = EcgGenerator::default().generate(256, &mut rng);
+/// let out = DwtCodec::default().process(&block, 0.3, )?;
+/// assert!(prd(&block, &out.reconstructed) < 15.0);
+/// # Ok::<(), wbsn_dsp::compress::CodecError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DwtCodec {
+    /// Sparsifying wavelet.
+    pub wavelet: Wavelet,
+    /// Decomposition depth.
+    pub levels: usize,
+}
+
+impl Default for DwtCodec {
+    /// db4, 4 levels — the usual ECG configuration.
+    fn default() -> Self {
+        Self { wavelet: Wavelet::Db4, levels: 4 }
+    }
+}
+
+impl DwtCodec {
+    /// Creates a codec with an explicit wavelet and depth.
+    #[must_use]
+    pub fn new(wavelet: Wavelet, levels: usize) -> Self {
+        Self { wavelet, levels }
+    }
+
+    /// Bits needed to address a coefficient inside an `n`-sample block.
+    fn index_bits(n: usize) -> u32 {
+        usize::BITS - (n - 1).leading_zeros()
+    }
+
+    /// Compresses and reconstructs one block at compression ratio `cr`.
+    ///
+    /// # Errors
+    ///
+    /// * [`CodecError::BadCompressionRatio`] for `cr` outside `(0, 1]`.
+    /// * [`CodecError::BadBlockLength`] / [`CodecError::Wavelet`] for
+    ///   lengths incompatible with the decomposition depth.
+    pub fn process(&self, block: &[f64], cr: f64) -> Result<ProcessedBlock, CodecError> {
+        if !(cr > 0.0 && cr <= 1.0) {
+            return Err(CodecError::BadCompressionRatio(cr));
+        }
+        let n = block.len();
+        if n == 0 {
+            return Err(CodecError::BadBlockLength { len: 0, divisor: 1 << self.levels });
+        }
+        let dec = wavedec(block, self.wavelet, self.levels)?;
+        let flat = dec.to_flat();
+
+        // Bit budget: CR × (12 bits per original sample), §4.3 convention.
+        let budget_bits = (cr * n as f64 * 12.0).floor();
+        let cost = f64::from(COEFF_BITS + Self::index_bits(n));
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let keep = (((budget_bits - (SCALE_BYTES * 8) as f64) / cost).floor().max(1.0) as usize)
+            .min(n);
+
+        // Rank coefficients by magnitude; keep the top `keep`.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            flat[b].abs().partial_cmp(&flat[a].abs()).expect("coefficients are finite")
+        });
+        let kept = &order[..keep];
+
+        let max_abs = kept.iter().map(|&i| flat[i].abs()).fold(0.0f64, f64::max);
+        let mut sparse = vec![0.0; n];
+        if max_abs > 0.0 {
+            let quant = Quantizer::new(COEFF_BITS, -max_abs, max_abs)
+                .expect("max_abs > 0 gives a valid range");
+            for &i in kept {
+                sparse[i] = quant.round_trip(flat[i]);
+            }
+        }
+
+        let reconstructed = waverec(&dec.with_flat(&sparse));
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let compressed_bytes = ((keep as f64 * cost) / 8.0).ceil() as usize + SCALE_BYTES;
+        Ok(ProcessedBlock { reconstructed, compressed_bytes })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ecg::EcgGenerator;
+    use crate::metrics::prd;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ecg_block(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        EcgGenerator::default().generate(n, &mut rng)
+    }
+
+    #[test]
+    fn prd_decreases_with_cr() {
+        let block = ecg_block(256, 5);
+        let codec = DwtCodec::default();
+        let mut last = f64::INFINITY;
+        for cr in [0.17, 0.23, 0.29, 0.35, 0.5] {
+            let out = codec.process(&block, cr).expect("ok");
+            let p = prd(&block, &out.reconstructed);
+            assert!(p < last + 1.0, "PRD not (roughly) decreasing at cr={cr}: {p} vs {last}");
+            last = p;
+        }
+    }
+
+    #[test]
+    fn rate_accounting_close_to_target() {
+        let block = ecg_block(256, 6);
+        for cr in [0.17, 0.25, 0.38] {
+            let out = DwtCodec::default().process(&block, cr).expect("ok");
+            let achieved = out.compressed_bytes as f64 / (256.0 * 1.5);
+            assert!(
+                achieved <= cr + 0.02 && achieved > cr / 2.0,
+                "cr={cr} achieved={achieved}"
+            );
+        }
+    }
+
+    #[test]
+    fn quality_reasonable_for_ecg() {
+        let block = ecg_block(256, 7);
+        let out = DwtCodec::default().process(&block, 0.30).expect("ok");
+        let p = prd(&block, &out.reconstructed);
+        assert!(p < 12.0, "DWT at CR 0.30 should be clean, PRD {p}");
+    }
+
+    #[test]
+    fn validates_cr() {
+        let block = ecg_block(256, 8);
+        let codec = DwtCodec::default();
+        assert!(matches!(codec.process(&block, 0.0), Err(CodecError::BadCompressionRatio(_))));
+        assert!(matches!(codec.process(&block, 1.5), Err(CodecError::BadCompressionRatio(_))));
+    }
+
+    #[test]
+    fn validates_block_length() {
+        let codec = DwtCodec::default();
+        assert!(codec.process(&[], 0.3).is_err());
+        // 100 is not divisible by 2^4.
+        assert!(matches!(codec.process(&[0.0; 100], 0.3), Err(CodecError::Wavelet(_))));
+    }
+
+    #[test]
+    fn zero_block_reconstructs_zero() {
+        let out = DwtCodec::default().process(&[0.0; 64], 0.3).expect("ok");
+        assert!(out.reconstructed.iter().all(|&v| v.abs() < 1e-12));
+    }
+
+    #[test]
+    fn index_bits_sizes() {
+        assert_eq!(DwtCodec::index_bits(256), 8);
+        assert_eq!(DwtCodec::index_bits(64), 6);
+        assert_eq!(DwtCodec::index_bits(2), 1);
+    }
+
+    #[test]
+    fn other_wavelets_work() {
+        let block = ecg_block(256, 9);
+        for w in Wavelet::all() {
+            let out = DwtCodec::new(w, 3).process(&block, 0.3).expect("ok");
+            let p = prd(&block, &out.reconstructed);
+            assert!(p < 25.0, "{w}: PRD {p}");
+        }
+    }
+}

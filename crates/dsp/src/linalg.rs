@@ -1,0 +1,316 @@
+//! Minimal dense linear algebra for the compressed-sensing reconstruction.
+//!
+//! Just enough to support sensing-matrix application, power iteration for
+//! Lipschitz estimation and the small least-squares solves of OMP —
+//! implemented in-house because the workspace builds every substrate from
+//! scratch.
+
+use std::fmt;
+
+/// A dense row-major matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+/// Error type for linear-algebra operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// Dimension mismatch between operands.
+    DimensionMismatch {
+        /// What was expected.
+        expected: usize,
+        /// What was provided.
+        got: usize,
+    },
+    /// A solve encountered a (numerically) singular system.
+    Singular,
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::DimensionMismatch { expected, got } => {
+                write!(f, "dimension mismatch: expected {expected}, got {got}")
+            }
+            Self::Singular => write!(f, "singular system"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+impl Matrix {
+    /// Creates a matrix from row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    #[must_use]
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "row-major data length mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// A zero matrix.
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Immutable element access.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    #[must_use]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of range");
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable element access.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of range");
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// A row as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    #[must_use]
+    pub fn row(&self, r: usize) -> &[f64] {
+        assert!(r < self.rows, "row {r} out of range");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Extracts a column as an owned vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of range.
+    #[must_use]
+    pub fn column(&self, c: usize) -> Vec<f64> {
+        assert!(c < self.cols, "column {c} out of range");
+        (0..self.rows).map(|r| self.get(r, c)).collect()
+    }
+
+    /// Matrix–vector product `A·x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] when `x.len() != cols`.
+    pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        if x.len() != self.cols {
+            return Err(LinalgError::DimensionMismatch { expected: self.cols, got: x.len() });
+        }
+        Ok((0..self.rows)
+            .map(|r| self.row(r).iter().zip(x).map(|(a, b)| a * b).sum())
+            .collect())
+    }
+
+    /// Transposed product `Aᵀ·y`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] when `y.len() != rows`.
+    pub fn matvec_t(&self, y: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        if y.len() != self.rows {
+            return Err(LinalgError::DimensionMismatch { expected: self.rows, got: y.len() });
+        }
+        let mut out = vec![0.0; self.cols];
+        for (r, &yr) in y.iter().enumerate() {
+            if yr == 0.0 {
+                continue;
+            }
+            for (c, slot) in out.iter_mut().enumerate() {
+                *slot += self.get(r, c) * yr;
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Euclidean norm.
+#[must_use]
+pub fn norm2(x: &[f64]) -> f64 {
+    x.iter().map(|v| v * v).sum::<f64>().sqrt()
+}
+
+/// Dot product.
+///
+/// # Panics
+///
+/// Panics on length mismatch.
+#[must_use]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Solves the dense system `A·x = b` by Gaussian elimination with partial
+/// pivoting (used for the small OMP least-squares steps).
+///
+/// # Errors
+///
+/// Returns [`LinalgError::Singular`] when a pivot vanishes.
+pub fn solve(mut a: Matrix, mut b: Vec<f64>) -> Result<Vec<f64>, LinalgError> {
+    let n = b.len();
+    if a.rows != n || a.cols != n {
+        return Err(LinalgError::DimensionMismatch { expected: n, got: a.rows });
+    }
+    for col in 0..n {
+        let pivot_row = (col..n)
+            .max_by(|&i, &j| {
+                a.get(i, col).abs().partial_cmp(&a.get(j, col).abs()).expect("finite")
+            })
+            .expect("non-empty");
+        if a.get(pivot_row, col).abs() < 1e-300 {
+            return Err(LinalgError::Singular);
+        }
+        if pivot_row != col {
+            for c in 0..n {
+                let tmp = a.get(col, c);
+                a.set(col, c, a.get(pivot_row, c));
+                a.set(pivot_row, c, tmp);
+            }
+            b.swap(col, pivot_row);
+        }
+        let pivot = a.get(col, col);
+        for row in col + 1..n {
+            let factor = a.get(row, col) / pivot;
+            if factor == 0.0 {
+                continue;
+            }
+            for c in col..n {
+                let v = a.get(row, c) - factor * a.get(col, c);
+                a.set(row, c, v);
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for c in row + 1..n {
+            acc -= a.get(row, c) * x[c];
+        }
+        x[row] = acc / a.get(row, row);
+    }
+    Ok(x)
+}
+
+/// Least-squares solution of an overdetermined `A·x ≈ b` via the normal
+/// equations (adequate for OMP's small, well-conditioned subproblems).
+///
+/// # Errors
+///
+/// Propagates dimension mismatches and singular normal equations.
+pub fn least_squares(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    if b.len() != a.rows {
+        return Err(LinalgError::DimensionMismatch { expected: a.rows, got: b.len() });
+    }
+    let n = a.cols;
+    let mut ata = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in i..n {
+            let mut s = 0.0;
+            for r in 0..a.rows {
+                s += a.get(r, i) * a.get(r, j);
+            }
+            ata.set(i, j, s);
+            ata.set(j, i, s);
+        }
+    }
+    let atb = a.matvec_t(b)?;
+    solve(ata, atb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matvec_known() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(a.matvec(&[1.0, 0.0, -1.0]).expect("dims"), vec![-2.0, -2.0]);
+        assert_eq!(a.matvec_t(&[1.0, 1.0]).expect("dims"), vec![5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn matvec_dimension_checks() {
+        let a = Matrix::zeros(2, 3);
+        assert!(a.matvec(&[0.0; 2]).is_err());
+        assert!(a.matvec_t(&[0.0; 3]).is_err());
+    }
+
+    #[test]
+    fn solve_known_system() {
+        // [[2,1],[1,3]]·x = [3,5] -> x = [4/5, 7/5]
+        let a = Matrix::from_vec(2, 2, vec![2.0, 1.0, 1.0, 3.0]);
+        let x = solve(a, vec![3.0, 5.0]).expect("solvable");
+        assert!((x[0] - 0.8).abs() < 1e-12);
+        assert!((x[1] - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_detects_singular() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 2.0, 4.0]);
+        assert_eq!(solve(a, vec![1.0, 2.0]), Err(LinalgError::Singular));
+    }
+
+    #[test]
+    fn least_squares_overdetermined() {
+        // Fit y = 2t + 1 through noisy points.
+        let ts = [0.0, 1.0, 2.0, 3.0];
+        let ys = [1.1, 2.9, 5.1, 6.9];
+        let mut a = Matrix::zeros(4, 2);
+        for (i, &t) in ts.iter().enumerate() {
+            a.set(i, 0, 1.0);
+            a.set(i, 1, t);
+        }
+        let x = least_squares(&a, &ys).expect("solvable");
+        assert!((x[0] - 1.0).abs() < 0.15, "intercept {}", x[0]);
+        assert!((x[1] - 2.0).abs() < 0.1, "slope {}", x[1]);
+    }
+
+    #[test]
+    fn norms_and_dots() {
+        assert!((norm2(&[3.0, 4.0]) - 5.0).abs() < 1e-12);
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, -1.0]), 1.0);
+    }
+
+    #[test]
+    fn row_and_column_views() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(a.row(1), &[3.0, 4.0]);
+        assert_eq!(a.column(0), vec![1.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_bounds_checked() {
+        let a = Matrix::zeros(2, 2);
+        let _ = a.get(2, 0);
+    }
+}

@@ -1,0 +1,195 @@
+//! Uniform quantization and the 12-bit A/D converter model.
+//!
+//! The Shimmer front-end digitizes ECG at 12 bits; the compression codecs
+//! also re-quantize transmitted coefficients/measurements to 12 bits. One
+//! uniform mid-rise quantizer covers both uses.
+
+use std::fmt;
+
+/// A uniform quantizer over a closed range with `2^bits` levels.
+///
+/// ```
+/// use wbsn_dsp::quantize::Quantizer;
+/// let q = Quantizer::new(12, -2.0, 2.0)?;
+/// let code = q.quantize(0.5);
+/// let back = q.dequantize(code);
+/// assert!((back - 0.5).abs() <= q.step());
+/// # Ok::<(), wbsn_dsp::quantize::QuantizeError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Quantizer {
+    bits: u32,
+    min: f64,
+    max: f64,
+    step: f64,
+}
+
+/// Error constructing a [`Quantizer`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QuantizeError {
+    /// `bits` outside 1..=24.
+    BadBits(u32),
+    /// `min >= max` or non-finite bounds.
+    BadRange,
+}
+
+impl fmt::Display for QuantizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::BadBits(b) => write!(f, "quantizer bits must be in 1..=24, got {b}"),
+            Self::BadRange => write!(f, "quantizer range must satisfy min < max and be finite"),
+        }
+    }
+}
+
+impl std::error::Error for QuantizeError {}
+
+impl Quantizer {
+    /// Creates a quantizer with `2^bits` levels over `[min, max]`.
+    ///
+    /// # Errors
+    ///
+    /// * [`QuantizeError::BadBits`] for `bits` outside `1..=24`.
+    /// * [`QuantizeError::BadRange`] when `min >= max` or bounds are not
+    ///   finite.
+    pub fn new(bits: u32, min: f64, max: f64) -> Result<Self, QuantizeError> {
+        if !(1..=24).contains(&bits) {
+            return Err(QuantizeError::BadBits(bits));
+        }
+        if !(min.is_finite() && max.is_finite() && min < max) {
+            return Err(QuantizeError::BadRange);
+        }
+        let levels = f64::from((1u32 << bits) - 1);
+        Ok(Self { bits, min, max, step: (max - min) / levels })
+    }
+
+    /// The 12-bit ECG front-end of the case study: ±`range_mv` millivolts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantizeError::BadRange`] for non-positive `range_mv`.
+    pub fn adc_12bit(range_mv: f64) -> Result<Self, QuantizeError> {
+        Self::new(12, -range_mv, range_mv)
+    }
+
+    /// Resolution in bits.
+    #[must_use]
+    pub fn bits(self) -> u32 {
+        self.bits
+    }
+
+    /// Quantization step size.
+    #[must_use]
+    pub fn step(self) -> f64 {
+        self.step
+    }
+
+    /// Lower bound of the representable range.
+    #[must_use]
+    pub fn min(self) -> f64 {
+        self.min
+    }
+
+    /// Upper bound of the representable range.
+    #[must_use]
+    pub fn max(self) -> f64 {
+        self.max
+    }
+
+    /// Quantizes a value to its level index, saturating at the range ends.
+    #[must_use]
+    pub fn quantize(self, x: f64) -> u32 {
+        let clamped = x.clamp(self.min, self.max);
+        let idx = ((clamped - self.min) / self.step).round();
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        {
+            (idx as u32).min((1u32 << self.bits) - 1)
+        }
+    }
+
+    /// Maps a level index back to the reconstruction value.
+    #[must_use]
+    pub fn dequantize(self, code: u32) -> f64 {
+        self.min + f64::from(code.min((1u32 << self.bits) - 1)) * self.step
+    }
+
+    /// Quantize-dequantize round trip: the value the receiver will see.
+    #[must_use]
+    pub fn round_trip(self, x: f64) -> f64 {
+        self.dequantize(self.quantize(x))
+    }
+
+    /// Applies [`Quantizer::round_trip`] to a whole signal.
+    #[must_use]
+    pub fn round_trip_signal(self, xs: &[f64]) -> Vec<f64> {
+        xs.iter().map(|&x| self.round_trip(x)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validation() {
+        assert_eq!(Quantizer::new(0, 0.0, 1.0), Err(QuantizeError::BadBits(0)));
+        assert_eq!(Quantizer::new(25, 0.0, 1.0), Err(QuantizeError::BadBits(25)));
+        assert_eq!(Quantizer::new(8, 1.0, 1.0), Err(QuantizeError::BadRange));
+        assert_eq!(Quantizer::new(8, f64::NAN, 1.0), Err(QuantizeError::BadRange));
+        assert!(Quantizer::new(12, -2.0, 2.0).is_ok());
+    }
+
+    #[test]
+    fn round_trip_error_bounded_by_half_step() {
+        let q = Quantizer::new(12, -2.0, 2.0).expect("valid");
+        for i in 0..1000 {
+            let x = -2.0 + 4.0 * f64::from(i) / 999.0;
+            let err = (q.round_trip(x) - x).abs();
+            assert!(err <= q.step() / 2.0 + 1e-12, "x={x} err={err}");
+        }
+    }
+
+    #[test]
+    fn saturates_out_of_range() {
+        let q = Quantizer::new(8, -1.0, 1.0).expect("valid");
+        assert_eq!(q.quantize(100.0), 255);
+        assert_eq!(q.quantize(-100.0), 0);
+        assert!((q.round_trip(100.0) - 1.0).abs() < 1e-12);
+        assert!((q.round_trip(-100.0) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantize_is_monotone() {
+        let q = Quantizer::new(10, -1.0, 1.0).expect("valid");
+        let mut prev = q.quantize(-1.0);
+        for i in 1..=200 {
+            let x = -1.0 + 2.0 * f64::from(i) / 200.0;
+            let code = q.quantize(x);
+            assert!(code >= prev, "monotonicity broken at {x}");
+            prev = code;
+        }
+    }
+
+    #[test]
+    fn twelve_bit_adc_resolution() {
+        let q = Quantizer::adc_12bit(2.5).expect("valid");
+        assert_eq!(q.bits(), 12);
+        // 5 mV span over 4095 steps ≈ 1.22 µV per step.
+        assert!((q.step() - 5.0 / 4095.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn endpoints_are_exact() {
+        let q = Quantizer::new(12, -2.0, 2.0).expect("valid");
+        assert!((q.round_trip(-2.0) + 2.0).abs() < 1e-12);
+        assert!((q.round_trip(2.0) - 2.0).abs() < 1e-9);
+        assert_eq!(q.dequantize(u32::MAX), q.max());
+    }
+
+    #[test]
+    fn signal_round_trip_length() {
+        let q = Quantizer::new(12, -1.0, 1.0).expect("valid");
+        let xs = vec![0.1, -0.5, 0.9];
+        assert_eq!(q.round_trip_signal(&xs).len(), 3);
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based tests of the DSP substrate invariants.
+
+use proptest::prelude::*;
+use wbsn_dsp::metrics::{prd, prdn, rmse, snr_db};
+use wbsn_dsp::quantize::Quantizer;
+use wbsn_dsp::wavelet::{dwt_step, idwt_step, wavedec, waverec, Wavelet};
+
+fn wavelet_strategy() -> impl Strategy<Value = Wavelet> {
+    prop_oneof![
+        Just(Wavelet::Haar),
+        Just(Wavelet::Db2),
+        Just(Wavelet::Db3),
+        Just(Wavelet::Db4),
+        Just(Wavelet::Sym4),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn dwt_single_step_round_trips(
+        signal in prop::collection::vec(-100.0f64..100.0, 2..=256).prop_filter(
+            "even length",
+            |v| v.len() % 2 == 0,
+        ),
+        wavelet in wavelet_strategy(),
+    ) {
+        let (a, d) = dwt_step(&signal, wavelet);
+        prop_assert_eq!(a.len(), signal.len() / 2);
+        let back = idwt_step(&a, &d, wavelet);
+        for (orig, rec) in signal.iter().zip(&back) {
+            prop_assert!((orig - rec).abs() < 1e-8, "{orig} vs {rec}");
+        }
+    }
+
+    #[test]
+    fn multilevel_dwt_preserves_energy_and_signal(
+        seed in 0u64..1000,
+        levels in 1usize..=4,
+        wavelet in wavelet_strategy(),
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let signal: Vec<f64> = (0..128).map(|_| rng.gen_range(-10.0..10.0)).collect();
+        let dec = wavedec(&signal, wavelet, levels).expect("128 divisible by 16");
+        // Parseval: orthogonal transform preserves energy.
+        let e_sig: f64 = signal.iter().map(|v| v * v).sum();
+        let e_coef: f64 = dec.to_flat().iter().map(|v| v * v).sum();
+        prop_assert!((e_sig - e_coef).abs() <= 1e-8 * e_sig.max(1.0));
+        // Perfect reconstruction.
+        let back = waverec(&dec);
+        for (orig, rec) in signal.iter().zip(&back) {
+            prop_assert!((orig - rec).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn quantizer_round_trip_error_bounded(
+        bits in 4u32..=16,
+        lo in -100.0f64..-0.1,
+        hi in 0.1f64..100.0,
+        x in -200.0f64..200.0,
+    ) {
+        let q = Quantizer::new(bits, lo, hi).expect("valid range");
+        let y = q.round_trip(x);
+        if (lo..=hi).contains(&x) {
+            prop_assert!((y - x).abs() <= q.step() / 2.0 + 1e-12);
+        } else {
+            // Saturation: output clamps to the nearest representable end.
+            prop_assert!(y >= lo - 1e-12 && y <= hi + 1e-12);
+        }
+    }
+
+    #[test]
+    fn quantizer_is_idempotent(
+        bits in 2u32..=14,
+        x in -1.0f64..1.0,
+    ) {
+        let q = Quantizer::new(bits, -1.0, 1.0).expect("valid");
+        let once = q.round_trip(x);
+        prop_assert_eq!(q.round_trip(once), once);
+    }
+
+    #[test]
+    fn prd_is_a_scaled_metric(
+        a in prop::collection::vec(-10.0f64..10.0, 8..64),
+        scale in 0.1f64..10.0,
+    ) {
+        let b: Vec<f64> = a.iter().map(|v| v + 0.1).collect();
+        // Non-negativity and zero-on-equality.
+        prop_assert!(prd(&a, &b) >= 0.0);
+        prop_assert_eq!(prd(&a, &a), 0.0);
+        // Scale invariance.
+        let sa: Vec<f64> = a.iter().map(|v| v * scale).collect();
+        let sb: Vec<f64> = b.iter().map(|v| v * scale).collect();
+        let p1 = prd(&a, &b);
+        let p2 = prd(&sa, &sb);
+        if p1.is_finite() && p2.is_finite() && p1 > 0.0 {
+            prop_assert!((p1 - p2).abs() / p1 < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rmse_and_snr_consistent_with_prd(
+        a in prop::collection::vec(0.5f64..10.0, 8..64),
+        noise in 0.01f64..0.2,
+    ) {
+        let b: Vec<f64> = a.iter().map(|v| v + noise).collect();
+        prop_assert!(rmse(&a, &b) > 0.0);
+        prop_assert!(prdn(&a, &b) >= prd(&a, &b)); // AC energy ≤ total energy
+        // SNR in dB and PRD are in bijection: SNR = -20·log10(PRD/100).
+        let snr = snr_db(&a, &b);
+        let p = prd(&a, &b);
+        prop_assert!((snr + 20.0 * (p / 100.0).log10()).abs() < 1e-9);
+    }
+}

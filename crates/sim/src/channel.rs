@@ -1,0 +1,206 @@
+//! Wireless channel: log-distance path loss and the IEEE 802.15.4 O-QPSK
+//! DSSS packet-error model, plus collision bookkeeping for the CAP.
+//!
+//! WBSN links are short (a body, a hospital bed), so the default channel
+//! yields a negligible error rate — matching the case study, which sets
+//! the carrier power "to a sufficient level in order to minimize the
+//! probability of a packet error" (§4.3). The full SNR → BER → PER chain
+//! is still implemented so experiments can degrade the link deliberately.
+
+use crate::time::SimTime;
+use rand::Rng;
+
+/// Channel configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChannelConfig {
+    /// Transmit power in dBm (CC2420 default 0 dBm).
+    pub tx_power_dbm: f64,
+    /// Path loss at the 1 m reference distance, dB (≈40 dB at 2.4 GHz).
+    pub path_loss_1m_db: f64,
+    /// Path-loss exponent (2.0 free space; 2.4–3.0 around a body).
+    pub path_loss_exponent: f64,
+    /// Noise floor in dBm.
+    pub noise_floor_dbm: f64,
+    /// Extra link margin subtracted from the SNR, dB (shadowing bias).
+    pub shadowing_db: f64,
+}
+
+impl Default for ChannelConfig {
+    fn default() -> Self {
+        Self {
+            tx_power_dbm: 0.0,
+            path_loss_1m_db: 40.0,
+            path_loss_exponent: 2.4,
+            noise_floor_dbm: -95.0,
+            shadowing_db: 0.0,
+        }
+    }
+}
+
+impl ChannelConfig {
+    /// Received signal strength at `distance_m`, in dBm.
+    #[must_use]
+    pub fn rssi_dbm(&self, distance_m: f64) -> f64 {
+        let d = distance_m.max(0.1);
+        self.tx_power_dbm
+            - self.path_loss_1m_db
+            - 10.0 * self.path_loss_exponent * d.log10()
+            - self.shadowing_db
+    }
+
+    /// Signal-to-noise ratio at `distance_m`, linear.
+    #[must_use]
+    pub fn snr_linear(&self, distance_m: f64) -> f64 {
+        10f64.powf((self.rssi_dbm(distance_m) - self.noise_floor_dbm) / 10.0)
+    }
+
+    /// Bit error rate of the 2.4 GHz O-QPSK DSSS PHY at the given SNR
+    /// (the standard's 16-ary quasi-orthogonal model, as used by Castalia).
+    #[must_use]
+    pub fn bit_error_rate(snr: f64) -> f64 {
+        // BER = 8/15 · 1/16 · Σ_{k=2}^{16} (−1)^k · C(16,k) · e^{20·SNR·(1/k − 1)}
+        let mut acc = 0.0;
+        let mut binom = 120.0; // C(16,2)
+        for k in 2..=16u32 {
+            if k > 2 {
+                // C(16,k) = C(16,k−1)·(17−k)/k
+                binom *= f64::from(17 - k) / f64::from(k);
+            }
+            let sign = if k % 2 == 0 { 1.0 } else { -1.0 };
+            acc += sign * binom * (20.0 * snr * (1.0 / f64::from(k) - 1.0)).exp();
+        }
+        ((8.0 / 15.0) * (1.0 / 16.0) * acc).clamp(0.0, 0.5)
+    }
+
+    /// Packet error rate for a frame of `bytes` (PHY+MAC) at `distance_m`.
+    #[must_use]
+    pub fn packet_error_rate(&self, distance_m: f64, bytes: u32) -> f64 {
+        let ber = Self::bit_error_rate(self.snr_linear(distance_m));
+        1.0 - (1.0 - ber).powi((bytes * 8) as i32)
+    }
+
+    /// Samples whether a frame of `bytes` survives the link.
+    pub fn frame_survives<R: Rng + ?Sized>(
+        &self,
+        distance_m: f64,
+        bytes: u32,
+        rng: &mut R,
+    ) -> bool {
+        rng.gen::<f64>() >= self.packet_error_rate(distance_m, bytes)
+    }
+}
+
+/// Tracks in-flight transmissions to detect CAP collisions: two frames
+/// overlapping in time at the coordinator destroy each other.
+#[derive(Debug, Clone, Default)]
+pub struct Medium {
+    /// Currently active transmissions as (end_time, source).
+    active: Vec<(SimTime, usize)>,
+    collisions: u64,
+}
+
+impl Medium {
+    /// Creates an idle medium.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether any transmission is in flight at `now`.
+    #[must_use]
+    pub fn busy(&self, now: SimTime) -> bool {
+        self.active.iter().any(|&(end, _)| end > now)
+    }
+
+    /// Starts a transmission from `source` lasting until `end`. Returns
+    /// `true` when the frame is collision-free so far; `false` when it
+    /// overlaps an in-flight frame (both are corrupted).
+    pub fn start_tx(&mut self, now: SimTime, end: SimTime, source: usize) -> bool {
+        self.active.retain(|&(e, _)| e > now);
+        let clean = self.active.is_empty();
+        if !clean {
+            self.collisions += 1;
+        }
+        self.active.push((end, source));
+        clean
+    }
+
+    /// Number of collisions observed.
+    #[must_use]
+    pub fn collisions(&self) -> u64 {
+        self.collisions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rssi_decreases_with_distance() {
+        let c = ChannelConfig::default();
+        assert!(c.rssi_dbm(1.0) > c.rssi_dbm(2.0));
+        assert!(c.rssi_dbm(2.0) > c.rssi_dbm(10.0));
+        assert!((c.rssi_dbm(1.0) + 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ber_monotone_in_snr() {
+        let mut last = 0.6;
+        for snr_db in [-5.0, 0.0, 2.0, 4.0, 6.0, 8.0] {
+            let snr = 10f64.powf(snr_db / 10.0);
+            let ber = ChannelConfig::bit_error_rate(snr);
+            assert!(ber <= last + 1e-12, "BER not decreasing at {snr_db} dB");
+            assert!((0.0..=0.5).contains(&ber));
+            last = ber;
+        }
+    }
+
+    #[test]
+    fn short_link_is_clean() {
+        let c = ChannelConfig::default();
+        // 2 m body-area link: PER of a max-size frame must be negligible.
+        let per = c.packet_error_rate(2.0, 133);
+        assert!(per < 1e-6, "PER {per}");
+    }
+
+    #[test]
+    fn long_link_degrades() {
+        // The DSSS coding gives a sharp cliff: links die near the noise
+        // floor (~200 m with these defaults), not gradually.
+        let c = ChannelConfig::default();
+        let per_far = c.packet_error_rate(210.0, 133);
+        assert!(per_far > 0.1, "PER at 210 m should be visible, got {per_far}");
+        assert!(c.packet_error_rate(300.0, 133) > 0.99);
+    }
+
+    #[test]
+    fn frame_survival_sampling() {
+        let c = ChannelConfig::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        // Clean link: always survives.
+        assert!((0..100).all(|_| c.frame_survives(1.5, 133, &mut rng)));
+        // Hopeless link: mostly dies.
+        let deaths = (0..200).filter(|_| !c.frame_survives(500.0, 133, &mut rng)).count();
+        assert!(deaths > 150, "{deaths} deaths of 200");
+    }
+
+    #[test]
+    fn medium_detects_overlap() {
+        let mut m = Medium::new();
+        let t0 = SimTime::from_nanos(0);
+        let t5 = SimTime::from_nanos(5_000);
+        let t9 = SimTime::from_nanos(9_000);
+        assert!(m.start_tx(t0, t5, 0));
+        assert!(!m.busy(t5), "transmission ends exactly at t5");
+        assert!(m.busy(SimTime::from_nanos(1)));
+        // Overlapping start collides.
+        assert!(!m.start_tx(SimTime::from_nanos(2_000), t9, 1));
+        assert_eq!(m.collisions(), 1);
+        // After both end the medium is free again.
+        assert!(m.start_tx(SimTime::from_nanos(20_000), SimTime::from_nanos(22_000), 2));
+        assert_eq!(m.collisions(), 1);
+    }
+}

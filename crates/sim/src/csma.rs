@@ -1,0 +1,134 @@
+//! Slotted CSMA/CA backoff state machine for contention-access traffic.
+//!
+//! The case study leaves the CAP unused, but the superframe reserves nine
+//! slots for it (§4.2) and a real deployment carries alarms and
+//! management traffic there. This implements the unslotted-timing core of
+//! the IEEE 802.15.4 algorithm (BE ∈ [macMinBE, macMaxBE], up to
+//! macMaxCSMABackoffs attempts) with the backoff period of 20 symbols.
+
+use crate::time::SimDuration;
+use rand::Rng;
+
+/// `aUnitBackoffPeriod`: 20 symbols = 320 µs.
+pub const UNIT_BACKOFF_S: f64 = 20.0 * 16e-6;
+/// `macMinBE` default.
+pub const MIN_BE: u8 = 3;
+/// `macMaxBE` default.
+pub const MAX_BE: u8 = 5;
+/// `macMaxCSMABackoffs` default.
+pub const MAX_BACKOFFS: u8 = 4;
+
+/// Outcome of one CSMA/CA step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CsmaOutcome {
+    /// Wait this long, then assess the channel again.
+    Backoff(SimDuration),
+    /// Too many busy assessments: drop the frame.
+    Failure,
+}
+
+/// CSMA/CA state for one pending frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CsmaState {
+    nb: u8,
+    be: u8,
+}
+
+impl CsmaState {
+    /// Fresh state for a new frame.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { nb: 0, be: MIN_BE }
+    }
+
+    /// Draws the initial random backoff for a new frame.
+    pub fn initial_backoff<R: Rng + ?Sized>(&self, rng: &mut R) -> SimDuration {
+        Self::draw(self.be, rng)
+    }
+
+    /// Reports a busy channel assessment; returns the next action.
+    pub fn channel_busy<R: Rng + ?Sized>(&mut self, rng: &mut R) -> CsmaOutcome {
+        self.nb += 1;
+        if self.nb > MAX_BACKOFFS {
+            return CsmaOutcome::Failure;
+        }
+        self.be = (self.be + 1).min(MAX_BE);
+        CsmaOutcome::Backoff(Self::draw(self.be, rng))
+    }
+
+    /// Number of busy assessments so far.
+    #[must_use]
+    pub fn attempts(&self) -> u8 {
+        self.nb
+    }
+
+    fn draw<R: Rng + ?Sized>(be: u8, rng: &mut R) -> SimDuration {
+        let slots = rng.gen_range(0..(1u32 << be));
+        SimDuration::from_secs_f64(f64::from(slots) * UNIT_BACKOFF_S)
+    }
+}
+
+impl Default for CsmaState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn initial_backoff_within_window() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = CsmaState::new();
+        for _ in 0..200 {
+            let b = s.initial_backoff(&mut rng).as_secs_f64();
+            assert!(b >= 0.0 && b <= 7.0 * UNIT_BACKOFF_S + 1e-12, "b={b}");
+        }
+    }
+
+    #[test]
+    fn backoff_window_grows_then_caps() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut s = CsmaState::new();
+        // After one busy CCA, BE = 4 → window 0..15.
+        match s.channel_busy(&mut rng) {
+            CsmaOutcome::Backoff(_) => {}
+            CsmaOutcome::Failure => panic!("first busy must not fail"),
+        }
+        assert_eq!(s.be, 4);
+        let _ = s.channel_busy(&mut rng);
+        assert_eq!(s.be, 5);
+        let _ = s.channel_busy(&mut rng);
+        assert_eq!(s.be, 5, "BE caps at macMaxBE");
+    }
+
+    #[test]
+    fn gives_up_after_max_backoffs() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut s = CsmaState::new();
+        let mut outcomes = Vec::new();
+        for _ in 0..=MAX_BACKOFFS {
+            outcomes.push(s.channel_busy(&mut rng));
+        }
+        assert!(matches!(outcomes.last(), Some(CsmaOutcome::Failure)));
+        assert_eq!(
+            outcomes.iter().filter(|o| matches!(o, CsmaOutcome::Backoff(_))).count(),
+            usize::from(MAX_BACKOFFS)
+        );
+    }
+
+    #[test]
+    fn backoff_multiples_of_unit_period() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let s = CsmaState::new();
+        for _ in 0..50 {
+            let b = s.initial_backoff(&mut rng).as_secs_f64();
+            let slots = b / UNIT_BACKOFF_S;
+            assert!((slots - slots.round()).abs() < 1e-9, "not slot-aligned: {b}");
+        }
+    }
+}

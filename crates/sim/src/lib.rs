@@ -1,0 +1,62 @@
+//! # wbsn-sim — packet-level simulator of beacon-enabled 802.15.4 WBSNs
+//!
+//! The reproduction's substitute for the paper's physical testbed and for
+//! the Castalia network simulations (§5.1): a deterministic discrete-event
+//! simulator of a star-topology body sensor network running the
+//! beacon-enabled IEEE 802.15.4 MAC with guaranteed time slots.
+//!
+//! What is simulated:
+//!
+//! * superframes, beacons (with GTS descriptors), GTS/TDMA transactions
+//!   with acknowledgements and inter-frame spacing, retransmissions;
+//! * optional slotted CSMA/CA alert traffic in the contention-access
+//!   period, with collision detection on the shared [`channel::Medium`];
+//! * a log-distance path-loss channel with the O-QPSK DSSS bit-error
+//!   model of the 2.4 GHz PHY;
+//! * cycle-approximate node behaviour: block compression jobs sized by
+//!   the §4.3 duty-cycle constants, per-sample ISR overhead, transmit
+//!   buffering with RAM limits;
+//! * a CC2420-class radio energy ledger (TX/RX/idle/sleep, wake-up
+//!   transients, pre-beacon guard windows).
+//!
+//! Configuration types are shared with the analytical model
+//! ([`wbsn_model`]), so the same scenario can be evaluated both ways:
+//!
+//! ```
+//! use wbsn_model::evaluate::{half_dwt_half_cs, WbsnModel};
+//! use wbsn_model::ieee802154::Ieee802154Config;
+//! use wbsn_model::units::Hertz;
+//! use wbsn_sim::engine::NetworkBuilder;
+//!
+//! let mac = Ieee802154Config::new(114, 6, 6)?;
+//! let nodes = half_dwt_half_cs(6, 0.25, Hertz::from_mhz(8.0));
+//!
+//! let estimate = WbsnModel::shimmer().evaluate(&mac, &nodes)?; // microseconds
+//! let measured = NetworkBuilder::new(mac, nodes).duration_s(30.0).build()?.run();
+//!
+//! let est = estimate.per_node[0].energy.total().mj_per_s();
+//! let meas = measured.nodes[0].energy.total_mj_s();
+//! assert!(((est - meas) / meas).abs() < 0.05, "model within 5% of simulation");
+//! # Ok::<(), wbsn_model::ModelError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::pedantic)]
+#![allow(clippy::module_name_repetitions)]
+#![allow(clippy::must_use_candidate)]
+#![allow(clippy::cast_precision_loss)]
+
+pub mod channel;
+pub mod csma;
+pub mod engine;
+pub mod event;
+pub mod node;
+pub mod radio;
+pub mod stats;
+pub mod time;
+
+pub use channel::ChannelConfig;
+pub use engine::{AlertConfig, NetworkBuilder, Simulator};
+pub use radio::RadioParams;
+pub use stats::{NodeReport, SimReport};
+pub use time::{SimDuration, SimTime};

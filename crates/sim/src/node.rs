@@ -1,0 +1,328 @@
+//! Per-node simulation state: sampling, block compression workload,
+//! transmit buffering and the energy ledger.
+//!
+//! The node executes the same application the model characterizes —
+//! block-based compression with the §4.3 duty-cycle constants — but as a
+//! *process*: integer blocks, serialized CPU jobs, integer packets,
+//! leftover bytes carried across superframes. The difference between this
+//! process and the model's fluid rates is precisely the abstraction error
+//! Fig. 3 quantifies.
+
+use crate::radio::RadioLedger;
+use crate::time::{SimDuration, SimTime};
+use std::collections::VecDeque;
+use wbsn_model::evaluate::NodeConfig;
+use wbsn_model::shimmer::{ADC_BYTES, SAMPLING_HZ};
+
+/// A burst of compressed output waiting for transmission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Chunk {
+    /// Bytes remaining in the chunk.
+    pub bytes: u64,
+    /// Instant the compressed output was produced.
+    pub generated: SimTime,
+}
+
+/// Cycle-approximate MCU/application fidelity knobs — effects the
+/// analytical model deliberately abstracts away.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FidelityParams {
+    /// CPU time per ADC sample interrupt.
+    pub isr_per_sample: SimDuration,
+    /// CPU time per transmitted packet (driver + MAC bookkeeping).
+    pub mac_proc_per_packet: SimDuration,
+    /// MCU sleep-floor power, mW.
+    pub mcu_sleep_mw: f64,
+}
+
+impl Default for FidelityParams {
+    fn default() -> Self {
+        Self {
+            isr_per_sample: SimDuration::from_micros_f64(4.0),
+            mac_proc_per_packet: SimDuration::from_micros_f64(100.0),
+            mcu_sleep_mw: 0.006,
+        }
+    }
+}
+
+/// Mutable state of one sensor node during simulation.
+#[derive(Debug, Clone)]
+pub struct NodeSim {
+    /// Node index.
+    pub id: usize,
+    /// Static configuration (`χnode` plus the application kind).
+    pub config: NodeConfig,
+    /// Distance from the coordinator in meters.
+    pub distance_m: f64,
+    /// Samples per compression block.
+    pub block_samples: usize,
+    /// Application duty cycle (fraction; may exceed 1 = infeasible).
+    pub duty: f64,
+    /// Compressed bytes produced per block (exact, fractional).
+    bytes_per_block: f64,
+    byte_acc: f64,
+    /// Transmit buffer.
+    buffer: VecDeque<Chunk>,
+    buffer_bytes: u64,
+    /// High-water mark of the buffer.
+    pub max_buffer_bytes: u64,
+    /// CPU is busy until this instant.
+    pub cpu_busy_until: SimTime,
+    /// Jobs that had to queue behind a still-running job.
+    pub cpu_backlog: u32,
+    /// The CPU can no longer keep up (duty > 100 % in practice).
+    pub cpu_overrun: bool,
+    /// The transmit buffer exceeded the platform RAM share.
+    pub buffer_overrun: bool,
+    /// Accumulated CPU busy time (compression jobs).
+    pub mcu_busy: SimDuration,
+    /// Radio activity ledger.
+    pub radio: RadioLedger,
+    /// Packets acknowledged end-to-end.
+    pub packets_acked: u64,
+    /// Transmissions that failed (no ACK) and were retried.
+    pub retries: u64,
+    /// Payload bytes delivered.
+    pub bytes_delivered: u64,
+    /// Currently inside a GTS that ends at this instant.
+    pub gts_end: Option<SimTime>,
+}
+
+/// Buffer share of the 10 kB RAM before the node flags an overrun.
+pub const BUFFER_LIMIT_BYTES: u64 = 8 * 1024;
+
+impl NodeSim {
+    /// Creates node state from its configuration.
+    #[must_use]
+    pub fn new(id: usize, config: NodeConfig, distance_m: f64, block_samples: usize) -> Self {
+        let duty = config.kind.duty_constant_khz() / config.f_mcu.khz();
+        let bytes_per_block = block_samples as f64 * ADC_BYTES * config.cr;
+        Self {
+            id,
+            config,
+            distance_m,
+            block_samples,
+            duty,
+            bytes_per_block,
+            byte_acc: 0.0,
+            buffer: VecDeque::new(),
+            buffer_bytes: 0,
+            max_buffer_bytes: 0,
+            cpu_busy_until: SimTime::ZERO,
+            cpu_backlog: 0,
+            cpu_overrun: false,
+            buffer_overrun: false,
+            mcu_busy: SimDuration::ZERO,
+            radio: RadioLedger::new(),
+            packets_acked: 0,
+            retries: 0,
+            bytes_delivered: 0,
+            gts_end: None,
+        }
+    }
+
+    /// Sampling-block period (`block_samples / fs`).
+    #[must_use]
+    pub fn block_period(&self) -> SimDuration {
+        SimDuration::from_secs_f64(self.block_samples as f64 / SAMPLING_HZ)
+    }
+
+    /// Execution time of one compression job at the configured clock.
+    #[must_use]
+    pub fn job_duration(&self) -> SimDuration {
+        SimDuration::from_secs_f64(self.duty * self.block_period().as_secs_f64())
+    }
+
+    /// Handles a completed sampling block at `now`: starts (or queues) the
+    /// compression job and returns the instant it will finish.
+    pub fn on_block_ready(&mut self, now: SimTime) -> SimTime {
+        let start = if self.cpu_busy_until > now {
+            self.cpu_backlog += 1;
+            if self.cpu_backlog >= 3 {
+                self.cpu_overrun = true;
+            }
+            self.cpu_busy_until
+        } else {
+            self.cpu_backlog = self.cpu_backlog.saturating_sub(1);
+            now
+        };
+        let done = start + self.job_duration();
+        self.cpu_busy_until = done;
+        self.mcu_busy += self.job_duration();
+        done
+    }
+
+    /// Handles a finished compression job at `now`: moves the produced
+    /// bytes into the transmit buffer (integer bytes, fractional carry).
+    pub fn on_job_done(&mut self, now: SimTime) {
+        self.byte_acc += self.bytes_per_block;
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let whole = self.byte_acc.floor() as u64;
+        self.byte_acc -= whole as f64;
+        self.push_chunk(whole, now);
+    }
+
+    /// Enqueues `bytes` of output generated at `now` (used directly by
+    /// the packet-stream traffic mode).
+    pub fn push_chunk(&mut self, bytes: u64, now: SimTime) {
+        if bytes == 0 {
+            return;
+        }
+        self.buffer.push_back(Chunk { bytes, generated: now });
+        self.buffer_bytes += bytes;
+        self.max_buffer_bytes = self.max_buffer_bytes.max(self.buffer_bytes);
+        if self.buffer_bytes > BUFFER_LIMIT_BYTES {
+            self.buffer_overrun = true;
+        }
+    }
+
+    /// Bytes currently waiting for transmission.
+    #[must_use]
+    pub fn buffered_bytes(&self) -> u64 {
+        self.buffer_bytes
+    }
+
+    /// Next packet the node would send: `(payload_bytes, oldest)` — up to
+    /// `max_payload` bytes from the buffer head. Does not consume.
+    #[must_use]
+    pub fn peek_payload(&self, max_payload: u32) -> Option<(u32, SimTime)> {
+        let front = self.buffer.front()?;
+        #[allow(clippy::cast_possible_truncation)]
+        let payload = self.buffer_bytes.min(u64::from(max_payload)) as u32;
+        Some((payload, front.generated))
+    }
+
+    /// Consumes `payload` bytes from the buffer head after a successful,
+    /// acknowledged transmission.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer holds fewer than `payload` bytes (scheduler
+    /// bug).
+    pub fn commit_payload(&mut self, payload: u32) {
+        assert!(
+            self.buffer_bytes >= u64::from(payload),
+            "committing {payload} B with only {} buffered",
+            self.buffer_bytes
+        );
+        let mut remaining = u64::from(payload);
+        while remaining > 0 {
+            let front = self.buffer.front_mut().expect("buffer_bytes tracks the deque");
+            if front.bytes <= remaining {
+                remaining -= front.bytes;
+                self.buffer.pop_front();
+            } else {
+                front.bytes -= remaining;
+                remaining = 0;
+            }
+        }
+        self.buffer_bytes -= u64::from(payload);
+        self.bytes_delivered += u64::from(payload);
+        self.packets_acked += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wbsn_model::shimmer::CompressionKind;
+    use wbsn_model::units::Hertz;
+
+    fn node(kind: CompressionKind, cr: f64, mhz: f64) -> NodeSim {
+        NodeSim::new(0, NodeConfig::new(kind, cr, Hertz::from_mhz(mhz)), 1.5, 256)
+    }
+
+    #[test]
+    fn duty_matches_model_constants() {
+        let n = node(CompressionKind::Dwt, 0.25, 8.0);
+        assert!((n.duty - 2265.6 / 8000.0).abs() < 1e-12);
+        let n = node(CompressionKind::Cs, 0.25, 1.0);
+        assert!((n.duty - 388.8 / 1000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn block_timing() {
+        let n = node(CompressionKind::Cs, 0.25, 8.0);
+        assert!((n.block_period().as_secs_f64() - 1.024).abs() < 1e-9);
+        let expect = (388.8 / 8000.0) * 1.024;
+        assert!((n.job_duration().as_secs_f64() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn feasible_cpu_never_backlogs() {
+        let mut n = node(CompressionKind::Dwt, 0.25, 8.0);
+        let period = n.block_period();
+        let mut now = SimTime::ZERO;
+        for _ in 0..100 {
+            let done = n.on_block_ready(now);
+            assert!(done <= now + period, "job spills into the next block");
+            now += period;
+        }
+        assert!(!n.cpu_overrun);
+        assert_eq!(n.cpu_backlog, 0);
+    }
+
+    #[test]
+    fn overloaded_cpu_flags_overrun() {
+        // DWT at 1 MHz: duty 226 % — the model's infeasible case.
+        let mut n = node(CompressionKind::Dwt, 0.25, 1.0);
+        let period = n.block_period();
+        let mut now = SimTime::ZERO;
+        for _ in 0..10 {
+            let _ = n.on_block_ready(now);
+            now += period;
+        }
+        assert!(n.cpu_overrun, "backlog must trigger the overrun flag");
+        assert!(n.cpu_backlog >= 3);
+    }
+
+    #[test]
+    fn byte_production_matches_rate() {
+        let mut n = node(CompressionKind::Cs, 0.23, 8.0);
+        let mut now = SimTime::ZERO;
+        for _ in 0..100 {
+            now += n.block_period();
+            n.on_job_done(now);
+        }
+        // 100 blocks × 256 samples × 1.5 B × 0.23 = 8832 bytes.
+        let produced = n.buffered_bytes();
+        assert!((produced as f64 - 8832.0).abs() < 1.0, "produced {produced}");
+    }
+
+    #[test]
+    fn peek_and_commit_partial_chunks() {
+        let mut n = node(CompressionKind::Cs, 0.25, 8.0);
+        n.buffer.push_back(Chunk { bytes: 100, generated: SimTime::from_nanos(5) });
+        n.buffer.push_back(Chunk { bytes: 50, generated: SimTime::from_nanos(9) });
+        n.buffer_bytes = 150;
+        let (payload, oldest) = n.peek_payload(114).expect("data available");
+        assert_eq!(payload, 114);
+        assert_eq!(oldest, SimTime::from_nanos(5));
+        n.commit_payload(114);
+        assert_eq!(n.buffered_bytes(), 36);
+        // Head chunk is now the second one, partially drained.
+        let (payload, oldest) = n.peek_payload(114).expect("data available");
+        assert_eq!(payload, 36);
+        assert_eq!(oldest, SimTime::from_nanos(9));
+        n.commit_payload(36);
+        assert_eq!(n.buffered_bytes(), 0);
+        assert!(n.peek_payload(114).is_none());
+        assert_eq!(n.packets_acked, 2);
+    }
+
+    #[test]
+    fn buffer_overrun_flag() {
+        let mut n = node(CompressionKind::Cs, 0.25, 8.0);
+        n.buffer.push_back(Chunk { bytes: BUFFER_LIMIT_BYTES, generated: SimTime::ZERO });
+        n.buffer_bytes = BUFFER_LIMIT_BYTES;
+        n.on_job_done(SimTime::from_nanos(1)); // pushes it over
+        assert!(n.buffer_overrun);
+    }
+
+    #[test]
+    #[should_panic(expected = "committing")]
+    fn commit_more_than_buffered_panics() {
+        let mut n = node(CompressionKind::Cs, 0.25, 8.0);
+        n.commit_payload(10);
+    }
+}

@@ -1,0 +1,240 @@
+//! Simulation outputs: per-node energy breakdowns, delay statistics and
+//! the overall run report.
+
+use std::fmt;
+
+/// Streaming delay statistics (constant memory).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DelayStats {
+    count: u64,
+    sum_s: f64,
+    max_s: f64,
+}
+
+impl DelayStats {
+    /// Creates empty statistics.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one delay observation in seconds.
+    pub fn record(&mut self, delay_s: f64) {
+        self.count += 1;
+        self.sum_s += delay_s;
+        self.max_s = self.max_s.max(delay_s);
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean delay in seconds (0 when empty).
+    #[must_use]
+    pub fn mean_s(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_s / self.count as f64
+        }
+    }
+
+    /// Maximum delay in seconds (0 when empty).
+    #[must_use]
+    pub fn max_s(&self) -> f64 {
+        self.max_s
+    }
+
+    /// Merges another statistics object into this one.
+    pub fn merge(&mut self, other: &DelayStats) {
+        self.count += other.count;
+        self.sum_s += other.sum_s;
+        self.max_s = self.max_s.max(other.max_s);
+    }
+}
+
+impl fmt::Display for DelayStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.1} ms max={:.1} ms",
+            self.count,
+            self.mean_s() * 1e3,
+            self.max_s * 1e3
+        )
+    }
+}
+
+/// Per-component energy of one node, in mJ per simulated second.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyReport {
+    /// Sensor front-end share.
+    pub sensor_mj_s: f64,
+    /// Microcontroller share.
+    pub mcu_mj_s: f64,
+    /// Memory share.
+    pub memory_mj_s: f64,
+    /// Radio share.
+    pub radio_mj_s: f64,
+}
+
+impl EnergyReport {
+    /// Total node consumption in mJ/s.
+    #[must_use]
+    pub fn total_mj_s(&self) -> f64 {
+        self.sensor_mj_s + self.mcu_mj_s + self.memory_mj_s + self.radio_mj_s
+    }
+}
+
+/// Everything measured for one node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeReport {
+    /// Energy breakdown per simulated second.
+    pub energy: EnergyReport,
+    /// Packets acknowledged end-to-end.
+    pub packets_delivered: u64,
+    /// Transmissions retried after a missing acknowledgement.
+    pub retries: u64,
+    /// Payload bytes delivered.
+    pub bytes_delivered: u64,
+    /// Per-packet delay statistics (output generation → delivery).
+    pub delay: DelayStats,
+    /// The CPU could not keep up with the sampling blocks.
+    pub cpu_overrun: bool,
+    /// The transmit buffer exceeded its RAM share.
+    pub buffer_overrun: bool,
+    /// Transmit-buffer high-water mark in bytes.
+    pub max_buffer_bytes: u64,
+}
+
+impl NodeReport {
+    /// A node is healthy when neither resource overran.
+    #[must_use]
+    pub fn is_feasible(&self) -> bool {
+        !self.cpu_overrun && !self.buffer_overrun
+    }
+
+    /// Average goodput in bytes per second.
+    #[must_use]
+    pub fn goodput_bps(&self, duration_s: f64) -> f64 {
+        if duration_s <= 0.0 {
+            0.0
+        } else {
+            self.bytes_delivered as f64 / duration_s
+        }
+    }
+}
+
+/// Statistics for contention-access (CAP) alert traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AlertStats {
+    /// Alerts delivered through the CAP.
+    pub delivered: u64,
+    /// Alerts dropped after exhausting CSMA backoffs.
+    pub dropped: u64,
+    /// Alerts destroyed by collisions (counted per colliding frame).
+    pub collided: u64,
+}
+
+/// Full result of one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// Simulated wall-clock length in seconds.
+    pub duration_s: f64,
+    /// Per-node measurements, index-aligned with the configuration.
+    pub nodes: Vec<NodeReport>,
+    /// Beacons transmitted by the coordinator.
+    pub beacons: u64,
+    /// CAP collisions observed on the medium.
+    pub collisions: u64,
+    /// CAP alert statistics.
+    pub alerts: AlertStats,
+}
+
+impl SimReport {
+    /// Network-wide delay statistics (merged over nodes).
+    #[must_use]
+    pub fn overall_delay(&self) -> DelayStats {
+        let mut d = DelayStats::new();
+        for n in &self.nodes {
+            d.merge(&n.delay);
+        }
+        d
+    }
+
+    /// Whether every node kept up with its workload.
+    #[must_use]
+    pub fn all_feasible(&self) -> bool {
+        self.nodes.iter().all(NodeReport::is_feasible)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delay_stats_accumulate() {
+        let mut d = DelayStats::new();
+        d.record(0.1);
+        d.record(0.3);
+        d.record(0.2);
+        assert_eq!(d.count(), 3);
+        assert!((d.mean_s() - 0.2).abs() < 1e-12);
+        assert!((d.max_s() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delay_stats_merge() {
+        let mut a = DelayStats::new();
+        a.record(0.1);
+        let mut b = DelayStats::new();
+        b.record(0.5);
+        b.record(0.3);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert!((a.max_s() - 0.5).abs() < 1e-12);
+        assert!((a.mean_s() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let d = DelayStats::new();
+        assert_eq!(d.mean_s(), 0.0);
+        assert_eq!(d.max_s(), 0.0);
+        assert_eq!(d.count(), 0);
+    }
+
+    #[test]
+    fn energy_total() {
+        let e = EnergyReport { sensor_mj_s: 0.8, mcu_mj_s: 2.7, memory_mj_s: 0.3, radio_mj_s: 0.4 };
+        assert!((e.total_mj_s() - 4.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn node_report_feasibility() {
+        let healthy = NodeReport {
+            energy: EnergyReport::default(),
+            packets_delivered: 10,
+            retries: 0,
+            bytes_delivered: 1000,
+            delay: DelayStats::new(),
+            cpu_overrun: false,
+            buffer_overrun: false,
+            max_buffer_bytes: 100,
+        };
+        assert!(healthy.is_feasible());
+        assert!((healthy.goodput_bps(10.0) - 100.0).abs() < 1e-12);
+        let broken = NodeReport { cpu_overrun: true, ..healthy.clone() };
+        assert!(!broken.is_feasible());
+    }
+
+    #[test]
+    fn display_delay() {
+        let mut d = DelayStats::new();
+        d.record(0.25);
+        assert_eq!(format!("{d}"), "n=1 mean=250.0 ms max=250.0 ms");
+    }
+}

@@ -1,0 +1,100 @@
+//! The paper's motivating scenario: a hospital ward where six patients
+//! wear ECG nodes reporting to a central base station (§4.1). Explore
+//! the design space with NSGA-II over the analytical model and print the
+//! discovered energy/delay/quality trade-offs plus a recommended
+//! balanced configuration.
+//!
+//! Run: `cargo run --release --example hospital_ward`
+
+use wbsn::dse::evaluator::ModelEvaluator;
+use wbsn::dse::nsga2::{nsga2, Nsga2Config};
+use wbsn::model::space::DesignSpace;
+
+fn main() {
+    let space = DesignSpace::case_study(6);
+    println!(
+        "exploring {:.2e} configurations (6 patients, 3 DWT + 3 CS nodes)...",
+        space.cardinality() as f64
+    );
+
+    let cfg = Nsga2Config { population: 80, generations: 60, seed: 1, ..Nsga2Config::default() };
+    let result = nsga2(&space, &ModelEvaluator::shimmer(), &cfg);
+    println!(
+        "NSGA-II: {} evaluations ({} infeasible) -> {} Pareto-optimal designs\n",
+        result.evaluations,
+        result.infeasible,
+        result.front.len()
+    );
+
+    println!("energy [mJ/s] | delay [s] | PRD [%] | Lpayload | SFO/BCO | per-node (app, CR, fµC)");
+    let mut entries: Vec<_> = result.front.entries().iter().collect();
+    entries.sort_by(|a, b| {
+        a.objectives.values()[0].partial_cmp(&b.objectives.values()[0]).expect("finite")
+    });
+    for e in entries.iter().step_by((entries.len() / 12).max(1)) {
+        let o = e.objectives.values();
+        let p = &e.payload;
+        let nodes: Vec<String> = p
+            .nodes
+            .iter()
+            .map(|n| format!("({},{:.2},{}MHz)", n.kind.label(), n.cr, n.f_mcu.mhz()))
+            .collect();
+        println!(
+            "{:13.3} | {:9.3} | {:7.2} | {:8} | {}/{}     | {}",
+            o[0],
+            o[1],
+            o[2],
+            p.mac.payload_bytes,
+            p.mac.sfo,
+            p.mac.bco,
+            nodes.join(" ")
+        );
+    }
+
+    // A "balanced" recommendation: minimize the normalized L2 distance to
+    // the ideal point of the front.
+    let ideal: Vec<f64> = (0..3)
+        .map(|d| {
+            result
+                .front
+                .objectives()
+                .map(|o| o.values()[d])
+                .fold(f64::INFINITY, f64::min)
+        })
+        .collect();
+    let nadir: Vec<f64> = (0..3)
+        .map(|d| {
+            result
+                .front
+                .objectives()
+                .map(|o| o.values()[d])
+                .fold(f64::NEG_INFINITY, f64::max)
+        })
+        .collect();
+    let best = result
+        .front
+        .entries()
+        .iter()
+        .min_by(|a, b| {
+            let dist = |o: &[f64]| -> f64 {
+                (0..3)
+                    .map(|d| {
+                        let span = (nadir[d] - ideal[d]).max(1e-12);
+                        ((o[d] - ideal[d]) / span).powi(2)
+                    })
+                    .sum()
+            };
+            dist(a.objectives.values())
+                .partial_cmp(&dist(b.objectives.values()))
+                .expect("finite")
+        })
+        .expect("front is non-empty");
+    println!("\nrecommended balanced design: {}", best.objectives);
+    println!(
+        "  MAC: Lpayload={}, SFO={}, BCO={}",
+        best.payload.mac.payload_bytes, best.payload.mac.sfo, best.payload.mac.bco
+    );
+    for (i, n) in best.payload.nodes.iter().enumerate() {
+        println!("  node {i}: {} CR={:.2} fµC={} MHz", n.kind.label(), n.cr, n.f_mcu.mhz());
+    }
+}

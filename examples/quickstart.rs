@@ -1,0 +1,55 @@
+//! Quickstart: evaluate one WBSN configuration with the analytical model.
+//!
+//! Builds the paper's hospital scenario (6 ECG nodes, half DWT, half CS,
+//! IEEE 802.15.4 beacon-enabled MAC), evaluates it in microseconds, and
+//! prints the three system-level metrics plus the per-node breakdown.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use wbsn::model::evaluate::{half_dwt_half_cs, WbsnModel};
+use wbsn::model::ieee802154::Ieee802154Config;
+use wbsn::model::units::Hertz;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // χmac: maximum payload, one ~0.98 s superframe per beacon interval.
+    let mac = Ieee802154Config::new(114, 6, 6)?;
+
+    // χnode per node: compression ratio 0.25 at an 8 MHz MCU clock.
+    let nodes = half_dwt_half_cs(6, 0.25, Hertz::from_mhz(8.0));
+
+    let model = WbsnModel::shimmer();
+    let eval = model.evaluate(&mac, &nodes)?;
+
+    println!("network-level metrics (Eq. 8 combinations, ϑ = {}):", model.theta());
+    println!("  energy Enet : {:8.3} mJ/s", eval.energy_metric());
+    println!("  delay bound : {:8.1} ms", eval.delay_metric() * 1e3);
+    println!("  PRD         : {:8.2} %", eval.prd_metric());
+    println!();
+    println!("per-node breakdown:");
+    println!("  node | app | energy mJ/s (sensor+mcu+mem+radio) | delay ms | PRD % | GTS slots");
+    for (i, (node, cfg)) in eval.per_node.iter().zip(&nodes).enumerate() {
+        let e = &node.energy;
+        println!(
+            "  {i:4} | {:3} | {:6.3} ({:.2}+{:.2}+{:.2}+{:.2})      | {:8.1} | {:5.2} | {}",
+            cfg.kind.label(),
+            e.total().mj_per_s(),
+            e.sensor.mj_per_s(),
+            e.mcu.mj_per_s(),
+            e.memory.mj_per_s(),
+            e.radio.mj_per_s(),
+            node.delay_bound.value() * 1e3,
+            node.prd,
+            node.slots,
+        );
+    }
+
+    // The model also rejects infeasible designs — DWT cannot complete in
+    // real time on a 1 MHz clock (paper §5.1).
+    let mut slow = nodes.clone();
+    slow[0].f_mcu = Hertz::from_mhz(1.0);
+    match model.evaluate(&mac, &slow) {
+        Err(e) => println!("\ninfeasible variant correctly rejected: {e}"),
+        Ok(_) => unreachable!("DWT at 1 MHz must be rejected"),
+    }
+    Ok(())
+}

@@ -1,0 +1,28 @@
+//! # wbsn — model-based energy-performance design exploration for WBSNs
+//!
+//! Umbrella crate re-exporting the four libraries of the workspace, which
+//! together reproduce *Beretta et al., "Design Exploration of
+//! Energy-Performance Trade-Offs for Wireless Sensor Networks" (DAC
+//! 2012)*:
+//!
+//! * [`model`] (`wbsn-model`) — the paper's contribution: a multi-layer
+//!   analytical model evaluating a full network configuration in
+//!   microseconds.
+//! * [`sim`] (`wbsn-sim`) — a packet-level discrete-event simulator of
+//!   IEEE 802.15.4 beacon-enabled networks, the reproduction's ground
+//!   truth for energy and delay.
+//! * [`dsp`] (`wbsn-dsp`) — synthetic ECG plus real DWT and
+//!   compressed-sensing codecs, the ground truth for the PRD quality
+//!   metric.
+//! * [`dse`] (`wbsn-dse`) — multi-objective design-space exploration
+//!   (NSGA-II, simulated annealing) over the model.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour and `DESIGN.md`
+//! for the full system inventory.
+
+#![warn(missing_docs)]
+
+pub use wbsn_dse as dse;
+pub use wbsn_dsp as dsp;
+pub use wbsn_model as model;
+pub use wbsn_sim as sim;

@@ -1,0 +1,86 @@
+//! Integration: the Eq. 9 worst-case delay bound holds against the
+//! packet-level simulator for unsaturated configurations (§5.1).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wbsn::model::evaluate::{NodeConfig, WbsnModel};
+use wbsn::model::ieee802154::{Ieee802154Config, Ieee802154Mac};
+use wbsn::model::shimmer::CompressionKind;
+use wbsn::model::units::Hertz;
+use wbsn::sim::engine::{NetworkBuilder, TrafficMode};
+
+/// True when every node's GTS can serve its integer-packet arrivals (the
+/// fluid Eq. 1 sizing leaves enough slack for transaction granularity).
+fn unsaturated(mac: &Ieee802154Config, nodes: &[NodeConfig], slots: &[u32]) -> bool {
+    let mac_model = Ieee802154Mac::new(*mac, nodes.len() as u32);
+    let transaction = mac_model.packet_transaction_time().value();
+    let delta = mac.slot_duration().value();
+    let bi = mac.beacon_interval().value();
+    nodes.iter().zip(slots).all(|(n, &k)| {
+        let arrivals = n.cr * 375.0 * bi / f64::from(mac.payload_bytes);
+        (f64::from(k) * delta / transaction).floor() >= arrivals * 1.02
+    })
+}
+
+#[test]
+fn bound_holds_for_random_unsaturated_configs() {
+    let model = WbsnModel::shimmer();
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut checked = 0;
+    while checked < 25 {
+        let n = rng.gen_range(3..=6);
+        let nodes: Vec<NodeConfig> = (0..n)
+            .map(|i| {
+                let kind = if i % 2 == 0 { CompressionKind::Cs } else { CompressionKind::Dwt };
+                NodeConfig::new(kind, rng.gen_range(0.12..0.55), Hertz::from_mhz(8.0))
+            })
+            .collect();
+        let sfo = rng.gen_range(4u8..=7);
+        let bco = rng.gen_range(sfo..=8);
+        let Ok(mac) = Ieee802154Config::new(90, sfo, bco) else { continue };
+        let Ok(eval) = model.evaluate(&mac, &nodes) else { continue };
+        if !unsaturated(&mac, &nodes, &eval.assignment.slots) {
+            continue;
+        }
+        let report = NetworkBuilder::new(mac, nodes)
+            .duration_s(60.0)
+            .seed(rng.gen())
+            .traffic(TrafficMode::PacketStream)
+            .build()
+            .expect("feasible")
+            .run();
+        if !report.all_feasible() {
+            continue;
+        }
+        checked += 1;
+        for (i, (p, nr)) in eval.per_node.iter().zip(&report.nodes).enumerate() {
+            assert!(
+                p.delay_bound.value() + 1e-9 >= nr.delay.max_s(),
+                "config {checked} node {i}: bound {:.3} < observed {:.3} (sfo={sfo} bco={bco})",
+                p.delay_bound.value(),
+                nr.delay.max_s()
+            );
+        }
+    }
+}
+
+#[test]
+fn bound_is_not_vacuous() {
+    // The bound should be within a small factor of the observed maximum,
+    // not orders of magnitude above it.
+    let model = WbsnModel::shimmer();
+    let mac = Ieee802154Config::new(114, 6, 6).expect("valid");
+    let nodes: Vec<NodeConfig> =
+        vec![NodeConfig::new(CompressionKind::Cs, 0.4, Hertz::from_mhz(8.0)); 4];
+    let eval = model.evaluate(&mac, &nodes).expect("feasible");
+    let report = NetworkBuilder::new(mac, nodes)
+        .duration_s(120.0)
+        .traffic(TrafficMode::PacketStream)
+        .build()
+        .expect("feasible")
+        .run();
+    for (p, nr) in eval.per_node.iter().zip(&report.nodes) {
+        let ratio = p.delay_bound.value() / nr.delay.max_s().max(1e-9);
+        assert!(ratio < 3.0, "bound {:.3} vs max {:.3}", p.delay_bound.value(), nr.delay.max_s());
+    }
+}

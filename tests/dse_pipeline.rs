@@ -1,0 +1,102 @@
+//! Integration: the full DSE pipeline — space → model → NSGA-II/MOSA →
+//! Pareto fronts — and the Fig. 5 structural claims.
+
+use wbsn::dse::evaluator::{EnergyDelayEvaluator, Evaluator, ModelEvaluator};
+use wbsn::dse::mosa::{mosa, random_search, MosaConfig};
+use wbsn::dse::nsga2::{nsga2, Nsga2Config};
+use wbsn::dse::objective::ObjectiveVector;
+use wbsn::dse::quality::{coverage, hypervolume_monte_carlo};
+use wbsn::model::space::DesignSpace;
+
+fn small_cfg(seed: u64) -> Nsga2Config {
+    Nsga2Config { population: 40, generations: 20, seed, ..Nsga2Config::default() }
+}
+
+#[test]
+fn three_objective_front_is_larger_than_two_objective() {
+    let space = DesignSpace::case_study(6);
+    let full = nsga2(&space, &ModelEvaluator::shimmer(), &small_cfg(3));
+    let base = nsga2(&space, &EnergyDelayEvaluator::shimmer(), &small_cfg(3));
+    assert!(
+        full.front.len() > base.front.len(),
+        "3-objective front ({}) must exceed 2-objective front ({})",
+        full.front.len(),
+        base.front.len()
+    );
+}
+
+#[test]
+fn proposed_front_holds_tradeoffs_the_baseline_misses() {
+    // The Fig. 5 structural claim: the PRD-blind baseline recovers only a
+    // small subset of the true trade-offs. Concretely, the 3-objective
+    // front must contain points that no baseline solution weakly
+    // dominates (the mid-range-PRD designs the paper highlights).
+    let space = DesignSpace::case_study(6);
+    let full = nsga2(&space, &ModelEvaluator::shimmer(), &small_cfg(4));
+    let base = nsga2(&space, &EnergyDelayEvaluator::shimmer(), &small_cfg(4));
+    let model3 = ModelEvaluator::shimmer();
+    let base_in_3d: Vec<ObjectiveVector> =
+        base.front.entries().iter().filter_map(|e| model3.evaluate(&e.payload)).collect();
+    let full_objs: Vec<ObjectiveVector> = full.front.objectives().cloned().collect();
+    let missed = full_objs
+        .iter()
+        .filter(|f| !base_in_3d.iter().any(|b| b.weakly_dominates(f)))
+        .count();
+    assert!(
+        missed * 2 > full_objs.len(),
+        "baseline should miss most trade-offs: missed {missed} of {}",
+        full_objs.len()
+    );
+}
+
+#[test]
+fn metaheuristics_beat_random_search() {
+    let space = DesignSpace::case_study(6);
+    let eval = ModelEvaluator::shimmer();
+    let budget = 1600;
+    let ga = nsga2(
+        &space,
+        &eval,
+        &Nsga2Config { population: 40, generations: 39, seed: 5, ..Nsga2Config::default() },
+    );
+    let sa = mosa(&space, &eval, &MosaConfig { iterations: budget, seed: 5, ..MosaConfig::default() });
+    let rs = random_search(&space, &eval, budget, 5);
+
+    let fronts: Vec<Vec<ObjectiveVector>> = [&ga, &sa, &rs]
+        .iter()
+        .map(|r| r.front.objectives().cloned().collect())
+        .collect();
+    let mut ideal = [f64::INFINITY; 3];
+    let mut nadir = [f64::NEG_INFINITY; 3];
+    for front in &fronts {
+        for p in front {
+            for d in 0..3 {
+                ideal[d] = ideal[d].min(p.values()[d]);
+                nadir[d] = nadir[d].max(p.values()[d]);
+            }
+        }
+    }
+    let reference: Vec<f64> = nadir.iter().map(|v| v * 1.05 + 1e-6).collect();
+    let ideal: Vec<f64> = ideal.iter().map(|v| v - 1e-6).collect();
+    let hv: Vec<f64> = fronts
+        .iter()
+        .map(|f| hypervolume_monte_carlo(f, &ideal, &reference, 60_000, 1))
+        .collect();
+    assert!(hv[0] > hv[2] * 0.98, "NSGA-II ({}) should not lose to random ({})", hv[0], hv[2]);
+    assert!(hv[1] > hv[2] * 0.9, "MOSA ({}) should be competitive with random ({})", hv[1], hv[2]);
+}
+
+#[test]
+fn coverage_is_reflexively_total() {
+    let space = DesignSpace::case_study(4);
+    let ga = nsga2(&space, &ModelEvaluator::shimmer(), &small_cfg(6));
+    let objs: Vec<ObjectiveVector> = ga.front.objectives().cloned().collect();
+    assert!((coverage(&objs, &objs) - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn design_space_claim_tens_of_millions() {
+    // §4.1: "the number of possible network configurations of this case
+    // study exceeds the tens of millions".
+    assert!(DesignSpace::case_study(6).cardinality() > 10_000_000);
+}

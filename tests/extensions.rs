@@ -1,0 +1,121 @@
+//! Integration: the model extensions cross-validated against the
+//! simulator — the §3.3 retransmission hook against a lossy channel, and
+//! the §3.2 contention-access adaptation against CSMA/CA load trends.
+
+use wbsn::model::evaluate::{NodeConfig, WbsnModel};
+use wbsn::model::csma::CsmaMacModel;
+use wbsn::model::ieee802154::{Ieee802154Config, ACK_MAC_BYTES, MAC_OVERHEAD_BYTES};
+use wbsn::model::lifetime::Battery;
+use wbsn::model::shimmer::CompressionKind;
+use wbsn::model::units::{Hertz, MilliWatts};
+use wbsn::sim::engine::{AlertConfig, NetworkBuilder};
+use wbsn::sim::ChannelConfig;
+
+fn case_study_mac() -> Ieee802154Config {
+    Ieee802154Config::new(114, 6, 6).expect("valid")
+}
+
+#[test]
+fn retransmission_extension_tracks_lossy_simulation() {
+    // Put the nodes at a distance where the channel visibly drops frames,
+    // feed the channel's analytic PER into the model's §3.3 extension,
+    // and check the radio-energy estimate still tracks the simulator.
+    let distance = 203.0;
+    let channel = ChannelConfig::default();
+    let p_data = channel.packet_error_rate(distance, 114 + MAC_OVERHEAD_BYTES + 6);
+    let p_ack = channel.packet_error_rate(distance, ACK_MAC_BYTES + 6);
+    let p = 1.0 - (1.0 - p_data) * (1.0 - p_ack);
+    assert!(p > 0.05 && p < 0.6, "pick a distance with meaningful loss, got {p}");
+
+    let nodes = vec![NodeConfig::new(CompressionKind::Cs, 0.2, Hertz::from_mhz(8.0)); 3];
+    let clean_model = WbsnModel::shimmer();
+    let lossy_model = WbsnModel::shimmer().with_packet_error_rate(p);
+    let mac = case_study_mac();
+    let clean = clean_model.evaluate(&mac, &nodes).expect("feasible");
+    let lossy = lossy_model.evaluate(&mac, &nodes).expect("feasible");
+
+    let report = NetworkBuilder::new(mac, nodes)
+        .duration_s(120.0)
+        .distances(vec![distance; 3])
+        .seed(5)
+        .build()
+        .expect("feasible")
+        .run();
+    let retries: u64 = report.nodes.iter().map(|n| n.retries).sum();
+    assert!(retries > 0, "the simulated channel must actually drop frames");
+
+    for (i, node) in report.nodes.iter().enumerate() {
+        let sim = node.energy.radio_mj_s;
+        let est_clean = clean.per_node[i].energy.radio.mj_per_s();
+        let est_lossy = lossy.per_node[i].energy.radio.mj_per_s();
+        // The PER-aware estimate must be strictly better than the clean
+        // one, and within 15 % of the simulator.
+        assert!(
+            (est_lossy - sim).abs() < (est_clean - sim).abs(),
+            "node {i}: PER-aware {est_lossy:.4} should beat clean {est_clean:.4} vs sim {sim:.4}"
+        );
+        assert!(
+            ((est_lossy - sim) / sim).abs() < 0.15,
+            "node {i}: PER-aware {est_lossy:.4} vs sim {sim:.4}"
+        );
+    }
+}
+
+#[test]
+fn csma_model_and_simulator_agree_on_load_trends() {
+    // The analytical CSMA utilization S(G) rises then collapses with
+    // offered load; the simulator's CAP delivery ratio must show the
+    // same qualitative knee as alert traffic intensifies.
+    let s_light = CsmaMacModel::utilization(0.2, 0.05);
+    let s_opt = CsmaMacModel::utilization((1.0f64 / 0.1).sqrt(), 0.05);
+    let s_heavy = CsmaMacModel::utilization(100.0, 0.05);
+    assert!(s_light < s_opt && s_heavy < s_opt);
+
+    let mac = case_study_mac();
+    let nodes = vec![NodeConfig::new(CompressionKind::Cs, 0.2, Hertz::from_mhz(8.0)); 6];
+    let run = |interval: f64| {
+        let report = NetworkBuilder::new(mac, nodes.clone())
+            .duration_s(300.0)
+            .alerts(AlertConfig { mean_interval_s: interval, payload_bytes: 40 })
+            .seed(17)
+            .build()
+            .expect("feasible")
+            .run();
+        let a = report.alerts;
+        let total = (a.delivered + a.dropped + a.collided).max(1);
+        (a.delivered as f64 / total as f64, a.collided + a.dropped)
+    };
+    let (ratio_light, fail_light) = run(5.0);
+    let (ratio_heavy, fail_heavy) = run(0.05);
+    assert!(
+        ratio_light > ratio_heavy,
+        "delivery ratio must degrade under load: {ratio_light} vs {ratio_heavy}"
+    );
+    assert!(fail_heavy > fail_light, "failures must rise under load");
+    assert!(ratio_light > 0.9, "light CAP load should deliver nearly everything");
+}
+
+#[test]
+fn lifetime_ranking_follows_energy_ranking() {
+    // End-to-end: evaluate the case study, convert to lifetimes, check
+    // CS nodes outlive DWT nodes by the energy ratio.
+    let model = WbsnModel::shimmer();
+    let nodes = wbsn::model::evaluate::half_dwt_half_cs(6, 0.25, Hertz::from_mhz(8.0));
+    let eval = model.evaluate(&case_study_mac(), &nodes).expect("feasible");
+    let battery = Battery::shimmer();
+    let days: Vec<f64> = eval
+        .per_node
+        .iter()
+        .map(|n| battery.lifetime_days(MilliWatts::new(n.energy.total().mj_per_s())))
+        .collect();
+    // DWT nodes (0..3) die first.
+    for dwt in &days[..3] {
+        for cs in &days[3..] {
+            assert!(cs > dwt, "CS lifetime {cs} must exceed DWT lifetime {dwt}");
+        }
+    }
+    let ratio = days[3] / days[0];
+    let e_ratio = eval.per_node[0].energy.total().mj_per_s()
+        / eval.per_node[3].energy.total().mj_per_s();
+    assert!((ratio - e_ratio).abs() < 1e-9, "lifetime is exactly inverse to draw");
+}

@@ -1,0 +1,96 @@
+//! Integration: the analytical model agrees with the packet-level
+//! simulator — the heart of the paper's validation (Fig. 3).
+
+use wbsn::model::evaluate::{half_dwt_half_cs, NodeConfig, WbsnModel};
+use wbsn::model::ieee802154::Ieee802154Config;
+use wbsn::model::shimmer::CompressionKind;
+use wbsn::model::units::Hertz;
+use wbsn::sim::engine::NetworkBuilder;
+
+fn case_study_mac() -> Ieee802154Config {
+    Ieee802154Config::new(114, 6, 6).expect("valid")
+}
+
+#[test]
+fn energy_agreement_within_three_percent() {
+    let model = WbsnModel::shimmer();
+    for kind in [CompressionKind::Dwt, CompressionKind::Cs] {
+        for cr in [0.17, 0.38] {
+            let nodes = vec![NodeConfig::new(kind, cr, Hertz::from_mhz(8.0)); 6];
+            let estimate = model.evaluate(&case_study_mac(), &nodes).expect("feasible");
+            let measured = NetworkBuilder::new(case_study_mac(), nodes)
+                .duration_s(60.0)
+                .seed(1)
+                .build()
+                .expect("feasible")
+                .run();
+            for (m, s) in estimate.per_node.iter().zip(&measured.nodes) {
+                let est = m.energy.total().mj_per_s();
+                let meas = s.energy.total_mj_s();
+                let err = ((est - meas) / meas).abs();
+                assert!(
+                    err < 0.03,
+                    "{} cr={cr}: model {est:.3} vs sim {meas:.3} ({:.1} %)",
+                    kind.label(),
+                    err * 100.0
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn model_and_sim_agree_on_infeasibility() {
+    // DWT at 1 and 2 MHz exceeds 100 % duty: the model refuses, the
+    // simulator's node overruns. At 4 and 8 MHz both are happy.
+    let model = WbsnModel::shimmer();
+    for (mhz, feasible) in [(1.0, false), (2.0, false), (4.0, true), (8.0, true)] {
+        let nodes = vec![NodeConfig::new(CompressionKind::Dwt, 0.25, Hertz::from_mhz(mhz)); 2];
+        let model_ok = model.evaluate(&case_study_mac(), &nodes).is_ok();
+        assert_eq!(model_ok, feasible, "model at {mhz} MHz");
+        let report = NetworkBuilder::new(case_study_mac(), nodes)
+            .duration_s(20.0)
+            .build()
+            .expect("builds regardless; overload detected at runtime")
+            .run();
+        assert_eq!(report.all_feasible(), feasible, "sim at {mhz} MHz");
+    }
+}
+
+#[test]
+fn per_component_breakdown_is_consistent() {
+    let model = WbsnModel::shimmer();
+    let nodes = half_dwt_half_cs(6, 0.25, Hertz::from_mhz(8.0));
+    let estimate = model.evaluate(&case_study_mac(), &nodes).expect("feasible");
+    let measured = NetworkBuilder::new(case_study_mac(), nodes)
+        .duration_s(60.0)
+        .build()
+        .expect("feasible")
+        .run();
+    for (m, s) in estimate.per_node.iter().zip(&measured.nodes) {
+        // Sensor and memory use the same physical formulas: near-exact.
+        assert!((m.energy.sensor.mj_per_s() - s.energy.sensor_mj_s).abs() < 1e-9);
+        assert!((m.energy.memory.mj_per_s() - s.energy.memory_mj_s).abs() < 1e-9);
+        // MCU and radio accumulate process-level effects: close, not equal.
+        let mcu_err = (m.energy.mcu.mj_per_s() - s.energy.mcu_mj_s).abs() / s.energy.mcu_mj_s;
+        assert!(mcu_err < 0.06, "mcu err {mcu_err}");
+        let radio_err =
+            (m.energy.radio.mj_per_s() - s.energy.radio_mj_s).abs() / s.energy.radio_mj_s;
+        assert!(radio_err < 0.12, "radio err {radio_err}");
+    }
+}
+
+#[test]
+fn goodput_matches_model_output_rate() {
+    let nodes = half_dwt_half_cs(6, 0.3, Hertz::from_mhz(8.0));
+    let report = NetworkBuilder::new(case_study_mac(), nodes)
+        .duration_s(120.0)
+        .build()
+        .expect("feasible")
+        .run();
+    // φout = 375 × 0.3 = 112.5 B/s per node.
+    for n in &report.nodes {
+        let goodput = n.goodput_bps(report.duration_s);
+        assert!((goodput - 112.5).abs() < 6.0, "goodput {goodput}");
+    }
+}

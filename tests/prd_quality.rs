@@ -1,0 +1,79 @@
+//! Integration: the model's PRD polynomials track the real codecs
+//! (Fig. 4) and the quality ordering the case study relies on holds.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wbsn::dsp::compress::{measure_prd, Codec, CsCodec, DwtCodec};
+use wbsn::dsp::ecg::EcgGenerator;
+use wbsn::model::shimmer::{cs_prd_poly, dwt_prd_poly};
+
+fn signal(seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    EcgGenerator::default().generate(250 * 32, &mut rng)
+}
+
+#[test]
+fn polynomials_track_measured_prd() {
+    // Held-out recording (seed differs from the fitting seeds).
+    let signal = signal(4242);
+    for (codec, poly, tolerance) in [
+        (Codec::Dwt(DwtCodec::default()), dwt_prd_poly(), 1.0),
+        (Codec::Cs(CsCodec::default()), cs_prd_poly(), 4.0),
+    ] {
+        for cr in [0.18, 0.27, 0.36] {
+            let mut rng = StdRng::seed_from_u64(7);
+            let measured =
+                measure_prd(&codec, &signal, 256, cr, &mut rng).expect("divisible").prd;
+            let estimated = poly.eval(cr);
+            assert!(
+                (estimated - measured).abs() < tolerance,
+                "{} cr={cr}: est {estimated:.2} vs meas {measured:.2}",
+                codec.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn dwt_beats_cs_at_equal_rate() {
+    let signal = signal(99);
+    for cr in [0.2, 0.3] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let dwt = measure_prd(&Codec::Dwt(DwtCodec::default()), &signal, 256, cr, &mut rng)
+            .expect("ok")
+            .prd;
+        let cs = measure_prd(&Codec::Cs(CsCodec::default()), &signal, 256, cr, &mut rng)
+            .expect("ok")
+            .prd;
+        assert!(dwt < cs, "cr={cr}: DWT {dwt:.2} must beat CS {cs:.2}");
+    }
+}
+
+#[test]
+fn prd_monotone_in_cr_for_both_codecs() {
+    let signal = signal(123);
+    for codec in [Codec::Dwt(DwtCodec::default()), Codec::Cs(CsCodec::default())] {
+        let mut rng = StdRng::seed_from_u64(2);
+        let lo = measure_prd(&codec, &signal, 256, 0.17, &mut rng).expect("ok").prd;
+        let mut rng = StdRng::seed_from_u64(2);
+        let hi = measure_prd(&codec, &signal, 256, 0.38, &mut rng).expect("ok").prd;
+        assert!(hi < lo, "{}: PRD(0.38)={hi:.2} !< PRD(0.17)={lo:.2}", codec.label());
+    }
+}
+
+#[test]
+fn achieved_rate_matches_requested_cr() {
+    let signal = signal(321);
+    for codec in [Codec::Dwt(DwtCodec::default()), Codec::Cs(CsCodec::default())] {
+        for cr in [0.2, 0.35] {
+            let mut rng = StdRng::seed_from_u64(3);
+            let report = measure_prd(&codec, &signal, 256, cr, &mut rng).expect("ok");
+            assert!(
+                (report.achieved_cr - cr).abs() < 0.04,
+                "{} cr={cr}: achieved {:.3}",
+                codec.label(),
+                report.achieved_cr
+            );
+        }
+    }
+}
