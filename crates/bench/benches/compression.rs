@@ -18,9 +18,7 @@ fn bench_compression(c: &mut Criterion) {
     c.bench_function("dwt_codec_block_256", |b| b.iter(|| dwt.process(&block, 0.25)));
 
     let cs = CsCodec::default();
-    c.bench_function("cs_codec_block_256_fista", |b| {
-        b.iter(|| cs.process(&block, 0.25, &mut rng))
-    });
+    c.bench_function("cs_codec_block_256_fista", |b| b.iter(|| cs.process(&block, 0.25, &mut rng)));
 
     c.bench_function("wavedec_db4_256x4", |b| b.iter(|| wavedec(&block, Wavelet::Db4, 4)));
 }

@@ -1,22 +1,41 @@
-//! Criterion bench for the exploration layer: a short NSGA-II run
-//! (population 50, five generations) over the model evaluator.
+//! Criterion bench for the exploration layer: short NSGA-II runs with
+//! the parallel batch evaluator vs the forced-serial baseline, plus the
+//! chunked exhaustive enumeration of a reduced space.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use wbsn_dse::evaluator::ModelEvaluator;
+use wbsn_dse::evaluator::{ModelEvaluator, SerialEvaluator};
+use wbsn_dse::exhaustive::exhaustive;
 use wbsn_dse::nsga2::{nsga2, Nsga2Config};
 use wbsn_model::space::DesignSpace;
+use wbsn_model::units::Hertz;
+
+fn short_cfg() -> Nsga2Config {
+    Nsga2Config { population: 50, generations: 5, seed: 1, ..Nsga2Config::default() }
+}
 
 fn bench_dse(c: &mut Criterion) {
     let space = DesignSpace::case_study(6);
     let eval = ModelEvaluator::shimmer();
     c.bench_function("nsga2_pop50_5_generations", |b| {
-        b.iter(|| {
-            nsga2(
-                &space,
-                &eval,
-                &Nsga2Config { population: 50, generations: 5, seed: 1, ..Nsga2Config::default() },
-            )
-        })
+        b.iter(|| nsga2(&space, &eval, &short_cfg()))
+    });
+    // Same search forced through the serial one-point-at-a-time batch
+    // default: the baseline quantifying what batching buys end-to-end.
+    let serial = SerialEvaluator(ModelEvaluator::shimmer());
+    c.bench_function("nsga2_pop50_5_generations_serial_eval", |b| {
+        b.iter(|| nsga2(&space, &serial, &short_cfg()))
+    });
+
+    // Exhaustive enumeration of a reduced space through the linear-index
+    // chunked decoder (~2.6k points).
+    let mut tiny = DesignSpace::case_study(2);
+    tiny.cr_values = vec![0.17, 0.25, 0.33];
+    tiny.f_mcu_values = vec![Hertz::from_mhz(4.0), Hertz::from_mhz(8.0)];
+    tiny.payload_values = vec![70, 114];
+    tiny.order_pairs = vec![(5, 5), (6, 6)];
+    let eval = ModelEvaluator::shimmer();
+    c.bench_function("exhaustive_reduced_space", |b| {
+        b.iter(|| exhaustive(&tiny, &eval, 1_000_000))
     });
 }
 

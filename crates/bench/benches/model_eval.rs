@@ -19,15 +19,7 @@ fn bench_model_eval(c: &mut Criterion) {
     // Mixed feasible/infeasible sweep over the design space (the DSE
     // workload shape).
     let space = DesignSpace::case_study(6);
-    let mut k = 0usize;
-    let points: Vec<_> = (0..64)
-        .map(|i| {
-            space.point_with(|dim| {
-                k = k.wrapping_mul(2_862_933_555_777_941_757).wrapping_add(i);
-                k % dim
-            })
-        })
-        .collect();
+    let points = space.sample_sweep(64);
     let mut idx = 0usize;
     c.bench_function("model_evaluate_design_space_mix", |b| {
         b.iter(|| {
@@ -38,5 +30,40 @@ fn bench_model_eval(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_model_eval);
+/// Serial vs fast-path vs parallel-batch: the three evaluation paths of
+/// the batch engine over an identical mixed feasible/infeasible sweep.
+fn bench_evaluation_paths(c: &mut Criterion) {
+    use wbsn_dse::evaluator::{Evaluator, ModelEvaluator};
+    use wbsn_model::evaluate::EvalScratch;
+
+    let model = WbsnModel::shimmer();
+    let space = DesignSpace::case_study(6);
+    let points = space.sample_sweep(512);
+
+    let mut idx = 0usize;
+    c.bench_function("eval_path_serial_single_point", |b| {
+        b.iter(|| {
+            idx = (idx + 1) % points.len();
+            let p = &points[idx];
+            black_box(model.evaluate(&p.mac, &p.nodes).ok())
+        })
+    });
+
+    let mut scratch = EvalScratch::new();
+    let mut idx = 0usize;
+    c.bench_function("eval_path_fast_single_point", |b| {
+        b.iter(|| {
+            idx = (idx + 1) % points.len();
+            let p = &points[idx];
+            black_box(model.evaluate_objectives(&p.mac, &p.nodes, &mut scratch).ok())
+        })
+    });
+
+    let evaluator = ModelEvaluator::shimmer();
+    c.bench_function("eval_path_batch_512_points", |b| {
+        b.iter(|| black_box(evaluator.evaluate_batch(&points)))
+    });
+}
+
+criterion_group!(benches, bench_model_eval, bench_evaluation_paths);
 criterion_main!(benches);

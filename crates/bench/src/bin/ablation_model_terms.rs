@@ -39,8 +39,7 @@ impl MacModel for AblatedMac {
             }
             (false, true) => {
                 // Keep ACKs only: subtract the zero-rate (beacon) part.
-                self.inner.control_to_node(phi_out)
-                    - self.inner.control_to_node(ByteRate::zero())
+                self.inner.control_to_node(phi_out) - self.inner.control_to_node(ByteRate::zero())
             }
             (true, true) => ByteRate::zero(),
         }
@@ -108,8 +107,7 @@ fn main() {
                         Ok(app) => app,
                         Err(_) => continue,
                     };
-                    let Ok(breakdown) =
-                        node_model.energy_per_second(app.as_ref(), cfg.f_mcu, &mac)
+                    let Ok(breakdown) = node_model.energy_per_second(app.as_ref(), cfg.f_mcu, &mac)
                     else {
                         continue; // DWT at 1 MHz: skip, as Fig. 3 does
                     };
@@ -126,11 +124,7 @@ fn main() {
                 }
             }
         }
-        row(&[
-            name.to_string(),
-            format!("{:.2}", errors.mean()),
-            format!("{:.2}", errors.max()),
-        ]);
+        row(&[name.to_string(), format!("{:.2}", errors.mean()), format!("{:.2}", errors.max())]);
     }
 
     println!("\nreading: every dropped term degrades accuracy, with beacon reception the");

@@ -35,9 +35,19 @@ fn main() {
     let mut min_slack = f64::INFINITY;
     let mut shown = 0usize;
 
-    println!("# §5.1 — Eq. 9 worst-case delay bound vs simulation ({RUNS} random configurations)\n");
+    println!(
+        "# §5.1 — Eq. 9 worst-case delay bound vs simulation ({RUNS} random configurations)\n"
+    );
     println!("(first 10 configurations shown; summary over all {RUNS})\n");
-    header(&["cfg", "Lpayload", "SFO/BCO", "N", "bound max [ms]", "sim max [ms]", "overestimate [ms]"]);
+    header(&[
+        "cfg",
+        "Lpayload",
+        "SFO/BCO",
+        "N",
+        "bound max [ms]",
+        "sim max [ms]",
+        "overestimate [ms]",
+    ]);
 
     while accepted < RUNS {
         attempts += 1;
@@ -51,7 +61,7 @@ fn main() {
                 NodeConfig::new(kind, phi_out / 375.0, Hertz::from_mhz(8.0))
             })
             .collect();
-        let payload = *[30u16, 50, 70, 90, 114].get(rng.gen_range(0..5)).expect("in range");
+        let payload = *[30u16, 50, 70, 90, 114].get(rng.gen_range(0..5usize)).expect("in range");
         let sfo = rng.gen_range(4u8..=7);
         let bco = rng.gen_range(sfo..=8);
         let Ok(mac) = Ieee802154Config::new(payload, sfo, bco) else { continue };
@@ -90,11 +100,8 @@ fn main() {
         accepted += 1;
 
         // Per-configuration: worst node bound vs worst observed delay.
-        let bound_max: f64 = eval
-            .per_node
-            .iter()
-            .map(|p| p.delay_bound.value())
-            .fold(0.0, f64::max);
+        let bound_max: f64 =
+            eval.per_node.iter().map(|p| p.delay_bound.value()).fold(0.0, f64::max);
         let sim_max: f64 = report.nodes.iter().map(|nr| nr.delay.max_s()).fold(0.0, f64::max);
         let over = bound_max - sim_max;
         if over < 0.0 {

@@ -1,15 +1,28 @@
 //! §5.2 evaluation-speed comparison: analytical model vs packet-level
-//! simulation.
+//! simulation, plus the batch-evaluation engine's serial-vs-batch
+//! throughput (the perf baseline tracked across PRs in `BENCH_dse.json`).
 //!
 //! Paper's result: the model evaluates ≈4800 configurations per second
 //! while one network simulation takes 5–10 minutes — about six orders of
 //! magnitude. Our Rust model is faster and our simulator much faster
 //! than Castalia, but the *ratio* is what the experiment establishes.
 //!
+//! On top of the paper's comparison, this binary measures the three
+//! evaluation paths of the engine:
+//!
+//! * **serial** — `WbsnModel::evaluate` per point (allocating, no memo);
+//! * **fast path** — `WbsnModel::evaluate_objectives` through one
+//!   reused `EvalScratch` (allocation-free, node-level memoization);
+//! * **batch** — `Evaluator::evaluate_batch`, the fast path fanned out
+//!   across all cores.
+//!
 //! Run: `cargo run --release -p wbsn-bench --bin dse_throughput`
 
+use std::fmt::Write as _;
 use std::time::Instant;
-use wbsn_model::evaluate::{half_dwt_half_cs, WbsnModel};
+use wbsn_dse::evaluator::{Evaluator, ModelEvaluator};
+use wbsn_dse::parallel::num_threads;
+use wbsn_model::evaluate::{half_dwt_half_cs, EvalScratch, WbsnModel};
 use wbsn_model::ieee802154::Ieee802154Config;
 use wbsn_model::space::DesignSpace;
 use wbsn_model::units::Hertz;
@@ -18,24 +31,15 @@ use wbsn_sim::engine::NetworkBuilder;
 const MODEL_EVALS: usize = 200_000;
 const SIM_RUNS: usize = 5;
 const SIM_SECONDS: f64 = 60.0;
+const TRAJECTORY_SIZES: [usize; 5] = [256, 1024, 4096, 16_384, 65_536];
 
 fn main() {
-    println!("# §5.2 — evaluation throughput, model vs simulation\n");
+    println!("# §5.2 — evaluation throughput\n");
     let model = WbsnModel::shimmer();
     let space = DesignSpace::case_study(6);
+    let points = space.sample_sweep(512);
 
-    // Cycle through distinct design points so the benchmark cannot be
-    // constant-folded and covers feasible + infeasible regions.
-    let mut counter = 0usize;
-    let points: Vec<_> = (0..512)
-        .map(|i| {
-            space.point_with(|dim| {
-                counter = counter.wrapping_mul(6364136223846793005).wrapping_add(i + dim);
-                counter % dim.max(1)
-            })
-        })
-        .collect();
-
+    // --- Path 1: serial full evaluation (the pre-batch baseline). ---
     let t0 = Instant::now();
     let mut feasible = 0usize;
     for i in 0..MODEL_EVALS {
@@ -44,14 +48,63 @@ fn main() {
             feasible += 1;
         }
     }
-    let model_elapsed = t0.elapsed();
-    let model_per_s = MODEL_EVALS as f64 / model_elapsed.as_secs_f64();
+    let serial_per_s = MODEL_EVALS as f64 / t0.elapsed().as_secs_f64();
     println!(
-        "model: {MODEL_EVALS} evaluations in {:.3} s  =>  {:.0} evaluations/s ({feasible} feasible)",
-        model_elapsed.as_secs_f64(),
-        model_per_s
+        "serial    (evaluate):            {serial_per_s:>12.0} evaluations/s  ({feasible} feasible of {MODEL_EVALS})"
     );
 
+    // --- Path 2: allocation-free fast path, one scratch, one core. ---
+    let mut scratch = EvalScratch::new();
+    let t0 = Instant::now();
+    let mut fast_feasible = 0usize;
+    for i in 0..MODEL_EVALS {
+        let p = &points[i % points.len()];
+        if model.evaluate_objectives(&p.mac, &p.nodes, &mut scratch).is_ok() {
+            fast_feasible += 1;
+        }
+    }
+    let fastpath_per_s = MODEL_EVALS as f64 / t0.elapsed().as_secs_f64();
+    assert_eq!(feasible, fast_feasible, "fast path must agree with evaluate()");
+    println!(
+        "fast path (evaluate_objectives): {fastpath_per_s:>12.0} evaluations/s  (memo: {} hits / {} misses)",
+        scratch.memo_hits(),
+        scratch.memo_misses()
+    );
+
+    // --- Path 3: parallel batch over all cores. ---
+    let threads = num_threads();
+    let evaluator = ModelEvaluator::shimmer();
+    let mut trajectory: Vec<(usize, f64)> = Vec::new();
+    for &size in &TRAJECTORY_SIZES {
+        let batch_points = space.sample_sweep(size);
+        // Time-budgeted: repeat each batch size for ≥ 0.5 s so small
+        // batches are not drowned in measurement noise.
+        let t0 = Instant::now();
+        let mut batch_feasible = 0usize;
+        let mut evals = 0usize;
+        while t0.elapsed().as_secs_f64() < 0.5 {
+            batch_feasible =
+                evaluator.evaluate_batch(&batch_points).iter().filter(|o| o.is_some()).count();
+            evals += size;
+        }
+        let per_s = evals as f64 / t0.elapsed().as_secs_f64();
+        trajectory.push((size, per_s));
+        println!(
+            "batch     (evaluate_batch, n={size:>6}): {per_s:>12.0} evaluations/s  ({batch_feasible} feasible, {threads} threads)"
+        );
+    }
+    let batch_per_s = trajectory.iter().map(|&(_, v)| v).fold(0.0f64, f64::max);
+
+    let fastpath_speedup = fastpath_per_s / serial_per_s;
+    let batch_speedup = batch_per_s / serial_per_s;
+    println!("\nfast-path vs serial speedup: {fastpath_speedup:.2}x");
+    println!("batch     vs serial speedup: {batch_speedup:.2}x  ({threads} threads)");
+    println!(
+        "speedup gate (>=4x batch-vs-serial on a multicore runner): {}",
+        if batch_speedup >= 4.0 { "PASS" } else { "below gate (few cores?)" }
+    );
+
+    // --- Model vs packet-level simulation (the paper's §5.2 claim). ---
     let mac = Ieee802154Config::new(114, 6, 6).expect("valid");
     let nodes = half_dwt_half_cs(6, 0.25, Hertz::from_mhz(8.0));
     let t0 = Instant::now();
@@ -66,21 +119,49 @@ fn main() {
     }
     let sim_elapsed = t0.elapsed().as_secs_f64() / SIM_RUNS as f64;
     println!(
-        "simulation: one {SIM_SECONDS:.0}-simulated-second evaluation takes {:.4} s (avg of {SIM_RUNS})",
-        sim_elapsed
+        "\nsimulation: one {SIM_SECONDS:.0}-simulated-second evaluation takes {sim_elapsed:.4} s (avg of {SIM_RUNS})"
     );
-
-    let ratio = model_per_s * sim_elapsed;
-    println!("\nmodel-vs-simulation speedup: {ratio:.2e}x");
+    let ratio = batch_per_s * sim_elapsed;
+    println!("model-vs-simulation speedup (batch path): {ratio:.2e}x");
     println!(
         "paper: ~4800 evaluations/s vs 5-10 min per simulation (~10^6x)\n\
          shape check (model faster than paper's 4800/s AND >100x our own simulator): {}",
-        if model_per_s > 4800.0 && ratio > 1e2 { "PASS" } else { "FAIL" }
+        if serial_per_s > 4800.0 && ratio > 1e2 { "PASS" } else { "FAIL" }
     );
     println!(
         "note: Castalia needs minutes per configuration where our simulator needs {:.0} ms — \n\
-         against a Castalia-like 300 s simulation the model's speedup would be {:.1e}x",
+         against a Castalia-like 300 s simulation the batch path's speedup would be {:.1e}x",
         sim_elapsed * 1e3,
-        model_per_s * 300.0
+        batch_per_s * 300.0
     );
+
+    // --- Machine-readable trajectory for cross-PR tracking. ---
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"dse_throughput\",");
+    let _ = writeln!(json, "  \"threads\": {threads},");
+    let _ = writeln!(json, "  \"serial_evals_per_s\": {serial_per_s:.1},");
+    let _ = writeln!(json, "  \"fastpath_evals_per_s\": {fastpath_per_s:.1},");
+    let _ = writeln!(json, "  \"batch_evals_per_s\": {batch_per_s:.1},");
+    let _ = writeln!(json, "  \"speedup_fastpath_vs_serial\": {fastpath_speedup:.3},");
+    let _ = writeln!(json, "  \"speedup_batch_vs_serial\": {batch_speedup:.3},");
+    let _ = writeln!(
+        json,
+        "  \"memo\": {{\"hits\": {}, \"misses\": {}}},",
+        scratch.memo_hits(),
+        scratch.memo_misses()
+    );
+    let _ = writeln!(json, "  \"sim_seconds_per_eval\": {sim_elapsed:.6},");
+    let _ = writeln!(json, "  \"model_vs_sim_speedup\": {ratio:.1},");
+    json.push_str("  \"trajectory\": [\n");
+    for (i, (size, per_s)) in trajectory.iter().enumerate() {
+        let comma = if i + 1 < trajectory.len() { "," } else { "" };
+        let _ =
+            writeln!(json, "    {{\"batch_size\": {size}, \"evals_per_s\": {per_s:.1}}}{comma}");
+    }
+    json.push_str("  ]\n}\n");
+    match std::fs::write("BENCH_dse.json", &json) {
+        Ok(()) => println!("\nwrote BENCH_dse.json"),
+        Err(e) => eprintln!("\ncould not write BENCH_dse.json: {e}"),
+    }
 }

@@ -25,11 +25,18 @@ fn main() {
 
     println!("# Fig. 3 — node energy consumption per second [mJ/s], model vs simulation\n");
     header(&[
-        "app", "fµC", "CR", "model [mJ/s]", "sim [mJ/s]", "error %",
-        "model sensor/mcu/mem/radio", "sim sensor/mcu/mem/radio",
+        "app",
+        "fµC",
+        "CR",
+        "model [mJ/s]",
+        "sim [mJ/s]",
+        "error %",
+        "model sensor/mcu/mem/radio",
+        "sim sensor/mcu/mem/radio",
     ]);
 
-    let mut summaries = [(CompressionKind::Cs, ErrorSummary::new()), (CompressionKind::Dwt, ErrorSummary::new())];
+    let mut summaries =
+        [(CompressionKind::Cs, ErrorSummary::new()), (CompressionKind::Dwt, ErrorSummary::new())];
     for kind in [CompressionKind::Dwt, CompressionKind::Cs] {
         for f_mhz in [1.0, 8.0] {
             for cr in [0.17, 0.23, 0.32, 0.38] {

@@ -24,7 +24,14 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(SIGNAL_SEED);
     let signal = EcgGenerator::default().generate(250 * SECONDS, &mut rng);
 
-    header(&["app", "CR", "estimated PRD %", "measured PRD %", "abs error [PRD pts]", "rel error %"]);
+    header(&[
+        "app",
+        "CR",
+        "estimated PRD %",
+        "measured PRD %",
+        "abs error [PRD pts]",
+        "rel error %",
+    ]);
     for (name, codec, poly) in [
         ("DWT", Codec::Dwt(DwtCodec::default()), dwt_prd_poly()),
         ("CS", Codec::Cs(CsCodec::default()), cs_prd_poly()),

@@ -37,7 +37,8 @@ fn main() {
     println!("# Fig. 5 — Pareto trade-offs, proposed 3-objective model vs energy/delay baseline\n");
     println!("design space cardinality: {:.3e} configurations\n", space.cardinality() as f64);
 
-    let cfg = Nsga2Config { population: 200, generations: 250, seed: 2012, ..Nsga2Config::default() };
+    let cfg =
+        Nsga2Config { population: 200, generations: 250, seed: 2012, ..Nsga2Config::default() };
     let proposed = nsga2(&space, &ModelEvaluator::shimmer(), &cfg);
     let baseline = nsga2(&space, &EnergyDelayEvaluator::shimmer(), &cfg);
 
@@ -57,12 +58,8 @@ fn main() {
     // Re-evaluate the baseline's configurations under the full model to
     // place them in 3-D objective space.
     let model3 = ModelEvaluator::shimmer();
-    let baseline_in_3d: Vec<ObjectiveVector> = baseline
-        .front
-        .entries()
-        .iter()
-        .filter_map(|e| model3.evaluate(&e.payload))
-        .collect();
+    let baseline_in_3d: Vec<ObjectiveVector> =
+        baseline.front.entries().iter().filter_map(|e| model3.evaluate(&e.payload)).collect();
     let proposed_objs: Vec<ObjectiveVector> = proposed.front.objectives().cloned().collect();
 
     let member = membership_in_front(&baseline_in_3d, &proposed_objs);

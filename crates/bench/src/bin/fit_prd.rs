@@ -40,10 +40,9 @@ fn prd_samples(codec: &Codec, seeds: &[u64]) -> (Vec<f64>, Vec<f64>) {
 fn main() {
     println!("# P5(CR) polynomial fits (support for Fig. 4)\n");
     let seeds = [11, 23, 37];
-    for (name, codec) in [
-        ("DWT", Codec::Dwt(DwtCodec::default())),
-        ("CS", Codec::Cs(CsCodec::default())),
-    ] {
+    for (name, codec) in
+        [("DWT", Codec::Dwt(DwtCodec::default())), ("CS", Codec::Cs(CsCodec::default()))]
+    {
         let (xs, ys) = prd_samples(&codec, &seeds);
         let poly = polyfit(&xs, &ys, 5).expect("22 CR points x 3 seeds is plenty");
         let (offset, scale) = poly.normalization();
@@ -56,7 +55,11 @@ fn main() {
         println!("    {scale:.3},");
         println!(")");
         println!("```\n");
-        println!("RMS residual: {:.3} PRD points over {} samples\n", rms_residual(&poly, &xs, &ys), xs.len());
+        println!(
+            "RMS residual: {:.3} PRD points over {} samples\n",
+            rms_residual(&poly, &xs, &ys),
+            xs.len()
+        );
         header(&["CR", "measured PRD %", "fitted PRD %"]);
         let mut cr = 0.17;
         while cr <= 0.38 + 1e-9 {

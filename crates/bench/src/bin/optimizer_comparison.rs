@@ -32,7 +32,8 @@ fn main() {
             ..Nsga2Config::default()
         },
     );
-    let sa = mosa(&space, &eval, &MosaConfig { iterations: BUDGET, seed: 7, ..MosaConfig::default() });
+    let sa =
+        mosa(&space, &eval, &MosaConfig { iterations: BUDGET, seed: 7, ..MosaConfig::default() });
     let rs = random_search(&space, &eval, BUDGET, 7);
 
     let fronts: Vec<(&str, Vec<ObjectiveVector>)> = vec![
@@ -55,7 +56,13 @@ fn main() {
     let reference: Vec<f64> = nadir.iter().map(|v| v * 1.05 + 1e-6).collect();
     let ideal_v: Vec<f64> = ideal.iter().map(|v| v - 1e-6).collect();
 
-    header(&["optimizer", "front size", "hypervolume (MC)", "covers NSGA-II %", "covered by NSGA-II %"]);
+    header(&[
+        "optimizer",
+        "front size",
+        "hypervolume (MC)",
+        "covers NSGA-II %",
+        "covered by NSGA-II %",
+    ]);
     let ga_front = &fronts[0].1;
     for (name, front) in &fronts {
         let hv = hypervolume_monte_carlo(front, &ideal_v, &reference, 200_000, 99);
@@ -68,5 +75,7 @@ fn main() {
         ]);
     }
 
-    println!("\npaper: GA and SA find fronts of comparable quality; both should dominate random search");
+    println!(
+        "\npaper: GA and SA find fronts of comparable quality; both should dominate random search"
+    );
 }

@@ -1,0 +1,160 @@
+//! Offline drop-in subset of the `criterion` benchmarking API.
+//!
+//! Provides [`Criterion::bench_function`], [`Bencher::iter`],
+//! [`black_box`], [`criterion_group!`] and [`criterion_main!`] with plain
+//! wall-clock measurement: a short warm-up calibrates the iteration count
+//! for a fixed measurement budget, then the mean time per iteration is
+//! printed. No statistical analysis, plots or history.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing constant folding (re-export of
+/// `std::hint::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark driver configuring warm-up and measurement budgets.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { warm_up: Duration::from_millis(300), measurement: Duration::from_secs(1) }
+    }
+}
+
+impl Criterion {
+    /// Sets the measurement budget (compatibility knob).
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Sets the warm-up budget (compatibility knob).
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Runs one benchmark: `f` receives a [`Bencher`] and must call
+    /// [`Bencher::iter`].
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut bencher =
+            Bencher { warm_up: self.warm_up, measurement: self.measurement, result: None };
+        f(&mut bencher);
+        match bencher.result {
+            Some(r) => {
+                let per_iter = r.elapsed.as_secs_f64() / r.iterations as f64;
+                println!(
+                    "{id:<48} time: {:>12}   ({} iterations in {:.3} s)",
+                    format_time(per_iter),
+                    r.iterations,
+                    r.elapsed.as_secs_f64()
+                );
+            }
+            None => println!("{id:<48} (no measurement: Bencher::iter never called)"),
+        }
+        self
+    }
+}
+
+struct Measurement {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+/// Timer handle passed to the benchmark closure.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    result: Option<Measurement>,
+}
+
+impl Bencher {
+    /// Measures `routine`: warm-up to calibrate, then a fixed-budget
+    /// timed run; the mean time per iteration is reported.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: find an iteration count that fills the warm-up budget.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        let target = ((self.measurement.as_secs_f64() / per_iter.max(1e-9)) as u64).max(1);
+
+        let start = Instant::now();
+        for _ in 0..target {
+            black_box(routine());
+        }
+        self.result = Some(Measurement { iterations: target, elapsed: start.elapsed() });
+    }
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.4} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.4} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.4} µs", seconds * 1e6)
+    } else {
+        format!("{:.2} ns", seconds * 1e9)
+    }
+}
+
+/// Declares a function running a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the `main` entry point running benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(10));
+        let mut ran = false;
+        c.bench_function("noop", |b| {
+            ran = true;
+            b.iter(|| black_box(1 + 1));
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert!(format_time(2.0).ends_with(" s"));
+        assert!(format_time(2e-3).ends_with(" ms"));
+        assert!(format_time(2e-6).ends_with(" µs"));
+        assert!(format_time(2e-9).ends_with(" ns"));
+    }
+}

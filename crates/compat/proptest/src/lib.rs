@@ -1,0 +1,94 @@
+//! Offline drop-in subset of the `proptest` API.
+//!
+//! Supports the surface this workspace uses: the [`proptest!`] macro with
+//! `arg in strategy` bindings, `prop_assert!`/`prop_assert_eq!`,
+//! [`prop_oneof!`], [`strategy::Just`], numeric range strategies, tuple
+//! strategies, `prop::collection::vec`, and the `prop_map` /
+//! `prop_flat_map` / `prop_filter` combinators.
+//!
+//! Differences from the real crate: cases are purely random (no
+//! shrinking), the per-test case count comes from `PROPTEST_CASES`
+//! (default 64), and a failure reports the test name + failing case
+//! index on stderr instead of a persisted regression seed — the stream
+//! is seeded from the test name, so the same case index reproduces the
+//! same inputs on every run.
+
+#![warn(missing_docs)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// `prop::` namespace mirroring the real crate's module layout.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        pub use crate::strategy::vec;
+    }
+}
+
+/// Everything a test file needs, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::TestRng;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines property tests: each `#[test] fn name(arg in strategy, ...)`
+/// item becomes a `#[test]` running `PROPTEST_CASES` random cases.
+#[macro_export]
+macro_rules! proptest {
+    ($(#[test] fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            #[test]
+            fn $name() {
+                let cases = $crate::test_runner::cases();
+                let mut rng = $crate::test_runner::TestRng::from_name(stringify!($name));
+                for case in 0..cases {
+                    let outcome =
+                        ::std::panic::catch_unwind(::core::panic::AssertUnwindSafe(|| {
+                            let ($($arg,)+) =
+                                ($($crate::strategy::Strategy::sample(&$strat, &mut rng),)+);
+                            $body
+                        }));
+                    if let Err(panic) = outcome {
+                        eprintln!(
+                            "proptest: `{}` failed on case {} of {} (deterministic per test \
+                             name — rerun reproduces the same inputs)",
+                            stringify!($name),
+                            case,
+                            cases,
+                        );
+                        ::std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        )+
+    };
+}
+
+/// Asserts a condition inside a property test (alias of `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Asserts equality inside a property test (alias of `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Asserts inequality inside a property test (alias of `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::boxed($s),)+])
+    };
+}

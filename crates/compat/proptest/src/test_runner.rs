@@ -1,0 +1,37 @@
+//! Deterministic per-test RNG and case bookkeeping.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Number of random cases per property, from `PROPTEST_CASES` (default 64).
+#[must_use]
+pub fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(64)
+}
+
+/// RNG driving a property test: seeded from the test's name, so every run
+/// of the same binary explores the same sequence of cases — a reported
+/// failing case index is reproducible by rerunning the test.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// Builds the RNG for a named test.
+    #[must_use]
+    pub fn from_name(name: &str) -> Self {
+        // FNV-1a over the test name: stable across runs and platforms.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Self { inner: StdRng::seed_from_u64(hash) }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}

@@ -73,13 +73,44 @@ pub fn assign_slots(
     mac: &dyn MacModel,
     phi_out: &[ByteRate],
 ) -> Result<SlotAssignment, ModelError> {
+    let mut slots = Vec::with_capacity(phi_out.len());
+    let mut delta_tx = Vec::with_capacity(phi_out.len());
+    let summary = assign_slots_into(mac, phi_out, &mut slots, &mut delta_tx)?;
+    Ok(SlotAssignment { slots, delta_tx, base_unit: summary.base_unit, unused: summary.unused })
+}
+
+/// The scalar results of an in-place slot assignment (the per-node parts
+/// live in the caller's buffers).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AssignmentSummary {
+    /// The base time unit `δ` the slot counts refer to.
+    pub base_unit: Seconds,
+    /// Channel time per second left unallocated within the data budget.
+    pub unused: Seconds,
+}
+
+/// Allocation-free core of [`assign_slots`]: writes `k(n)` and `Δtx(n)`
+/// into caller-provided buffers (cleared first), so the DSE hot path can
+/// reuse the same allocations across millions of evaluations.
+///
+/// # Errors
+///
+/// Same contract as [`assign_slots`].
+pub fn assign_slots_into(
+    mac: &dyn MacModel,
+    phi_out: &[ByteRate],
+    slots: &mut Vec<u32>,
+    delta_tx: &mut Vec<Seconds>,
+) -> Result<AssignmentSummary, ModelError> {
     let delta = mac.base_time_unit();
     let allocatable_per_s = mac.allocatable_time();
     let rounds_per_second = mac.allocation_rounds_per_second();
     let capacity = mac.capacity_slots_per_round();
 
-    let mut slots = Vec::with_capacity(phi_out.len());
-    let mut delta_tx = Vec::with_capacity(phi_out.len());
+    slots.clear();
+    delta_tx.clear();
+    slots.reserve(phi_out.len());
+    delta_tx.reserve(phi_out.len());
 
     for (node, &phi) in phi_out.iter().enumerate() {
         if phi.value() <= 0.0 {
@@ -111,12 +142,7 @@ pub fn assign_slots(
     }
 
     let used: Seconds = delta_tx.iter().copied().sum();
-    Ok(SlotAssignment {
-        slots,
-        delta_tx,
-        base_unit: delta,
-        unused: allocatable_per_s - used,
-    })
+    Ok(AssignmentSummary { base_unit: delta, unused: allocatable_per_s - used })
 }
 
 #[cfg(test)]
@@ -203,6 +229,27 @@ mod tests {
             assert!(a.delta_tx[i].value() + 1e-12 >= mac.tx_time(phi).value());
         }
         assert!(a.budget_residual(&mac).abs() < 1e-12);
+    }
+
+    #[test]
+    fn into_variant_matches_allocating_variant_and_reuses_buffers() {
+        let mac = mac_802154(114, 6, 6);
+        let mut slots = Vec::new();
+        let mut delta_tx = Vec::new();
+        for rates in [vec![63.75; 6], vec![120.0, 40.0, 86.25], vec![2600.0; 2]] {
+            let rates: Vec<ByteRate> = rates.iter().map(|&r| ByteRate::new(r)).collect();
+            let a = assign_slots(&mac, &rates).expect("feasible");
+            let s = assign_slots_into(&mac, &rates, &mut slots, &mut delta_tx).expect("feasible");
+            assert_eq!(slots, a.slots);
+            assert_eq!(delta_tx, a.delta_tx);
+            assert_eq!(s.base_unit, a.base_unit);
+            assert_eq!(s.unused, a.unused);
+        }
+        // Stale content from a previous call never leaks through.
+        let short = [ByteRate::new(63.75)];
+        assign_slots_into(&mac, &short, &mut slots, &mut delta_tx).expect("feasible");
+        assert_eq!(slots.len(), 1);
+        assert_eq!(delta_tx.len(), 1);
     }
 
     #[test]

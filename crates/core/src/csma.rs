@@ -83,6 +83,8 @@ impl CsmaMacModel {
                 reason: format!("normalized delay must be in (0, 1], got {a}"),
             });
         }
+        // `!(x > 0.0)` deliberately catches NaN as invalid too.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
         if !(bit_rate > 0.0) {
             return Err(ModelError::InvalidParameter {
                 name: "bit_rate",
@@ -139,8 +141,7 @@ impl CsmaMacModel {
 impl MacModel for CsmaMacModel {
     fn data_overhead(&self, phi_out: ByteRate) -> ByteRate {
         // Per-frame headers: frames carry frame_time·rate payload bytes.
-        let payload_per_frame =
-            (self.frame_time.value() * self.bit_rate / 8.0).max(1.0);
+        let payload_per_frame = (self.frame_time.value() * self.bit_rate / 8.0).max(1.0);
         ByteRate::new(
             f64::from(self.overhead_bytes_per_packet) * phi_out.value() / payload_per_frame,
         )

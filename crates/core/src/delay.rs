@@ -17,7 +17,14 @@ use crate::units::Seconds;
 /// plus unused GTS capacity) and the inactive period.
 #[must_use]
 pub fn control_time_per_superframe(mac: &Ieee802154Mac, assignment: &SlotAssignment) -> Seconds {
-    let unallocated = NUM_SUPERFRAME_SLOTS - assignment.total_slots();
+    control_time_from_total_slots(mac, assignment.total_slots())
+}
+
+/// [`control_time_per_superframe`] from the plain slot total — the form
+/// the allocation-free evaluation path uses.
+#[must_use]
+pub fn control_time_from_total_slots(mac: &Ieee802154Mac, total_slots: u32) -> Seconds {
+    let unallocated = NUM_SUPERFRAME_SLOTS - total_slots;
     mac.beacon_airtime()
         + mac.config().slot_duration() * f64::from(unallocated)
         + mac.config().inactive_duration()
@@ -53,15 +60,27 @@ pub fn control_time_per_superframe(mac: &Ieee802154Mac, assignment: &SlotAssignm
 /// ```
 #[must_use]
 pub fn worst_case_delay(mac: &Ieee802154Mac, assignment: &SlotAssignment, n: usize) -> Seconds {
-    assert!(n < assignment.slots.len(), "node index out of range");
+    worst_case_delay_from_slots(mac, &assignment.slots, n)
+}
+
+/// [`worst_case_delay`] over a plain per-node slot-count slice — the form
+/// the allocation-free evaluation path uses (a [`SlotAssignment`] never
+/// needs to be materialized).
+///
+/// # Panics
+///
+/// Panics if `n` is out of range for `slots` (programming error).
+#[must_use]
+pub fn worst_case_delay_from_slots(mac: &Ieee802154Mac, slots: &[u32], n: usize) -> Seconds {
+    assert!(n < slots.len(), "node index out of range");
     let delta = mac.config().slot_duration();
-    let others_slots: u32 =
-        assignment.slots.iter().enumerate().filter(|&(i, _)| i != n).map(|(_, &k)| k).sum();
+    let total_slots: u32 = slots.iter().sum();
+    let others_slots = total_slots - slots[n];
     let others_time = delta * f64::from(others_slots);
-    let own_time = delta * f64::from(assignment.slots[n]);
+    let own_time = delta * f64::from(slots[n]);
     let superframes_crossed = others_slots.div_ceil(MAX_GTS_SLOTS).max(1);
     others_time
-        + control_time_per_superframe(mac, assignment) * f64::from(superframes_crossed)
+        + control_time_from_total_slots(mac, total_slots) * f64::from(superframes_crossed)
         + own_time
         + mac.packet_transaction_time()
 }

@@ -47,11 +47,9 @@ pub enum ModelError {
 impl fmt::Display for ModelError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Self::DutyCycleExceeded { node, duty } => write!(
-                f,
-                "node {node}: application duty cycle {:.1}% exceeds 100%",
-                duty * 100.0
-            ),
+            Self::DutyCycleExceeded { node, duty } => {
+                write!(f, "node {node}: application duty cycle {:.1}% exceeds 100%", duty * 100.0)
+            }
             Self::GtsCapacityExceeded { required, available } => write!(
                 f,
                 "slot assignment needs {required} GTSs but only {available} are available"

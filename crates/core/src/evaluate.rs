@@ -7,14 +7,14 @@
 //! bound (Eq. 9) → balanced network metrics (Eq. 8).
 
 use crate::app::ApplicationModel;
-use crate::assignment::{assign_slots, SlotAssignment};
-use crate::delay::worst_case_delays;
+use crate::assignment::{assign_slots, assign_slots_into, SlotAssignment};
+use crate::delay::{worst_case_delay_from_slots, worst_case_delays};
 use crate::error::ModelError;
 use crate::ieee802154::{Ieee802154Config, Ieee802154Mac};
 use crate::metrics::{balanced_metric, NetworkObjectives};
 use crate::node::{NodeEnergyBreakdown, NodeModel};
 use crate::shimmer::{self, CompressionKind};
-use crate::units::{Hertz, Seconds};
+use crate::units::{ByteRate, Hertz, Seconds};
 
 /// Per-node configuration `χnode = {CR, fµC}` plus the application choice
 /// (fixed per node in the case study: half DWT, half CS).
@@ -190,14 +190,10 @@ impl WbsnModel {
         let mut prds = Vec::with_capacity(nodes.len());
         let mut phi_outs = Vec::with_capacity(nodes.len());
         for (i, node) in nodes.iter().enumerate() {
-            let app = RetransmittingApp {
-                inner: node.kind.app(node.cr)?,
-                factor: retransmission_factor,
-            };
-            let breakdown = self
-                .node_model
-                .energy_per_second(&app, node.f_mcu, &mac)
-                .map_err(|e| match e {
+            let app =
+                RetransmittingApp { inner: node.kind.app(node.cr)?, factor: retransmission_factor };
+            let breakdown =
+                self.node_model.energy_per_second(&app, node.f_mcu, &mac).map_err(|e| match e {
                     ModelError::DutyCycleExceeded { duty, .. } => {
                         ModelError::DutyCycleExceeded { node: i, duty }
                     }
@@ -239,6 +235,273 @@ impl WbsnModel {
 impl Default for WbsnModel {
     fn default() -> Self {
         Self::shimmer()
+    }
+}
+
+/// Upper bound on distinct `(kind, CR, fµC)` node configurations
+/// memoized at once. The case-study grid holds `2 · 22 · 4 = 176`
+/// combinations; the cap only guards against unbounded growth when a
+/// caller sweeps a continuous CR axis through one scratch (excess
+/// configurations are simply computed fresh).
+const MEMO_CAPACITY: usize = 1024;
+
+/// Slots of the open-addressing memo table (power of two, ≤ 50 % load at
+/// capacity so probe chains stay short).
+const MEMO_SLOTS: usize = 2048;
+
+/// Fingerprint of everything a memoized node evaluation depends on
+/// besides the node's own `(kind, CR, fµC)`: the channel loss model and
+/// the platform constants. Deliberately *not* the MAC configuration —
+/// only the radio term of Eq. 7 sees the MAC, and that term is
+/// recomputed on every hit, so one warm memo serves an entire
+/// design-space exploration across all MAC configurations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct MemoStamp {
+    packet_error_rate: f64,
+    node_model: NodeModel,
+}
+
+type MemoKey = (CompressionKind, u64, u64);
+
+/// Cached MAC-independent outcome of one node evaluation. Infeasibility
+/// is cached too — rejecting a configuration is as hot a path as
+/// accepting one.
+#[derive(Debug, Clone)]
+enum MemoOutcome {
+    Feasible {
+        /// `Esensor + EµC + Emem` summed in the exact order of
+        /// [`NodeEnergyBreakdown::total`], so adding the per-MAC radio
+        /// term reproduces the full evaluation bit-for-bit.
+        base: crate::units::MilliWatts,
+        /// Application output stream (retransmission-inflated).
+        phi_out: ByteRate,
+        /// Estimated PRD.
+        prd: f64,
+    },
+    /// The stored error carries node index 0; it is re-tagged with the
+    /// actual node index on every hit.
+    Infeasible(ModelError),
+}
+
+/// Caller-provided working memory for [`WbsnModel::evaluate_objectives`].
+///
+/// Holds the per-node buffers the full [`WbsnModel::evaluate`] allocates
+/// on every call, plus a memo of the MAC-independent node evaluations
+/// keyed by `(kind, CR, fµC)`: nodes draw from a tiny configuration
+/// grid, so an entire design-space exploration costs at most `|grid|`
+/// application-model evaluations in total — each hit only recomputes the
+/// cheap per-MAC radio term of Eq. 6.
+///
+/// One scratch serves one thread; create one per worker for parallel
+/// batch evaluation. Reusing a scratch across models, MAC configurations
+/// or network sizes is safe — the memo revalidates itself and the buffers
+/// are cleared on every call.
+#[derive(Debug, Clone, Default)]
+pub struct EvalScratch {
+    stamp: Option<MemoStamp>,
+    memo: MemoTable,
+    phi_outs: Vec<ByteRate>,
+    prds: Vec<f64>,
+    energies: Vec<f64>,
+    slots: Vec<u32>,
+    delta_tx: Vec<Seconds>,
+    delays: Vec<f64>,
+    hits: u64,
+    misses: u64,
+}
+
+/// Fixed-size open-addressing (linear probing) map from [`MemoKey`] to
+/// [`MemoOutcome`]: the memo is probed six times per evaluation, so
+/// lookup must be O(1), not a scan of the whole grid.
+#[derive(Debug, Clone, Default)]
+struct MemoTable {
+    slots: Vec<Option<(MemoKey, MemoOutcome)>>,
+    len: usize,
+}
+
+impl MemoTable {
+    fn hash(key: &MemoKey) -> usize {
+        let kind_salt: u64 = match key.0 {
+            CompressionKind::Dwt => 0x9E37_79B9_7F4A_7C15,
+            CompressionKind::Cs => 0xC2B2_AE3D_27D4_EB4F,
+        };
+        let mut h = kind_salt
+            ^ key.1.wrapping_mul(0xBF58_476D_1CE4_E5B9)
+            ^ key.2.rotate_left(31).wrapping_mul(0x94D0_49BB_1331_11EB);
+        h ^= h >> 29;
+        h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h ^= h >> 32;
+        (h as usize) & (MEMO_SLOTS - 1)
+    }
+
+    fn get(&self, key: &MemoKey) -> Option<&MemoOutcome> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let mut i = Self::hash(key);
+        loop {
+            match &self.slots[i] {
+                Some((k, outcome)) if k == key => return Some(outcome),
+                Some(_) => i = (i + 1) & (MEMO_SLOTS - 1),
+                None => return None,
+            }
+        }
+    }
+
+    /// Inserts unless the table is at capacity (callers then just
+    /// recompute such entries every time). The key must not be present.
+    fn insert(&mut self, key: MemoKey, outcome: MemoOutcome) {
+        if self.len >= MEMO_CAPACITY {
+            return;
+        }
+        if self.slots.is_empty() {
+            self.slots.resize_with(MEMO_SLOTS, || None);
+        }
+        let mut i = Self::hash(&key);
+        while self.slots[i].is_some() {
+            i = (i + 1) & (MEMO_SLOTS - 1);
+        }
+        self.slots[i] = Some((key, outcome));
+        self.len += 1;
+    }
+
+    fn clear(&mut self) {
+        self.slots.iter_mut().for_each(|s| *s = None);
+        self.len = 0;
+    }
+}
+
+impl EvalScratch {
+    /// Creates an empty scratch.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Memo hits since construction (node evaluations skipped).
+    #[must_use]
+    pub fn memo_hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Memo misses since construction (node evaluations performed).
+    #[must_use]
+    pub fn memo_misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of node configurations currently memoized.
+    #[must_use]
+    pub fn memo_len(&self) -> usize {
+        self.memo.len
+    }
+}
+
+impl WbsnModel {
+    /// Objectives-only fast path: computes exactly
+    /// `self.evaluate(mac_cfg, nodes)?.objectives` (bit-identical, same
+    /// error on infeasible configurations) without any heap allocation in
+    /// the steady state.
+    ///
+    /// Two mechanisms make it fast:
+    ///
+    /// * every per-call `Vec` of [`WbsnModel::evaluate`] is replaced by a
+    ///   buffer reused from `scratch`;
+    /// * per-node evaluations are memoized in `scratch` keyed by
+    ///   `(kind, CR, fµC)` — under a fixed MAC configuration an N-node
+    ///   network costs at most `|grid|` node-model evaluations in total.
+    ///
+    /// This is the engine behind batch design-space exploration; see
+    /// `wbsn-dse`'s `Evaluator::evaluate_batch`.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the errors of [`WbsnModel::evaluate`].
+    pub fn evaluate_objectives(
+        &self,
+        mac_cfg: &Ieee802154Config,
+        nodes: &[NodeConfig],
+        scratch: &mut EvalScratch,
+    ) -> Result<NetworkObjectives, ModelError> {
+        mac_cfg.validate()?;
+        let mac = Ieee802154Mac::new(*mac_cfg, nodes.len() as u32);
+        let stamp =
+            MemoStamp { packet_error_rate: self.packet_error_rate, node_model: self.node_model };
+        if scratch.stamp != Some(stamp) {
+            scratch.memo.clear();
+            scratch.stamp = Some(stamp);
+        }
+        let retransmission_factor = 1.0 / (1.0 - self.packet_error_rate);
+
+        scratch.phi_outs.clear();
+        scratch.prds.clear();
+        scratch.energies.clear();
+        for (i, node) in nodes.iter().enumerate() {
+            let key: MemoKey = (node.kind, node.cr.to_bits(), node.f_mcu.value().to_bits());
+            let outcome = if let Some(cached) = scratch.memo.get(&key) {
+                scratch.hits += 1;
+                cached.clone()
+            } else {
+                scratch.misses += 1;
+                let fresh = self.node_outcome(node, retransmission_factor, &mac);
+                scratch.memo.insert(key, fresh.clone());
+                fresh
+            };
+            match outcome {
+                MemoOutcome::Feasible { base, phi_out, prd } => {
+                    let radio = self.node_model.radio.energy_per_second(phi_out, &mac);
+                    scratch.energies.push((base + radio).mj_per_s());
+                    scratch.phi_outs.push(phi_out);
+                    scratch.prds.push(prd);
+                }
+                MemoOutcome::Infeasible(err) => {
+                    return Err(match err {
+                        ModelError::DutyCycleExceeded { duty, .. } => {
+                            ModelError::DutyCycleExceeded { node: i, duty }
+                        }
+                        other => other,
+                    });
+                }
+            }
+        }
+
+        assign_slots_into(&mac, &scratch.phi_outs, &mut scratch.slots, &mut scratch.delta_tx)?;
+
+        scratch.delays.clear();
+        for n in 0..nodes.len() {
+            scratch.delays.push(worst_case_delay_from_slots(&mac, &scratch.slots, n).value());
+        }
+
+        Ok(NetworkObjectives {
+            energy: balanced_metric(&scratch.energies, self.theta),
+            delay: balanced_metric(&scratch.delays, self.theta),
+            prd: balanced_metric(&scratch.prds, self.theta),
+        })
+    }
+
+    /// One node's MAC-independent evaluation, sharing the exact code path
+    /// of [`WbsnModel::evaluate`] so memoized results cannot drift. The
+    /// radio term is dropped here and recomputed per MAC by the caller;
+    /// `base` keeps the summation order of [`NodeEnergyBreakdown::total`].
+    fn node_outcome(
+        &self,
+        node: &NodeConfig,
+        retransmission_factor: f64,
+        mac: &Ieee802154Mac,
+    ) -> MemoOutcome {
+        let inner = match node.kind.app(node.cr) {
+            Ok(app) => app,
+            Err(e) => return MemoOutcome::Infeasible(e),
+        };
+        let app = RetransmittingApp { inner, factor: retransmission_factor };
+        match self.node_model.energy_per_second(&app, node.f_mcu, mac) {
+            Ok(breakdown) => MemoOutcome::Feasible {
+                base: breakdown.sensor + breakdown.mcu + breakdown.memory,
+                phi_out: breakdown.phi_out,
+                prd: app.quality_loss(self.node_model.input_rate()),
+            },
+            Err(e) => MemoOutcome::Infeasible(e),
+        }
     }
 }
 
@@ -422,6 +685,126 @@ mod tests {
     #[should_panic(expected = "packet error rate")]
     fn per_validation() {
         let _ = WbsnModel::shimmer().with_packet_error_rate(1.0);
+    }
+
+    #[test]
+    fn fast_path_matches_full_eval_bitwise_across_the_grid() {
+        let model = WbsnModel::shimmer();
+        let mut scratch = EvalScratch::new();
+        for (sfo, bco) in [(6u8, 6u8), (4, 7)] {
+            for payload in [30u16, 114] {
+                let mac = Ieee802154Config::new(payload, sfo, bco).expect("valid");
+                for cr in [0.17, 0.25, 0.38] {
+                    for f_mhz in [1.0, 2.0, 4.0, 8.0] {
+                        let nodes = half_dwt_half_cs(6, cr, Hertz::from_mhz(f_mhz));
+                        let full = model.evaluate(&mac, &nodes);
+                        let fast = model.evaluate_objectives(&mac, &nodes, &mut scratch);
+                        match (full, fast) {
+                            (Ok(full), Ok(fast)) => {
+                                assert_eq!(full.objectives.energy.to_bits(), fast.energy.to_bits());
+                                assert_eq!(full.objectives.delay.to_bits(), fast.delay.to_bits());
+                                assert_eq!(full.objectives.prd.to_bits(), fast.prd.to_bits());
+                            }
+                            (Err(a), Err(b)) => assert_eq!(a, b),
+                            (a, b) => panic!("feasibility disagreement: {a:?} vs {b:?}"),
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fast_path_reports_infeasible_node_index() {
+        let model = WbsnModel::shimmer();
+        let mut scratch = EvalScratch::new();
+        let mut nodes = half_dwt_half_cs(6, 0.25, Hertz::from_mhz(8.0));
+        nodes[2].f_mcu = Hertz::from_mhz(1.0); // node 2 runs DWT
+        let err = model
+            .evaluate_objectives(&default_mac(), &nodes, &mut scratch)
+            .expect_err("infeasible");
+        assert!(matches!(err, ModelError::DutyCycleExceeded { node: 2, .. }), "{err:?}");
+        // A *different* node with the same config hits the memo and still
+        // gets its own index.
+        let mut nodes = half_dwt_half_cs(6, 0.25, Hertz::from_mhz(8.0));
+        nodes[1].f_mcu = Hertz::from_mhz(1.0);
+        let err = model
+            .evaluate_objectives(&default_mac(), &nodes, &mut scratch)
+            .expect_err("infeasible");
+        assert!(matches!(err, ModelError::DutyCycleExceeded { node: 1, .. }), "{err:?}");
+    }
+
+    #[test]
+    fn memo_caps_node_evaluations_at_grid_size() {
+        let model = WbsnModel::shimmer();
+        let mut scratch = EvalScratch::new();
+        let mac = default_mac();
+        // 8 distinct (kind, cr, f) combinations, evaluated 50 times.
+        for _ in 0..50 {
+            for cr in [0.2, 0.3] {
+                for f in [4.0, 8.0] {
+                    let nodes = half_dwt_half_cs(6, cr, Hertz::from_mhz(f));
+                    model.evaluate_objectives(&mac, &nodes, &mut scratch).expect("feasible");
+                }
+            }
+        }
+        assert_eq!(scratch.memo_len(), 8);
+        assert_eq!(scratch.memo_misses(), 8);
+        // 50 rounds × 4 configs × 6 nodes = 1200 node draws, 8 misses.
+        assert_eq!(scratch.memo_hits() + scratch.memo_misses(), 1200);
+    }
+
+    #[test]
+    fn memo_survives_mac_changes_but_revalidates_on_model_changes() {
+        let model = WbsnModel::shimmer();
+        let mut scratch = EvalScratch::new();
+        let nodes = half_dwt_half_cs(6, 0.25, Hertz::from_mhz(8.0));
+        model.evaluate_objectives(&default_mac(), &nodes, &mut scratch).expect("ok");
+        let first_misses = scratch.memo_misses();
+        assert!(first_misses > 0);
+
+        // New MAC: only the per-call radio term depends on it, so the
+        // memo keeps serving — and the result stays exact.
+        let other_mac = Ieee802154Config::new(70, 5, 6).expect("valid");
+        let fast = model.evaluate_objectives(&other_mac, &nodes, &mut scratch).expect("ok");
+        let full = model.evaluate(&other_mac, &nodes).expect("ok").objectives;
+        assert_eq!(full.energy.to_bits(), fast.energy.to_bits());
+        assert_eq!(full.delay.to_bits(), fast.delay.to_bits());
+        assert_eq!(
+            scratch.memo_misses(),
+            first_misses,
+            "a MAC change must not invalidate the MAC-independent memo"
+        );
+
+        // Lossy model through the same scratch: node outcomes change, so
+        // the memo must revalidate.
+        let lossy = WbsnModel::shimmer().with_packet_error_rate(0.3);
+        let fast = lossy.evaluate_objectives(&default_mac(), &nodes, &mut scratch).expect("ok");
+        let full = lossy.evaluate(&default_mac(), &nodes).expect("ok").objectives;
+        assert!(scratch.memo_misses() > first_misses, "stale memo reused across models");
+        assert_eq!(full.energy.to_bits(), fast.energy.to_bits());
+        assert_eq!(full.delay.to_bits(), fast.delay.to_bits());
+        assert_eq!(full.prd.to_bits(), fast.prd.to_bits());
+
+        // Different platform constants likewise.
+        let mut other_platform = shimmer::node_model();
+        other_platform.radio.e_tx_per_bit_mj *= 2.0;
+        let custom = WbsnModel::new(other_platform, 1.0);
+        let fast = custom.evaluate_objectives(&default_mac(), &nodes, &mut scratch).expect("ok");
+        let full = custom.evaluate(&default_mac(), &nodes).expect("ok").objectives;
+        assert_eq!(full.energy.to_bits(), fast.energy.to_bits());
+    }
+
+    #[test]
+    fn fast_path_respects_theta() {
+        let mut scratch = EvalScratch::new();
+        let nodes = half_dwt_half_cs(6, 0.25, Hertz::from_mhz(8.0));
+        for theta in [0.0, 0.5, 2.0] {
+            let model = WbsnModel::shimmer().with_theta(theta);
+            let fast = model.evaluate_objectives(&default_mac(), &nodes, &mut scratch).expect("ok");
+            let full = model.evaluate(&default_mac(), &nodes).expect("ok").objectives;
+            assert_eq!(full.energy.to_bits(), fast.energy.to_bits());
+        }
     }
 
     #[test]

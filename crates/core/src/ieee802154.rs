@@ -121,10 +121,7 @@ impl Ieee802154Config {
         if self.payload_bytes == 0 || u32::from(self.payload_bytes) > MAX_PAYLOAD_BYTES {
             return Err(ModelError::InvalidParameter {
                 name: "payload_bytes",
-                reason: format!(
-                    "must be in 1..={MAX_PAYLOAD_BYTES}, got {}",
-                    self.payload_bytes
-                ),
+                reason: format!("must be in 1..={MAX_PAYLOAD_BYTES}, got {}", self.payload_bytes),
             });
         }
         if self.sfo > self.bco {
@@ -308,9 +305,7 @@ impl MacModel for Ieee802154Mac {
     }
 
     fn allocatable_time(&self) -> Seconds {
-        self.cfg.slot_duration()
-            * f64::from(MAX_GTS_SLOTS)
-            * self.cfg.superframes_per_second()
+        self.cfg.slot_duration() * f64::from(MAX_GTS_SLOTS) * self.cfg.superframes_per_second()
     }
 
     fn tx_time(&self, phi_out: ByteRate) -> Seconds {
@@ -409,8 +404,7 @@ mod tests {
         // is the beacon plus 9/16 of the superframe.
         let m = mac(100, 6, 6, 6);
         let per_s = m.timing_overhead().value();
-        let expect = (m.beacon_airtime().value()
-            + 9.0 * m.config().slot_duration().value())
+        let expect = (m.beacon_airtime().value() + 9.0 * m.config().slot_duration().value())
             * m.config().superframes_per_second();
         assert!((per_s - expect).abs() < 1e-12);
     }
@@ -461,10 +455,7 @@ mod tests {
     fn beacon_grows_with_gts_descriptors() {
         let cfg = Ieee802154Config::default();
         assert_eq!(cfg.beacon_mac_bytes(0), BEACON_BASE_MAC_BYTES);
-        assert_eq!(
-            cfg.beacon_mac_bytes(7),
-            BEACON_BASE_MAC_BYTES + 7 * GTS_DESCRIPTOR_BYTES
-        );
+        assert_eq!(cfg.beacon_mac_bytes(7), BEACON_BASE_MAC_BYTES + 7 * GTS_DESCRIPTOR_BYTES);
     }
 
     #[test]

@@ -53,6 +53,13 @@
 #![allow(clippy::module_name_repetitions)]
 #![allow(clippy::must_use_candidate)]
 #![allow(clippy::cast_precision_loss)]
+// Bit-exact f64 comparison is a deliberate tool here: tests and the
+// evaluation fast path verify exact reproducibility, not approximation.
+#![allow(clippy::float_cmp)]
+// Node counts and slot counts are paper-scale (≤ tens), casts cannot truncate.
+#![allow(clippy::cast_possible_truncation)]
+#![allow(clippy::missing_panics_doc)]
+#![allow(clippy::needless_range_loop)]
 
 pub mod app;
 pub mod assignment;
@@ -71,7 +78,7 @@ pub mod space;
 pub mod units;
 
 pub use error::ModelError;
-pub use evaluate::{NodeConfig, SystemEvaluation, WbsnModel};
+pub use evaluate::{EvalScratch, NodeConfig, SystemEvaluation, WbsnModel};
 pub use ieee802154::{Ieee802154Config, Ieee802154Mac};
 pub use metrics::NetworkObjectives;
 pub use shimmer::CompressionKind;

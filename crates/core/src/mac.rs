@@ -66,8 +66,7 @@ pub trait MacModel {
     /// (`Σ k(n) ≤` this; 7 GTSs for IEEE 802.15.4). The default derives it
     /// from the per-second budget.
     fn capacity_slots_per_round(&self) -> u32 {
-        let per_round =
-            self.allocatable_time().value() / self.allocation_rounds_per_second();
+        let per_round = self.allocatable_time().value() / self.allocation_rounds_per_second();
         #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
         {
             (per_round / self.base_time_unit().value() + 1e-9).floor() as u32
@@ -109,10 +108,7 @@ impl TdmaMac {
     /// not positive.
     #[must_use]
     pub fn new(slot: Seconds, control_fraction: f64, bit_rate: f64) -> Self {
-        assert!(
-            (0.0..1.0).contains(&control_fraction),
-            "control fraction must be in [0, 1)"
-        );
+        assert!((0.0..1.0).contains(&control_fraction), "control fraction must be in [0, 1)");
         assert!(bit_rate > 0.0, "bit rate must be positive");
         Self { slot, control_fraction, bit_rate }
     }

@@ -227,9 +227,8 @@ pub fn polyfit(xs: &[f64], ys: &[f64], degree: usize) -> Result<Polynomial, FitE
     if xs.len() < n_coeff {
         return Err(FitError::NotEnoughSamples { got: xs.len(), need: n_coeff });
     }
-    let (lo, hi) = xs
-        .iter()
-        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &x| (lo.min(x), hi.max(x)));
+    let (lo, hi) =
+        xs.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &x| (lo.min(x), hi.max(x)));
     let offset = 0.5 * (lo + hi);
     let half = 0.5 * (hi - lo);
     let scale = if half > 0.0 { half } else { 1.0 };
@@ -241,7 +240,7 @@ pub fn polyfit(xs: &[f64], ys: &[f64], degree: usize) -> Result<Polynomial, FitE
     for (&x, &y) in xs.iter().zip(ys) {
         let t = (x - offset) / scale;
         let mut p = 1.0;
-        for slot in powers.iter_mut() {
+        for slot in &mut powers {
             *slot = p;
             p *= t;
         }
@@ -341,7 +340,8 @@ mod tests {
 
     #[test]
     fn polyfit_recovers_exact_quintic() {
-        let truth = |x: f64| 1.0 + x - 3.0 * x.powi(2) + 0.5 * x.powi(3) - x.powi(4) + 2.0 * x.powi(5);
+        let truth =
+            |x: f64| 1.0 + x - 3.0 * x.powi(2) + 0.5 * x.powi(3) - x.powi(4) + 2.0 * x.powi(5);
         let xs: Vec<f64> = (0..40).map(|i| 0.17 + 0.0054 * f64::from(i)).collect();
         let ys: Vec<f64> = xs.iter().map(|&x| truth(x)).collect();
         let p = polyfit(&xs, &ys, 5).expect("fit");
@@ -366,7 +366,11 @@ mod tests {
     fn polyfit_is_least_squares_not_interpolation() {
         // Overdetermined noisy line: fitted slope must be between extremes.
         let xs: Vec<f64> = (0..100).map(f64::from).collect();
-        let ys: Vec<f64> = xs.iter().enumerate().map(|(i, &x)| 2.0 * x + if i % 2 == 0 { 0.5 } else { -0.5 }).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| 2.0 * x + if i % 2 == 0 { 0.5 } else { -0.5 })
+            .collect();
         let p = polyfit(&xs, &ys, 1).expect("fit");
         let slope = (p.eval(100.0) - p.eval(0.0)) / 100.0;
         // The alternating noise is not exactly orthogonal to x, so allow a

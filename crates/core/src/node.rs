@@ -93,7 +93,8 @@ impl MemoryModel {
     pub fn energy_per_second(&self, usage: &ResourceUsage) -> MilliWatts {
         let access_fraction = (usage.mem_accesses_per_s * self.t_access.value()).clamp(0.0, 1.0);
         let dynamic = self.e_access * access_fraction;
-        let idle = MilliWatts::new((1.0 - access_fraction) * 8.0 * usage.mem_bytes * self.e_bit_idle_mw);
+        let idle =
+            MilliWatts::new((1.0 - access_fraction) * 8.0 * usage.mem_bytes * self.e_bit_idle_mw);
         dynamic + idle
     }
 }
@@ -253,9 +254,7 @@ mod tests {
     fn eq4_mcu_hand_computed() {
         let node = test_node();
         // duty 0.2832 at 8 MHz: 0.2832·(1.15·8 + 0.26) = 0.2832·9.46
-        let e = node
-            .mcu
-            .energy_per_second(DutyCycle::new(0.2832), Hertz::from_mhz(8.0));
+        let e = node.mcu.energy_per_second(DutyCycle::new(0.2832), Hertz::from_mhz(8.0));
         assert!((e.mj_per_s() - 0.2832 * 9.46).abs() < 1e-12);
     }
 
@@ -310,9 +309,8 @@ mod tests {
     fn eq7_total_is_component_sum() {
         let node = test_node();
         let mac = TdmaMac::new(Seconds::from_millis(1.0), 0.1, 250_000.0);
-        let breakdown = node
-            .energy_per_second(&Passthrough, Hertz::from_mhz(8.0), &mac)
-            .expect("feasible");
+        let breakdown =
+            node.energy_per_second(&Passthrough, Hertz::from_mhz(8.0), &mac).expect("feasible");
         let sum = breakdown.sensor + breakdown.mcu + breakdown.memory + breakdown.radio;
         assert!((breakdown.total().value() - sum.value()).abs() < 1e-12);
     }

@@ -103,16 +103,16 @@ impl DesignSpace {
             assert!(idx < len, "pick returned {idx} for dimension `{dim}` of size {len}");
             idx
         };
-        let payload =
-            self.payload_values[checked(pick(self.payload_values.len()), self.payload_values.len(), "payload")];
-        let (sfo, bco) =
-            self.order_pairs[checked(pick(self.order_pairs.len()), self.order_pairs.len(), "orders")];
+        let payload = self.payload_values
+            [checked(pick(self.payload_values.len()), self.payload_values.len(), "payload")];
+        let (sfo, bco) = self.order_pairs
+            [checked(pick(self.order_pairs.len()), self.order_pairs.len(), "orders")];
         let nodes = self
             .node_kinds
             .iter()
             .map(|&kind| {
-                let cr = self.cr_values
-                    [checked(pick(self.cr_values.len()), self.cr_values.len(), "cr")];
+                let cr =
+                    self.cr_values[checked(pick(self.cr_values.len()), self.cr_values.len(), "cr")];
                 let f = self.f_mcu_values
                     [checked(pick(self.f_mcu_values.len()), self.f_mcu_values.len(), "f_mcu")];
                 NodeConfig::new(kind, cr, f)
@@ -128,6 +128,65 @@ impl DesignSpace {
             },
             nodes,
         }
+    }
+
+    /// The size of every pick dimension, in the order
+    /// [`DesignSpace::point_with`] consumes them: payload, (SFO, BCO)
+    /// pair, then `(CR, fµC)` per node.
+    #[must_use]
+    pub fn dimension_radices(&self) -> Vec<usize> {
+        let mut radices = Vec::with_capacity(2 + 2 * self.num_nodes());
+        radices.push(self.payload_values.len());
+        radices.push(self.order_pairs.len());
+        for _ in 0..self.num_nodes() {
+            radices.push(self.cr_values.len());
+            radices.push(self.f_mcu_values.len());
+        }
+        radices
+    }
+
+    /// Materializes the `index`-th design point of the mixed-radix
+    /// enumeration (first dimension fastest-varying — the same order a
+    /// digit-odometer over [`DesignSpace::point_with`] produces).
+    ///
+    /// A linear index makes exhaustive enumeration embarrassingly
+    /// parallel: any sub-range of `0..cardinality()` can be decoded
+    /// independently.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index ≥ cardinality()`.
+    #[must_use]
+    pub fn point_at(&self, index: u128) -> DesignPoint {
+        assert!(
+            index < self.cardinality(),
+            "index {index} out of range for a space of {} points",
+            self.cardinality()
+        );
+        let mut rem = index;
+        self.point_with(|n| {
+            let digit = (rem % n as u128) as usize;
+            rem /= n as u128;
+            digit
+        })
+    }
+
+    /// Deterministic pseudo-random sweep of `count` design points mixing
+    /// feasible and infeasible regions — the shared workload generator
+    /// for throughput benches and batch-evaluation tests (an LCG index
+    /// scramble, so no RNG dependency and identical points everywhere
+    /// it is used).
+    #[must_use]
+    pub fn sample_sweep(&self, count: usize) -> Vec<DesignPoint> {
+        let mut k = 0usize;
+        (0..count)
+            .map(|i| {
+                self.point_with(|dim| {
+                    k = k.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(i + dim);
+                    k % dim.max(1)
+                })
+            })
+            .collect()
     }
 
     /// Enumerates every MAC configuration of the space (the per-node
@@ -201,6 +260,45 @@ mod tests {
     fn out_of_range_pick_panics() {
         let space = DesignSpace::case_study(2);
         let _ = space.point_with(|n| n);
+    }
+
+    #[test]
+    fn point_at_covers_corners_and_matches_point_with() {
+        let mut space = DesignSpace::case_study(2);
+        space.cr_values = vec![0.17, 0.25];
+        space.f_mcu_values = vec![Hertz::from_mhz(4.0), Hertz::from_mhz(8.0)];
+        space.payload_values = vec![70, 114];
+        space.order_pairs = vec![(5, 5), (6, 6)];
+        assert_eq!(space.point_at(0), space.point_with(|_| 0));
+        let last = space.cardinality() - 1;
+        assert_eq!(space.point_at(last), space.point_with(|n| n - 1));
+        // First dimension (payload) varies fastest.
+        assert_eq!(space.point_at(1).mac.payload_bytes, 114);
+        assert_eq!(space.point_at(1).nodes, space.point_at(0).nodes);
+    }
+
+    #[test]
+    fn dimension_radices_match_point_with_dry_run() {
+        let space = DesignSpace::case_study(3);
+        let mut observed = Vec::new();
+        let _ = space.point_with(|n| {
+            observed.push(n);
+            0
+        });
+        assert_eq!(space.dimension_radices(), observed);
+        let product: u128 = space.dimension_radices().iter().map(|&n| n as u128).product();
+        assert_eq!(product, space.cardinality());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn point_at_rejects_out_of_range_index() {
+        let mut space = DesignSpace::case_study(1);
+        space.cr_values = vec![0.2];
+        space.f_mcu_values = vec![Hertz::from_mhz(8.0)];
+        space.payload_values = vec![114];
+        space.order_pairs = vec![(6, 6)];
+        let _ = space.point_at(space.cardinality());
     }
 
     #[test]

@@ -5,9 +5,18 @@
 //! state-of-the-art baseline the paper compares against ([26]): the same
 //! energy/delay physics but *blind to application quality* — the reason
 //! it recovers only ~7 % of the true trade-offs (Fig. 5).
+//!
+//! Both model-backed evaluators override [`Evaluator::evaluate_batch`]
+//! with a parallel implementation running the allocation-free
+//! [`WbsnModel::evaluate_objectives`] fast path on every core, one
+//! [`EvalScratch`] per worker. [`SerialEvaluator`] opts any evaluator
+//! back into the one-at-a-time default — the baseline the speedup is
+//! measured against and the reference for determinism tests.
 
 use crate::objective::ObjectiveVector;
-use wbsn_model::evaluate::WbsnModel;
+use crate::parallel::parallel_map_with;
+use std::sync::{Arc, Mutex};
+use wbsn_model::evaluate::{EvalScratch, WbsnModel};
 use wbsn_model::space::DesignPoint;
 
 /// Maps a design point to objectives; `None` marks infeasibility.
@@ -16,6 +25,18 @@ pub trait Evaluator {
     /// overflow, GTS overflow, bandwidth shortfall).
     fn evaluate(&self, point: &DesignPoint) -> Option<ObjectiveVector>;
 
+    /// Evaluates a batch of configurations, preserving order:
+    /// `result[i]` corresponds to `points[i]`.
+    ///
+    /// Evaluation is a pure function of the point, so implementations may
+    /// reorder or parallelize *execution* freely — the returned vector is
+    /// indistinguishable from mapping [`Evaluator::evaluate`] serially.
+    /// The default implementation does exactly that; model-backed
+    /// evaluators override it with a multi-core fast path.
+    fn evaluate_batch(&self, points: &[DesignPoint]) -> Vec<Option<ObjectiveVector>> {
+        points.iter().map(|p| self.evaluate(p)).collect()
+    }
+
     /// Number of objectives produced.
     fn num_objectives(&self) -> usize;
 
@@ -23,23 +44,78 @@ pub trait Evaluator {
     fn name(&self) -> &'static str;
 }
 
+/// Wrapper forcing the default serial [`Evaluator::evaluate_batch`] on
+/// any evaluator: the reference implementation for determinism tests and
+/// the baseline for speedup measurements.
+#[derive(Debug, Clone)]
+pub struct SerialEvaluator<E>(pub E);
+
+impl<E: Evaluator> Evaluator for SerialEvaluator<E> {
+    fn evaluate(&self, point: &DesignPoint) -> Option<ObjectiveVector> {
+        self.0.evaluate(point)
+    }
+
+    // evaluate_batch deliberately NOT overridden: inherits the serial
+    // default even when `E` has a parallel override.
+
+    fn num_objectives(&self) -> usize {
+        self.0.num_objectives()
+    }
+
+    fn name(&self) -> &'static str {
+        self.0.name()
+    }
+}
+
+/// Pool of warm [`EvalScratch`]es shared by the batch workers of one
+/// evaluator: `evaluate_batch` is called once per NSGA-II generation, and
+/// without a pool each call would rebuild its scratches and re-derive the
+/// `(kind, CR, fµC)` memo from scratch. Workers take a scratch on start
+/// and return it (memo intact) when the batch ends.
+#[derive(Debug, Default)]
+struct ScratchPool(Mutex<Vec<EvalScratch>>);
+
+impl ScratchPool {
+    fn take(self: &Arc<Self>) -> PooledScratch {
+        let scratch =
+            self.0.lock().map_or_else(|_| EvalScratch::new(), |mut p| p.pop().unwrap_or_default());
+        PooledScratch { scratch, pool: Arc::clone(self) }
+    }
+}
+
+/// RAII handle returning its scratch to the pool on drop (i.e. when the
+/// worker thread finishes its share of the batch).
+struct PooledScratch {
+    scratch: EvalScratch,
+    pool: Arc<ScratchPool>,
+}
+
+impl Drop for PooledScratch {
+    fn drop(&mut self) {
+        if let Ok(mut pool) = self.pool.0.lock() {
+            pool.push(std::mem::take(&mut self.scratch));
+        }
+    }
+}
+
 /// The proposed multi-layer model: objectives `(Enet, delay, PRD)`.
 #[derive(Debug, Clone)]
 pub struct ModelEvaluator {
     model: WbsnModel,
+    scratch_pool: Arc<ScratchPool>,
 }
 
 impl ModelEvaluator {
     /// Uses the Shimmer case-study model.
     #[must_use]
     pub fn shimmer() -> Self {
-        Self { model: WbsnModel::shimmer() }
+        Self::new(WbsnModel::shimmer())
     }
 
     /// Uses a custom model (e.g. different ϑ).
     #[must_use]
     pub fn new(model: WbsnModel) -> Self {
-        Self { model }
+        Self { model, scratch_pool: Arc::default() }
     }
 }
 
@@ -49,6 +125,19 @@ impl Evaluator for ModelEvaluator {
             .evaluate(&point.mac, &point.nodes)
             .ok()
             .map(|e| ObjectiveVector::new(e.objectives.to_array().to_vec()))
+    }
+
+    fn evaluate_batch(&self, points: &[DesignPoint]) -> Vec<Option<ObjectiveVector>> {
+        parallel_map_with(
+            points,
+            || self.scratch_pool.take(),
+            |pooled, point| {
+                self.model
+                    .evaluate_objectives(&point.mac, &point.nodes, &mut pooled.scratch)
+                    .ok()
+                    .map(|o| ObjectiveVector::new(o.to_array().to_vec()))
+            },
+        )
     }
 
     fn num_objectives(&self) -> usize {
@@ -65,13 +154,14 @@ impl Evaluator for ModelEvaluator {
 #[derive(Debug, Clone)]
 pub struct EnergyDelayEvaluator {
     model: WbsnModel,
+    scratch_pool: Arc<ScratchPool>,
 }
 
 impl EnergyDelayEvaluator {
     /// Uses the Shimmer case-study model.
     #[must_use]
     pub fn shimmer() -> Self {
-        Self { model: WbsnModel::shimmer() }
+        Self { model: WbsnModel::shimmer(), scratch_pool: Arc::default() }
     }
 }
 
@@ -81,6 +171,19 @@ impl Evaluator for EnergyDelayEvaluator {
             .evaluate(&point.mac, &point.nodes)
             .ok()
             .map(|e| ObjectiveVector::new(e.objectives.energy_delay().to_vec()))
+    }
+
+    fn evaluate_batch(&self, points: &[DesignPoint]) -> Vec<Option<ObjectiveVector>> {
+        parallel_map_with(
+            points,
+            || self.scratch_pool.take(),
+            |pooled, point| {
+                self.model
+                    .evaluate_objectives(&point.mac, &point.nodes, &mut pooled.scratch)
+                    .ok()
+                    .map(|o| ObjectiveVector::new(o.energy_delay().to_vec()))
+            },
+        )
     }
 
     fn num_objectives(&self) -> usize {
@@ -132,5 +235,47 @@ mod tests {
     fn names() {
         assert_eq!(ModelEvaluator::shimmer().name(), "proposed-model");
         assert_eq!(EnergyDelayEvaluator::shimmer().name(), "energy-delay-baseline");
+    }
+
+    #[test]
+    fn batch_is_bit_identical_to_serial_for_both_evaluators() {
+        let space = DesignSpace::case_study(6);
+        let points = space.sample_sweep(300);
+        let model = ModelEvaluator::shimmer();
+        let baseline = EnergyDelayEvaluator::shimmer();
+        let serial_model = SerialEvaluator(model.clone());
+        let serial_baseline = SerialEvaluator(baseline.clone());
+        assert_eq!(model.evaluate_batch(&points), serial_model.evaluate_batch(&points));
+        assert_eq!(baseline.evaluate_batch(&points), serial_baseline.evaluate_batch(&points));
+        // And the serial default really is a map of `evaluate`.
+        for (p, o) in points.iter().zip(serial_model.evaluate_batch(&points)) {
+            assert_eq!(o, model.evaluate(p));
+        }
+    }
+
+    #[test]
+    fn batch_marks_infeasible_points_as_none() {
+        let space = DesignSpace::case_study(6);
+        let feasible = space.point_with(|n| n - 1);
+        let infeasible = space.point_with(|_| 0);
+        let batch =
+            ModelEvaluator::shimmer().evaluate_batch(&[feasible.clone(), infeasible, feasible]);
+        assert!(batch[0].is_some());
+        assert!(batch[1].is_none());
+        assert_eq!(batch[0], batch[2]);
+    }
+
+    #[test]
+    fn empty_batch() {
+        assert!(ModelEvaluator::shimmer().evaluate_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn dyn_evaluator_dispatches_batch_override() {
+        let space = DesignSpace::case_study(6);
+        let points = space.sample_sweep(50);
+        let concrete = ModelEvaluator::shimmer();
+        let as_dyn: &dyn Evaluator = &concrete;
+        assert_eq!(as_dyn.evaluate_batch(&points), concrete.evaluate_batch(&points));
     }
 }

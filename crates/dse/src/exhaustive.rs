@@ -6,6 +6,11 @@ use crate::nsga2::SearchResult;
 use crate::pareto::ParetoArchive;
 use wbsn_model::space::DesignSpace;
 
+/// Points decoded and evaluated per batch: large enough to keep every
+/// core of a parallel batch evaluator busy, small enough that the decoded
+/// points of one batch fit comfortably in cache.
+const BATCH: usize = 4096;
+
 /// Total number of points the mixed-radix enumeration would visit.
 #[must_use]
 pub fn enumeration_size(space: &DesignSpace) -> u128 {
@@ -35,49 +40,34 @@ pub fn enumeration_size(space: &DesignSpace) -> u128 {
 #[must_use]
 pub fn exhaustive(space: &DesignSpace, evaluator: &dyn Evaluator, limit: u128) -> SearchResult {
     let total = enumeration_size(space);
-    assert!(
-        total <= limit,
-        "space holds {total} points, above the exhaustive limit {limit}"
-    );
+    assert!(total <= limit, "space holds {total} points, above the exhaustive limit {limit}");
     let mut front = ParetoArchive::new();
     let mut evaluations = 0u64;
     let mut infeasible = 0u64;
 
-    // Mixed-radix odometer over the pick sequence consumed by
-    // `DesignSpace::point_with` (payload, orders, then per-node cr/f).
-    let mut digits: Vec<usize> = Vec::new();
-    let mut radices: Vec<usize> = Vec::new();
-    // Discover the dimension sizes with a dry run.
-    let _ = space.point_with(|n| {
-        radices.push(n);
-        0
-    });
-    digits.resize(radices.len(), 0);
-
-    loop {
-        let mut it = digits.iter().copied();
-        let point = space.point_with(|_| it.next().expect("digit per dimension"));
-        evaluations += 1;
-        match evaluator.evaluate(&point) {
-            Some(obj) => {
-                front.insert(obj, point);
+    // Linear-index enumeration: `DesignSpace::point_at` decodes index i
+    // into the i-th mixed-radix digit vector (the same sequence the old
+    // serial odometer produced), so the space partitions perfectly into
+    // independent chunks handed to `evaluate_batch` — the evaluator fans
+    // each one out across cores. Archive insertion stays in index order:
+    // the result is bit-identical to the fully serial enumeration.
+    let mut next: u128 = 0;
+    while next < total {
+        let count = usize::try_from((total - next).min(BATCH as u128)).expect("bounded by BATCH");
+        let points: Vec<_> = (0..count).map(|i| space.point_at(next + i as u128)).collect();
+        let results = evaluator.evaluate_batch(&points);
+        evaluations += count as u64;
+        for (point, result) in points.into_iter().zip(results) {
+            match result {
+                Some(obj) => {
+                    front.insert(obj, point);
+                }
+                None => infeasible += 1,
             }
-            None => infeasible += 1,
         }
-        // Increment the odometer.
-        let mut pos = 0;
-        loop {
-            if pos == digits.len() {
-                return SearchResult { front, evaluations, infeasible };
-            }
-            digits[pos] += 1;
-            if digits[pos] < radices[pos] {
-                break;
-            }
-            digits[pos] = 0;
-            pos += 1;
-        }
+        next += count as u128;
     }
+    SearchResult { front, evaluations, infeasible }
 }
 
 #[cfg(test)]
@@ -89,10 +79,8 @@ mod tests {
     fn tiny_space() -> DesignSpace {
         let mut space = DesignSpace::case_study(2);
         space.cr_values = vec![0.17, 0.25, 0.33];
-        space.f_mcu_values = vec![
-            wbsn_model::units::Hertz::from_mhz(4.0),
-            wbsn_model::units::Hertz::from_mhz(8.0),
-        ];
+        space.f_mcu_values =
+            vec![wbsn_model::units::Hertz::from_mhz(4.0), wbsn_model::units::Hertz::from_mhz(8.0)];
         space.payload_values = vec![70, 114];
         space.order_pairs = vec![(5, 5), (6, 6), (6, 8)];
         space
@@ -106,6 +94,49 @@ mod tests {
         // All DWT/CS nodes at 4/8 MHz are feasible here.
         assert_eq!(result.infeasible, 0);
         assert!(!result.front.is_empty());
+    }
+
+    /// The linear-index enumeration visits exactly the point set (and
+    /// sequence) of the retired serial odometer.
+    #[test]
+    fn linear_decode_enumerates_the_odometer_sequence() {
+        let space = tiny_space();
+        // Reference: the old mixed-radix odometer.
+        let radices = space.dimension_radices();
+        let mut digits = vec![0usize; radices.len()];
+        let mut index: u128 = 0;
+        loop {
+            let mut it = digits.iter().copied();
+            let odometer_point = space.point_with(|_| it.next().expect("digit per dimension"));
+            assert_eq!(space.point_at(index), odometer_point, "index {index}");
+            index += 1;
+            let mut pos = 0;
+            loop {
+                if pos == digits.len() {
+                    assert_eq!(index, space.cardinality(), "sequence lengths differ");
+                    return;
+                }
+                digits[pos] += 1;
+                if digits[pos] < radices[pos] {
+                    break;
+                }
+                digits[pos] = 0;
+                pos += 1;
+            }
+        }
+    }
+
+    /// Batch-partitioned exhaustive search returns the identical archive
+    /// (entries, order, payloads) as a point-by-point serial pass.
+    #[test]
+    fn batched_front_is_bit_identical_to_serial() {
+        let space = tiny_space();
+        let eval = ModelEvaluator::shimmer();
+        let batched = exhaustive(&space, &eval, 100_000);
+        let serial = exhaustive(&space, &crate::evaluator::SerialEvaluator(eval), 100_000);
+        assert_eq!(batched.evaluations, serial.evaluations);
+        assert_eq!(batched.infeasible, serial.infeasible);
+        assert_eq!(batched.front.entries(), serial.front.entries());
     }
 
     #[test]

@@ -13,7 +13,7 @@ use wbsn_model::space::{DesignPoint, DesignSpace};
 pub struct Genome {
     payload_idx: usize,
     order_idx: usize,
-    /// One (cr_idx, f_idx) pair per node.
+    /// One (`cr_idx`, `f_idx`) pair per node.
     node_genes: Vec<(usize, usize)>,
 }
 
@@ -55,6 +55,7 @@ impl Genome {
 
     /// Uniform crossover: each gene comes from either parent with equal
     /// probability.
+    #[must_use]
     pub fn crossover<R: Rng + ?Sized>(&self, other: &Self, rng: &mut R) -> Self {
         debug_assert_eq!(self.node_genes.len(), other.node_genes.len());
         Self {

@@ -8,10 +8,16 @@
 //! * [`objective`] / [`pareto`] — dominance, non-dominated archives;
 //! * [`genome`] — index encoding of a full network configuration;
 //! * [`evaluator`] — the proposed 3-objective model and the
-//!   energy/delay-only state-of-the-art baseline ([26]);
-//! * [`nsga2`] — elitist non-dominated sorting GA;
-//! * [`mosa`] — multi-objective simulated annealing ([27]) and a random
-//!   search baseline;
+//!   energy/delay-only state-of-the-art baseline ([26]), both with a
+//!   multi-core [`Evaluator::evaluate_batch`] running the
+//!   allocation-free `WbsnModel::evaluate_objectives` fast path;
+//! * [`parallel`] — the scoped-thread work-stealing map behind batch
+//!   evaluation;
+//! * [`nsga2`] — elitist non-dominated sorting GA, one evaluation batch
+//!   per generation (bit-identical to serial for a fixed seed);
+//! * [`mosa`] — multi-objective simulated annealing ([27]), a random
+//!   search baseline, and parallel independent restarts
+//!   ([`mosa::mosa_restarts`]);
 //! * [`quality`] — C-metric, Pareto membership, hypervolume.
 //!
 //! ```no_run
@@ -32,6 +38,9 @@
 #![allow(clippy::module_name_repetitions)]
 #![allow(clippy::must_use_candidate)]
 #![allow(clippy::cast_precision_loss)]
+// Exact f64 comparison verifies bit-identical serial/parallel results.
+#![allow(clippy::float_cmp)]
+#![allow(clippy::missing_panics_doc)]
 
 pub mod evaluator;
 pub mod exhaustive;
@@ -39,12 +48,13 @@ pub mod genome;
 pub mod mosa;
 pub mod nsga2;
 pub mod objective;
+pub mod parallel;
 pub mod pareto;
 pub mod quality;
 
-pub use evaluator::{EnergyDelayEvaluator, Evaluator, ModelEvaluator};
+pub use evaluator::{EnergyDelayEvaluator, Evaluator, ModelEvaluator, SerialEvaluator};
 pub use genome::Genome;
-pub use mosa::{mosa, random_search, MosaConfig};
+pub use mosa::{mosa, mosa_restarts, random_search, MosaConfig};
 pub use nsga2::{nsga2, Nsga2Config, SearchResult};
 pub use objective::{Dominance, ObjectiveVector};
 pub use pareto::ParetoArchive;

@@ -121,6 +121,50 @@ pub fn mosa(space: &DesignSpace, evaluator: &dyn Evaluator, cfg: &MosaConfig) ->
     SearchResult { front: archive, evaluations, infeasible }
 }
 
+/// Runs `restarts` independent MOSA chains (seeds `seed`, `seed+1`, …)
+/// and merges their archives into one front, restarts fanned out across
+/// cores.
+///
+/// Annealing is inherently sequential — each step mutates the previous
+/// accepted state — so a single chain cannot be parallelized without
+/// changing its semantics. Independent restarts can: they explore from
+/// different random starting points (escaping different local basins) and
+/// their archives merge deterministically in restart order, so the result
+/// is bit-identical regardless of how many threads executed them.
+///
+/// `SearchResult::evaluations` sums over all chains: quality comparisons
+/// against other optimizers stay budget-honest.
+///
+/// # Panics
+///
+/// Panics if `restarts` is zero.
+#[must_use]
+pub fn mosa_restarts(
+    space: &DesignSpace,
+    evaluator: &(dyn Evaluator + Sync),
+    cfg: &MosaConfig,
+    restarts: usize,
+) -> SearchResult {
+    assert!(restarts >= 1, "at least one restart required");
+    let chain_indices: Vec<u64> = (0..restarts as u64).collect();
+    let runs = crate::parallel::parallel_map_with_block(
+        &chain_indices,
+        1,
+        || (),
+        |(), &i| {
+            let chain_cfg = MosaConfig { seed: cfg.seed.wrapping_add(i), ..*cfg };
+            mosa(space, evaluator, &chain_cfg)
+        },
+    );
+    let mut merged = SearchResult { front: ParetoArchive::new(), evaluations: 0, infeasible: 0 };
+    for run in runs {
+        merged.evaluations += run.evaluations;
+        merged.infeasible += run.infeasible;
+        merged.front.merge(run.front);
+    }
+    merged
+}
+
 /// Pure random search with the same evaluation budget — the sanity
 /// baseline every metaheuristic must beat.
 #[must_use]
@@ -177,6 +221,44 @@ mod tests {
         let ao: Vec<_> = a.front.objectives().cloned().collect();
         let bo: Vec<_> = b.front.objectives().cloned().collect();
         assert_eq!(ao, bo);
+    }
+
+    #[test]
+    fn restarts_merge_deterministically_and_never_shrink_the_front() {
+        let space = DesignSpace::case_study(4);
+        let eval = ModelEvaluator::shimmer();
+        let cfg = MosaConfig { iterations: 300, seed: 11, ..MosaConfig::default() };
+        let multi = mosa_restarts(&space, &eval, &cfg, 4);
+        assert_eq!(multi.evaluations, 4 * 300);
+        // Bit-identical on repetition (regardless of thread scheduling).
+        let again = mosa_restarts(&space, &eval, &cfg, 4);
+        let a: Vec<_> = multi.front.objectives().cloned().collect();
+        let b: Vec<_> = again.front.objectives().cloned().collect();
+        assert_eq!(a, b);
+        // The merged front weakly dominates every single chain's front.
+        for i in 0..4u64 {
+            let chain_cfg = MosaConfig { seed: 11 + i, ..cfg };
+            let single = mosa(&space, &eval, &chain_cfg);
+            for p in single.front.objectives() {
+                assert!(
+                    multi.front.objectives().any(|m| m.weakly_dominates(p)),
+                    "merged front lost chain {i}'s point {p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_restart_equals_plain_mosa() {
+        let space = DesignSpace::case_study(4);
+        let eval = ModelEvaluator::shimmer();
+        let cfg = MosaConfig { iterations: 200, seed: 9, ..MosaConfig::default() };
+        let single = mosa(&space, &eval, &cfg);
+        let wrapped = mosa_restarts(&space, &eval, &cfg, 1);
+        let a: Vec<_> = single.front.objectives().cloned().collect();
+        let b: Vec<_> = wrapped.front.objectives().cloned().collect();
+        assert_eq!(a, b);
+        assert_eq!(single.evaluations, wrapped.evaluations);
     }
 
     #[test]

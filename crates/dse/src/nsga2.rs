@@ -6,6 +6,13 @@
 //! tournament selection and (µ+λ) elitism. Infeasible configurations are
 //! assigned `+∞` objectives, which non-dominated sorting pushes to the
 //! last fronts automatically.
+//!
+//! Evaluation is batched: each generation's offspring (and the initial
+//! population) go through [`Evaluator::evaluate_batch`] as one batch, so
+//! a parallel evaluator fans a whole generation out across cores.
+//! Variation consumes the RNG, evaluation does not — so a seeded run is
+//! bit-identical whether the evaluator executes the batch serially or in
+//! parallel (see `SerialEvaluator`).
 
 use crate::evaluator::Evaluator;
 use crate::genome::Genome;
@@ -81,50 +88,59 @@ pub fn nsga2(space: &DesignSpace, evaluator: &dyn Evaluator, cfg: &Nsga2Config) 
     let infeasible_objectives =
         ObjectiveVector::new(vec![f64::INFINITY; evaluator.num_objectives()]);
 
-    let evaluate = |genome: &Genome,
-                    evaluations: &mut u64,
-                    infeasible: &mut u64,
-                    archive: &mut ParetoArchive<DesignPoint>|
-     -> ObjectiveVector {
-        *evaluations += 1;
-        let point = genome.decode(space);
-        match evaluator.evaluate(&point) {
-            Some(obj) => {
-                archive.insert(obj.clone(), point);
-                obj
-            }
-            None => {
-                *infeasible += 1;
-                infeasible_objectives.clone()
-            }
-        }
+    // Evaluates one generation's genomes as a single batch. Feasible
+    // points enter the archive in genome order, so the result is
+    // bit-identical to a one-at-a-time loop.
+    let evaluate_generation = |genomes: Vec<Genome>,
+                               evaluations: &mut u64,
+                               infeasible: &mut u64,
+                               archive: &mut ParetoArchive<DesignPoint>|
+     -> Vec<Individual> {
+        let points: Vec<DesignPoint> = genomes.iter().map(|g| g.decode(space)).collect();
+        *evaluations += points.len() as u64;
+        let results = evaluator.evaluate_batch(&points);
+        genomes
+            .into_iter()
+            .zip(points)
+            .zip(results)
+            .map(|((genome, point), result)| {
+                let objectives = if let Some(obj) = result {
+                    archive.insert(obj.clone(), point);
+                    obj
+                } else {
+                    *infeasible += 1;
+                    infeasible_objectives.clone()
+                };
+                Individual { genome, objectives, rank: 0, crowding: 0.0 }
+            })
+            .collect()
     };
 
-    // Initial population.
-    let mut population: Vec<Individual> = (0..cfg.population)
-        .map(|_| {
-            let genome = Genome::random(space, &mut rng);
-            let objectives = evaluate(&genome, &mut evaluations, &mut infeasible, &mut archive);
-            Individual { genome, objectives, rank: 0, crowding: 0.0 }
-        })
-        .collect();
+    // Initial population: all genomes drawn first (evaluation consumes no
+    // randomness), then evaluated as one batch.
+    let genomes: Vec<Genome> =
+        (0..cfg.population).map(|_| Genome::random(space, &mut rng)).collect();
+    let mut population =
+        evaluate_generation(genomes, &mut evaluations, &mut infeasible, &mut archive);
     assign_rank_and_crowding(&mut population);
 
     for _ in 0..cfg.generations {
         // Offspring via binary tournament + crossover + mutation.
-        let mut offspring = Vec::with_capacity(cfg.population);
-        for _ in 0..cfg.population {
-            let a = tournament(&population, &mut rng);
-            let b = tournament(&population, &mut rng);
-            let mut child = if rng.gen::<f64>() < cfg.crossover_rate {
-                population[a].genome.crossover(&population[b].genome, &mut rng)
-            } else {
-                population[a].genome.clone()
-            };
-            child.mutate(space, cfg.mutation_rate, &mut rng);
-            let objectives = evaluate(&child, &mut evaluations, &mut infeasible, &mut archive);
-            offspring.push(Individual { genome: child, objectives, rank: 0, crowding: 0.0 });
-        }
+        let children: Vec<Genome> = (0..cfg.population)
+            .map(|_| {
+                let a = tournament(&population, &mut rng);
+                let b = tournament(&population, &mut rng);
+                let mut child = if rng.gen::<f64>() < cfg.crossover_rate {
+                    population[a].genome.crossover(&population[b].genome, &mut rng)
+                } else {
+                    population[a].genome.clone()
+                };
+                child.mutate(space, cfg.mutation_rate, &mut rng);
+                child
+            })
+            .collect();
+        let mut offspring =
+            evaluate_generation(children, &mut evaluations, &mut infeasible, &mut archive);
         // (µ+λ) elitism: best `population` individuals survive.
         population.append(&mut offspring);
         assign_rank_and_crowding(&mut population);
@@ -154,7 +170,8 @@ fn tournament<R: Rng + ?Sized>(pop: &[Individual], rng: &mut R) -> usize {
 /// Fast non-dominated sort plus crowding distances, written into the
 /// individuals.
 fn assign_rank_and_crowding(pop: &mut [Individual]) {
-    let fronts = fast_non_dominated_sort(&pop.iter().map(|i| i.objectives.clone()).collect::<Vec<_>>());
+    let fronts =
+        fast_non_dominated_sort(&pop.iter().map(|i| i.objectives.clone()).collect::<Vec<_>>());
     for (rank, front) in fronts.iter().enumerate() {
         for &i in front {
             pop[i].rank = rank;
@@ -268,7 +285,8 @@ mod tests {
     #[test]
     fn small_run_finds_feasible_front() {
         let space = DesignSpace::case_study(4);
-        let cfg = Nsga2Config { population: 24, generations: 10, seed: 7, ..Nsga2Config::default() };
+        let cfg =
+            Nsga2Config { population: 24, generations: 10, seed: 7, ..Nsga2Config::default() };
         let result = nsga2(&space, &ModelEvaluator::shimmer(), &cfg);
         assert!(!result.front.is_empty(), "must find feasible points");
         assert_eq!(result.evaluations, 24 + 24 * 10);
@@ -306,10 +324,7 @@ mod tests {
         );
         // Compare by best energy found (a scalar proxy that must not regress).
         let best = |r: &SearchResult| {
-            r.front
-                .objectives()
-                .map(|o| o.values()[0])
-                .fold(f64::INFINITY, f64::min)
+            r.front.objectives().map(|o| o.values()[0]).fold(f64::INFINITY, f64::min)
         };
         assert!(best(&long) <= best(&short) + 1e-9);
     }

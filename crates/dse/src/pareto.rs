@@ -42,17 +42,44 @@ impl<T> ParetoArchive<T> {
     /// Attempts to insert a point. Returns `true` when the point enters
     /// the archive (it was not weakly dominated); dominated incumbents
     /// are evicted.
+    ///
+    /// Single scan: each incumbent is compared to the candidate exactly
+    /// once, deciding rejection *and* eviction — inserts run inside every
+    /// search loop, so the former reject-scan + `retain` double pass was
+    /// measurable at O(front²) per generation. Soundness of the early
+    /// return: incumbents are mutually non-dominated, so if any incumbent
+    /// weakly dominates the candidate, no incumbent can be dominated *by*
+    /// the candidate (transitivity would make that incumbent dominated by
+    /// the weak dominator) — rejection can never race an eviction.
     pub fn insert(&mut self, objectives: ObjectiveVector, payload: T) -> bool {
-        if self
-            .entries
-            .iter()
-            .any(|e| e.objectives.weakly_dominates(&objectives))
-        {
-            return false;
+        use crate::objective::Dominance;
+        let mut write = 0;
+        for read in 0..self.entries.len() {
+            match self.entries[read].objectives.compare(&objectives) {
+                Dominance::Dominates | Dominance::Equal => {
+                    debug_assert_eq!(write, read, "eviction cannot precede rejection");
+                    return false;
+                }
+                Dominance::DominatedBy => {} // evicted: not copied forward
+                Dominance::Incomparable => {
+                    self.entries.swap(write, read);
+                    write += 1;
+                }
+            }
         }
-        self.entries.retain(|e| !objectives.dominates(&e.objectives));
+        self.entries.truncate(write);
         self.entries.push(ArchiveEntry { objectives, payload });
         true
+    }
+
+    /// Inserts every entry of `other`, in order. The result equals
+    /// replaying the two insertion sequences back-to-back, which makes
+    /// chunk-local archives of a partitioned search mergeable
+    /// deterministically.
+    pub fn merge(&mut self, other: Self) {
+        for entry in other.entries {
+            self.insert(entry.objectives, entry.payload);
+        }
     }
 
     /// Number of non-dominated entries.
@@ -98,9 +125,7 @@ pub fn non_dominated_indices(points: &[ObjectiveVector]) -> Vec<usize> {
     (0..points.len())
         .filter(|&i| {
             !points.iter().enumerate().any(|(j, other)| {
-                j != i
-                    && (other.dominates(&points[i])
-                        || (other == &points[i] && j < i))
+                j != i && (other.dominates(&points[i]) || (other == &points[i] && j < i))
             })
         })
         .collect()
@@ -166,6 +191,58 @@ mod tests {
     fn non_dominated_keeps_first_duplicate() {
         let pts = vec![ov(&[1.0, 1.0]), ov(&[1.0, 1.0])];
         assert_eq!(non_dominated_indices(&pts), vec![0]);
+    }
+
+    #[test]
+    fn insert_matches_two_pass_reference() {
+        // Deterministic pseudo-random stream of small integer points:
+        // plenty of dominance, equality and eviction cases.
+        let mut state = 12345u64;
+        let mut next = || {
+            state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            f64::from((state >> 33) as u32 % 8)
+        };
+        let mut fast = ParetoArchive::new();
+        let mut slow: Vec<ArchiveEntry<usize>> = Vec::new();
+        for i in 0..500 {
+            let p = ov(&[next(), next(), next()]);
+            let accepted_fast = fast.insert(p.clone(), i);
+            // Reference: the original reject-scan + retain double pass.
+            let accepted_slow = if slow.iter().any(|e| e.objectives.weakly_dominates(&p)) {
+                false
+            } else {
+                slow.retain(|e| !p.dominates(&e.objectives));
+                slow.push(ArchiveEntry { objectives: p, payload: i });
+                true
+            };
+            assert_eq!(accepted_fast, accepted_slow, "insert #{i}");
+            assert_eq!(fast.len(), slow.len(), "insert #{i}");
+            for (a, b) in fast.entries().iter().zip(&slow) {
+                assert_eq!(a, b, "insert #{i}");
+            }
+        }
+        assert!(!fast.is_empty());
+    }
+
+    #[test]
+    fn merge_equals_replayed_insertions() {
+        let points_a = [[3.0, 1.0], [1.0, 3.0], [2.5, 2.5]];
+        let points_b = [[2.0, 2.0], [1.0, 3.0], [0.5, 3.5]];
+        let mut merged = ParetoArchive::new();
+        let mut chunk_a = ParetoArchive::new();
+        let mut chunk_b = ParetoArchive::new();
+        let mut replay = ParetoArchive::new();
+        for (i, p) in points_a.iter().enumerate() {
+            chunk_a.insert(ov(p), i);
+            replay.insert(ov(p), i);
+        }
+        for (i, p) in points_b.iter().enumerate() {
+            chunk_b.insert(ov(p), 100 + i);
+            replay.insert(ov(p), 100 + i);
+        }
+        merged.merge(chunk_a);
+        merged.merge(chunk_b);
+        assert_eq!(merged.entries(), replay.entries());
     }
 
     #[test]

@@ -16,10 +16,7 @@ pub fn coverage(a: &[ObjectiveVector], b: &[ObjectiveVector]) -> f64 {
     if b.is_empty() {
         return 0.0;
     }
-    let covered = b
-        .iter()
-        .filter(|bp| a.iter().any(|ap| ap.weakly_dominates(bp)))
-        .count();
+    let covered = b.iter().filter(|bp| a.iter().any(|ap| ap.weakly_dominates(bp))).count();
     covered as f64 / b.len() as f64
 }
 
@@ -29,17 +26,11 @@ pub fn coverage(a: &[ObjectiveVector], b: &[ObjectiveVector]) -> f64 {
 /// This is the paper's Fig. 5 statistic: how many of the baseline's
 /// solutions are *true* trade-offs of the full three-objective problem.
 #[must_use]
-pub fn membership_in_front(
-    candidates: &[ObjectiveVector],
-    reference: &[ObjectiveVector],
-) -> f64 {
+pub fn membership_in_front(candidates: &[ObjectiveVector], reference: &[ObjectiveVector]) -> f64 {
     if candidates.is_empty() {
         return 0.0;
     }
-    let members = candidates
-        .iter()
-        .filter(|c| !reference.iter().any(|r| r.dominates(c)))
-        .count();
+    let members = candidates.iter().filter(|c| !reference.iter().any(|r| r.dominates(c))).count();
     members as f64 / candidates.len() as f64
 }
 
@@ -58,7 +49,9 @@ pub fn hypervolume_2d(front: &[ObjectiveVector], reference: [f64; 2]) -> f64 {
             (p.values()[0].min(reference[0]), p.values()[1].min(reference[1]))
         })
         .collect();
-    pts.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite").then(a.1.partial_cmp(&b.1).expect("finite")));
+    pts.sort_by(|a, b| {
+        a.0.partial_cmp(&b.0).expect("finite").then(a.1.partial_cmp(&b.1).expect("finite"))
+    });
     let mut hv = 0.0;
     let mut best_y = reference[1];
     for (x, y) in pts {
@@ -157,8 +150,7 @@ mod tests {
 
     #[test]
     fn hypervolume_2d_ignores_dominated() {
-        let with_dominated =
-            vec![ov(&[1.0, 1.0]), ov(&[2.0, 2.0])];
+        let with_dominated = vec![ov(&[1.0, 1.0]), ov(&[2.0, 2.0])];
         let clean = vec![ov(&[1.0, 1.0])];
         let r = [3.0, 3.0];
         assert!((hypervolume_2d(&with_dominated, r) - hypervolume_2d(&clean, r)).abs() < 1e-12);

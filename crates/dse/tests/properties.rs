@@ -5,9 +5,26 @@ use wbsn_dse::nsga2::fast_non_dominated_sort;
 use wbsn_dse::objective::{Dominance, ObjectiveVector};
 use wbsn_dse::pareto::{non_dominated_indices, ParetoArchive};
 use wbsn_dse::quality::{coverage, hypervolume_2d};
+use wbsn_model::space::DesignSpace;
+use wbsn_model::units::Hertz;
 
 fn objective_vec(dims: usize) -> impl Strategy<Value = ObjectiveVector> {
     prop::collection::vec(0.0f64..100.0, dims..=dims).prop_map(ObjectiveVector::new)
+}
+
+/// Random tiny design spaces: every grid axis truncated to a random
+/// prefix, so radices (and their mixed-radix carries) vary per case.
+fn tiny_space() -> impl Strategy<Value = DesignSpace> {
+    (1usize..=3, 1usize..=2, 1usize..=2, 1usize..=3, 1usize..=3).prop_map(
+        |(n_cr, n_f, n_payload, n_orders, n_nodes)| {
+            let mut space = DesignSpace::case_study(n_nodes);
+            space.cr_values.truncate(n_cr);
+            space.f_mcu_values = [4.0, 8.0][..n_f].iter().map(|&m| Hertz::from_mhz(m)).collect();
+            space.payload_values.truncate(n_payload);
+            space.order_pairs.truncate(n_orders);
+            space
+        },
+    )
 }
 
 proptest! {
@@ -107,6 +124,40 @@ proptest! {
         more.push(extra);
         let hv2 = hypervolume_2d(&more, reference);
         prop_assert!(hv2 + 1e-9 >= hv1, "{hv2} < {hv1}");
+    }
+
+    #[test]
+    fn linear_index_decode_equals_odometer_enumeration(
+        space in tiny_space(),
+    ) {
+        // Reference sequence: the retired serial mixed-radix odometer
+        // over the `point_with` pick dimensions.
+        let radices = space.dimension_radices();
+        let mut digits = vec![0usize; radices.len()];
+        let mut odometer_points = Vec::new();
+        'odometer: loop {
+            let mut it = digits.iter().copied();
+            odometer_points.push(space.point_with(|_| it.next().expect("digit")));
+            let mut pos = 0;
+            loop {
+                if pos == digits.len() {
+                    break 'odometer;
+                }
+                digits[pos] += 1;
+                if digits[pos] < radices[pos] {
+                    break;
+                }
+                digits[pos] = 0;
+                pos += 1;
+            }
+        }
+        prop_assert_eq!(odometer_points.len() as u128, space.cardinality());
+        // The linear decode visits exactly the same points in the same
+        // order — so chunked parallel enumeration covers the space
+        // perfectly, no point skipped or visited twice.
+        for (i, expected) in odometer_points.iter().enumerate() {
+            prop_assert_eq!(&space.point_at(i as u128), expected, "index {}", i);
+        }
     }
 
     #[test]

@@ -123,8 +123,8 @@ impl CsCodec {
         // Encode: y = Φx, quantized to 12 bits (scale sent as side info).
         let y_raw = phi.matvec(block).expect("dimensions match by construction");
         let y_max = y_raw.iter().fold(0.0f64, |acc, &v| acc.max(v.abs())).max(1e-12);
-        let quant = Quantizer::new(MEASUREMENT_BITS, -y_max, y_max)
-            .expect("y_max > 0 gives a valid range");
+        let quant =
+            Quantizer::new(MEASUREMENT_BITS, -y_max, y_max).expect("y_max > 0 gives a valid range");
         let y: Vec<f64> = y_raw.iter().map(|&v| quant.round_trip(v)).collect();
 
         let coeffs = match self.reconstruction {
@@ -145,9 +145,7 @@ impl CsCodec {
     /// Applies `Aᵀ = W·Φᵀ` to a measurement residual `r`.
     fn apply_at(&self, phi: &Matrix, r: &[f64], _template: &WaveDec) -> Vec<f64> {
         let xt = phi.matvec_t(r).expect("dimensions match");
-        wavedec(&xt, self.wavelet, self.levels)
-            .expect("template validated the length")
-            .to_flat()
+        wavedec(&xt, self.wavelet, self.levels).expect("template validated the length").to_flat()
     }
 
     /// Per-coefficient ℓ1 weights: the approximation band is dense by
@@ -158,7 +156,7 @@ impl CsCodec {
         let n_levels = template.details.len().max(1);
         for (level, d) in template.details.iter().enumerate() {
             let weight = 0.5 + 0.5 * (level + 1) as f64 / n_levels as f64;
-            w.extend(std::iter::repeat(weight).take(d.len()));
+            w.extend(std::iter::repeat_n(weight, d.len()));
         }
         w
     }
@@ -199,11 +197,7 @@ impl CsCodec {
                 .collect();
             let t_next = 0.5 * (1.0 + (1.0 + 4.0 * t * t).sqrt());
             let momentum = (t - 1.0) / t_next;
-            z = s_next
-                .iter()
-                .zip(&s)
-                .map(|(&new, &old)| new + momentum * (new - old))
-                .collect();
+            z = s_next.iter().zip(&s).map(|(&new, &old)| new + momentum * (new - old)).collect();
             s = s_next;
             t = t_next;
         }
@@ -213,13 +207,7 @@ impl CsCodec {
     /// Least-squares refit on the support selected by FISTA: removes the
     /// systematic amplitude shrinkage of the ℓ1 penalty. Falls back to the
     /// FISTA estimate when the support is too large to refit.
-    fn debias(
-        &self,
-        phi: &Matrix,
-        y: &[f64],
-        template: &WaveDec,
-        s: Vec<f64>,
-    ) -> Vec<f64> {
+    fn debias(&self, phi: &Matrix, y: &[f64], template: &WaveDec, s: Vec<f64>) -> Vec<f64> {
         let m = phi.rows();
         let support: Vec<usize> =
             (0..s.len()).filter(|&i| s[i] != 0.0 || i < template.approx.len()).collect();
@@ -250,12 +238,7 @@ impl CsCodec {
     }
 
     /// Orthogonal matching pursuit over the explicit dictionary `Φ·W⁻¹`.
-    fn omp(
-        &self,
-        phi: &Matrix,
-        y: &[f64],
-        template: &WaveDec,
-    ) -> Result<Vec<f64>, CodecError> {
+    fn omp(&self, phi: &Matrix, y: &[f64], template: &WaveDec) -> Result<Vec<f64>, CodecError> {
         let n = phi.cols();
         let m = phi.rows();
         // Build the dictionary column by column: D[:, j] = Φ·W⁻¹·e_j.
@@ -302,8 +285,8 @@ impl CsCodec {
                     sub.set(r, ci, dict.get(r, j));
                 }
             }
-            let coef = least_squares(&sub, y)
-                .map_err(|e| CodecError::Reconstruction(e.to_string()))?;
+            let coef =
+                least_squares(&sub, y).map_err(|e| CodecError::Reconstruction(e.to_string()))?;
             // Residual update.
             let approx = sub.matvec(&coef).expect("dimensions match");
             residual = y.iter().zip(&approx).map(|(a, b)| a - b).collect();
@@ -368,10 +351,7 @@ mod tests {
         let p_low = prd(&block, &codec.process(&block, 0.17, &mut rng).expect("ok").reconstructed);
         let mut rng = StdRng::seed_from_u64(200);
         let p_high = prd(&block, &codec.process(&block, 0.38, &mut rng).expect("ok").reconstructed);
-        assert!(
-            p_high < p_low,
-            "more measurements should not hurt: {p_high} !< {p_low}"
-        );
+        assert!(p_high < p_low, "more measurements should not hurt: {p_high} !< {p_low}");
     }
 
     #[test]
@@ -418,10 +398,7 @@ mod tests {
             codec.process(&[0.0; 256], 0.0, &mut rng),
             Err(CodecError::BadCompressionRatio(_))
         ));
-        assert!(matches!(
-            codec.process(&[0.0; 100], 0.3, &mut rng),
-            Err(CodecError::Wavelet(_))
-        ));
+        assert!(matches!(codec.process(&[0.0; 100], 0.3, &mut rng), Err(CodecError::Wavelet(_))));
         assert!(codec.process(&[], 0.3, &mut rng).is_err());
     }
 

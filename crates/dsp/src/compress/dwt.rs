@@ -78,8 +78,8 @@ impl DwtCodec {
         let budget_bits = (cr * n as f64 * 12.0).floor();
         let cost = f64::from(COEFF_BITS + Self::index_bits(n));
         #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
-        let keep = (((budget_bits - (SCALE_BYTES * 8) as f64) / cost).floor().max(1.0) as usize)
-            .min(n);
+        let keep =
+            (((budget_bits - (SCALE_BYTES * 8) as f64) / cost).floor().max(1.0) as usize).min(n);
 
         // Rank coefficients by magnitude; keep the top `keep`.
         let mut order: Vec<usize> = (0..n).collect();
@@ -137,10 +137,7 @@ mod tests {
         for cr in [0.17, 0.25, 0.38] {
             let out = DwtCodec::default().process(&block, cr).expect("ok");
             let achieved = out.compressed_bytes as f64 / (256.0 * 1.5);
-            assert!(
-                achieved <= cr + 0.02 && achieved > cr / 2.0,
-                "cr={cr} achieved={achieved}"
-            );
+            assert!(achieved <= cr + 0.02 && achieved > cr / 2.0, "cr={cr} achieved={achieved}");
         }
     }
 

@@ -25,9 +25,9 @@ pub struct Wave {
 pub const DEFAULT_WAVES: [Wave; 5] = [
     Wave { theta: -1.2217, amplitude_mv: 0.14, width: 0.25 }, // P
     Wave { theta: -0.2618, amplitude_mv: -0.12, width: 0.10 }, // Q
-    Wave { theta: 0.0, amplitude_mv: 1.20, width: 0.10 },      // R
-    Wave { theta: 0.2618, amplitude_mv: -0.28, width: 0.10 },  // S
-    Wave { theta: 1.7453, amplitude_mv: 0.38, width: 0.40 },   // T
+    Wave { theta: 0.0, amplitude_mv: 1.20, width: 0.10 },     // R
+    Wave { theta: 0.2618, amplitude_mv: -0.28, width: 0.10 }, // S
+    Wave { theta: 1.7453, amplitude_mv: 0.38, width: 0.40 },  // T
 ];
 
 /// Configurable synthetic ECG generator.
@@ -203,8 +203,8 @@ mod tests {
     #[test]
     fn amplitude_in_physiological_range() {
         let signal = gen(5000, 11);
-        let max = signal.iter().cloned().fold(f64::MIN, f64::max);
-        let min = signal.iter().cloned().fold(f64::MAX, f64::min);
+        let max = signal.iter().copied().fold(f64::MIN, f64::max);
+        let min = signal.iter().copied().fold(f64::MAX, f64::min);
         assert!(max < 2.0 && max > 0.8, "max {max}");
         assert!(min > -1.0 && min < 0.0, "min {min}");
     }
@@ -223,8 +223,8 @@ mod tests {
         let n = 20_000;
         let xs: Vec<f64> =
             (0..n).map(|_| super::rand_distr_normal::sample_standard_normal(&mut rng)).collect();
-        let mean = xs.iter().sum::<f64>() / n as f64;
-        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        let mean = xs.iter().sum::<f64>() / f64::from(n);
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / f64::from(n);
         assert!(mean.abs() < 0.03, "mean {mean}");
         assert!((var - 1.0).abs() < 0.05, "var {var}");
     }

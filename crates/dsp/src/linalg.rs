@@ -124,9 +124,7 @@ impl Matrix {
         if x.len() != self.cols {
             return Err(LinalgError::DimensionMismatch { expected: self.cols, got: x.len() });
         }
-        Ok((0..self.rows)
-            .map(|r| self.row(r).iter().zip(x).map(|(a, b)| a * b).sum())
-            .collect())
+        Ok((0..self.rows).map(|r| self.row(r).iter().zip(x).map(|(a, b)| a * b).sum()).collect())
     }
 
     /// Transposed product `Aᵀ·y`.
@@ -181,9 +179,7 @@ pub fn solve(mut a: Matrix, mut b: Vec<f64>) -> Result<Vec<f64>, LinalgError> {
     }
     for col in 0..n {
         let pivot_row = (col..n)
-            .max_by(|&i, &j| {
-                a.get(i, col).abs().partial_cmp(&a.get(j, col).abs()).expect("finite")
-            })
+            .max_by(|&i, &j| a.get(i, col).abs().partial_cmp(&a.get(j, col).abs()).expect("finite"))
             .expect("non-empty");
         if a.get(pivot_row, col).abs() < 1e-300 {
             return Err(LinalgError::Singular);

@@ -151,7 +151,7 @@ impl std::error::Error for WaveletError {}
 #[must_use]
 pub fn dwt_step(x: &[f64], wavelet: Wavelet) -> (Vec<f64>, Vec<f64>) {
     let n = x.len();
-    assert!(n >= 2 && n % 2 == 0, "dwt_step needs even length >= 2, got {n}");
+    assert!(n >= 2 && n.is_multiple_of(2), "dwt_step needs even length >= 2, got {n}");
     let h = wavelet.dec_lo();
     let g = wavelet.dec_hi();
     let half = n / 2;
@@ -275,7 +275,7 @@ pub fn wavedec(x: &[f64], wavelet: Wavelet, levels: usize) -> Result<WaveDec, Wa
         return Err(WaveletError::ZeroLevels);
     }
     let n = x.len();
-    if n == 0 || n % (1 << levels) != 0 {
+    if n == 0 || !n.is_multiple_of(1 << levels) {
         return Err(WaveletError::BadLength { len: n, levels });
     }
     let mut approx = x.to_vec();
@@ -397,7 +397,10 @@ mod tests {
         );
         assert_eq!(wavedec(&x, Wavelet::Haar, 0), Err(WaveletError::ZeroLevels));
         assert!(wavedec(&x, Wavelet::Haar, 2).is_ok());
-        assert_eq!(wavedec(&[], Wavelet::Haar, 1), Err(WaveletError::BadLength { len: 0, levels: 1 }));
+        assert_eq!(
+            wavedec(&[], Wavelet::Haar, 1),
+            Err(WaveletError::BadLength { len: 0, levels: 1 })
+        );
     }
 
     #[test]

@@ -94,7 +94,7 @@ impl ChannelConfig {
 /// overlapping in time at the coordinator destroy each other.
 #[derive(Debug, Clone, Default)]
 pub struct Medium {
-    /// Currently active transmissions as (end_time, source).
+    /// Currently active transmissions as (`end_time`, source).
     active: Vec<(SimTime, usize)>,
     collisions: u64,
 }

@@ -86,7 +86,7 @@ mod tests {
         let s = CsmaState::new();
         for _ in 0..200 {
             let b = s.initial_backoff(&mut rng).as_secs_f64();
-            assert!(b >= 0.0 && b <= 7.0 * UNIT_BACKOFF_S + 1e-12, "b={b}");
+            assert!((0.0..=7.0 * UNIT_BACKOFF_S + 1e-12).contains(&b), "b={b}");
         }
     }
 

@@ -21,8 +21,8 @@ use wbsn_model::app::ResourceUsage;
 use wbsn_model::assignment::{assign_slots, SlotAssignment};
 use wbsn_model::evaluate::NodeConfig;
 use wbsn_model::ieee802154::{
-    frame_airtime, ifs_after, Ieee802154Config, Ieee802154Mac, ACK_MAC_BYTES,
-    MAC_OVERHEAD_BYTES, NUM_SUPERFRAME_SLOTS, TURNAROUND_S,
+    frame_airtime, ifs_after, Ieee802154Config, Ieee802154Mac, ACK_MAC_BYTES, MAC_OVERHEAD_BYTES,
+    NUM_SUPERFRAME_SLOTS, TURNAROUND_S,
 };
 use wbsn_model::shimmer;
 use wbsn_model::units::{ByteRate, DutyCycle};
@@ -220,8 +220,7 @@ impl NetworkBuilder {
         }
         let mac_model = Ieee802154Mac::new(self.mac, n as u32);
         let phi_in = shimmer::node_model().input_rate();
-        let phi_out: Vec<ByteRate> =
-            self.nodes.iter().map(|cfg| phi_in * cfg.cr).collect();
+        let phi_out: Vec<ByteRate> = self.nodes.iter().map(|cfg| phi_in * cfg.cr).collect();
         let assignment = assign_slots(&mac_model, &phi_out)?;
 
         let nodes: Vec<NodeSim> = self
@@ -556,8 +555,11 @@ impl Simulator {
         let frame_bytes = u32::from(cfg.payload_bytes) + MAC_OVERHEAD_BYTES;
         let air = SimDuration::from_secs_f64(frame_airtime(frame_bytes).value());
         let clean = self.medium.start_tx(now, now + air, node);
-        let survives =
-            self.channel.frame_survives(self.nodes[node].distance_m, frame_bytes + 6, &mut self.rng);
+        let survives = self.channel.frame_survives(
+            self.nodes[node].distance_m,
+            frame_bytes + 6,
+            &mut self.rng,
+        );
         self.nodes[node].radio.add_tx(air);
         self.queue.push(now + air, Event::CapTxEnd { node, clean, survives });
     }
@@ -583,10 +585,9 @@ impl Simulator {
                 );
                 let packets = n.packets_acked + n.retries;
                 let mac_proc = self.fidelity.mac_proc_per_packet.scaled(packets);
-                let busy_s =
-                    (n.mcu_busy + isr + mac_proc).as_secs_f64().min(total_s);
-                let active_mw =
-                    platform.mcu.alpha1_mw_per_mhz * n.config.f_mcu.mhz() + platform.mcu.alpha0.mj_per_s();
+                let busy_s = (n.mcu_busy + isr + mac_proc).as_secs_f64().min(total_s);
+                let active_mw = platform.mcu.alpha1_mw_per_mhz * n.config.f_mcu.mhz()
+                    + platform.mcu.alpha0.mj_per_s();
                 let mcu = busy_s * active_mw + (total_s - busy_s) * self.fidelity.mcu_sleep_mw;
 
                 // Memory: Eq. 5 with the application's footprint (same
@@ -686,10 +687,7 @@ mod tests {
         // φout = 375 × 0.25 = 93.75 B/s.
         for n in &report.nodes {
             let goodput = n.goodput_bps(report.duration_s);
-            assert!(
-                (goodput - 93.75).abs() < 8.0,
-                "goodput {goodput} far from 93.75 B/s"
-            );
+            assert!((goodput - 93.75).abs() < 8.0, "goodput {goodput} far from 93.75 B/s");
         }
     }
 
@@ -796,7 +794,7 @@ mod tests {
     #[test]
     fn gts_overflow_rejected_at_build() {
         let nodes = half_dwt_half_cs(14, 0.38, Hertz::from_mhz(8.0));
-        let err = NetworkBuilder::new(default_mac(), nodes).build().err().expect("overflow");
+        let err = NetworkBuilder::new(default_mac(), nodes).build().expect_err("overflow");
         assert!(matches!(err, ModelError::GtsCapacityExceeded { .. }), "{err:?}");
     }
 
@@ -812,8 +810,7 @@ mod tests {
         let err = NetworkBuilder::new(default_mac(), nodes)
             .distances(vec![1.0, 2.0])
             .build()
-            .err()
-            .expect("mismatch");
+            .expect_err("mismatch");
         assert!(matches!(err, ModelError::InvalidParameter { name: "distances", .. }));
     }
 

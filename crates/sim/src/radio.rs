@@ -122,10 +122,7 @@ impl RadioLedger {
     pub fn energy_mj(&self, params: &RadioParams, total: SimDuration) -> f64 {
         let wake_time = params.wake_time.scaled(self.wakes);
         let active = self.tx + self.rx + self.idle + wake_time;
-        debug_assert!(
-            active <= total,
-            "radio active {active} exceeds simulated {total}"
-        );
+        debug_assert!(active <= total, "radio active {active} exceeds simulated {total}");
         let sleep = total.saturating_sub(active);
         self.tx.as_secs_f64() * params.tx_mw
             + self.rx.as_secs_f64() * params.rx_mw

@@ -54,22 +54,10 @@ fn main() {
     // A "balanced" recommendation: minimize the normalized L2 distance to
     // the ideal point of the front.
     let ideal: Vec<f64> = (0..3)
-        .map(|d| {
-            result
-                .front
-                .objectives()
-                .map(|o| o.values()[d])
-                .fold(f64::INFINITY, f64::min)
-        })
+        .map(|d| result.front.objectives().map(|o| o.values()[d]).fold(f64::INFINITY, f64::min))
         .collect();
     let nadir: Vec<f64> = (0..3)
-        .map(|d| {
-            result
-                .front
-                .objectives()
-                .map(|o| o.values()[d])
-                .fold(f64::NEG_INFINITY, f64::max)
-        })
+        .map(|d| result.front.objectives().map(|o| o.values()[d]).fold(f64::NEG_INFINITY, f64::max))
         .collect();
     let best = result
         .front
@@ -84,9 +72,7 @@ fn main() {
                     })
                     .sum()
             };
-            dist(a.objectives.values())
-                .partial_cmp(&dist(b.objectives.values()))
-                .expect("finite")
+            dist(a.objectives.values()).partial_cmp(&dist(b.objectives.values())).expect("finite")
         })
         .expect("front is non-empty");
     println!("\nrecommended balanced design: {}", best.objectives);

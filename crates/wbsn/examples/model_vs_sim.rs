@@ -17,11 +17,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let estimate = WbsnModel::shimmer().evaluate(&mac, &nodes)?;
 
     println!("simulating 60 s of network operation (packet level)...\n");
-    let measured = NetworkBuilder::new(mac, nodes.clone())
-        .duration_s(60.0)
-        .seed(7)
-        .build()?
-        .run();
+    let measured = NetworkBuilder::new(mac, nodes.clone()).duration_s(60.0).seed(7).build()?.run();
 
     println!("node | app | component | model mJ/s | sim mJ/s | error %");
     for (i, (m, s)) in estimate.per_node.iter().zip(&measured.nodes).enumerate() {

@@ -1,0 +1,92 @@
+//! Integration: the batch-evaluation engine — parallel fan-out, the
+//! allocation-free objectives fast path, and the determinism guarantees
+//! that make both safe to use inside seeded searches.
+
+use wbsn::dse::evaluator::{Evaluator, ModelEvaluator, SerialEvaluator};
+use wbsn::dse::mosa::{mosa_restarts, MosaConfig};
+use wbsn::dse::nsga2::{nsga2, Nsga2Config};
+use wbsn::model::evaluate::{EvalScratch, WbsnModel};
+use wbsn::model::space::DesignSpace;
+
+#[test]
+fn parallel_nsga2_front_is_bit_identical_to_serial() {
+    let space = DesignSpace::case_study(6);
+    let cfg = Nsga2Config { population: 32, generations: 12, seed: 77, ..Nsga2Config::default() };
+    // Parallel path: ModelEvaluator's multi-core evaluate_batch.
+    let parallel = nsga2(&space, &ModelEvaluator::shimmer(), &cfg);
+    // Serial path: same evaluator forced through the one-at-a-time
+    // default batch implementation.
+    let serial = nsga2(&space, &SerialEvaluator(ModelEvaluator::shimmer()), &cfg);
+
+    assert_eq!(parallel.evaluations, serial.evaluations);
+    assert_eq!(parallel.infeasible, serial.infeasible);
+    assert_eq!(
+        parallel.front.len(),
+        serial.front.len(),
+        "front sizes differ: parallel {} vs serial {}",
+        parallel.front.len(),
+        serial.front.len()
+    );
+    // Bit-identical: same objectives, same design points, same order.
+    for (p, s) in parallel.front.entries().iter().zip(serial.front.entries()) {
+        assert_eq!(p.objectives, s.objectives);
+        assert_eq!(p.payload, s.payload);
+    }
+}
+
+#[test]
+fn fast_path_objectives_match_full_evaluation_across_the_space() {
+    let space = DesignSpace::case_study(6);
+    let model = WbsnModel::shimmer();
+    let mut scratch = EvalScratch::new();
+    let points = space.sample_sweep(400);
+    let mut feasible = 0usize;
+    let mut infeasible = 0usize;
+    for p in &points {
+        let full = model.evaluate(&p.mac, &p.nodes);
+        let fast = model.evaluate_objectives(&p.mac, &p.nodes, &mut scratch);
+        match (full, fast) {
+            (Ok(full), Ok(fast)) => {
+                feasible += 1;
+                assert_eq!(full.objectives.energy.to_bits(), fast.energy.to_bits());
+                assert_eq!(full.objectives.delay.to_bits(), fast.delay.to_bits());
+                assert_eq!(full.objectives.prd.to_bits(), fast.prd.to_bits());
+            }
+            (Err(a), Err(b)) => {
+                infeasible += 1;
+                assert_eq!(a, b, "fast path must report the same infeasibility");
+            }
+            (a, b) => panic!("feasibility disagreement: {a:?} vs {b:?}"),
+        }
+    }
+    // The sweep must actually exercise both outcomes to mean anything.
+    assert!(feasible > 20, "sweep too infeasible: {feasible}");
+    assert!(infeasible > 20, "sweep too feasible: {infeasible}");
+}
+
+#[test]
+fn batch_evaluation_matches_single_point_evaluation() {
+    let space = DesignSpace::case_study(6);
+    let eval = ModelEvaluator::shimmer();
+    let points = space.sample_sweep(256);
+    let batch = eval.evaluate_batch(&points);
+    assert_eq!(batch.len(), points.len());
+    for (p, b) in points.iter().zip(&batch) {
+        assert_eq!(&eval.evaluate(p), b);
+    }
+}
+
+#[test]
+fn parallel_restarts_cover_at_least_the_single_chain() {
+    let space = DesignSpace::case_study(6);
+    let eval = ModelEvaluator::shimmer();
+    let cfg = MosaConfig { iterations: 500, seed: 5, ..MosaConfig::default() };
+    let merged = mosa_restarts(&space, &eval, &cfg, 3);
+    assert_eq!(merged.evaluations, 1500);
+    assert!(!merged.front.is_empty());
+    // Repetition is bit-identical: scheduling cannot leak into results.
+    let again = mosa_restarts(&space, &eval, &cfg, 3);
+    let a: Vec<_> = merged.front.objectives().cloned().collect();
+    let b: Vec<_> = again.front.objectives().cloned().collect();
+    assert_eq!(a, b);
+}

@@ -38,10 +38,8 @@ fn proposed_front_holds_tradeoffs_the_baseline_misses() {
     let base_in_3d: Vec<ObjectiveVector> =
         base.front.entries().iter().filter_map(|e| model3.evaluate(&e.payload)).collect();
     let full_objs: Vec<ObjectiveVector> = full.front.objectives().cloned().collect();
-    let missed = full_objs
-        .iter()
-        .filter(|f| !base_in_3d.iter().any(|b| b.weakly_dominates(f)))
-        .count();
+    let missed =
+        full_objs.iter().filter(|f| !base_in_3d.iter().any(|b| b.weakly_dominates(f))).count();
     assert!(
         missed * 2 > full_objs.len(),
         "baseline should miss most trade-offs: missed {missed} of {}",
@@ -59,13 +57,12 @@ fn metaheuristics_beat_random_search() {
         &eval,
         &Nsga2Config { population: 40, generations: 39, seed: 5, ..Nsga2Config::default() },
     );
-    let sa = mosa(&space, &eval, &MosaConfig { iterations: budget, seed: 5, ..MosaConfig::default() });
+    let sa =
+        mosa(&space, &eval, &MosaConfig { iterations: budget, seed: 5, ..MosaConfig::default() });
     let rs = random_search(&space, &eval, budget, 5);
 
-    let fronts: Vec<Vec<ObjectiveVector>> = [&ga, &sa, &rs]
-        .iter()
-        .map(|r| r.front.objectives().cloned().collect())
-        .collect();
+    let fronts: Vec<Vec<ObjectiveVector>> =
+        [&ga, &sa, &rs].iter().map(|r| r.front.objectives().cloned().collect()).collect();
     let mut ideal = [f64::INFINITY; 3];
     let mut nadir = [f64::NEG_INFINITY; 3];
     for front in &fronts {
@@ -78,10 +75,8 @@ fn metaheuristics_beat_random_search() {
     }
     let reference: Vec<f64> = nadir.iter().map(|v| v * 1.05 + 1e-6).collect();
     let ideal: Vec<f64> = ideal.iter().map(|v| v - 1e-6).collect();
-    let hv: Vec<f64> = fronts
-        .iter()
-        .map(|f| hypervolume_monte_carlo(f, &ideal, &reference, 60_000, 1))
-        .collect();
+    let hv: Vec<f64> =
+        fronts.iter().map(|f| hypervolume_monte_carlo(f, &ideal, &reference, 60_000, 1)).collect();
     assert!(hv[0] > hv[2] * 0.98, "NSGA-II ({}) should not lose to random ({})", hv[0], hv[2]);
     assert!(hv[1] > hv[2] * 0.9, "MOSA ({}) should be competitive with random ({})", hv[1], hv[2]);
 }

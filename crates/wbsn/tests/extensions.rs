@@ -2,8 +2,8 @@
 //! simulator — the §3.3 retransmission hook against a lossy channel, and
 //! the §3.2 contention-access adaptation against CSMA/CA load trends.
 
-use wbsn::model::evaluate::{NodeConfig, WbsnModel};
 use wbsn::model::csma::CsmaMacModel;
+use wbsn::model::evaluate::{NodeConfig, WbsnModel};
 use wbsn::model::ieee802154::{Ieee802154Config, ACK_MAC_BYTES, MAC_OVERHEAD_BYTES};
 use wbsn::model::lifetime::Battery;
 use wbsn::model::shimmer::CompressionKind;
@@ -115,7 +115,7 @@ fn lifetime_ranking_follows_energy_ranking() {
         }
     }
     let ratio = days[3] / days[0];
-    let e_ratio = eval.per_node[0].energy.total().mj_per_s()
-        / eval.per_node[3].energy.total().mj_per_s();
+    let e_ratio =
+        eval.per_node[0].energy.total().mj_per_s() / eval.per_node[3].energy.total().mj_per_s();
     assert!((ratio - e_ratio).abs() < 1e-9, "lifetime is exactly inverse to draw");
 }

@@ -22,8 +22,7 @@ fn polynomials_track_measured_prd() {
     ] {
         for cr in [0.18, 0.27, 0.36] {
             let mut rng = StdRng::seed_from_u64(7);
-            let measured =
-                measure_prd(&codec, &signal, 256, cr, &mut rng).expect("divisible").prd;
+            let measured = measure_prd(&codec, &signal, 256, cr, &mut rng).expect("divisible").prd;
             let estimated = poly.eval(cr);
             assert!(
                 (estimated - measured).abs() < tolerance,
