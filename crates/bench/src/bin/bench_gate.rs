@@ -1,0 +1,118 @@
+//! Cross-PR bench regression gate.
+//!
+//! Compares the `batch_evals_per_s` of a fresh `dse_throughput` run
+//! (`./BENCH_dse.json`) against the committed baseline snapshot
+//! (`benchmarks/BENCH_dse.json`) and exits non-zero when the fresh
+//! number regresses by more than the tolerance — the check the ROADMAP
+//! asks CI to run after the throughput smoke run.
+//!
+//! Usage: `bench_gate [fresh.json [baseline.json]]`
+//!
+//! Environment:
+//! * `BENCH_GATE_TOLERANCE` — allowed fractional regression (default
+//!   `0.20`, i.e. fail below 80 % of baseline; CI noise tolerance).
+//! * `BENCH_GATE_SKIP` — set to `1`/`true` to report and exit 0
+//!   regardless (escape hatch for known-slow runners).
+
+use std::process::ExitCode;
+
+/// Extracts the number following `"key":` from a flat JSON document.
+/// (The bench JSON is machine-written with simple scalar fields; a full
+/// JSON parser would be the only reason to grow a dependency here.)
+fn json_number(doc: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\"");
+    let start = doc.find(&needle)? + needle.len();
+    let rest = doc[start..].trim_start().strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| {
+            !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E' || c == '+')
+        })
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let fresh_path = args.next().unwrap_or_else(|| "BENCH_dse.json".into());
+    let baseline_path = args.next().unwrap_or_else(|| "benchmarks/BENCH_dse.json".into());
+
+    let skip =
+        std::env::var("BENCH_GATE_SKIP").is_ok_and(|v| v == "1" || v.eq_ignore_ascii_case("true"));
+    let tolerance: f64 = match std::env::var("BENCH_GATE_TOLERANCE") {
+        Err(_) => 0.20,
+        // A fraction in [0, 1): 1.0+ would make the floor non-positive and
+        // silently wave every regression through (`20` for "20%" is the
+        // likely misconfiguration — the gate prints percentages).
+        Ok(v) => match v.parse() {
+            Ok(t) if (0.0..1.0).contains(&t) => t,
+            _ => {
+                eprintln!(
+                    "bench_gate: BENCH_GATE_TOLERANCE must be a fraction in [0, 1) \
+                     (e.g. 0.20 for 20%), got `{v}`"
+                );
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+
+    let read = |path: &str| -> Option<f64> {
+        let doc = match std::fs::read_to_string(path) {
+            Ok(doc) => doc,
+            Err(e) => {
+                eprintln!("bench_gate: cannot read {path}: {e}");
+                return None;
+            }
+        };
+        let v = json_number(&doc, "batch_evals_per_s");
+        if v.is_none() {
+            eprintln!("bench_gate: no `batch_evals_per_s` in {path}");
+        }
+        v
+    };
+    let (Some(fresh), Some(baseline)) = (read(&fresh_path), read(&baseline_path)) else {
+        return ExitCode::FAILURE;
+    };
+
+    let floor = baseline * (1.0 - tolerance);
+    let ratio = fresh / baseline;
+    println!(
+        "bench_gate: batch_evals_per_s fresh {fresh:.0} vs baseline {baseline:.0} \
+         ({:+.1}%, floor {floor:.0} at tolerance {tolerance:.0}%)",
+        (ratio - 1.0) * 100.0,
+        tolerance = tolerance * 100.0
+    );
+    if skip {
+        println!("bench_gate: BENCH_GATE_SKIP set — result ignored");
+        return ExitCode::SUCCESS;
+    }
+    if fresh < floor {
+        eprintln!(
+            "bench_gate: FAIL — batch throughput regressed more than {:.0}% \
+             (override with BENCH_GATE_SKIP=1 or BENCH_GATE_TOLERANCE)",
+            tolerance * 100.0
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("bench_gate: PASS");
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::json_number;
+
+    #[test]
+    fn extracts_scalars() {
+        let doc = r#"{ "a": 1.5, "batch_evals_per_s": 9155422.3, "b": {"c": 2} }"#;
+        assert_eq!(json_number(doc, "batch_evals_per_s"), Some(9_155_422.3));
+        assert_eq!(json_number(doc, "a"), Some(1.5));
+        assert_eq!(json_number(doc, "missing"), None);
+    }
+
+    #[test]
+    fn handles_exponents_and_negatives() {
+        let doc = r#"{"x": -2.5e3,"y": 1e-2}"#;
+        assert_eq!(json_number(doc, "x"), Some(-2500.0));
+        assert_eq!(json_number(doc, "y"), Some(0.01));
+    }
+}

@@ -16,11 +16,19 @@
 //! * **batch** — `Evaluator::evaluate_batch`, the fast path fanned out
 //!   across all cores.
 //!
+//! Two debug counters make the allocation-free claims measurable here
+//! rather than asserted elsewhere: a counting global allocator reports
+//! heap allocations per evaluation on the fast path and per point on the
+//! decode+evaluate path (both 0 in steady state), and an NSGA-II run
+//! reports its genome-memo hit rate (evaluator calls skipped by dedup).
+//!
 //! Run: `cargo run --release -p wbsn-bench --bin dse_throughput`
 
+use alloc_counter::{allocation_count as allocations, CountingAlloc};
 use std::fmt::Write as _;
 use std::time::Instant;
 use wbsn_dse::evaluator::{Evaluator, ModelEvaluator};
+use wbsn_dse::nsga2::{nsga2, Nsga2Config};
 use wbsn_dse::parallel::num_threads;
 use wbsn_model::evaluate::{half_dwt_half_cs, EvalScratch, WbsnModel};
 use wbsn_model::ieee802154::Ieee802154Config;
@@ -32,6 +40,11 @@ const MODEL_EVALS: usize = 200_000;
 const SIM_RUNS: usize = 5;
 const SIM_SECONDS: f64 = 60.0;
 const TRAJECTORY_SIZES: [usize; 5] = [256, 1024, 4096, 16_384, 65_536];
+
+// The debug counter behind the `*_allocs_per_eval` fields of
+// `BENCH_dse.json` (shared with `crates/dse/tests/alloc_free.rs`).
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
 
 fn main() {
     println!("# §5.2 — evaluation throughput\n");
@@ -57,18 +70,48 @@ fn main() {
     let mut scratch = EvalScratch::new();
     let t0 = Instant::now();
     let mut fast_feasible = 0usize;
+    let allocs_before = allocations();
     for i in 0..MODEL_EVALS {
         let p = &points[i % points.len()];
         if model.evaluate_objectives(&p.mac, &p.nodes, &mut scratch).is_ok() {
             fast_feasible += 1;
         }
     }
+    // The few warmup allocations (memo table, boxed app models, scratch
+    // buffers) amortize to ~0 per evaluation; steady state is exactly 0.
+    let fastpath_allocs_per_eval = (allocations() - allocs_before) as f64 / MODEL_EVALS as f64;
     let fastpath_per_s = MODEL_EVALS as f64 / t0.elapsed().as_secs_f64();
     assert_eq!(feasible, fast_feasible, "fast path must agree with evaluate()");
     println!(
-        "fast path (evaluate_objectives): {fastpath_per_s:>12.0} evaluations/s  (memo: {} hits / {} misses)",
+        "fast path (evaluate_objectives): {fastpath_per_s:>12.0} evaluations/s  (memo: {} hits / {} misses, {fastpath_allocs_per_eval:.6} allocs/eval)",
         scratch.memo_hits(),
         scratch.memo_misses()
+    );
+
+    // --- Decode + evaluate per point (the batch pipeline's inner loop,
+    //     minus threading): must be allocation-free in steady state. ---
+    let total = space.cardinality();
+    let decode_rounds = 65_536u128;
+    let mut decode_scratch = EvalScratch::new();
+    let decode_eval = |scratch: &mut EvalScratch| {
+        let mut feasible = 0u64;
+        for m in 0..decode_rounds {
+            let index = (m.wrapping_mul(0x9E37_79B9_7F4A_7C15)) % total;
+            let p = space.point_at(index);
+            if model.evaluate_objectives(&p.mac, &p.nodes, scratch).is_ok() {
+                feasible += 1;
+            }
+        }
+        feasible
+    };
+    decode_eval(&mut decode_scratch); // warmup: populate the node memo
+    let allocs_before = allocations();
+    let t0 = Instant::now();
+    let decode_feasible = decode_eval(&mut decode_scratch);
+    let decode_per_s = decode_rounds as f64 / t0.elapsed().as_secs_f64();
+    let decode_allocs_per_point = (allocations() - allocs_before) as f64 / decode_rounds as f64;
+    println!(
+        "decode+eval (point_at → objectives): {decode_per_s:>8.0} points/s      ({decode_feasible} feasible, {decode_allocs_per_point:.6} allocs/point)"
     );
 
     // --- Path 3: parallel batch over all cores. ---
@@ -94,6 +137,22 @@ fn main() {
         );
     }
     let batch_per_s = trajectory.iter().map(|&(_, v)| v).fold(0.0f64, f64::max);
+
+    // --- Genome-memo dedup: how many evaluator calls NSGA-II skips. ---
+    let ga_cfg =
+        Nsga2Config { population: 64, generations: 60, seed: 42, ..Nsga2Config::default() };
+    let t0 = Instant::now();
+    let ga = nsga2(&space, &evaluator, &ga_cfg);
+    let ga_elapsed = t0.elapsed().as_secs_f64();
+    let ga_hit_rate = ga.memo_hits as f64 / ga.evaluations as f64;
+    println!(
+        "nsga2 genome memo: {} of {} evaluations deduped ({:.1}% hit rate, front {} in {:.3} s)",
+        ga.memo_hits,
+        ga.evaluations,
+        ga_hit_rate * 100.0,
+        ga.front.len(),
+        ga_elapsed
+    );
 
     let fastpath_speedup = fastpath_per_s / serial_per_s;
     let batch_speedup = batch_per_s / serial_per_s;
@@ -150,6 +209,14 @@ fn main() {
         "  \"memo\": {{\"hits\": {}, \"misses\": {}}},",
         scratch.memo_hits(),
         scratch.memo_misses()
+    );
+    let _ = writeln!(json, "  \"fastpath_allocs_per_eval\": {fastpath_allocs_per_eval:.6},");
+    let _ = writeln!(json, "  \"decode_allocs_per_point\": {decode_allocs_per_point:.6},");
+    let _ = writeln!(json, "  \"decode_eval_points_per_s\": {decode_per_s:.1},");
+    let _ = writeln!(
+        json,
+        "  \"nsga2_memo\": {{\"evaluations\": {}, \"hits\": {}, \"hit_rate\": {:.4}}},",
+        ga.evaluations, ga.memo_hits, ga_hit_rate
     );
     let _ = writeln!(json, "  \"sim_seconds_per_eval\": {sim_elapsed:.6},");
     let _ = writeln!(json, "  \"model_vs_sim_speedup\": {ratio:.1},");

@@ -1,0 +1,54 @@
+//! Counting global allocator: the debug counter behind the repo's
+//! allocation-free assertions and the `*_allocs_per_eval` fields of
+//! `BENCH_dse.json`.
+//!
+//! Shared by `crates/dse/tests/alloc_free.rs` and the `dse_throughput`
+//! bench binary so the counting rules (every `alloc`/`alloc_zeroed`/
+//! `realloc` increments; `dealloc` does not) cannot drift between the
+//! test that enforces zero allocations and the bench that reports them.
+//!
+//! Each consumer binary declares its own static:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOCATOR: alloc_counter::CountingAlloc = alloc_counter::CountingAlloc;
+//! ```
+
+#![warn(missing_docs)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Wraps the system allocator, counting every allocation (including
+/// zeroed allocations and reallocations) in a process-global counter.
+pub struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+    }
+}
+
+/// Allocations performed by the process so far (monotone; measure a
+/// section by differencing before/after).
+#[must_use]
+pub fn allocation_count() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}

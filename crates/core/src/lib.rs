@@ -82,4 +82,4 @@ pub use evaluate::{EvalScratch, NodeConfig, SystemEvaluation, WbsnModel};
 pub use ieee802154::{Ieee802154Config, Ieee802154Mac};
 pub use metrics::NetworkObjectives;
 pub use shimmer::CompressionKind;
-pub use space::{DesignPoint, DesignSpace};
+pub use space::{DesignPoint, DesignSpace, NodeVec, INLINE_NODES};

@@ -5,19 +5,152 @@
 //! one `χnode = {CR, fµC}` per node. The application kind of each node is
 //! fixed by the deployment (half DWT, half CS in the case study), so it is
 //! part of the space definition, not of the point.
+//!
+//! # Small-vec decode
+//!
+//! [`DesignPoint::nodes`] is a [`NodeVec`]: up to [`INLINE_NODES`]
+//! per-node configurations stored inline (`NodeConfig` is `Copy`), with a
+//! transparent heap spill for larger deployments. Decoding a point via
+//! [`DesignSpace::point_with`] / [`DesignSpace::point_at`] therefore
+//! allocates nothing for deployments up to [`INLINE_NODES`] nodes — the
+//! batch evaluation pipeline decodes and evaluates millions of points per
+//! second, and the per-point `Vec<NodeConfig>` was its last allocation.
+//! `NodeVec` derefs to `[NodeConfig]`, so existing slice-based call sites
+//! (`model.evaluate(&point.mac, &point.nodes)`, indexing, iteration) are
+//! unchanged.
 
 use crate::evaluate::NodeConfig;
 use crate::ieee802154::Ieee802154Config;
 use crate::shimmer::{CompressionKind, CR_MAX, CR_MIN, F_MCU_OPTIONS_MHZ};
 use crate::units::Hertz;
 
+/// Per-node configurations a [`NodeVec`] stores without heap allocation.
+///
+/// The paper's case study uses 6 nodes; 16 leaves room for the larger
+/// deployments of the ward/team examples while keeping a `DesignPoint`
+/// comfortably cache-resident (16 × 24 B inline payload).
+pub const INLINE_NODES: usize = 16;
+
+/// A small-vec of [`NodeConfig`]s: inline up to [`INLINE_NODES`]
+/// entries, spilling to the heap beyond that.
+///
+/// Invariant: `len ≤ INLINE_NODES` ⇒ elements live in `inline` and
+/// `spill` is empty; otherwise *all* elements live in `spill`.
+#[derive(Debug, Clone)]
+pub struct NodeVec {
+    inline: [NodeConfig; INLINE_NODES],
+    len: usize,
+    spill: Vec<NodeConfig>,
+}
+
+impl NodeVec {
+    /// Placeholder filling unused inline slots (`NodeConfig` is `Copy`,
+    /// so the array needs a value; slots past `len` are never read).
+    fn filler() -> NodeConfig {
+        NodeConfig::new(CompressionKind::Dwt, 1.0, Hertz::from_mhz(1.0))
+    }
+
+    /// Creates an empty node vector (no allocation).
+    #[must_use]
+    pub fn new() -> Self {
+        Self { inline: [Self::filler(); INLINE_NODES], len: 0, spill: Vec::new() }
+    }
+
+    /// Appends a node configuration, spilling to the heap past
+    /// [`INLINE_NODES`] elements.
+    pub fn push(&mut self, node: NodeConfig) {
+        if self.len < INLINE_NODES {
+            self.inline[self.len] = node;
+            self.len += 1;
+        } else {
+            if self.spill.is_empty() {
+                self.spill.reserve(self.len + 1);
+                self.spill.extend_from_slice(&self.inline);
+            }
+            self.spill.push(node);
+            self.len += 1;
+        }
+    }
+
+    /// The stored configurations as a slice.
+    #[must_use]
+    pub fn as_slice(&self) -> &[NodeConfig] {
+        if self.len <= INLINE_NODES {
+            &self.inline[..self.len]
+        } else {
+            &self.spill
+        }
+    }
+
+    /// Mutable slice view.
+    pub fn as_mut_slice(&mut self) -> &mut [NodeConfig] {
+        if self.len <= INLINE_NODES {
+            &mut self.inline[..self.len]
+        } else {
+            &mut self.spill
+        }
+    }
+}
+
+impl Default for NodeVec {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::ops::Deref for NodeVec {
+    type Target = [NodeConfig];
+
+    fn deref(&self) -> &[NodeConfig] {
+        self.as_slice()
+    }
+}
+
+impl std::ops::DerefMut for NodeVec {
+    fn deref_mut(&mut self) -> &mut [NodeConfig] {
+        self.as_mut_slice()
+    }
+}
+
+/// Compares the stored slices (inline or spilled is irrelevant).
+impl PartialEq for NodeVec {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl FromIterator<NodeConfig> for NodeVec {
+    fn from_iter<I: IntoIterator<Item = NodeConfig>>(iter: I) -> Self {
+        let mut v = Self::new();
+        for node in iter {
+            v.push(node);
+        }
+        v
+    }
+}
+
+impl From<Vec<NodeConfig>> for NodeVec {
+    fn from(nodes: Vec<NodeConfig>) -> Self {
+        nodes.into_iter().collect()
+    }
+}
+
+impl<'a> IntoIterator for &'a NodeVec {
+    type Item = &'a NodeConfig;
+    type IntoIter = std::slice::Iter<'a, NodeConfig>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
 /// A full design point: the paper's `(χmac, χnode(1..N))`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DesignPoint {
     /// MAC configuration.
     pub mac: Ieee802154Config,
-    /// Per-node configurations.
-    pub nodes: Vec<NodeConfig>,
+    /// Per-node configurations (inline up to [`INLINE_NODES`] nodes).
+    pub nodes: NodeVec,
 }
 
 /// The discrete configuration space explored by the DSE.
@@ -107,17 +240,14 @@ impl DesignSpace {
             [checked(pick(self.payload_values.len()), self.payload_values.len(), "payload")];
         let (sfo, bco) = self.order_pairs
             [checked(pick(self.order_pairs.len()), self.order_pairs.len(), "orders")];
-        let nodes = self
-            .node_kinds
-            .iter()
-            .map(|&kind| {
-                let cr =
-                    self.cr_values[checked(pick(self.cr_values.len()), self.cr_values.len(), "cr")];
-                let f = self.f_mcu_values
-                    [checked(pick(self.f_mcu_values.len()), self.f_mcu_values.len(), "f_mcu")];
-                NodeConfig::new(kind, cr, f)
-            })
-            .collect();
+        let mut nodes = NodeVec::new();
+        for &kind in &self.node_kinds {
+            let cr =
+                self.cr_values[checked(pick(self.cr_values.len()), self.cr_values.len(), "cr")];
+            let f = self.f_mcu_values
+                [checked(pick(self.f_mcu_values.len()), self.f_mcu_values.len(), "f_mcu")];
+            nodes.push(NodeConfig::new(kind, cr, f));
+        }
         DesignPoint {
             mac: Ieee802154Config {
                 payload_bytes: payload,
@@ -309,6 +439,51 @@ mod tests {
         for cfg in space.mac_configs() {
             cfg.validate().expect("enumerated configs are valid");
         }
+    }
+
+    #[test]
+    fn node_vec_spills_transparently_past_inline_capacity() {
+        let reference: Vec<NodeConfig> = (0..INLINE_NODES + 5)
+            .map(|i| {
+                NodeConfig::new(
+                    if i % 2 == 0 { CompressionKind::Dwt } else { CompressionKind::Cs },
+                    0.17 + 0.01 * i as f64,
+                    Hertz::from_mhz(4.0),
+                )
+            })
+            .collect();
+        let mut small = NodeVec::new();
+        for (i, n) in reference.iter().enumerate() {
+            small.push(*n);
+            assert_eq!(small.len(), i + 1);
+            assert_eq!(&small[..], &reference[..=i], "slice mismatch after push {i}");
+        }
+        // Collect and From<Vec> agree with push-by-push construction.
+        let collected: NodeVec = reference.iter().copied().collect();
+        assert_eq!(collected, small);
+        assert_eq!(NodeVec::from(reference.clone()), small);
+        // Equality is slice-based: an inline vec equals a spilled prefix.
+        let short: NodeVec = reference[..3].iter().copied().collect();
+        assert_eq!(&short[..], &reference[..3]);
+        assert_ne!(short, small);
+    }
+
+    #[test]
+    fn node_vec_mutation_via_deref() {
+        let mut nodes: NodeVec = DesignSpace::case_study(4).point_with(|_| 0).nodes;
+        nodes[2].cr = 0.99;
+        assert_eq!(nodes[2].cr, 0.99);
+        assert_eq!(nodes.iter().count(), 4);
+        assert!(NodeVec::default().is_empty());
+    }
+
+    #[test]
+    fn large_deployments_decode_past_inline_capacity() {
+        let space = DesignSpace::case_study(INLINE_NODES + 4);
+        let point = space.point_with(|n| n - 1);
+        assert_eq!(point.nodes.len(), INLINE_NODES + 4);
+        assert!(point.nodes.iter().all(|n| n.cr == 0.38));
+        assert_eq!(point, point.clone());
     }
 
     #[test]

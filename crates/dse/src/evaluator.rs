@@ -124,7 +124,7 @@ impl Evaluator for ModelEvaluator {
         self.model
             .evaluate(&point.mac, &point.nodes)
             .ok()
-            .map(|e| ObjectiveVector::new(e.objectives.to_array().to_vec()))
+            .map(|e| ObjectiveVector::from_slice(&e.objectives.to_array()))
     }
 
     fn evaluate_batch(&self, points: &[DesignPoint]) -> Vec<Option<ObjectiveVector>> {
@@ -135,7 +135,7 @@ impl Evaluator for ModelEvaluator {
                 self.model
                     .evaluate_objectives(&point.mac, &point.nodes, &mut pooled.scratch)
                     .ok()
-                    .map(|o| ObjectiveVector::new(o.to_array().to_vec()))
+                    .map(|o| ObjectiveVector::from_slice(&o.to_array()))
             },
         )
     }
@@ -170,7 +170,7 @@ impl Evaluator for EnergyDelayEvaluator {
         self.model
             .evaluate(&point.mac, &point.nodes)
             .ok()
-            .map(|e| ObjectiveVector::new(e.objectives.energy_delay().to_vec()))
+            .map(|e| ObjectiveVector::from_slice(&e.objectives.energy_delay()))
     }
 
     fn evaluate_batch(&self, points: &[DesignPoint]) -> Vec<Option<ObjectiveVector>> {
@@ -181,7 +181,7 @@ impl Evaluator for EnergyDelayEvaluator {
                 self.model
                     .evaluate_objectives(&point.mac, &point.nodes, &mut pooled.scratch)
                     .ok()
-                    .map(|o| ObjectiveVector::new(o.energy_delay().to_vec()))
+                    .map(|o| ObjectiveVector::from_slice(&o.energy_delay()))
             },
         )
     }

@@ -67,7 +67,8 @@ pub fn exhaustive(space: &DesignSpace, evaluator: &dyn Evaluator, limit: u128) -
         }
         next += count as u128;
     }
-    SearchResult { front, evaluations, infeasible }
+    // Exhaustive enumeration never revisits a genome: no memo needed.
+    SearchResult { front, evaluations, infeasible, memo_hits: 0 }
 }
 
 #[cfg(test)]

@@ -36,21 +36,35 @@ impl Genome {
 
     /// Decodes the genome into a concrete design point.
     ///
+    /// Allocation-free: picks are read straight from the genome fields in
+    /// the order [`DesignSpace::point_with`] consumes them (payload,
+    /// orders, then `(CR, fµC)` per node) instead of staging them in a
+    /// temporary `Vec` — decode runs once per candidate in every search
+    /// loop.
+    ///
     /// # Panics
     ///
     /// Panics if the genome was built against a different space shape.
     #[must_use]
     pub fn decode(&self, space: &DesignSpace) -> DesignPoint {
         assert_eq!(self.node_genes.len(), space.num_nodes(), "genome/space shape mismatch");
-        let mut picks: Vec<usize> = Vec::with_capacity(2 + 2 * self.node_genes.len());
-        picks.push(self.payload_idx);
-        picks.push(self.order_idx);
-        for &(cr, f) in &self.node_genes {
-            picks.push(cr);
-            picks.push(f);
-        }
-        let mut it = picks.into_iter();
-        space.point_with(|_| it.next().expect("pick sequence matches space dimensions"))
+        let mut dim = 0usize;
+        space.point_with(|_| {
+            let pick = match dim {
+                0 => self.payload_idx,
+                1 => self.order_idx,
+                d => {
+                    let gene = self.node_genes[(d - 2) / 2];
+                    if (d - 2) % 2 == 0 {
+                        gene.0
+                    } else {
+                        gene.1
+                    }
+                }
+            };
+            dim += 1;
+            pick
+        })
     }
 
     /// Uniform crossover: each gene comes from either parent with equal

@@ -6,7 +6,12 @@
 //! Pareto-optimal energy/delay/quality trade-offs (Fig. 5).
 //!
 //! * [`objective`] / [`pareto`] — dominance, non-dominated archives;
-//! * [`genome`] — index encoding of a full network configuration;
+//!   objective vectors are inline `Copy` values (no heap), so sorting
+//!   and archiving never allocate;
+//! * [`genome`] — index encoding of a full network configuration with an
+//!   allocation-free decode;
+//! * [`memo`] — genome-keyed evaluation memo: identical genomes are
+//!   never re-evaluated across generations/iterations, bit-identically;
 //! * [`evaluator`] — the proposed 3-objective model and the
 //!   energy/delay-only state-of-the-art baseline ([26]), both with a
 //!   multi-core [`Evaluator::evaluate_batch`] running the
@@ -45,6 +50,7 @@
 pub mod evaluator;
 pub mod exhaustive;
 pub mod genome;
+pub mod memo;
 pub mod mosa;
 pub mod nsga2;
 pub mod objective;
@@ -54,7 +60,8 @@ pub mod quality;
 
 pub use evaluator::{EnergyDelayEvaluator, Evaluator, ModelEvaluator, SerialEvaluator};
 pub use genome::Genome;
+pub use memo::GenomeMemo;
 pub use mosa::{mosa, mosa_restarts, random_search, MosaConfig};
 pub use nsga2::{nsga2, Nsga2Config, SearchResult};
-pub use objective::{Dominance, ObjectiveVector};
+pub use objective::{Dominance, ObjectiveVector, MAX_OBJECTIVES};
 pub use pareto::ParetoArchive;

@@ -1,0 +1,144 @@
+//! Genome-keyed evaluation memo shared by the searchers.
+//!
+//! NSGA-II revisits identical genomes constantly (elitist selection keeps
+//! good parents around, and crossover of similar parents reproduces
+//! them); MOSA's proposal moves frequently resample a recently visited
+//! neighbor. Evaluation is a pure function of the genome, so both
+//! searchers consult a [`GenomeMemo`] before decoding and evaluating:
+//! a hit skips the decode *and* the evaluator call.
+//!
+//! Determinism: memoization is observationally transparent. The memoized
+//! outcome is the bitwise-identical `Option<ObjectiveVector>` the
+//! evaluator returned for the first occurrence, and skipping the repeat
+//! archive insertion cannot change the front — re-inserting objectives
+//! that were ever weakly dominated (including by themselves at first
+//! insertion) is always rejected, because eviction only ever replaces an
+//! incumbent with a dominator. Seeded searcher runs are therefore
+//! bit-identical with the memo on or off (only the `memo_hits` counter
+//! and wall-clock change); `crates/dse/tests/properties.rs` checks this
+//! property on random seeds.
+
+use crate::genome::Genome;
+use crate::objective::ObjectiveVector;
+use std::collections::HashMap;
+
+/// Memo of evaluation outcomes keyed by genome. `None` records an
+/// infeasible configuration — rejections repeat just as often as
+/// acceptances, so both are worth caching.
+///
+/// Construct with [`GenomeMemo::new`]; a disabled memo (`enabled =
+/// false`) never stores or returns anything, giving callers a single
+/// code path for memoized and memo-free runs.
+#[derive(Debug, Clone, Default)]
+pub struct GenomeMemo {
+    enabled: bool,
+    map: HashMap<Genome, Option<ObjectiveVector>>,
+    hits: u64,
+}
+
+impl GenomeMemo {
+    /// Creates an empty memo; a disabled one is inert (all lookups miss,
+    /// all records are dropped).
+    #[must_use]
+    pub fn new(enabled: bool) -> Self {
+        Self { enabled, map: HashMap::new(), hits: 0 }
+    }
+
+    /// Whether the memo stores anything at all.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Whether an outcome for `genome` is already recorded (does not
+    /// count as a hit).
+    #[must_use]
+    pub fn contains(&self, genome: &Genome) -> bool {
+        self.enabled && self.map.contains_key(genome)
+    }
+
+    /// Looks up the recorded outcome for `genome`, counting a hit when
+    /// found. `Some(None)` means "known infeasible".
+    pub fn get(&mut self, genome: &Genome) -> Option<Option<ObjectiveVector>> {
+        if !self.enabled {
+            return None;
+        }
+        let cached = self.map.get(genome).copied();
+        if cached.is_some() {
+            self.hits += 1;
+        }
+        cached
+    }
+
+    /// Records the evaluation outcome of `genome` (no-op when disabled).
+    pub fn record(&mut self, genome: Genome, outcome: Option<ObjectiveVector>) {
+        if self.enabled {
+            self.map.insert(genome, outcome);
+        }
+    }
+
+    /// Lookups answered from the memo so far.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Distinct genomes recorded.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no genome is recorded yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use wbsn_model::space::DesignSpace;
+
+    fn genome(seed: u64) -> Genome {
+        let space = DesignSpace::case_study(4);
+        Genome::random(&space, &mut StdRng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn records_and_replays_outcomes() {
+        let mut memo = GenomeMemo::new(true);
+        let g = genome(1);
+        assert!(!memo.contains(&g));
+        assert_eq!(memo.get(&g), None);
+        assert_eq!(memo.hits(), 0);
+
+        let obj = ObjectiveVector::from_slice(&[1.0, 2.0, 3.0]);
+        memo.record(g.clone(), Some(obj));
+        assert!(memo.contains(&g));
+        assert_eq!(memo.get(&g), Some(Some(obj)));
+        assert_eq!(memo.hits(), 1);
+        assert_eq!(memo.len(), 1);
+
+        // Infeasibility is cached too, and hits keep counting.
+        let bad = genome(2);
+        memo.record(bad.clone(), None);
+        assert_eq!(memo.get(&bad), Some(None));
+        assert_eq!(memo.hits(), 2);
+    }
+
+    #[test]
+    fn disabled_memo_is_inert() {
+        let mut memo = GenomeMemo::new(false);
+        let g = genome(3);
+        memo.record(g.clone(), Some(ObjectiveVector::from_slice(&[1.0])));
+        assert!(!memo.enabled());
+        assert!(!memo.contains(&g));
+        assert_eq!(memo.get(&g), None);
+        assert_eq!(memo.hits(), 0);
+        assert!(memo.is_empty());
+    }
+}

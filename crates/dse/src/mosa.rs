@@ -9,12 +9,13 @@
 
 use crate::evaluator::Evaluator;
 use crate::genome::Genome;
+use crate::memo::GenomeMemo;
 use crate::nsga2::SearchResult;
 use crate::objective::{Dominance, ObjectiveVector};
 use crate::pareto::ParetoArchive;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use wbsn_model::space::DesignSpace;
+use wbsn_model::space::{DesignPoint, DesignSpace};
 
 /// Simulated-annealing hyperparameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -29,6 +30,10 @@ pub struct MosaConfig {
     pub mutation_rate: f64,
     /// RNG seed.
     pub seed: u64,
+    /// Memoize evaluation outcomes by genome (proposal moves revisit
+    /// neighbors constantly). Fronts and counters are bit-identical
+    /// either way; disable only to measure the dedup win.
+    pub memo: bool,
 }
 
 impl Default for MosaConfig {
@@ -39,8 +44,33 @@ impl Default for MosaConfig {
             cooling: 0.9995,
             mutation_rate: 0.15,
             seed: 42,
+            memo: true,
         }
     }
+}
+
+/// Replays `genome`'s outcome from the memo, or decodes and evaluates it,
+/// recording the result. Fresh feasible points enter the archive;
+/// replayed ones are skipped (re-insertion of a previously inserted
+/// objective vector is always rejected as weakly dominated — see
+/// [`GenomeMemo`] — so the archive stays bit-identical).
+fn lookup_or_evaluate(
+    genome: &Genome,
+    space: &DesignSpace,
+    evaluator: &dyn Evaluator,
+    memo: &mut GenomeMemo,
+    archive: &mut ParetoArchive<DesignPoint>,
+) -> Option<ObjectiveVector> {
+    if let Some(cached) = memo.get(genome) {
+        return cached;
+    }
+    let point = genome.decode(space);
+    let outcome = evaluator.evaluate(&point);
+    memo.record(genome.clone(), outcome);
+    if let Some(obj) = outcome {
+        archive.insert(obj, point);
+    }
+    outcome
 }
 
 /// Relative worsening of `b` vs `a`, summed over objectives (0 when `b`
@@ -73,6 +103,7 @@ pub fn mosa(space: &DesignSpace, evaluator: &dyn Evaluator, cfg: &MosaConfig) ->
     let mut evaluations = 0u64;
     let mut infeasible = 0u64;
     let mut archive = ParetoArchive::new();
+    let mut memo = GenomeMemo::new(cfg.memo);
 
     // Find a feasible starting point.
     let mut current_genome;
@@ -80,9 +111,7 @@ pub fn mosa(space: &DesignSpace, evaluator: &dyn Evaluator, cfg: &MosaConfig) ->
     loop {
         let g = Genome::random(space, &mut rng);
         evaluations += 1;
-        let point = g.decode(space);
-        if let Some(obj) = evaluator.evaluate(&point) {
-            archive.insert(obj.clone(), point);
+        if let Some(obj) = lookup_or_evaluate(&g, space, evaluator, &mut memo, &mut archive) {
             current_genome = g;
             current_obj = obj;
             break;
@@ -90,7 +119,12 @@ pub fn mosa(space: &DesignSpace, evaluator: &dyn Evaluator, cfg: &MosaConfig) ->
         infeasible += 1;
         if evaluations > 10_000 {
             // Space looks infeasible; bail with whatever we have.
-            return SearchResult { front: archive, evaluations, infeasible };
+            return SearchResult {
+                front: archive,
+                evaluations,
+                infeasible,
+                memo_hits: memo.hits(),
+            };
         }
     }
 
@@ -100,12 +134,11 @@ pub fn mosa(space: &DesignSpace, evaluator: &dyn Evaluator, cfg: &MosaConfig) ->
         candidate.mutate(space, cfg.mutation_rate, &mut rng);
         evaluations += 1;
         temperature *= cfg.cooling;
-        let point = candidate.decode(space);
-        let Some(obj) = evaluator.evaluate(&point) else {
+        let Some(obj) = lookup_or_evaluate(&candidate, space, evaluator, &mut memo, &mut archive)
+        else {
             infeasible += 1;
             continue;
         };
-        archive.insert(obj.clone(), point);
         let accept = match current_obj.compare(&obj) {
             Dominance::DominatedBy | Dominance::Equal | Dominance::Incomparable => true,
             Dominance::Dominates => {
@@ -118,7 +151,7 @@ pub fn mosa(space: &DesignSpace, evaluator: &dyn Evaluator, cfg: &MosaConfig) ->
             current_obj = obj;
         }
     }
-    SearchResult { front: archive, evaluations, infeasible }
+    SearchResult { front: archive, evaluations, infeasible, memo_hits: memo.hits() }
 }
 
 /// Runs `restarts` independent MOSA chains (seeds `seed`, `seed+1`, …)
@@ -156,10 +189,12 @@ pub fn mosa_restarts(
             mosa(space, evaluator, &chain_cfg)
         },
     );
-    let mut merged = SearchResult { front: ParetoArchive::new(), evaluations: 0, infeasible: 0 };
+    let mut merged =
+        SearchResult { front: ParetoArchive::new(), evaluations: 0, infeasible: 0, memo_hits: 0 };
     for run in runs {
         merged.evaluations += run.evaluations;
         merged.infeasible += run.infeasible;
+        merged.memo_hits += run.memo_hits;
         merged.front.merge(run.front);
     }
     merged
@@ -186,7 +221,7 @@ pub fn random_search(
             None => infeasible += 1,
         }
     }
-    SearchResult { front: archive, evaluations: iterations as u64, infeasible }
+    SearchResult { front: archive, evaluations: iterations as u64, infeasible, memo_hits: 0 }
 }
 
 #[cfg(test)]
@@ -218,9 +253,22 @@ mod tests {
         let cfg = MosaConfig { iterations: 300, seed: 6, ..MosaConfig::default() };
         let a = mosa(&space, &ModelEvaluator::shimmer(), &cfg);
         let b = mosa(&space, &ModelEvaluator::shimmer(), &cfg);
-        let ao: Vec<_> = a.front.objectives().cloned().collect();
-        let bo: Vec<_> = b.front.objectives().cloned().collect();
+        let ao: Vec<_> = a.front.objectives().copied().collect();
+        let bo: Vec<_> = b.front.objectives().copied().collect();
         assert_eq!(ao, bo);
+    }
+
+    #[test]
+    fn memoized_mosa_matches_plain_run_bitwise() {
+        let space = DesignSpace::case_study(4);
+        let cfg = MosaConfig { iterations: 400, seed: 21, ..MosaConfig::default() };
+        let memoized = mosa(&space, &ModelEvaluator::shimmer(), &cfg);
+        let plain = mosa(&space, &ModelEvaluator::shimmer(), &MosaConfig { memo: false, ..cfg });
+        assert!(memoized.memo_hits > 0, "annealing revisits neighbors; expected hits");
+        assert_eq!(plain.memo_hits, 0);
+        assert_eq!(memoized.evaluations, plain.evaluations);
+        assert_eq!(memoized.infeasible, plain.infeasible);
+        assert_eq!(memoized.front.entries(), plain.front.entries());
     }
 
     #[test]
@@ -232,8 +280,8 @@ mod tests {
         assert_eq!(multi.evaluations, 4 * 300);
         // Bit-identical on repetition (regardless of thread scheduling).
         let again = mosa_restarts(&space, &eval, &cfg, 4);
-        let a: Vec<_> = multi.front.objectives().cloned().collect();
-        let b: Vec<_> = again.front.objectives().cloned().collect();
+        let a: Vec<_> = multi.front.objectives().copied().collect();
+        let b: Vec<_> = again.front.objectives().copied().collect();
         assert_eq!(a, b);
         // The merged front weakly dominates every single chain's front.
         for i in 0..4u64 {
@@ -255,8 +303,8 @@ mod tests {
         let cfg = MosaConfig { iterations: 200, seed: 9, ..MosaConfig::default() };
         let single = mosa(&space, &eval, &cfg);
         let wrapped = mosa_restarts(&space, &eval, &cfg, 1);
-        let a: Vec<_> = single.front.objectives().cloned().collect();
-        let b: Vec<_> = wrapped.front.objectives().cloned().collect();
+        let a: Vec<_> = single.front.objectives().copied().collect();
+        let b: Vec<_> = wrapped.front.objectives().copied().collect();
         assert_eq!(a, b);
         assert_eq!(single.evaluations, wrapped.evaluations);
     }

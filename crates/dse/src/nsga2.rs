@@ -13,13 +13,22 @@
 //! Variation consumes the RNG, evaluation does not — so a seeded run is
 //! bit-identical whether the evaluator executes the batch serially or in
 //! parallel (see `SerialEvaluator`).
+//!
+//! Evaluation is also deduplicated: a [`GenomeMemo`] keyed by genome
+//! replays the outcome of every previously seen candidate (elitism and
+//! crossover of similar parents regenerate identical genomes constantly),
+//! so only first-occurrence genomes are decoded and evaluated. Counters
+//! and fronts are bit-identical with the memo on or off; disable via
+//! [`Nsga2Config::memo`] to benchmark the difference.
 
 use crate::evaluator::Evaluator;
 use crate::genome::Genome;
+use crate::memo::GenomeMemo;
 use crate::objective::ObjectiveVector;
 use crate::pareto::ParetoArchive;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
 use wbsn_model::space::{DesignPoint, DesignSpace};
 
 /// NSGA-II hyperparameters.
@@ -35,6 +44,10 @@ pub struct Nsga2Config {
     pub mutation_rate: f64,
     /// RNG seed.
     pub seed: u64,
+    /// Memoize evaluation outcomes by genome so identical genomes are
+    /// never re-evaluated across generations. Fronts and counters are
+    /// bit-identical either way; disable only to measure the dedup win.
+    pub memo: bool,
 }
 
 impl Default for Nsga2Config {
@@ -45,6 +58,7 @@ impl Default for Nsga2Config {
             crossover_rate: 0.9,
             mutation_rate: 0.08,
             seed: 42,
+            memo: true,
         }
     }
 }
@@ -55,10 +69,15 @@ impl Default for Nsga2Config {
 pub struct SearchResult {
     /// Non-dominated feasible design points with their objectives.
     pub front: ParetoArchive<DesignPoint>,
-    /// Total evaluator invocations.
+    /// Total candidate evaluations requested by the search (memo hits
+    /// included — the number the evaluator would have run without dedup,
+    /// which keeps evaluation budgets comparable across configurations).
     pub evaluations: u64,
     /// Evaluations that came back infeasible.
     pub infeasible: u64,
+    /// Evaluations answered from the genome memo (evaluator calls
+    /// actually skipped); 0 when memoization is off or not applicable.
+    pub memo_hits: u64,
 }
 
 struct Individual {
@@ -85,43 +104,24 @@ pub fn nsga2(space: &DesignSpace, evaluator: &dyn Evaluator, cfg: &Nsga2Config) 
     let mut evaluations = 0u64;
     let mut infeasible = 0u64;
     let mut archive: ParetoArchive<DesignPoint> = ParetoArchive::new();
+    let mut memo = GenomeMemo::new(cfg.memo);
     let infeasible_objectives =
         ObjectiveVector::new(vec![f64::INFINITY; evaluator.num_objectives()]);
-
-    // Evaluates one generation's genomes as a single batch. Feasible
-    // points enter the archive in genome order, so the result is
-    // bit-identical to a one-at-a-time loop.
-    let evaluate_generation = |genomes: Vec<Genome>,
-                               evaluations: &mut u64,
-                               infeasible: &mut u64,
-                               archive: &mut ParetoArchive<DesignPoint>|
-     -> Vec<Individual> {
-        let points: Vec<DesignPoint> = genomes.iter().map(|g| g.decode(space)).collect();
-        *evaluations += points.len() as u64;
-        let results = evaluator.evaluate_batch(&points);
-        genomes
-            .into_iter()
-            .zip(points)
-            .zip(results)
-            .map(|((genome, point), result)| {
-                let objectives = if let Some(obj) = result {
-                    archive.insert(obj.clone(), point);
-                    obj
-                } else {
-                    *infeasible += 1;
-                    infeasible_objectives.clone()
-                };
-                Individual { genome, objectives, rank: 0, crowding: 0.0 }
-            })
-            .collect()
-    };
 
     // Initial population: all genomes drawn first (evaluation consumes no
     // randomness), then evaluated as one batch.
     let genomes: Vec<Genome> =
         (0..cfg.population).map(|_| Genome::random(space, &mut rng)).collect();
-    let mut population =
-        evaluate_generation(genomes, &mut evaluations, &mut infeasible, &mut archive);
+    let mut population = evaluate_generation(
+        genomes,
+        space,
+        evaluator,
+        &mut memo,
+        infeasible_objectives,
+        &mut evaluations,
+        &mut infeasible,
+        &mut archive,
+    );
     assign_rank_and_crowding(&mut population);
 
     for _ in 0..cfg.generations {
@@ -139,8 +139,16 @@ pub fn nsga2(space: &DesignSpace, evaluator: &dyn Evaluator, cfg: &Nsga2Config) 
                 child
             })
             .collect();
-        let mut offspring =
-            evaluate_generation(children, &mut evaluations, &mut infeasible, &mut archive);
+        let mut offspring = evaluate_generation(
+            children,
+            space,
+            evaluator,
+            &mut memo,
+            infeasible_objectives,
+            &mut evaluations,
+            &mut infeasible,
+            &mut archive,
+        );
         // (µ+λ) elitism: best `population` individuals survive.
         population.append(&mut offspring);
         assign_rank_and_crowding(&mut population);
@@ -152,7 +160,80 @@ pub fn nsga2(space: &DesignSpace, evaluator: &dyn Evaluator, cfg: &Nsga2Config) 
         population.truncate(cfg.population);
     }
 
-    SearchResult { front: archive, evaluations, infeasible }
+    SearchResult { front: archive, evaluations, infeasible, memo_hits: memo.hits() }
+}
+
+/// Evaluates one generation's genomes as a single batch, answering
+/// repeated genomes from the memo.
+///
+/// Only genomes the memo has never seen (first occurrence within this
+/// batch included) are decoded and sent to [`Evaluator::evaluate_batch`];
+/// everything else replays its recorded outcome. Feasible *fresh* results
+/// enter the archive in genome order — re-inserting a replayed outcome
+/// would be rejected as weakly dominated anyway (see [`GenomeMemo`]), so
+/// skipping it keeps the archive bit-identical to the memo-free run.
+#[allow(clippy::too_many_arguments)]
+fn evaluate_generation(
+    genomes: Vec<Genome>,
+    space: &DesignSpace,
+    evaluator: &dyn Evaluator,
+    memo: &mut GenomeMemo,
+    infeasible_objectives: ObjectiveVector,
+    evaluations: &mut u64,
+    infeasible: &mut u64,
+    archive: &mut ParetoArchive<DesignPoint>,
+) -> Vec<Individual> {
+    *evaluations += genomes.len() as u64;
+
+    // Pass 1: decode only genomes with no recorded (or pending in-batch)
+    // outcome. `slots[i]` is the fresh-batch index individual `i` reads
+    // its result from; genomes replayed from the memo — previously
+    // recorded, or an in-batch duplicate whose first occurrence records
+    // before pass 2 reaches the repeat — carry `None`.
+    let mut fresh_points: Vec<DesignPoint> = Vec::with_capacity(genomes.len());
+    let mut slots: Vec<Option<usize>> = Vec::with_capacity(genomes.len());
+    {
+        let mut seen_in_batch: HashSet<&Genome> = HashSet::new();
+        for genome in &genomes {
+            if memo.contains(genome) || (memo.enabled() && !seen_in_batch.insert(genome)) {
+                slots.push(None);
+                continue;
+            }
+            slots.push(Some(fresh_points.len()));
+            fresh_points.push(genome.decode(space));
+        }
+    }
+    let results = evaluator.evaluate_batch(&fresh_points);
+    let mut fresh_points: Vec<Option<DesignPoint>> = fresh_points.into_iter().map(Some).collect();
+
+    // Pass 2: resolve every individual in genome order. The first walk of
+    // a fresh slot records the outcome and (if feasible) inserts into the
+    // archive; later walks of the same genome hit the memo.
+    genomes
+        .into_iter()
+        .zip(slots)
+        .map(|(genome, slot)| {
+            let outcome = if let Some(cached) = memo.get(&genome) {
+                cached
+            } else {
+                let slot = slot.expect("uncached genome was decoded in pass 1");
+                let result = results[slot];
+                memo.record(genome.clone(), result);
+                if let Some(obj) = result {
+                    let point = fresh_points[slot].take().expect("fresh slot consumed once");
+                    archive.insert(obj, point);
+                }
+                result
+            };
+            let objectives = if let Some(obj) = outcome {
+                obj
+            } else {
+                *infeasible += 1;
+                infeasible_objectives
+            };
+            Individual { genome, objectives, rank: 0, crowding: 0.0 }
+        })
+        .collect()
 }
 
 /// Binary tournament by (rank, crowding): lower rank wins; ties prefer
@@ -168,15 +249,16 @@ fn tournament<R: Rng + ?Sized>(pop: &[Individual], rng: &mut R) -> usize {
 }
 
 /// Fast non-dominated sort plus crowding distances, written into the
-/// individuals.
+/// individuals. (`ObjectiveVector` is `Copy`: collecting the objectives
+/// is a flat stack-to-heap copy, not a per-vector allocation.)
 fn assign_rank_and_crowding(pop: &mut [Individual]) {
-    let fronts =
-        fast_non_dominated_sort(&pop.iter().map(|i| i.objectives.clone()).collect::<Vec<_>>());
+    let objectives: Vec<ObjectiveVector> = pop.iter().map(|i| i.objectives).collect();
+    let fronts = fast_non_dominated_sort(&objectives);
     for (rank, front) in fronts.iter().enumerate() {
         for &i in front {
             pop[i].rank = rank;
         }
-        let distances = crowding_distances(front, pop);
+        let distances = crowding_distances(front, &objectives);
         for (&i, d) in front.iter().zip(distances) {
             pop[i].crowding = d;
         }
@@ -219,22 +301,34 @@ pub fn fast_non_dominated_sort(objectives: &[ObjectiveVector]) -> Vec<Vec<usize>
 }
 
 /// Crowding distance of each member of a front (boundary points get +∞).
-fn crowding_distances(front: &[usize], pop: &[Individual]) -> Vec<f64> {
+///
+/// `front` indexes into `objectives` (the whole population's vectors);
+/// the returned distances are aligned with `front`.
+///
+/// Degenerate fronts are guarded: an objective whose values are constant
+/// across the front (`max - min = 0`), or whose span is non-finite
+/// (`±∞`-encoded infeasible individuals compared against each other, or
+/// finite points coexisting with `∞`), contributes 0 to every interior
+/// distance instead of dividing by the zero/non-finite range. Without the
+/// guard such fronts produce NaN distances and the `partial_cmp(...)
+/// .expect(...)` comparators in the selection loop panic.
+#[must_use]
+pub fn crowding_distances(front: &[usize], objectives: &[ObjectiveVector]) -> Vec<f64> {
     let len = front.len();
     if len <= 2 {
         return vec![f64::INFINITY; len];
     }
-    let dims = pop[front[0]].objectives.len();
+    let dims = objectives[front[0]].len();
     let mut distance = vec![0.0f64; len];
     let mut order: Vec<usize> = (0..len).collect();
     for d in 0..dims {
         order.sort_by(|&x, &y| {
-            let a = pop[front[x]].objectives.values()[d];
-            let b = pop[front[y]].objectives.values()[d];
+            let a = objectives[front[x]].values()[d];
+            let b = objectives[front[y]].values()[d];
             a.partial_cmp(&b).expect("objectives are not NaN")
         });
-        let lo = pop[front[order[0]]].objectives.values()[d];
-        let hi = pop[front[order[len - 1]]].objectives.values()[d];
+        let lo = objectives[front[order[0]]].values()[d];
+        let hi = objectives[front[order[len - 1]]].values()[d];
         distance[order[0]] = f64::INFINITY;
         distance[order[len - 1]] = f64::INFINITY;
         let span = hi - lo;
@@ -242,8 +336,8 @@ fn crowding_distances(front: &[usize], pop: &[Individual]) -> Vec<f64> {
             continue;
         }
         for w in 1..len - 1 {
-            let prev = pop[front[order[w - 1]]].objectives.values()[d];
-            let next = pop[front[order[w + 1]]].objectives.values()[d];
+            let prev = objectives[front[order[w - 1]]].values()[d];
+            let next = objectives[front[order[w + 1]]].values()[d];
             distance[order[w]] += (next - prev) / span;
         }
     }
@@ -303,9 +397,90 @@ mod tests {
         let cfg = Nsga2Config { population: 16, generations: 5, seed: 3, ..Nsga2Config::default() };
         let a = nsga2(&space, &ModelEvaluator::shimmer(), &cfg);
         let b = nsga2(&space, &ModelEvaluator::shimmer(), &cfg);
-        let ao: Vec<_> = a.front.objectives().cloned().collect();
-        let bo: Vec<_> = b.front.objectives().cloned().collect();
+        let ao: Vec<_> = a.front.objectives().copied().collect();
+        let bo: Vec<_> = b.front.objectives().copied().collect();
         assert_eq!(ao, bo);
+    }
+
+    /// Regression: a front constant on one objective used to divide by a
+    /// zero range, yielding NaN crowding distances that made the
+    /// `partial_cmp(...).expect(...)` survival comparator panic.
+    #[test]
+    fn crowding_handles_degenerate_constant_objective() {
+        // All points share objective 1; objective 0 spreads them out.
+        let objs = vec![ov(&[1.0, 7.0]), ov(&[2.0, 7.0]), ov(&[3.0, 7.0]), ov(&[4.0, 7.0])];
+        let front: Vec<usize> = (0..objs.len()).collect();
+        let d = crowding_distances(&front, &objs);
+        assert!(d.iter().all(|v| !v.is_nan()), "degenerate front produced NaN: {d:?}");
+        assert_eq!(d[0], f64::INFINITY);
+        assert_eq!(d[3], f64::INFINITY);
+        // Interior distances come from objective 0 alone.
+        assert!((d[1] - (3.0 - 1.0) / 3.0).abs() < 1e-12);
+        assert!((d[2] - (4.0 - 2.0) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn crowding_handles_fully_constant_and_infinite_fronts() {
+        // Entirely constant front: every distance must be finite-or-∞,
+        // never NaN (0/0).
+        let objs = vec![ov(&[5.0, 5.0]); 4];
+        let front: Vec<usize> = (0..4).collect();
+        let d = crowding_distances(&front, &objs);
+        assert!(d.iter().all(|v| !v.is_nan()), "{d:?}");
+
+        // All-infeasible front (+∞ everywhere): span is ∞ − ∞ = NaN and
+        // must be guarded too.
+        let objs = vec![ov(&[f64::INFINITY, f64::INFINITY]); 5];
+        let front: Vec<usize> = (0..5).collect();
+        let d = crowding_distances(&front, &objs);
+        assert!(d.iter().all(|v| !v.is_nan()), "{d:?}");
+
+        // Mixed finite/∞ on one axis: non-finite span, guarded.
+        let objs = vec![ov(&[1.0, 2.0]), ov(&[2.0, 1.0]), ov(&[0.5, f64::INFINITY])];
+        let front: Vec<usize> = (0..3).collect();
+        let d = crowding_distances(&front, &objs);
+        assert!(d.iter().all(|v| !v.is_nan()), "{d:?}");
+    }
+
+    /// End-to-end regression: an evaluator that is constant on one axis
+    /// forces every front to be degenerate; the run must not panic.
+    #[test]
+    fn nsga2_survives_constant_objective_evaluator() {
+        struct ConstantAxis;
+        impl crate::evaluator::Evaluator for ConstantAxis {
+            fn evaluate(&self, point: &wbsn_model::space::DesignPoint) -> Option<ObjectiveVector> {
+                Some(ObjectiveVector::from_slice(&[
+                    f64::from(point.mac.payload_bytes),
+                    1.0, // constant on every feasible point
+                ]))
+            }
+            fn num_objectives(&self) -> usize {
+                2
+            }
+            fn name(&self) -> &'static str {
+                "constant-axis"
+            }
+        }
+        let space = DesignSpace::case_study(4);
+        let cfg = Nsga2Config { population: 16, generations: 4, seed: 1, ..Nsga2Config::default() };
+        let result = nsga2(&space, &ConstantAxis, &cfg);
+        assert!(!result.front.is_empty());
+    }
+
+    #[test]
+    fn memo_counts_hits_and_preserves_counters() {
+        let space = DesignSpace::case_study(4);
+        let cfg =
+            Nsga2Config { population: 24, generations: 10, seed: 7, ..Nsga2Config::default() };
+        let memoized = nsga2(&space, &ModelEvaluator::shimmer(), &cfg);
+        let plain = nsga2(&space, &ModelEvaluator::shimmer(), &Nsga2Config { memo: false, ..cfg });
+        // Elitist re-selection guarantees repeats in a 10-generation run.
+        assert!(memoized.memo_hits > 0, "expected genome repeats to hit the memo");
+        assert_eq!(plain.memo_hits, 0);
+        // Counters and front are bit-identical with and without the memo.
+        assert_eq!(memoized.evaluations, plain.evaluations);
+        assert_eq!(memoized.infeasible, plain.infeasible);
+        assert_eq!(memoized.front.entries(), plain.front.entries());
     }
 
     #[test]

@@ -1,6 +1,30 @@
 //! Objective vectors and Pareto dominance (all objectives minimized).
+//!
+//! # Inline representation
+//!
+//! [`ObjectiveVector`] stores its values inline as a fixed-capacity
+//! `[f64; MAX_OBJECTIVES]` plus an active length — no heap allocation,
+//! ever. The type is `Copy`, so the clones scattered through fast
+//! non-dominated sorting, crowding and archive insertion are register
+//! moves instead of `Vec` allocations (the search loops clone objective
+//! vectors millions of times per run).
+//!
+//! The capacity limit is [`MAX_OBJECTIVES`] (currently 4): enough for the
+//! paper's three objectives (energy, delay, PRD) plus one extension axis
+//! (e.g. lifetime or reliability à la Xu et al.). Constructing a longer
+//! vector panics — widen `MAX_OBJECTIVES` if a workload ever needs it.
+//!
+//! # Value policy
+//!
+//! `NaN` is rejected at construction (dominance would be ill-defined).
+//! Non-finite `±∞` values are *accepted deliberately*: the searchers
+//! encode infeasible configurations as all-`+∞` vectors, which dominance
+//! pushes to the last fronts automatically (see `nsga2`).
 
 use std::fmt;
+
+/// Maximum number of objectives an [`ObjectiveVector`] can hold inline.
+pub const MAX_OBJECTIVES: usize = 4;
 
 /// Relation between two objective vectors.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -17,45 +41,79 @@ pub enum Dominance {
 
 /// A point in objective space; smaller is better on every axis.
 ///
+/// Values live inline (`[f64; MAX_OBJECTIVES]` + length), so the type is
+/// `Copy` and never touches the heap; see the module docs for the
+/// capacity and non-finite-value policy.
+///
 /// ```
 /// use wbsn_dse::objective::{Dominance, ObjectiveVector};
 /// let a = ObjectiveVector::new(vec![1.0, 2.0]);
-/// let b = ObjectiveVector::new(vec![2.0, 3.0]);
+/// let b = ObjectiveVector::from_slice(&[2.0, 3.0]);
 /// assert_eq!(a.compare(&b), Dominance::Dominates);
 /// assert!(a.dominates(&b));
 /// ```
-#[derive(Debug, Clone, PartialEq)]
-pub struct ObjectiveVector(Vec<f64>);
+#[derive(Clone, Copy)]
+pub struct ObjectiveVector {
+    values: [f64; MAX_OBJECTIVES],
+    len: u8,
+}
 
 impl ObjectiveVector {
-    /// Wraps raw objective values.
+    /// Wraps raw objective values (allocating caller-side only; prefer
+    /// [`ObjectiveVector::from_slice`] in hot paths).
     ///
     /// # Panics
     ///
-    /// Panics if `values` is empty or contains NaN.
+    /// Panics if `values` is empty, longer than [`MAX_OBJECTIVES`] or
+    /// contains NaN. `±∞` is accepted (infeasibility encoding).
     #[must_use]
+    #[allow(clippy::needless_pass_by_value)] // keeps the historical Vec-based signature
     pub fn new(values: Vec<f64>) -> Self {
+        Self::from_slice(&values)
+    }
+
+    /// Builds an objective vector from a slice without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty, longer than [`MAX_OBJECTIVES`] or
+    /// contains NaN. `±∞` is accepted (infeasibility encoding).
+    #[must_use]
+    pub fn from_slice(values: &[f64]) -> Self {
         assert!(!values.is_empty(), "objective vector cannot be empty");
+        assert!(
+            values.len() <= MAX_OBJECTIVES,
+            "objective vector holds at most {MAX_OBJECTIVES} values, got {}",
+            values.len()
+        );
         assert!(values.iter().all(|v| !v.is_nan()), "objectives must not be NaN");
-        Self(values)
+        let mut inline = [0.0; MAX_OBJECTIVES];
+        inline[..values.len()].copy_from_slice(values);
+        Self {
+            values: inline,
+            len: u8::try_from(values.len()).expect("len bounded by MAX_OBJECTIVES"),
+        }
     }
 
     /// The raw values.
     #[must_use]
     pub fn values(&self) -> &[f64] {
-        &self.0
+        &self.values[..self.len as usize]
     }
 
     /// Number of objectives.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.0.len()
+        self.len as usize
     }
 
-    /// Always `false`: construction forbids empty vectors.
+    /// Whether the vector holds no values — derived from [`len`]
+    /// (always `false` in practice: construction forbids empty vectors).
+    ///
+    /// [`len`]: ObjectiveVector::len
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        false
+        self.len() == 0
     }
 
     /// Pareto comparison.
@@ -65,10 +123,10 @@ impl ObjectiveVector {
     /// Panics when vectors have different dimensionality.
     #[must_use]
     pub fn compare(&self, other: &Self) -> Dominance {
-        assert_eq!(self.0.len(), other.0.len(), "objective dimensionality mismatch");
+        assert_eq!(self.len, other.len, "objective dimensionality mismatch");
         let mut better = false;
         let mut worse = false;
-        for (a, b) in self.0.iter().zip(&other.0) {
+        for (a, b) in self.values().iter().zip(other.values()) {
             if a < b {
                 better = true;
             } else if a > b {
@@ -96,10 +154,25 @@ impl ObjectiveVector {
     }
 }
 
+/// Compares only the active values (the unused tail of the inline array
+/// is ignored).
+impl PartialEq for ObjectiveVector {
+    fn eq(&self, other: &Self) -> bool {
+        self.values() == other.values()
+    }
+}
+
+/// Shows only the active values, like the old `Vec`-backed tuple struct.
+impl fmt::Debug for ObjectiveVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("ObjectiveVector").field(&self.values()).finish()
+    }
+}
+
 impl fmt::Display for ObjectiveVector {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "(")?;
-        for (i, v) in self.0.iter().enumerate() {
+        for (i, v) in self.values().iter().enumerate() {
             if i > 0 {
                 write!(f, ", ")?;
             }
@@ -157,13 +230,62 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "at most")]
+    fn over_capacity_rejected() {
+        let _ = ov(&[1.0; MAX_OBJECTIVES + 1]);
+    }
+
+    #[test]
+    fn capacity_boundary_accepted() {
+        let v = ov(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(v.len(), MAX_OBJECTIVES);
+        assert_eq!(v.values(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
     fn infinity_is_dominated() {
         // Infeasible points encoded as +∞ are dominated by any feasible.
         assert!(ov(&[1.0, 1.0]).dominates(&ov(&[f64::INFINITY, f64::INFINITY])));
     }
 
     #[test]
+    fn from_slice_equals_new() {
+        let a = ObjectiveVector::from_slice(&[1.0, 2.0, 3.0]);
+        let b = ObjectiveVector::new(vec![1.0, 2.0, 3.0]);
+        assert_eq!(a, b);
+        assert_eq!(a.values(), b.values());
+    }
+
+    #[test]
+    fn equality_ignores_inactive_tail() {
+        // Same active prefix, different lengths: never equal.
+        assert_ne!(ov(&[1.0, 2.0]), ov(&[1.0, 2.0, 0.0]));
+        assert_eq!(ov(&[1.0, 2.0]), ov(&[1.0, 2.0]));
+    }
+
+    #[test]
+    #[allow(clippy::len_zero)] // the point is exactly that is_empty mirrors len()
+    fn is_empty_derives_from_len() {
+        let v = ov(&[1.0]);
+        assert_eq!(v.is_empty(), v.len() == 0, "is_empty must mirror len()");
+        assert!(!v.is_empty());
+    }
+
+    #[test]
+    fn copy_semantics_preserve_values() {
+        let a = ov(&[1.0, 2.0, 3.0]);
+        let b = a; // Copy, not move
+        assert_eq!(a, b);
+        assert_eq!(a.values(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
     fn display() {
         assert_eq!(format!("{}", ov(&[1.0, 2.5])), "(1.0000, 2.5000)");
+    }
+
+    #[test]
+    fn debug_shows_active_prefix_only() {
+        assert_eq!(format!("{:?}", ov(&[1.0, 2.0])), "ObjectiveVector([1.0, 2.0])");
     }
 }

@@ -206,7 +206,7 @@ mod tests {
         let mut slow: Vec<ArchiveEntry<usize>> = Vec::new();
         for i in 0..500 {
             let p = ov(&[next(), next(), next()]);
-            let accepted_fast = fast.insert(p.clone(), i);
+            let accepted_fast = fast.insert(p, i);
             // Reference: the original reject-scan + retain double pass.
             let accepted_slow = if slow.iter().any(|e| e.objectives.weakly_dominates(&p)) {
                 false

@@ -1,0 +1,91 @@
+//! Zero-allocation guarantees of the batch decode + evaluate path.
+//!
+//! A counting global allocator wraps the system allocator; after a warmup
+//! pass (which may allocate: the eval scratch builds its memo table, the
+//! application models are boxed once per distinct `(kind, CR, fµC)`), the
+//! steady-state loop of linear-index decode → objectives-only evaluation
+//! must perform **zero** heap allocations per point:
+//!
+//! * `DesignSpace::point_at` decodes into a `NodeVec` (inline up to
+//!   `INLINE_NODES` configs — the case study has 6);
+//! * `Genome::decode` reads picks straight from the genome fields;
+//! * `WbsnModel::evaluate_objectives` reuses the scratch buffers and the
+//!   `(kind, CR, fµC)` memo;
+//! * `ObjectiveVector::from_slice` is an inline `Copy` value.
+//!
+//! This file holds a single `#[test]` so no sibling test thread can
+//! pollute the allocation counter.
+
+use alloc_counter::{allocation_count as allocations, CountingAlloc};
+use wbsn_dse::genome::Genome;
+use wbsn_dse::objective::ObjectiveVector;
+use wbsn_model::evaluate::{EvalScratch, WbsnModel};
+use wbsn_model::space::DesignSpace;
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+#[test]
+fn batch_decode_and_evaluate_are_allocation_free_in_steady_state() {
+    let model = WbsnModel::shimmer();
+    let space = DesignSpace::case_study(6);
+    let mut scratch = EvalScratch::new();
+    let total = space.cardinality();
+    // A multiplicative scramble picks 4096 well-spread indices (a plain
+    // arithmetic stride aliases the mixed-radix digits and can dodge the
+    // feasible region entirely).
+    let sweep = |scratch: &mut EvalScratch| {
+        let mut feasible = 0u64;
+        for m in 0..4096u128 {
+            let index = (m.wrapping_mul(0x9E37_79B9_7F4A_7C15)) % total;
+            let point = space.point_at(index);
+            if model.evaluate_objectives(&point.mac, &point.nodes, scratch).is_ok() {
+                feasible += 1;
+            }
+        }
+        feasible
+    };
+
+    // Warmup: populates the (kind, CR, fµC) memo (boxed app models,
+    // memo-table backing storage, scratch buffers).
+    let feasible_warm = sweep(&mut scratch);
+    assert!(feasible_warm > 0, "sweep must hit feasible configurations");
+
+    // Steady state: the identical sweep must not allocate at all.
+    let before = allocations();
+    let feasible = sweep(&mut scratch);
+    let delta = allocations() - before;
+    assert_eq!(feasible, feasible_warm);
+    assert_eq!(delta, 0, "decode+evaluate steady state performed {delta} heap allocations");
+
+    genome_decode_and_objective_construction_are_allocation_free();
+}
+
+// Called from the single #[test] above: a second parallel test thread
+// would pollute the shared allocation counter.
+fn genome_decode_and_objective_construction_are_allocation_free() {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let space = DesignSpace::case_study(6);
+    let mut rng = StdRng::seed_from_u64(9);
+    let genomes: Vec<Genome> = (0..256).map(|_| Genome::random(&space, &mut rng)).collect();
+
+    // Warmup (first decode of each genome touches nothing heap-bound,
+    // but keep the measurement honest about lazy runtime init).
+    let mut checksum = 0usize;
+    for g in &genomes {
+        checksum += g.decode(&space).nodes.len();
+    }
+
+    let before = allocations();
+    for g in &genomes {
+        let point = g.decode(&space);
+        checksum += point.nodes.len();
+        let objectives = ObjectiveVector::from_slice(&[point.mac.sfo.into(), 1.0, 2.0]);
+        checksum += objectives.len();
+    }
+    let delta = allocations() - before;
+    assert!(checksum > 0);
+    assert_eq!(delta, 0, "genome decode steady state performed {delta} heap allocations");
+}

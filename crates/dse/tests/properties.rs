@@ -1,7 +1,9 @@
 //! Property-based tests of the DSE invariants.
 
 use proptest::prelude::*;
-use wbsn_dse::nsga2::fast_non_dominated_sort;
+use wbsn_dse::evaluator::ModelEvaluator;
+use wbsn_dse::mosa::{mosa, MosaConfig};
+use wbsn_dse::nsga2::{fast_non_dominated_sort, nsga2, Nsga2Config};
 use wbsn_dse::objective::{Dominance, ObjectiveVector};
 use wbsn_dse::pareto::{non_dominated_indices, ParetoArchive};
 use wbsn_dse::quality::{coverage, hypervolume_2d};
@@ -10,6 +12,27 @@ use wbsn_model::units::Hertz;
 
 fn objective_vec(dims: usize) -> impl Strategy<Value = ObjectiveVector> {
     prop::collection::vec(0.0f64..100.0, dims..=dims).prop_map(ObjectiveVector::new)
+}
+
+/// The retired `Vec`-backed dominance comparison, kept as the behavioral
+/// reference for the inline `ObjectiveVector`.
+fn reference_compare(a: &[f64], b: &[f64]) -> Dominance {
+    assert_eq!(a.len(), b.len());
+    let mut better = false;
+    let mut worse = false;
+    for (x, y) in a.iter().zip(b) {
+        if x < y {
+            better = true;
+        } else if x > y {
+            worse = true;
+        }
+    }
+    match (better, worse) {
+        (true, false) => Dominance::Dominates,
+        (false, true) => Dominance::DominatedBy,
+        (false, false) => Dominance::Equal,
+        (true, true) => Dominance::Incomparable,
+    }
 }
 
 /// Random tiny design spaces: every grid axis truncated to a random
@@ -58,7 +81,7 @@ proptest! {
     ) {
         let mut archive = ParetoArchive::new();
         for (i, p) in points.iter().enumerate() {
-            archive.insert(p.clone(), i);
+            archive.insert(*p, i);
         }
         let objs: Vec<_> = archive.objectives().cloned().collect();
         for (i, a) in objs.iter().enumerate() {
@@ -80,7 +103,7 @@ proptest! {
     ) {
         let mut archive = ParetoArchive::new();
         for (i, p) in points.iter().enumerate() {
-            archive.insert(p.clone(), i);
+            archive.insert(*p, i);
         }
         let batch = non_dominated_indices(&points);
         // Same cardinality (both deduplicate dominance-equivalent points).
@@ -158,6 +181,82 @@ proptest! {
         for (i, expected) in odometer_points.iter().enumerate() {
             prop_assert_eq!(&space.point_at(i as u128), expected, "index {}", i);
         }
+    }
+
+    // The inline `[f64; 4]`-backed `ObjectiveVector` behaves exactly
+    // like the old `Vec`-backed one: construction round-trips the
+    // values, `compare` matches the reference dominance table on every
+    // supported dimensionality, and comparison is symmetric.
+    #[test]
+    fn inline_objective_vector_matches_vec_backed_reference(
+        a in prop::collection::vec(prop_oneof![0.0f64..10.0, Just(f64::INFINITY)], 1..=4),
+        b in prop::collection::vec(prop_oneof![0.0f64..10.0, Just(f64::INFINITY)], 1..=4),
+    ) {
+        let ia = ObjectiveVector::new(a.clone());
+        prop_assert_eq!(ia.values(), &a[..]);
+        prop_assert_eq!(ia.len(), a.len());
+        prop_assert!(!ia.is_empty());
+        if a.len() == b.len() {
+            let ib = ObjectiveVector::from_slice(&b);
+            prop_assert_eq!(ia.compare(&ib), reference_compare(&a, &b));
+            // Equality matches slice equality of the active prefix.
+            prop_assert_eq!(ia == ib, a == b);
+        }
+    }
+
+    // Archive-insert parity: driving `ParetoArchive` with inline
+    // vectors produces exactly the accept/reject sequence and final
+    // front of a `Vec<f64>`-based reference archive using the old
+    // dominance logic.
+    #[test]
+    fn archive_insert_parity_with_vec_backed_reference(
+        points in prop::collection::vec(
+            prop::collection::vec(0.0f64..4.0, 3..=3), 1..60),
+    ) {
+        let mut archive = ParetoArchive::new();
+        let mut reference: Vec<(Vec<f64>, usize)> = Vec::new();
+        for (i, p) in points.iter().enumerate() {
+            let accepted = archive.insert(ObjectiveVector::new(p.clone()), i);
+            let ref_accepted = if reference.iter().any(|(q, _)| {
+                matches!(reference_compare(q, p), Dominance::Dominates | Dominance::Equal)
+            }) {
+                false
+            } else {
+                reference.retain(|(q, _)| reference_compare(p, q) != Dominance::Dominates);
+                reference.push((p.clone(), i));
+                true
+            };
+            prop_assert_eq!(accepted, ref_accepted, "insert #{}", i);
+        }
+        prop_assert_eq!(archive.len(), reference.len());
+        for (entry, (q, i)) in archive.entries().iter().zip(&reference) {
+            prop_assert_eq!(entry.objectives.values(), &q[..]);
+            prop_assert_eq!(&entry.payload, i);
+        }
+    }
+
+    // Genome-memoized searches are bit-identical to memo-free runs:
+    // same front (entries, order, payloads), same counters.
+    #[test]
+    fn memoized_searches_are_bit_identical_to_memo_free(seed in 0u64..1000) {
+        let space = DesignSpace::case_study(3);
+        let eval = ModelEvaluator::shimmer();
+
+        let ga_cfg = Nsga2Config {
+            population: 12, generations: 4, seed, ..Nsga2Config::default()
+        };
+        let ga_memo = nsga2(&space, &eval, &ga_cfg);
+        let ga_plain = nsga2(&space, &eval, &Nsga2Config { memo: false, ..ga_cfg });
+        prop_assert_eq!(ga_memo.front.entries(), ga_plain.front.entries());
+        prop_assert_eq!(ga_memo.evaluations, ga_plain.evaluations);
+        prop_assert_eq!(ga_memo.infeasible, ga_plain.infeasible);
+
+        let sa_cfg = MosaConfig { iterations: 150, seed, ..MosaConfig::default() };
+        let sa_memo = mosa(&space, &eval, &sa_cfg);
+        let sa_plain = mosa(&space, &eval, &MosaConfig { memo: false, ..sa_cfg });
+        prop_assert_eq!(sa_memo.front.entries(), sa_plain.front.entries());
+        prop_assert_eq!(sa_memo.evaluations, sa_plain.evaluations);
+        prop_assert_eq!(sa_memo.infeasible, sa_plain.infeasible);
     }
 
     #[test]

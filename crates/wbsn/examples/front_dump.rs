@@ -1,0 +1,43 @@
+//! Dumps seeded search fronts as bit patterns (refactor verification).
+use wbsn::dse::evaluator::ModelEvaluator;
+use wbsn::dse::exhaustive::exhaustive;
+use wbsn::dse::mosa::{mosa, MosaConfig};
+use wbsn::dse::nsga2::{nsga2, Nsga2Config};
+use wbsn::model::space::DesignSpace;
+
+fn main() {
+    let space = DesignSpace::case_study(6);
+    let eval = ModelEvaluator::shimmer();
+    for seed in [1u64, 7, 42] {
+        let ga = nsga2(
+            &space,
+            &eval,
+            &Nsga2Config { population: 40, generations: 15, seed, ..Nsga2Config::default() },
+        );
+        for o in ga.front.objectives() {
+            let bits: Vec<String> =
+                o.values().iter().map(|v| format!("{:016x}", v.to_bits())).collect();
+            println!("nsga2 {seed} {}", bits.join(" "));
+        }
+        println!("nsga2 {seed} evals={} infeasible={}", ga.evaluations, ga.infeasible);
+        let sa =
+            mosa(&space, &eval, &MosaConfig { iterations: 2000, seed, ..MosaConfig::default() });
+        for o in sa.front.objectives() {
+            let bits: Vec<String> =
+                o.values().iter().map(|v| format!("{:016x}", v.to_bits())).collect();
+            println!("mosa {seed} {}", bits.join(" "));
+        }
+        println!("mosa {seed} evals={} infeasible={}", sa.evaluations, sa.infeasible);
+    }
+    let mut tiny = DesignSpace::case_study(2);
+    tiny.cr_values = vec![0.17, 0.25, 0.33];
+    tiny.payload_values = vec![70, 114];
+    tiny.order_pairs = vec![(5, 5), (6, 6), (6, 8)];
+    let ex = exhaustive(&tiny, &eval, 1_000_000);
+    for e in ex.front.entries() {
+        let bits: Vec<String> =
+            e.objectives.values().iter().map(|v| format!("{:016x}", v.to_bits())).collect();
+        println!("exhaustive {} | {:?}", bits.join(" "), e.payload.mac);
+    }
+    println!("exhaustive evals={} infeasible={}", ex.evaluations, ex.infeasible);
+}
