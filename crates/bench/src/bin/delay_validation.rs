@@ -13,7 +13,8 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use wbsn_bench::{header, row};
-use wbsn_model::evaluate::{NodeConfig, WbsnModel};
+use wbsn_dse::parallel::parallel_map_with_block;
+use wbsn_model::evaluate::{NodeConfig, SystemEvaluation, WbsnModel};
 use wbsn_model::ieee802154::Ieee802154Config;
 use wbsn_model::shimmer::CompressionKind;
 use wbsn_model::units::Hertz;
@@ -21,6 +22,14 @@ use wbsn_sim::engine::{NetworkBuilder, TrafficMode};
 
 const RUNS: usize = 130;
 const SIM_SECONDS: f64 = 120.0;
+
+/// A model-screened configuration awaiting its validation simulation.
+struct Candidate {
+    mac: Ieee802154Config,
+    nodes: Vec<NodeConfig>,
+    eval: SystemEvaluation,
+    seed: u64,
+}
 
 fn main() {
     let model = WbsnModel::shimmer();
@@ -49,78 +58,100 @@ fn main() {
         "overestimate [ms]",
     ]);
 
+    // Candidate generation stays serial (one RNG stream, deterministic),
+    // but the expensive 120-simulated-second validation runs fan out
+    // across cores per batch of candidates (block = 1: one simulation is
+    // one work unit). Acceptance walks each batch in candidate order, so
+    // the accepted set — and every statistic — is independent of thread
+    // count (see `crates/wbsn/tests/sim_determinism.rs`).
     while accepted < RUNS {
-        attempts += 1;
-        assert!(attempts < RUNS * 50, "rejection sampling runaway");
-        // Random φout ∈ [40, 250] B/s per node via CR ∈ [0.107, 0.667].
-        let n = rng.gen_range(3..=6);
-        let nodes: Vec<NodeConfig> = (0..n)
-            .map(|i| {
-                let kind = if i % 2 == 0 { CompressionKind::Cs } else { CompressionKind::Dwt };
-                let phi_out = rng.gen_range(40.0..250.0);
-                NodeConfig::new(kind, phi_out / 375.0, Hertz::from_mhz(8.0))
-            })
-            .collect();
-        let payload = *[30u16, 50, 70, 90, 114].get(rng.gen_range(0..5usize)).expect("in range");
-        let sfo = rng.gen_range(4u8..=7);
-        let bco = rng.gen_range(sfo..=8);
-        let Ok(mac) = Ieee802154Config::new(payload, sfo, bco) else { continue };
-        // Keep only configurations the model itself declares feasible.
-        let Ok(eval) = model.evaluate(&mac, &nodes) else { continue };
-        // Screen out saturated designs: Eq. 1 sizes the GTS on fluid
-        // airtime, but a slot serves an *integer* number of packet
-        // transactions. If that integer capacity is below the arrival
-        // rate the queue diverges and no delay bound can exist — such
-        // configurations are unusable and outside the paper's
-        // "realistic" draws.
-        let mac_model = wbsn_model::ieee802154::Ieee802154Mac::new(mac, nodes.len() as u32);
-        let transaction = mac_model.packet_transaction_time().value();
-        let delta = mac.slot_duration().value();
-        let bi = mac.beacon_interval().value();
-        let saturated = nodes.iter().zip(&eval.assignment.slots).any(|(n, &k)| {
-            let arrivals_per_sf = n.cr * 375.0 * bi / f64::from(payload);
-            let capacity_per_sf = (f64::from(k) * delta / transaction).floor();
-            capacity_per_sf < arrivals_per_sf * 1.1
-        });
-        if saturated {
-            screened += 1;
-            continue;
+        let mut batch: Vec<Candidate> = Vec::new();
+        while batch.len() < RUNS - accepted {
+            attempts += 1;
+            assert!(attempts < RUNS * 50, "rejection sampling runaway");
+            // Random φout ∈ [40, 250] B/s per node via CR ∈ [0.107, 0.667].
+            let n = rng.gen_range(3..=6);
+            let nodes: Vec<NodeConfig> = (0..n)
+                .map(|i| {
+                    let kind = if i % 2 == 0 { CompressionKind::Cs } else { CompressionKind::Dwt };
+                    let phi_out = rng.gen_range(40.0..250.0);
+                    NodeConfig::new(kind, phi_out / 375.0, Hertz::from_mhz(8.0))
+                })
+                .collect();
+            let payload =
+                *[30u16, 50, 70, 90, 114].get(rng.gen_range(0..5usize)).expect("in range");
+            let sfo = rng.gen_range(4u8..=7);
+            let bco = rng.gen_range(sfo..=8);
+            let Ok(mac) = Ieee802154Config::new(payload, sfo, bco) else { continue };
+            // Keep only configurations the model itself declares feasible.
+            let Ok(eval) = model.evaluate(&mac, &nodes) else { continue };
+            // Screen out saturated designs: Eq. 1 sizes the GTS on fluid
+            // airtime, but a slot serves an *integer* number of packet
+            // transactions. If that integer capacity is below the arrival
+            // rate the queue diverges and no delay bound can exist — such
+            // configurations are unusable and outside the paper's
+            // "realistic" draws.
+            let mac_model = wbsn_model::ieee802154::Ieee802154Mac::new(mac, nodes.len() as u32);
+            let transaction = mac_model.packet_transaction_time().value();
+            let delta = mac.slot_duration().value();
+            let bi = mac.beacon_interval().value();
+            let saturated = nodes.iter().zip(&eval.assignment.slots).any(|(n, &k)| {
+                let arrivals_per_sf = n.cr * 375.0 * bi / f64::from(payload);
+                let capacity_per_sf = (f64::from(k) * delta / transaction).floor();
+                capacity_per_sf < arrivals_per_sf * 1.1
+            });
+            if saturated {
+                screened += 1;
+                continue;
+            }
+            let seed = rng.gen();
+            batch.push(Candidate { mac, nodes, eval, seed });
         }
 
-        let report = NetworkBuilder::new(mac, nodes)
-            .duration_s(SIM_SECONDS)
-            .seed(rng.gen())
-            .traffic(TrafficMode::PacketStream)
-            .build()
-            .expect("model-feasible configs must build")
-            .run();
-        if !report.all_feasible() {
-            continue;
-        }
-        accepted += 1;
+        let reports = parallel_map_with_block(
+            &batch,
+            1,
+            || (),
+            |(), c| {
+                NetworkBuilder::new(c.mac, c.nodes.clone())
+                    .duration_s(SIM_SECONDS)
+                    .seed(c.seed)
+                    .traffic(TrafficMode::PacketStream)
+                    .build()
+                    .expect("model-feasible configs must build")
+                    .run()
+            },
+        );
 
-        // Per-configuration: worst node bound vs worst observed delay.
-        let bound_max: f64 =
-            eval.per_node.iter().map(|p| p.delay_bound.value()).fold(0.0, f64::max);
-        let sim_max: f64 = report.nodes.iter().map(|nr| nr.delay.max_s()).fold(0.0, f64::max);
-        let over = bound_max - sim_max;
-        if over < 0.0 {
-            violations += 1;
-        }
-        sum_over += over;
-        max_over = max_over.max(over);
-        min_slack = min_slack.min(over);
-        if shown < 10 {
-            shown += 1;
-            row(&[
-                format!("{accepted}"),
-                format!("{payload}"),
-                format!("{sfo}/{bco}"),
-                format!("{n}"),
-                format!("{:.1}", bound_max * 1e3),
-                format!("{:.1}", sim_max * 1e3),
-                format!("{:.1}", over * 1e3),
-            ]);
+        for (candidate, report) in batch.iter().zip(reports) {
+            if accepted >= RUNS || !report.all_feasible() {
+                continue;
+            }
+            accepted += 1;
+
+            // Per-configuration: worst node bound vs worst observed delay.
+            let bound_max: f64 =
+                candidate.eval.per_node.iter().map(|p| p.delay_bound.value()).fold(0.0, f64::max);
+            let sim_max: f64 = report.nodes.iter().map(|nr| nr.delay.max_s()).fold(0.0, f64::max);
+            let over = bound_max - sim_max;
+            if over < 0.0 {
+                violations += 1;
+            }
+            sum_over += over;
+            max_over = max_over.max(over);
+            min_slack = min_slack.min(over);
+            if shown < 10 {
+                shown += 1;
+                row(&[
+                    format!("{accepted}"),
+                    format!("{}", candidate.mac.payload_bytes),
+                    format!("{}/{}", candidate.mac.sfo, candidate.mac.bco),
+                    format!("{}", candidate.nodes.len()),
+                    format!("{:.1}", bound_max * 1e3),
+                    format!("{:.1}", sim_max * 1e3),
+                    format!("{:.1}", over * 1e3),
+                ]);
+            }
         }
     }
 

@@ -4,17 +4,38 @@
 //! MOSA and pure random search the same evaluation budget and compares
 //! front quality via hypervolume and mutual coverage.
 //!
+//! The NSGA-II and MOSA runs share one [`GenomeMemo`]: both optimizers
+//! converge toward the same feasible corners of the space, so candidates
+//! the GA already evaluated are answered from the cache when annealing
+//! revisits them (and vice versa on re-runs). Sharing is observationally
+//! transparent — fronts are bit-identical to private-memo and memo-free
+//! runs, which the `#[cfg(test)]` block of this binary asserts.
+//!
 //! Run: `cargo run --release -p wbsn-bench --bin optimizer_comparison`
 
 use wbsn_bench::{header, row};
 use wbsn_dse::evaluator::ModelEvaluator;
-use wbsn_dse::mosa::{mosa, random_search, MosaConfig};
-use wbsn_dse::nsga2::{nsga2, Nsga2Config};
+use wbsn_dse::memo::GenomeMemo;
+use wbsn_dse::mosa::{mosa_with_memo, random_search, MosaConfig};
+use wbsn_dse::nsga2::{nsga2_with_memo, Nsga2Config};
 use wbsn_dse::objective::ObjectiveVector;
 use wbsn_dse::quality::{coverage, hypervolume_monte_carlo};
 use wbsn_model::space::DesignSpace;
 
 const BUDGET: usize = 12_000;
+
+fn ga_config(budget: usize) -> Nsga2Config {
+    Nsga2Config {
+        population: 100,
+        generations: budget / 100 - 1,
+        seed: 7,
+        ..Nsga2Config::default()
+    }
+}
+
+fn sa_config(budget: usize) -> MosaConfig {
+    MosaConfig { iterations: budget, seed: 7, ..MosaConfig::default() }
+}
 
 fn main() {
     let space = DesignSpace::case_study(6);
@@ -22,24 +43,24 @@ fn main() {
 
     println!("# §5.2 — optimizer comparison at equal budget ({BUDGET} evaluations)\n");
 
-    let ga = nsga2(
-        &space,
-        &eval,
-        &Nsga2Config {
-            population: 100,
-            generations: BUDGET / 100 - 1,
-            seed: 7,
-            ..Nsga2Config::default()
-        },
-    );
-    let sa =
-        mosa(&space, &eval, &MosaConfig { iterations: BUDGET, seed: 7, ..MosaConfig::default() });
+    let mut memo = GenomeMemo::new(true);
+    let ga = nsga2_with_memo(&space, &eval, &ga_config(BUDGET), &mut memo);
+    let ga_recorded = memo.len();
+    let sa = mosa_with_memo(&space, &eval, &sa_config(BUDGET), &mut memo);
     let rs = random_search(&space, &eval, BUDGET, 7);
+    println!(
+        "shared genome memo: {} distinct genomes ({} recorded by NSGA-II), \
+         {} NSGA-II hits, {} MOSA hits\n",
+        memo.len(),
+        ga_recorded,
+        ga.memo_hits,
+        sa.memo_hits
+    );
 
     let fronts: Vec<(&str, Vec<ObjectiveVector>)> = vec![
-        ("NSGA-II", ga.front.objectives().cloned().collect()),
-        ("MOSA", sa.front.objectives().cloned().collect()),
-        ("random", rs.front.objectives().cloned().collect()),
+        ("NSGA-II", ga.front.objectives().copied().collect()),
+        ("MOSA", sa.front.objectives().copied().collect()),
+        ("random", rs.front.objectives().copied().collect()),
     ];
 
     // Common hypervolume box from the union of all fronts.
@@ -78,4 +99,49 @@ fn main() {
     println!(
         "\npaper: GA and SA find fronts of comparable quality; both should dominate random search"
     );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wbsn_dse::mosa::mosa;
+    use wbsn_dse::nsga2::nsga2;
+
+    /// The comparison's shared memo must not change what either
+    /// optimizer finds: fronts and counters are bit-identical to
+    /// private-memo runs and to memo-free runs.
+    #[test]
+    fn shared_memo_runs_match_private_and_memo_free_runs_bitwise() {
+        let space = DesignSpace::case_study(4);
+        let eval = ModelEvaluator::shimmer();
+        let budget = 1200;
+
+        let mut memo = GenomeMemo::new(true);
+        let ga_shared = nsga2_with_memo(&space, &eval, &ga_config(budget), &mut memo);
+        let sa_shared = mosa_with_memo(&space, &eval, &sa_config(budget), &mut memo);
+        assert!(!memo.is_empty(), "shared memo must have recorded genomes");
+
+        let ga_private = nsga2(&space, &eval, &ga_config(budget));
+        let sa_private = mosa(&space, &eval, &sa_config(budget));
+        let ga_off = nsga2(&space, &eval, &Nsga2Config { memo: false, ..ga_config(budget) });
+        let sa_off = mosa(&space, &eval, &MosaConfig { memo: false, ..sa_config(budget) });
+
+        for (shared, private, off) in
+            [(&ga_shared, &ga_private, &ga_off), (&sa_shared, &sa_private, &sa_off)]
+        {
+            assert_eq!(shared.evaluations, private.evaluations);
+            assert_eq!(shared.infeasible, private.infeasible);
+            assert_eq!(shared.front.entries(), private.front.entries());
+            assert_eq!(shared.evaluations, off.evaluations);
+            assert_eq!(shared.infeasible, off.infeasible);
+            assert_eq!(shared.front.entries(), off.front.entries());
+        }
+        // Private NSGA-II and the shared run see the same genome stream,
+        // so their hit counts agree; MOSA's hits can only grow when the
+        // GA's recordings answer extra lookups.
+        assert_eq!(ga_shared.memo_hits, ga_private.memo_hits);
+        assert!(sa_shared.memo_hits >= sa_private.memo_hits);
+        assert_eq!(ga_off.memo_hits, 0);
+        assert_eq!(sa_off.memo_hits, 0);
+    }
 }

@@ -265,9 +265,10 @@ type MemoKey = (CompressionKind, u64, u64);
 
 /// Cached MAC-independent outcome of one node evaluation. Infeasibility
 /// is cached too — rejecting a configuration is as hot a path as
-/// accepting one.
+/// accepting one. Shared with the struct-of-arrays kernel
+/// ([`crate::soa`]) so both caches are built by the identical code path.
 #[derive(Debug, Clone)]
-enum MemoOutcome {
+pub(crate) enum MemoOutcome {
     Feasible {
         /// `Esensor + EµC + Emem` summed in the exact order of
         /// [`NodeEnergyBreakdown::total`], so adding the per-MAC radio
@@ -319,19 +320,27 @@ struct MemoTable {
     len: usize,
 }
 
+/// Hash of a node-configuration key `(kind, CR bits, fµC bits)` — the
+/// key space both the scalar memo ([`MemoTable`]) and the `SoA` kernel's
+/// grid table ([`crate::soa`]) intern, shared so the two caches cannot
+/// drift apart when the key grows a field.
+#[inline]
+pub(crate) fn node_key_hash(kind: CompressionKind, cr_bits: u64, f_bits: u64) -> u64 {
+    let kind_salt: u64 = match kind {
+        CompressionKind::Dwt => 0x9E37_79B9_7F4A_7C15,
+        CompressionKind::Cs => 0xC2B2_AE3D_27D4_EB4F,
+    };
+    let mut h = kind_salt
+        ^ cr_bits.wrapping_mul(0xBF58_476D_1CE4_E5B9)
+        ^ f_bits.rotate_left(31).wrapping_mul(0x94D0_49BB_1331_11EB);
+    h ^= h >> 29;
+    h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h ^ (h >> 32)
+}
+
 impl MemoTable {
     fn hash(key: &MemoKey) -> usize {
-        let kind_salt: u64 = match key.0 {
-            CompressionKind::Dwt => 0x9E37_79B9_7F4A_7C15,
-            CompressionKind::Cs => 0xC2B2_AE3D_27D4_EB4F,
-        };
-        let mut h = kind_salt
-            ^ key.1.wrapping_mul(0xBF58_476D_1CE4_E5B9)
-            ^ key.2.rotate_left(31).wrapping_mul(0x94D0_49BB_1331_11EB);
-        h ^= h >> 29;
-        h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        h ^= h >> 32;
-        (h as usize) & (MEMO_SLOTS - 1)
+        (node_key_hash(key.0, key.1, key.2) as usize) & (MEMO_SLOTS - 1)
     }
 
     fn get(&self, key: &MemoKey) -> Option<&MemoOutcome> {
@@ -483,7 +492,8 @@ impl WbsnModel {
     /// of [`WbsnModel::evaluate`] so memoized results cannot drift. The
     /// radio term is dropped here and recomputed per MAC by the caller;
     /// `base` keeps the summation order of [`NodeEnergyBreakdown::total`].
-    fn node_outcome(
+    /// Also the grid-building primitive of the [`crate::soa`] kernel.
+    pub(crate) fn node_outcome(
         &self,
         node: &NodeConfig,
         retransmission_factor: f64,

@@ -25,6 +25,9 @@
 //! * [`shimmer`] — the §4.3 case-study instantiation (Shimmer platform,
 //!   DWT and compressed-sensing applications).
 //! * [`space`] — the §4.1 configuration space.
+//! * [`soa`] — the struct-of-arrays batch kernel: whole design-point
+//!   batches evaluated through interned node/MAC tables with mask-based
+//!   infeasibility, bit-identical to the scalar evaluator.
 //! * [`csma`] — the §3.2 contention-access adaptation: `Δtx` determined
 //!   statistically from a non-persistent CSMA throughput model.
 //!
@@ -74,6 +77,7 @@ pub mod math;
 pub mod metrics;
 pub mod node;
 pub mod shimmer;
+pub mod soa;
 pub mod space;
 pub mod units;
 
@@ -82,4 +86,5 @@ pub use evaluate::{EvalScratch, NodeConfig, SystemEvaluation, WbsnModel};
 pub use ieee802154::{Ieee802154Config, Ieee802154Mac};
 pub use metrics::NetworkObjectives;
 pub use shimmer::CompressionKind;
+pub use soa::SoaScratch;
 pub use space::{DesignPoint, DesignSpace, NodeVec, INLINE_NODES};

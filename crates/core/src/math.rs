@@ -31,10 +31,18 @@ pub fn mean(values: &[f64]) -> f64 {
 /// ```
 #[must_use]
 pub fn sample_std(values: &[f64]) -> f64 {
+    sample_std_about_mean(values, mean(values))
+}
+
+/// [`sample_std`] with the mean supplied by the caller, so a fused
+/// mean + deviation computation (Eq. 8's `balanced_metric`) traverses
+/// the slice twice instead of three times. Passing anything other than
+/// `mean(values)` computes the deviation about that other center.
+#[must_use]
+pub fn sample_std_about_mean(values: &[f64], m: f64) -> f64 {
     if values.len() < 2 {
         return 0.0;
     }
-    let m = mean(values);
     let ss: f64 = values.iter().map(|v| (v - m) * (v - m)).sum();
     (ss / (values.len() - 1) as f64).sqrt()
 }

@@ -6,12 +6,17 @@
 //! are heavily optimized and others drain their batteries early (or send
 //! data of much worse quality).
 
-use crate::math::{mean, sample_std};
+use crate::math::{mean, sample_std_about_mean};
 
 /// Eq. 8: weighted combination of average and sample standard deviation.
 ///
 /// `ϑ` (theta) controls how much imbalance is penalized; the paper uses a
 /// positive constant. With one node (or `ϑ = 0`) this reduces to the mean.
+///
+/// The mean is computed once and shared with the deviation term (it is a
+/// pure function of the slice, so the result is bit-identical to the
+/// two-pass `mean + ϑ·sample_std` form) — this runs three times per
+/// evaluation in the DSE hot loop.
 ///
 /// ```
 /// use wbsn_model::metrics::balanced_metric;
@@ -22,7 +27,22 @@ use crate::math::{mean, sample_std};
 /// ```
 #[must_use]
 pub fn balanced_metric(per_node: &[f64], theta: f64) -> f64 {
-    mean(per_node) + theta * sample_std(per_node)
+    let m = mean(per_node);
+    m + theta * sample_std_about_mean(per_node, m)
+}
+
+/// [`balanced_metric`] with the element sum supplied by the caller.
+///
+/// The `SoA` kernel accumulates each per-node vector's sum inside its
+/// gather loops — in the exact left-fold order of `iter().sum()`, so
+/// `sum` carries the same bits [`crate::math::mean`] would compute —
+/// and hands it in here to spare one traversal per metric. Passing any
+/// other value computes a different (wrong) metric; this must stay in
+/// lockstep with [`balanced_metric`].
+#[must_use]
+pub fn balanced_metric_with_sum(per_node: &[f64], sum: f64, theta: f64) -> f64 {
+    let m = if per_node.is_empty() { 0.0 } else { sum / per_node.len() as f64 };
+    m + theta * sample_std_about_mean(per_node, m)
 }
 
 /// The three network-level objectives of the proposed model (all minimized).

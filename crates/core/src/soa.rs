@@ -1,0 +1,855 @@
+//! Struct-of-arrays batch evaluation kernel.
+//!
+//! [`WbsnModel::evaluate_objectives_batch`] evaluates a whole slice of
+//! [`DesignPoint`]s against the model in one call, bit-identical to
+//! mapping [`WbsnModel::evaluate_objectives`] over the slice (same
+//! objectives, same [`ModelError`] on every infeasible point) but
+//! restructured for throughput:
+//!
+//! * **Decode into parallel arrays.** Each point's per-node
+//!   `(kind, CR, fµC)` picks are interned into a *grid* of unique node
+//!   configurations; the batch is walked as flat `u32` grid indices and
+//!   gathered into per-point `f64`/`u32` arrays (struct of arrays), not
+//!   as per-node structs taken through enum matches.
+//! * **Pre-evaluate the unique grid once per MAC configuration.** Nodes
+//!   draw from a tiny configuration grid (≤ a few hundred distinct
+//!   combinations in practice) and MAC configurations from a small
+//!   cross-product, so every `(node-config, MAC)` *cell* — energy with
+//!   the per-MAC radio term folded in, PRD, Eq. 1 slot count, bandwidth
+//!   feasibility — is computed once and then served as plain loads. The
+//!   cell cache persists inside [`SoaScratch`] across batches.
+//! * **Tight `f64`/`u32` loops.** The per-point reductions (slot total,
+//!   the Eq. 9 delay loop, the Eq. 8 metrics) contain no enum matching,
+//!   no `Result` branching and no virtual calls — just slice arithmetic
+//!   the compiler can unroll and vectorize.
+//!
+//! # Mask-based infeasibility and error semantics
+//!
+//! The scalar path returns the **first** infeasibility it meets, in a
+//! fixed order: MAC validation, then the node loop (application
+//! parameter errors and duty-cycle overflows, tagged with the node
+//! index), then the Eq. 1–2 assignment (per-node bandwidth shortfall in
+//! node order, then the GTS capacity total). The kernel reproduces that
+//! order with two mechanisms:
+//!
+//! * a *node-outcome* failure stops the decode walk at the failing node
+//!   — exactly where the scalar node loop stops — and re-tags the
+//!   grid-cached error with the node index, like the scalar memo does;
+//! * *assignment* feasibility travels as a per-point **mask**: every
+//!   cell carries a bandwidth-OK flag bit, the gather loop only ANDs
+//!   flags into the mask, and a masked point is resolved **at the end**
+//!   by re-scanning its (cached) grid indices in node order for the
+//!   first bandwidth-flagged node, then checking the capacity total —
+//!   the exact order of `assign_slots_into`.
+//!
+//! Because grid entries are built by the same
+//! [`WbsnModel::node_outcome`] code path the scalar memo uses, the
+//! resolved error is identical to the scalar one — a property
+//! `crates/wbsn/tests/soa_parity.rs` checks against random batches.
+//!
+//! # Bit-exactness
+//!
+//! Cells are filled by calling the very functions the scalar path calls
+//! (`RadioEnergyModel::energy_per_second`, `MacModel::tx_time`,
+//! `control_time_from_total_slots`, …) on the interned values, and the
+//! per-point reductions reproduce the scalar expressions operation by
+//! operation (same association order). Feasible objectives are
+//! therefore bit-identical, not merely close.
+//!
+//! One [`SoaScratch`] serves one thread; create one per worker for
+//! parallel batches (see `wbsn-dse`'s `Evaluator::evaluate_batch`).
+//! Steady state (tables warm, buffers grown) performs zero heap
+//! allocations per batch — enforced by `crates/dse/tests/alloc_free.rs`.
+
+use crate::delay::control_time_from_total_slots;
+use crate::error::ModelError;
+use crate::evaluate::{EvalScratch, MemoOutcome, NodeConfig, WbsnModel};
+use crate::ieee802154::{Ieee802154Config, Ieee802154Mac, MAX_GTS_SLOTS};
+use crate::mac::MacModel;
+use crate::metrics::{balanced_metric_with_sum, NetworkObjectives};
+use crate::node::NodeModel;
+use crate::shimmer::CompressionKind;
+use crate::space::DesignPoint;
+use crate::units::ByteRate;
+
+/// Outcome of one point of a batch: exactly what
+/// [`WbsnModel::evaluate_objectives`] would have returned for it.
+pub type PointOutcome = Result<NetworkObjectives, ModelError>;
+
+/// Cell flag: the cell has been computed (tables are lazily filled).
+const FILLED: u32 = 1;
+/// Cell flag: the node outcome is feasible (no application-parameter or
+/// duty-cycle error).
+const ENTRY_OK: u32 = 2;
+/// Cell flag: the node's Eq. 1 airtime fits the per-node budget under
+/// this MAC.
+const BW_OK: u32 = 4;
+
+/// One `(node configuration, MAC configuration)` cell: the hot scalars
+/// the gather loop needs, 24 bytes. The cold bandwidth detail lives in
+/// [`CellBlock::bw_needed`].
+#[derive(Debug, Clone, Copy)]
+struct Cell {
+    /// `Enode` in mJ/s with the per-MAC radio term folded in (exact
+    /// scalar summation order `base + radio`). NaN when infeasible.
+    energy: f64,
+    /// Estimated PRD. NaN when infeasible.
+    prd: f64,
+    /// Eq. 1 slot count `k(n)`; 0 when the cell is not feasible.
+    k: u32,
+    /// [`FILLED`] | [`ENTRY_OK`] | [`BW_OK`] bits.
+    flags: u32,
+}
+
+const EMPTY_CELL: Cell = Cell { energy: f64::NAN, prd: f64::NAN, k: 0, flags: 0 };
+
+/// Upper bound on interned node configurations, mirroring the scalar
+/// memo's `MEMO_CAPACITY`: the case-study grid holds 176 combinations,
+/// and the cap only guards against unbounded growth when a caller
+/// sweeps a continuous CR axis through one pooled scratch. Points
+/// drawing configurations beyond the cap spill to the scalar path.
+const GRID_CAPACITY: usize = 1024;
+
+/// Upper bound on interned `(MAC configuration, node count)` pairs (the
+/// case study has 105); also bounds worst-case cell memory at
+/// `MAC_CAPACITY × GRID_CAPACITY` cells. Overflowing points spill to
+/// the scalar path.
+const MAC_CAPACITY: usize = 512;
+
+/// The cell cache of one MAC configuration, indexed by grid index.
+#[derive(Debug, Clone, Default)]
+struct CellBlock {
+    cells: Vec<Cell>,
+    /// Parallel cold data: Eq. 1 airtime needed per allocation round
+    /// (the [`ModelError::BandwidthExceeded`] detail).
+    bw_needed: Vec<f64>,
+}
+
+/// MAC-independent outcome of one unique `(kind, CR, fµC)` combination.
+#[derive(Debug, Clone, Copy)]
+struct GridEntry {
+    /// `Esensor + EµC + Emem` in mJ/s (exact summation order of the
+    /// scalar memo). NaN when infeasible.
+    base: f64,
+    /// Retransmission-inflated output stream `φout` in B/s.
+    phi_out: f64,
+    /// Estimated PRD.
+    prd: f64,
+}
+
+/// Per-(MAC configuration, node count) derived constants.
+#[derive(Debug, Clone, Copy)]
+struct MacEntry {
+    /// The configured MAC model (`n_gts` = node count, as in the scalar
+    /// path).
+    mac: Ieee802154Mac,
+    /// Base time unit `δ` (slot duration), seconds.
+    delta: f64,
+    /// Allocation rounds (superframes) per second.
+    rounds: f64,
+    /// Per-node airtime budget per round, `capacity · δ`.
+    max_per_round: f64,
+    /// Protocol slot capacity per round (7 GTSs).
+    capacity: u32,
+    /// Packet transaction time (Eq. 9's non-preemptive blocking term).
+    pkt: f64,
+    /// Eq. 9 control time per superframe, indexed by the point's total
+    /// slot count (only totals `0..=capacity` are reachable).
+    control: [f64; (MAX_GTS_SLOTS + 1) as usize],
+}
+
+/// Key of the grid table: the exact bits of a node configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct GridKey {
+    kind: CompressionKind,
+    cr_bits: u64,
+    f_bits: u64,
+}
+
+impl GridKey {
+    #[inline]
+    fn of(node: &NodeConfig) -> Self {
+        Self { kind: node.kind, cr_bits: node.cr.to_bits(), f_bits: node.f_mcu.value().to_bits() }
+    }
+
+    #[inline]
+    fn hash(&self) -> u64 {
+        crate::evaluate::node_key_hash(self.kind, self.cr_bits, self.f_bits)
+    }
+}
+
+/// Key of the MAC table: the full configuration plus the node count
+/// (the beacon announces one GTS descriptor per node, so every derived
+/// constant depends on both).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct MacKey {
+    cfg: Ieee802154Config,
+    n_nodes: u32,
+}
+
+impl MacKey {
+    #[inline]
+    fn hash(&self) -> u64 {
+        let packed = u64::from(self.cfg.payload_bytes)
+            | u64::from(self.cfg.sfo) << 16
+            | u64::from(self.cfg.bco) << 24
+            | u64::from(self.cfg.beacon_payload_bytes) << 32
+            | u64::from(self.cfg.acknowledged) << 48;
+        let mut h = packed.wrapping_mul(0xBF58_476D_1CE4_E5B9)
+            ^ u64::from(self.n_nodes).wrapping_mul(0x94D0_49BB_1331_11EB);
+        h ^= h >> 31;
+        h = h.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        h ^ (h >> 32)
+    }
+}
+
+/// Growable open-addressing index: maps hashes to `entry index + 1`
+/// (0 marks a vacant slot); key equality is checked against the caller's
+/// parallel key vector. Load factor is kept at ≤ 50 %.
+#[derive(Debug, Clone, Default)]
+struct ProbeIndex {
+    slots: Vec<u32>,
+}
+
+impl ProbeIndex {
+    const INITIAL_SLOTS: usize = 256;
+
+    /// Finds the entry index for `hash` where `matches(i)` confirms key
+    /// equality, or `None` (probe ended on a vacant slot).
+    #[inline]
+    fn get(&self, hash: u64, matches: impl Fn(usize) -> bool) -> Option<usize> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = (hash as usize) & mask;
+        loop {
+            match self.slots[i] {
+                0 => return None,
+                s => {
+                    let idx = s as usize - 1;
+                    if matches(idx) {
+                        return Some(idx);
+                    }
+                }
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Inserts `entry_idx` under `hash` (the key must be absent), growing
+    /// and rehashing when the table passes 50 % load. `rehash(i)` returns
+    /// the hash of existing entry `i`.
+    fn insert(&mut self, hash: u64, entry_idx: usize, len: usize, rehash: impl Fn(usize) -> u64) {
+        if self.slots.len() < (len + 1) * 2 {
+            let new_slots = (self.slots.len() * 2).max(Self::INITIAL_SLOTS);
+            self.slots.clear();
+            self.slots.resize(new_slots, 0);
+            for i in 0..len {
+                self.place(rehash(i), i);
+            }
+        }
+        self.place(hash, entry_idx);
+    }
+
+    fn place(&mut self, hash: u64, entry_idx: usize) {
+        let mask = self.slots.len() - 1;
+        let mut i = (hash as usize) & mask;
+        while self.slots[i] != 0 {
+            i = (i + 1) & mask;
+        }
+        self.slots[i] = u32::try_from(entry_idx + 1).expect("table far below u32 capacity");
+    }
+
+    fn clear(&mut self) {
+        self.slots.iter_mut().for_each(|s| *s = 0);
+    }
+}
+
+/// Everything the stamped caches depend on besides the node/MAC
+/// configurations themselves (mirrors the scalar memo's stamp).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct SoaStamp {
+    packet_error_rate: f64,
+    node_model: NodeModel,
+}
+
+/// The interned unique node configurations.
+#[derive(Debug, Clone, Default)]
+struct GridTable {
+    index: ProbeIndex,
+    keys: Vec<GridKey>,
+    entries: Vec<GridEntry>,
+    /// Parallel to `entries`: `Some` = infeasible node outcome (stored
+    /// with node index 0, re-tagged on resolution).
+    errs: Vec<Option<ModelError>>,
+}
+
+impl GridTable {
+    /// Interns a node configuration, computing its MAC-independent
+    /// outcome on first sight (via the shared scalar code path).
+    /// Returns `None` when the table is full and the configuration is
+    /// new — the caller spills that point to the scalar path.
+    #[inline]
+    fn intern(
+        &mut self,
+        model: &WbsnModel,
+        node: &NodeConfig,
+        retransmission_factor: f64,
+        mac: &Ieee802154Mac,
+    ) -> Option<usize> {
+        let key = GridKey::of(node);
+        let hash = key.hash();
+        let keys = &self.keys;
+        if let Some(idx) = self.index.get(hash, |i| keys[i] == key) {
+            return Some(idx);
+        }
+        if self.entries.len() >= GRID_CAPACITY {
+            return None;
+        }
+        Some(self.intern_slow(model, node, retransmission_factor, mac, key, hash))
+    }
+
+    #[cold]
+    fn intern_slow(
+        &mut self,
+        model: &WbsnModel,
+        node: &NodeConfig,
+        retransmission_factor: f64,
+        mac: &Ieee802154Mac,
+        key: GridKey,
+        hash: u64,
+    ) -> usize {
+        let (entry, err) = match model.node_outcome(node, retransmission_factor, mac) {
+            MemoOutcome::Feasible { base, phi_out, prd } => {
+                (GridEntry { base: base.mj_per_s(), phi_out: phi_out.value(), prd }, None)
+            }
+            MemoOutcome::Infeasible(e) => {
+                (GridEntry { base: f64::NAN, phi_out: f64::NAN, prd: f64::NAN }, Some(e))
+            }
+        };
+        let idx = self.entries.len();
+        self.keys.push(key);
+        self.entries.push(entry);
+        self.errs.push(err);
+        let keys = &self.keys;
+        self.index.insert(hash, idx, idx, |i| keys[i].hash());
+        idx
+    }
+
+    fn clear(&mut self) {
+        self.index.clear();
+        self.keys.clear();
+        self.entries.clear();
+        self.errs.clear();
+    }
+}
+
+/// The interned unique `(MAC configuration, node count)` pairs.
+#[derive(Debug, Clone, Default)]
+struct MacTable {
+    index: ProbeIndex,
+    keys: Vec<MacKey>,
+    entries: Vec<MacEntry>,
+    /// Parallel to `entries`: `Some` = the configuration fails
+    /// [`Ieee802154Config::validate`].
+    errs: Vec<Option<ModelError>>,
+}
+
+impl MacTable {
+    /// Interns a pair, deriving the per-MAC constants on first sight and
+    /// growing `cells` by one (empty) block. Returns `None` when the
+    /// table is full and the pair is new — the caller spills that point
+    /// to the scalar path.
+    #[inline]
+    fn intern(
+        &mut self,
+        cfg: Ieee802154Config,
+        n_nodes: u32,
+        cells: &mut Vec<CellBlock>,
+    ) -> Option<usize> {
+        let key = MacKey { cfg, n_nodes };
+        let hash = key.hash();
+        let keys = &self.keys;
+        if let Some(idx) = self.index.get(hash, |i| keys[i] == key) {
+            return Some(idx);
+        }
+        if self.entries.len() >= MAC_CAPACITY {
+            return None;
+        }
+        Some(self.intern_slow(key, hash, cells))
+    }
+
+    #[cold]
+    fn intern_slow(&mut self, key: MacKey, hash: u64, cells: &mut Vec<CellBlock>) -> usize {
+        // Validate-first, like the scalar path: deriving timing constants
+        // from an invalid configuration is not merely wasted work — an
+        // out-of-range order (e.g. BCO = 40) overflows the `1 << order`
+        // superframe shift. Invalid entries keep inert zeroed constants;
+        // the per-point loop returns their stored error before touching
+        // anything derived.
+        let err = key.cfg.validate().err();
+        let mac = Ieee802154Mac::new(key.cfg, key.n_nodes);
+        let entry = if err.is_none() {
+            let capacity = mac.capacity_slots_per_round();
+            let mut control = [0.0; (MAX_GTS_SLOTS + 1) as usize];
+            for (total, slot) in control.iter_mut().enumerate() {
+                *slot = control_time_from_total_slots(&mac, total as u32).value();
+            }
+            MacEntry {
+                mac,
+                delta: mac.base_time_unit().value(),
+                rounds: mac.allocation_rounds_per_second(),
+                max_per_round: f64::from(capacity) * mac.base_time_unit().value(),
+                capacity,
+                pkt: mac.packet_transaction_time().value(),
+                control,
+            }
+        } else {
+            MacEntry {
+                mac,
+                delta: 0.0,
+                rounds: 0.0,
+                max_per_round: 0.0,
+                capacity: 0,
+                pkt: 0.0,
+                control: [0.0; (MAX_GTS_SLOTS + 1) as usize],
+            }
+        };
+        let idx = self.entries.len();
+        self.keys.push(key);
+        self.entries.push(entry);
+        self.errs.push(err);
+        cells.push(CellBlock::default());
+        let keys = &self.keys;
+        self.index.insert(hash, idx, idx, |i| keys[i].hash());
+        idx
+    }
+}
+
+/// Computes one cell: the exact scalar per-node work under a fixed MAC,
+/// reduced to plain scalars. Calls the same model functions the scalar
+/// path calls, so every stored number is bit-identical to what
+/// [`WbsnModel::evaluate_objectives`] computes per node.
+#[cold]
+fn fill_cell(model: &WbsnModel, me: &MacEntry, ge: &GridEntry, entry_ok: bool) -> (Cell, f64) {
+    if !entry_ok {
+        return (Cell { flags: FILLED, ..EMPTY_CELL }, 0.0);
+    }
+    let phi = ByteRate::new(ge.phi_out);
+    let radio = model.node_model().radio.energy_per_second(phi, &me.mac);
+    let energy = ge.base + radio.mj_per_s();
+    // Eq. 1 sizing, mirroring `assign_slots_into`'s per-node body.
+    let (k, bw_ok, bw_needed) = if ge.phi_out <= 0.0 {
+        (0u32, true, 0.0)
+    } else {
+        let per_second = me.mac.tx_time(phi);
+        let per_round = per_second.value() / me.rounds;
+        let k = (per_round / me.delta - 1e-9).ceil().max(1.0);
+        if per_round > me.max_per_round + 1e-12 {
+            (0, false, per_round)
+        } else {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            let k = k as u32;
+            (k, true, per_round)
+        }
+    };
+    let flags = FILLED | ENTRY_OK | if bw_ok { BW_OK } else { 0 };
+    (Cell { energy, prd: ge.prd, k, flags }, bw_needed)
+}
+
+/// Reusable working memory (and persistent caches) of the `SoA` kernel.
+///
+/// Holds the interned grid/MAC/cell tables plus every per-batch buffer,
+/// so repeated [`WbsnModel::evaluate_objectives_batch`] calls allocate
+/// nothing once warm. One scratch per thread; reusing it across models
+/// is safe — the caches revalidate themselves against the model stamp.
+#[derive(Debug, Clone, Default)]
+pub struct SoaScratch {
+    stamp: Option<SoaStamp>,
+    grid: GridTable,
+    macs: MacTable,
+    /// `cells[mac]` is the cell cache of MAC entry `mac`, lazily grown
+    /// and filled.
+    cells: Vec<CellBlock>,
+    /// Grid index of every node of the current point (for mask
+    /// resolution).
+    node_grid: Vec<u32>,
+    energies: Vec<f64>,
+    delays: Vec<f64>,
+    prds: Vec<f64>,
+    slots: Vec<u32>,
+    results: Vec<PointOutcome>,
+    /// Scalar scratch serving points that overflow the interning caps
+    /// ([`GRID_CAPACITY`] / [`MAC_CAPACITY`]): the kernel degrades to
+    /// the (bit-identical) scalar path instead of growing unboundedly.
+    fallback: EvalScratch,
+}
+
+impl SoaScratch {
+    /// Creates an empty scratch.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Unique `(kind, CR, fµC)` node configurations interned so far.
+    #[must_use]
+    pub fn grid_len(&self) -> usize {
+        self.grid.entries.len()
+    }
+
+    /// Unique `(MAC configuration, node count)` pairs interned so far.
+    #[must_use]
+    pub fn mac_len(&self) -> usize {
+        self.macs.entries.len()
+    }
+}
+
+impl WbsnModel {
+    /// Struct-of-arrays batch fast path: computes, for every point,
+    /// exactly `self.evaluate_objectives(&p.mac, &p.nodes, ..)` —
+    /// bit-identical objectives, identical error on infeasible points —
+    /// with the arithmetic restructured into tight loops over interned
+    /// tables (see the [module docs](crate::soa)).
+    ///
+    /// The returned slice lives in `scratch` and is valid until the next
+    /// call; `result[i]` corresponds to `points[i]`. Steady state
+    /// allocates nothing.
+    // One linear walk per point: splitting it would only scatter the
+    // borrow flow of the destructured scratch.
+    #[allow(clippy::too_many_lines)]
+    pub fn evaluate_objectives_batch<'s>(
+        &self,
+        points: &[DesignPoint],
+        scratch: &'s mut SoaScratch,
+    ) -> &'s [PointOutcome] {
+        let stamp = SoaStamp {
+            packet_error_rate: self.packet_error_rate(),
+            node_model: *self.node_model(),
+        };
+        if scratch.stamp != Some(stamp) {
+            // Grid entries and cells derive from the node model; the
+            // purely MAC-derived entries stay valid.
+            scratch.grid.clear();
+            scratch.cells.iter_mut().for_each(|block| {
+                block.cells.clear();
+                block.bw_needed.clear();
+            });
+            scratch.stamp = Some(stamp);
+        }
+        let retransmission_factor = 1.0 / (1.0 - self.packet_error_rate());
+        let theta = self.theta();
+
+        let SoaScratch {
+            grid,
+            macs,
+            cells,
+            node_grid,
+            energies,
+            delays,
+            prds,
+            slots,
+            results,
+            fallback,
+            ..
+        } = scratch;
+        results.clear();
+        results.reserve(points.len());
+
+        for point in points {
+            let n = point.nodes.len();
+            let Some(m) = macs.intern(point.mac, n as u32, cells) else {
+                results.push(self.evaluate_objectives(&point.mac, &point.nodes, fallback));
+                continue;
+            };
+            if let Some(err) = &macs.errs[m] {
+                results.push(Err(err.clone()));
+                continue;
+            }
+            let me = &macs.entries[m];
+            let block = &mut cells[m];
+            if n > energies.len() {
+                energies.resize(n, 0.0);
+                delays.resize(n, 0.0);
+                prds.resize(n, 0.0);
+                slots.resize(n, 0);
+                node_grid.resize(n, 0);
+            }
+
+            // Decode + gather walk. Assignment feasibility accumulates
+            // branchlessly in `mask`; a node-outcome failure stops the
+            // walk at the failing node, exactly like the scalar node
+            // loop (which errors before the assignment stage runs).
+            // Exact-length slice views let the compiler drop the bounds
+            // checks of the four gather stores.
+            let (en, pr, sl, ng) =
+                (&mut energies[..n], &mut prds[..n], &mut slots[..n], &mut node_grid[..n]);
+            // The element sums ride along in `iter().sum()`'s left-fold
+            // order, so the Eq. 8 means come out of the walk for free
+            // (see `balanced_metric_with_sum`).
+            let mut mask: u32 = BW_OK;
+            let mut total: u32 = 0;
+            let mut sum_energy = 0.0f64;
+            let mut sum_prd = 0.0f64;
+            let mut entry_fail: Option<(usize, usize)> = None;
+            let mut spilled = false;
+            for (i, node) in point.nodes.iter().enumerate() {
+                let Some(g) = grid.intern(self, node, retransmission_factor, &me.mac) else {
+                    spilled = true;
+                    break;
+                };
+                if g >= block.cells.len() {
+                    block.cells.resize(grid.entries.len(), EMPTY_CELL);
+                    block.bw_needed.resize(grid.entries.len(), 0.0);
+                }
+                let mut cell = block.cells[g];
+                if cell.flags & FILLED == 0 {
+                    let (fresh, bw) = fill_cell(self, me, &grid.entries[g], grid.errs[g].is_none());
+                    block.cells[g] = fresh;
+                    block.bw_needed[g] = bw;
+                    cell = fresh;
+                }
+                en[i] = cell.energy;
+                pr[i] = cell.prd;
+                sl[i] = cell.k;
+                ng[i] = g as u32;
+                sum_energy += cell.energy;
+                sum_prd += cell.prd;
+                total += cell.k;
+                mask &= cell.flags;
+                if cell.flags & ENTRY_OK == 0 {
+                    entry_fail = Some((i, g));
+                    break;
+                }
+            }
+
+            if spilled {
+                results.push(self.evaluate_objectives(&point.mac, &point.nodes, fallback));
+                continue;
+            }
+            if let Some((node, g)) = entry_fail {
+                let err = grid.errs[g].as_ref().expect("entry-infeasible cell has a stored error");
+                results.push(Err(match err {
+                    ModelError::DutyCycleExceeded { duty, .. } => {
+                        ModelError::DutyCycleExceeded { node, duty: *duty }
+                    }
+                    other => other.clone(),
+                }));
+                continue;
+            }
+            if mask & BW_OK == 0 {
+                // Resolve the mask: first bandwidth-flagged node in node
+                // order, mirroring `assign_slots_into`'s scan.
+                let (node, g) = node_grid[..n]
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &g)| (i, g as usize))
+                    .find(|&(_, g)| block.cells[g].flags & BW_OK == 0)
+                    .expect("masked point must contain a bandwidth-flagged node");
+                results.push(Err(ModelError::BandwidthExceeded {
+                    node,
+                    needed_s: block.bw_needed[g],
+                    available_s: me.max_per_round,
+                }));
+                continue;
+            }
+            if total > me.capacity {
+                results.push(Err(ModelError::GtsCapacityExceeded {
+                    required: total,
+                    available: me.capacity,
+                }));
+                continue;
+            }
+
+            // Eq. 9 delay reduction: pure f64/u32 arithmetic, same
+            // association order as `worst_case_delay_from_slots`.
+            let control = me.control[total as usize];
+            let delta = me.delta;
+            let pkt = me.pkt;
+            let mut sum_delay = 0.0f64;
+            let (slots_n, delays_n) = (&slots[..n], &mut delays[..n]);
+            for (delay, &k) in delays_n.iter_mut().zip(slots_n) {
+                let others = total - k;
+                let crossed = others.div_ceil(MAX_GTS_SLOTS).max(1);
+                let d = delta * f64::from(others)
+                    + control * f64::from(crossed)
+                    + delta * f64::from(k)
+                    + pkt;
+                *delay = d;
+                sum_delay += d;
+            }
+
+            results.push(Ok(NetworkObjectives {
+                energy: balanced_metric_with_sum(&energies[..n], sum_energy, theta),
+                delay: balanced_metric_with_sum(&delays[..n], sum_delay, theta),
+                prd: balanced_metric_with_sum(&prds[..n], sum_prd, theta),
+            }));
+        }
+        results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluate::EvalScratch;
+    use crate::space::DesignSpace;
+    use crate::units::Hertz;
+
+    fn assert_batch_matches_scalar(model: &WbsnModel, points: &[DesignPoint]) {
+        let mut soa = SoaScratch::new();
+        let mut scalar = EvalScratch::new();
+        let batch: Vec<PointOutcome> = model.evaluate_objectives_batch(points, &mut soa).to_vec();
+        assert_eq!(batch.len(), points.len());
+        for (p, soa_outcome) in points.iter().zip(batch) {
+            let scalar_outcome = model.evaluate_objectives(&p.mac, &p.nodes, &mut scalar);
+            match (scalar_outcome, soa_outcome) {
+                (Ok(a), Ok(b)) => {
+                    assert_eq!(a.energy.to_bits(), b.energy.to_bits());
+                    assert_eq!(a.delay.to_bits(), b.delay.to_bits());
+                    assert_eq!(a.prd.to_bits(), b.prd.to_bits());
+                }
+                (Err(a), Err(b)) => assert_eq!(a, b),
+                (a, b) => panic!("feasibility disagreement: {a:?} vs {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_matches_scalar_bitwise() {
+        let space = DesignSpace::case_study(6);
+        assert_batch_matches_scalar(&WbsnModel::shimmer(), &space.sample_sweep(600));
+    }
+
+    #[test]
+    fn sweep_matches_scalar_with_lossy_channel_and_theta() {
+        let space = DesignSpace::case_study(5);
+        let model = WbsnModel::shimmer().with_packet_error_rate(0.3).with_theta(0.4);
+        assert_batch_matches_scalar(&model, &space.sample_sweep(300));
+    }
+
+    #[test]
+    fn invalid_mac_and_invalid_cr_resolve_to_scalar_errors() {
+        let space = DesignSpace::case_study(4);
+        let mut points = space.sample_sweep(8);
+        points[1].mac.payload_bytes = 0; // invalid MAC
+        points[3].mac.sfo = 9;
+        points[3].mac.bco = 5; // SFO > BCO
+        points[5].nodes[2].cr = 0.0; // invalid CR -> InvalidParameter
+        points[6].nodes[0].cr = -0.25;
+        // Out-of-range orders: `1 << order` would overflow if derived
+        // constants were computed before validation (regression).
+        points[7].mac.sfo = 35;
+        points[7].mac.bco = 40;
+        assert_batch_matches_scalar(&WbsnModel::shimmer(), &points);
+    }
+
+    /// Sweeping more distinct node configurations than [`GRID_CAPACITY`]
+    /// through one scratch must stay bounded (the overflow spills to the
+    /// scalar path) and bit-identical.
+    #[test]
+    fn continuous_cr_sweep_spills_to_scalar_beyond_grid_capacity() {
+        let model = WbsnModel::shimmer();
+        let base = DesignSpace::case_study(3);
+        let points: Vec<DesignPoint> = (0..700)
+            .map(|i| {
+                let mut p = base.point_at((i * 9973) as u128 % base.cardinality());
+                // ~2100 distinct CR values across the batch.
+                for (j, node) in p.nodes.iter_mut().enumerate() {
+                    node.cr = 0.17 + (i * 3 + j) as f64 * 1e-4;
+                }
+                p
+            })
+            .collect();
+        let mut soa = SoaScratch::new();
+        let mut scalar = EvalScratch::new();
+        let outcomes: Vec<PointOutcome> =
+            model.evaluate_objectives_batch(&points, &mut soa).to_vec();
+        assert!(soa.grid_len() <= GRID_CAPACITY, "grid grew past its cap: {}", soa.grid_len());
+        for (p, outcome) in points.iter().zip(outcomes) {
+            let reference = model.evaluate_objectives(&p.mac, &p.nodes, &mut scalar);
+            match (reference, outcome) {
+                (Ok(a), Ok(b)) => assert_eq!(a.energy.to_bits(), b.energy.to_bits()),
+                (Err(a), Err(b)) => assert_eq!(a, b),
+                (a, b) => panic!("disagreement: {a:?} vs {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn bandwidth_and_gts_overflows_resolve_to_scalar_errors() {
+        let space = DesignSpace::case_study(6);
+        let mut points = space.sample_sweep(6);
+        // 92 % loss inflates traffic 12.5x: capacity errors appear.
+        let model = WbsnModel::shimmer().with_packet_error_rate(0.92);
+        for p in &mut points {
+            for node in p.nodes.iter_mut() {
+                node.f_mcu = Hertz::from_mhz(8.0); // duty-feasible everywhere
+            }
+        }
+        assert_batch_matches_scalar(&model, &points);
+    }
+
+    #[test]
+    fn empty_points_and_empty_batches() {
+        let model = WbsnModel::shimmer();
+        let mut soa = SoaScratch::new();
+        assert!(model.evaluate_objectives_batch(&[], &mut soa).is_empty());
+        let empty_point =
+            DesignPoint { mac: Ieee802154Config::default(), nodes: crate::space::NodeVec::new() };
+        assert_batch_matches_scalar(&model, &[empty_point]);
+    }
+
+    #[test]
+    fn scratch_revalidates_across_models() {
+        let space = DesignSpace::case_study(4);
+        let points = space.sample_sweep(120);
+        let mut soa = SoaScratch::new();
+        let clean = WbsnModel::shimmer();
+        let lossy = WbsnModel::shimmer().with_packet_error_rate(0.2);
+        // Alternate models through one scratch; every pass must match a
+        // fresh scalar evaluation of the active model.
+        for model in [&clean, &lossy, &clean] {
+            let batch: Vec<PointOutcome> =
+                model.evaluate_objectives_batch(&points, &mut soa).to_vec();
+            let mut scalar = EvalScratch::new();
+            for (p, outcome) in points.iter().zip(batch) {
+                let reference = model.evaluate_objectives(&p.mac, &p.nodes, &mut scalar);
+                match (reference, outcome) {
+                    (Ok(a), Ok(b)) => assert_eq!(a.energy.to_bits(), b.energy.to_bits()),
+                    (Err(a), Err(b)) => assert_eq!(a, b),
+                    (a, b) => panic!("disagreement: {a:?} vs {b:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tables_intern_uniques_only() {
+        let space = DesignSpace::case_study(6);
+        let points = space.sample_sweep(500);
+        let mut soa = SoaScratch::new();
+        let model = WbsnModel::shimmer();
+        let _ = model.evaluate_objectives_batch(&points, &mut soa);
+        // The case study offers 22 CRs × 4 clocks × 2 kinds = 176 node
+        // configurations and 5 payloads × 21 order pairs MACs.
+        assert!(soa.grid_len() <= 176, "grid over-interned: {}", soa.grid_len());
+        assert!(soa.mac_len() <= 105, "macs over-interned: {}", soa.mac_len());
+        // A second identical batch interns nothing new.
+        let (g, m) = (soa.grid_len(), soa.mac_len());
+        let _ = model.evaluate_objectives_batch(&points, &mut soa);
+        assert_eq!((soa.grid_len(), soa.mac_len()), (g, m));
+    }
+
+    #[test]
+    fn heterogeneous_node_counts_in_one_batch() {
+        let model = WbsnModel::shimmer();
+        let mut points = Vec::new();
+        for n in [1usize, 3, 6, 17] {
+            let space = DesignSpace::case_study(n);
+            points.extend(space.sample_sweep(20));
+        }
+        assert_batch_matches_scalar(&model, &points);
+    }
+}

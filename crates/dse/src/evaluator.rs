@@ -7,17 +7,25 @@
 //! it recovers only ~7 % of the true trade-offs (Fig. 5).
 //!
 //! Both model-backed evaluators override [`Evaluator::evaluate_batch`]
-//! with a parallel implementation running the allocation-free
-//! [`WbsnModel::evaluate_objectives`] fast path on every core, one
-//! [`EvalScratch`] per worker. [`SerialEvaluator`] opts any evaluator
-//! back into the one-at-a-time default — the baseline the speedup is
-//! measured against and the reference for determinism tests.
+//! with a parallel implementation whose per-worker engine is the
+//! struct-of-arrays kernel [`WbsnModel::evaluate_objectives_batch`]
+//! (`wbsn_model::soa`): each worker runs whole chunks of the batch
+//! through interned node/MAC tables held in a pooled [`SoaScratch`].
+//! Small batches fall back to the scalar per-point
+//! [`WbsnModel::evaluate_objectives`] path (one [`EvalScratch`] per
+//! worker) — the `SoA` tables only pay off once a chunk amortizes them.
+//! Both engines are bit-identical to the full model evaluation, so the
+//! choice is invisible to callers. [`SerialEvaluator`] opts any
+//! evaluator back into the one-at-a-time default — the baseline the
+//! speedup is measured against and the reference for determinism tests.
 
 use crate::objective::ObjectiveVector;
-use crate::parallel::parallel_map_with;
+use crate::parallel::{parallel_map_with, parallel_map_with_block};
 use std::sync::{Arc, Mutex};
 use wbsn_model::evaluate::{EvalScratch, WbsnModel};
+use wbsn_model::soa::SoaScratch;
 use wbsn_model::space::DesignPoint;
+use wbsn_model::NetworkObjectives;
 
 /// Maps a design point to objectives; `None` marks infeasibility.
 pub trait Evaluator {
@@ -67,42 +75,112 @@ impl<E: Evaluator> Evaluator for SerialEvaluator<E> {
     }
 }
 
-/// Pool of warm [`EvalScratch`]es shared by the batch workers of one
+/// Pool of warm per-worker states shared by the batch workers of one
 /// evaluator: `evaluate_batch` is called once per NSGA-II generation, and
 /// without a pool each call would rebuild its scratches and re-derive the
-/// `(kind, CR, fµC)` memo from scratch. Workers take a scratch on start
-/// and return it (memo intact) when the batch ends.
+/// interned tables / `(kind, CR, fµC)` memo from scratch. Workers take a
+/// state on start and return it (tables intact) when the batch ends.
 #[derive(Debug, Default)]
-struct ScratchPool(Mutex<Vec<EvalScratch>>);
+struct Pool<T>(Mutex<Vec<T>>);
 
-impl ScratchPool {
-    fn take(self: &Arc<Self>) -> PooledScratch {
-        let scratch =
-            self.0.lock().map_or_else(|_| EvalScratch::new(), |mut p| p.pop().unwrap_or_default());
-        PooledScratch { scratch, pool: Arc::clone(self) }
+impl<T: Default> Pool<T> {
+    fn take(self: &Arc<Self>) -> Pooled<T> {
+        let state =
+            self.0.lock().map_or_else(|_| T::default(), |mut p| p.pop().unwrap_or_default());
+        Pooled { state, pool: Arc::clone(self) }
     }
 }
 
-/// RAII handle returning its scratch to the pool on drop (i.e. when the
+/// RAII handle returning its state to the pool on drop (i.e. when the
 /// worker thread finishes its share of the batch).
-struct PooledScratch {
-    scratch: EvalScratch,
-    pool: Arc<ScratchPool>,
+struct Pooled<T: Default> {
+    state: T,
+    pool: Arc<Pool<T>>,
 }
 
-impl Drop for PooledScratch {
+impl<T: Default> Drop for Pooled<T> {
     fn drop(&mut self) {
         if let Ok(mut pool) = self.pool.0.lock() {
-            pool.push(std::mem::take(&mut self.scratch));
+            pool.push(std::mem::take(&mut self.state));
         }
     }
+}
+
+/// Batches below this size take the scalar per-point path: the `SoA`
+/// kernel's per-chunk table walk only pays off once a chunk amortizes
+/// it, and searchers routinely evaluate a handful of stragglers.
+const SOA_MIN_BATCH: usize = 64;
+
+/// Points per `SoA` chunk: one work unit handed to a pooled kernel
+/// scratch. Large enough to amortize chunk bookkeeping, small enough to
+/// split a generation-sized batch across every core.
+const SOA_CHUNK: usize = 1024;
+
+/// Shared warm state of the two model-backed evaluators: a pool of `SoA`
+/// kernel scratches for real batches and a pool of scalar scratches for
+/// the small-batch fallback.
+#[derive(Debug, Clone, Default)]
+struct ModelPools {
+    soa: Arc<Pool<SoaScratch>>,
+    scalar: Arc<Pool<EvalScratch>>,
+}
+
+/// Order-preserving parallel batch evaluation through the `SoA` kernel:
+/// the batch is cut into [`SOA_CHUNK`]-point chunks, each worker runs
+/// whole chunks through a pooled [`SoaScratch`] and projects the
+/// per-point outcomes with `project`. Falls back to the scalar
+/// [`WbsnModel::evaluate_objectives`] per-point path for batches too
+/// small to amortize the kernel. Both engines are bit-identical to the
+/// full model evaluation, so results do not depend on the path taken.
+fn batch_through_soa(
+    model: &WbsnModel,
+    pools: &ModelPools,
+    points: &[DesignPoint],
+    project: impl Fn(&NetworkObjectives) -> ObjectiveVector + Sync,
+) -> Vec<Option<ObjectiveVector>> {
+    if points.len() < SOA_MIN_BATCH {
+        return parallel_map_with(
+            points,
+            || pools.scalar.take(),
+            |pooled, point| {
+                model
+                    .evaluate_objectives(&point.mac, &point.nodes, &mut pooled.state)
+                    .ok()
+                    .map(|o| project(&o))
+            },
+        );
+    }
+    if crate::parallel::num_threads() == 1 {
+        // No workers to feed: run the kernel over the whole batch in one
+        // call, skipping the chunk partition and the flatten copy.
+        let mut pooled = pools.soa.take();
+        return model
+            .evaluate_objectives_batch(points, &mut pooled.state)
+            .iter()
+            .map(|outcome| outcome.as_ref().ok().map(&project))
+            .collect();
+    }
+    let chunks: Vec<&[DesignPoint]> = points.chunks(SOA_CHUNK).collect();
+    let per_chunk: Vec<Vec<Option<ObjectiveVector>>> = parallel_map_with_block(
+        &chunks,
+        1,
+        || pools.soa.take(),
+        |pooled, chunk| {
+            model
+                .evaluate_objectives_batch(chunk, &mut pooled.state)
+                .iter()
+                .map(|outcome| outcome.as_ref().ok().map(&project))
+                .collect()
+        },
+    );
+    per_chunk.into_iter().flatten().collect()
 }
 
 /// The proposed multi-layer model: objectives `(Enet, delay, PRD)`.
 #[derive(Debug, Clone)]
 pub struct ModelEvaluator {
     model: WbsnModel,
-    scratch_pool: Arc<ScratchPool>,
+    pools: ModelPools,
 }
 
 impl ModelEvaluator {
@@ -115,7 +193,7 @@ impl ModelEvaluator {
     /// Uses a custom model (e.g. different ϑ).
     #[must_use]
     pub fn new(model: WbsnModel) -> Self {
-        Self { model, scratch_pool: Arc::default() }
+        Self { model, pools: ModelPools::default() }
     }
 }
 
@@ -128,16 +206,9 @@ impl Evaluator for ModelEvaluator {
     }
 
     fn evaluate_batch(&self, points: &[DesignPoint]) -> Vec<Option<ObjectiveVector>> {
-        parallel_map_with(
-            points,
-            || self.scratch_pool.take(),
-            |pooled, point| {
-                self.model
-                    .evaluate_objectives(&point.mac, &point.nodes, &mut pooled.scratch)
-                    .ok()
-                    .map(|o| ObjectiveVector::from_slice(&o.to_array()))
-            },
-        )
+        batch_through_soa(&self.model, &self.pools, points, |o| {
+            ObjectiveVector::from_slice(&o.to_array())
+        })
     }
 
     fn num_objectives(&self) -> usize {
@@ -154,14 +225,14 @@ impl Evaluator for ModelEvaluator {
 #[derive(Debug, Clone)]
 pub struct EnergyDelayEvaluator {
     model: WbsnModel,
-    scratch_pool: Arc<ScratchPool>,
+    pools: ModelPools,
 }
 
 impl EnergyDelayEvaluator {
     /// Uses the Shimmer case-study model.
     #[must_use]
     pub fn shimmer() -> Self {
-        Self { model: WbsnModel::shimmer(), scratch_pool: Arc::default() }
+        Self { model: WbsnModel::shimmer(), pools: ModelPools::default() }
     }
 }
 
@@ -174,16 +245,9 @@ impl Evaluator for EnergyDelayEvaluator {
     }
 
     fn evaluate_batch(&self, points: &[DesignPoint]) -> Vec<Option<ObjectiveVector>> {
-        parallel_map_with(
-            points,
-            || self.scratch_pool.take(),
-            |pooled, point| {
-                self.model
-                    .evaluate_objectives(&point.mac, &point.nodes, &mut pooled.scratch)
-                    .ok()
-                    .map(|o| ObjectiveVector::from_slice(&o.energy_delay()))
-            },
-        )
+        batch_through_soa(&self.model, &self.pools, points, |o| {
+            ObjectiveVector::from_slice(&o.energy_delay())
+        })
     }
 
     fn num_objectives(&self) -> usize {
@@ -268,6 +332,19 @@ mod tests {
     #[test]
     fn empty_batch() {
         assert!(ModelEvaluator::shimmer().evaluate_batch(&[]).is_empty());
+    }
+
+    /// Batches under [`SOA_MIN_BATCH`] run the scalar per-point engine,
+    /// larger ones the `SoA` kernel; both must produce identical vectors.
+    #[test]
+    fn soa_and_scalar_batch_paths_agree_across_the_size_threshold() {
+        let space = DesignSpace::case_study(6);
+        let points = space.sample_sweep(200);
+        let eval = ModelEvaluator::shimmer();
+        let soa_path = eval.evaluate_batch(&points);
+        let scalar_path: Vec<_> =
+            points.chunks(SOA_MIN_BATCH - 1).flat_map(|chunk| eval.evaluate_batch(chunk)).collect();
+        assert_eq!(soa_path, scalar_path);
     }
 
     #[test]

@@ -49,15 +49,19 @@ pub fn exhaustive(space: &DesignSpace, evaluator: &dyn Evaluator, limit: u128) -
     // into the i-th mixed-radix digit vector (the same sequence the old
     // serial odometer produced), so the space partitions perfectly into
     // independent chunks handed to `evaluate_batch` — the evaluator fans
-    // each one out across cores. Archive insertion stays in index order:
-    // the result is bit-identical to the fully serial enumeration.
+    // each one out across cores (and runs each chunk through the SoA
+    // kernel). Archive insertion stays in index order: the result is
+    // bit-identical to the fully serial enumeration. One decode buffer
+    // is drained and refilled per chunk, so enumeration allocates per
+    // batch, not per point.
+    let mut points = Vec::with_capacity(BATCH);
     let mut next: u128 = 0;
     while next < total {
         let count = usize::try_from((total - next).min(BATCH as u128)).expect("bounded by BATCH");
-        let points: Vec<_> = (0..count).map(|i| space.point_at(next + i as u128)).collect();
+        points.extend((0..count).map(|i| space.point_at(next + i as u128)));
         let results = evaluator.evaluate_batch(&points);
         evaluations += count as u64;
-        for (point, result) in points.into_iter().zip(results) {
+        for (point, result) in points.drain(..).zip(results) {
             match result {
                 Some(obj) => {
                     front.insert(obj, point);

@@ -15,7 +15,9 @@
 //! * [`evaluator`] — the proposed 3-objective model and the
 //!   energy/delay-only state-of-the-art baseline ([26]), both with a
 //!   multi-core [`Evaluator::evaluate_batch`] running the
-//!   allocation-free `WbsnModel::evaluate_objectives` fast path;
+//!   struct-of-arrays kernel `WbsnModel::evaluate_objectives_batch`
+//!   per chunk (scalar `evaluate_objectives` fallback for small
+//!   batches);
 //! * [`parallel`] — the scoped-thread work-stealing map behind batch
 //!   evaluation;
 //! * [`nsga2`] — elitist non-dominated sorting GA, one evaluation batch
@@ -61,7 +63,7 @@ pub mod quality;
 pub use evaluator::{EnergyDelayEvaluator, Evaluator, ModelEvaluator, SerialEvaluator};
 pub use genome::Genome;
 pub use memo::GenomeMemo;
-pub use mosa::{mosa, mosa_restarts, random_search, MosaConfig};
-pub use nsga2::{nsga2, Nsga2Config, SearchResult};
+pub use mosa::{mosa, mosa_restarts, mosa_with_memo, random_search, MosaConfig};
+pub use nsga2::{nsga2, nsga2_with_memo, Nsga2Config, SearchResult};
 pub use objective::{Dominance, ObjectiveVector, MAX_OBJECTIVES};
 pub use pareto::ParetoArchive;

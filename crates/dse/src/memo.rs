@@ -10,13 +10,20 @@
 //! Determinism: memoization is observationally transparent. The memoized
 //! outcome is the bitwise-identical `Option<ObjectiveVector>` the
 //! evaluator returned for the first occurrence, and skipping the repeat
-//! archive insertion cannot change the front — re-inserting objectives
-//! that were ever weakly dominated (including by themselves at first
-//! insertion) is always rejected, because eviction only ever replaces an
-//! incumbent with a dominator. Seeded searcher runs are therefore
-//! bit-identical with the memo on or off (only the `memo_hits` counter
-//! and wall-clock change); `crates/dse/tests/properties.rs` checks this
-//! property on random seeds.
+//! archive insertion within a run cannot change the front — re-inserting
+//! objectives that were ever weakly dominated (including by themselves at
+//! first insertion) is always rejected, because eviction only ever
+//! replaces an incumbent with a dominator. When one memo is *shared
+//! across runs* (`nsga2_with_memo` / `mosa_with_memo`), the first hit of
+//! a run on an entry recorded by an earlier run does replay the archive
+//! insertion (the fresh archive has never seen it), tracked by a per-run
+//! epoch — see [`GenomeMemo::begin_run`] — so sharing stays transparent
+//! while within-run hits remain free. Seeded searcher runs are therefore
+//! bit-identical with the memo on, off, private or shared (only the
+//! `memo_hits` counter and wall-clock change);
+//! `crates/dse/tests/properties.rs` checks the on/off property on random
+//! seeds, and the `optimizer_comparison` binary's test checks the
+//! shared-memo property.
 
 use crate::genome::Genome;
 use crate::objective::ObjectiveVector;
@@ -29,11 +36,20 @@ use std::collections::HashMap;
 /// Construct with [`GenomeMemo::new`]; a disabled memo (`enabled =
 /// false`) never stores or returns anything, giving callers a single
 /// code path for memoized and memo-free runs.
+///
+/// Entries carry the *run epoch* they were last seen in
+/// ([`GenomeMemo::begin_run`]): a within-run hit skips the decode, the
+/// evaluator call *and* the (provably no-op) archive re-insertion,
+/// while the first hit of a new run on an older entry reports itself
+/// via [`GenomeMemo::get_with_provenance`] so the searcher can replay
+/// the insertion into its fresh archive — once, after which the entry
+/// is re-stamped with the current epoch.
 #[derive(Debug, Clone, Default)]
 pub struct GenomeMemo {
     enabled: bool,
-    map: HashMap<Genome, Option<ObjectiveVector>>,
+    map: HashMap<Genome, (Option<ObjectiveVector>, u32)>,
     hits: u64,
+    epoch: u32,
 }
 
 impl GenomeMemo {
@@ -41,7 +57,7 @@ impl GenomeMemo {
     /// all records are dropped).
     #[must_use]
     pub fn new(enabled: bool) -> Self {
-        Self { enabled, map: HashMap::new(), hits: 0 }
+        Self { enabled, map: HashMap::new(), hits: 0, epoch: 0 }
     }
 
     /// Whether the memo stores anything at all.
@@ -57,23 +73,56 @@ impl GenomeMemo {
         self.enabled && self.map.contains_key(genome)
     }
 
+    /// Marks the start of a new searcher run sharing this memo. Entries
+    /// recorded before this call are treated as *foreign* by
+    /// [`GenomeMemo::get_with_provenance`] until their first hit.
+    pub fn begin_run(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+    }
+
     /// Looks up the recorded outcome for `genome`, counting a hit when
     /// found. `Some(None)` means "known infeasible".
+    ///
+    /// Leaves run provenance untouched: a cross-run replay obligation
+    /// (see [`GenomeMemo::get_with_provenance`]) survives `get` calls,
+    /// so mixing the two accessors cannot silently lose an archive
+    /// re-insertion.
     pub fn get(&mut self, genome: &Genome) -> Option<Option<ObjectiveVector>> {
         if !self.enabled {
             return None;
         }
-        let cached = self.map.get(genome).copied();
+        let cached = self.map.get(genome).map(|&(outcome, _)| outcome);
         if cached.is_some() {
             self.hits += 1;
         }
         cached
     }
 
+    /// [`GenomeMemo::get`] that also reports whether the entry was last
+    /// seen in an *earlier* run (`true`): the caller must replay the
+    /// archive insertion for such hits, exactly once — the entry is
+    /// re-stamped with the current epoch. Within-run hits return
+    /// `false` and need no replay (re-insertion of an outcome the same
+    /// archive already saw is always rejected as weakly dominated).
+    pub fn get_with_provenance(
+        &mut self,
+        genome: &Genome,
+    ) -> Option<(Option<ObjectiveVector>, bool)> {
+        if !self.enabled {
+            return None;
+        }
+        let epoch = self.epoch;
+        let entry = self.map.get_mut(genome)?;
+        self.hits += 1;
+        let from_earlier_run = entry.1 != epoch;
+        entry.1 = epoch;
+        Some((entry.0, from_earlier_run))
+    }
+
     /// Records the evaluation outcome of `genome` (no-op when disabled).
     pub fn record(&mut self, genome: Genome, outcome: Option<ObjectiveVector>) {
         if self.enabled {
-            self.map.insert(genome, outcome);
+            self.map.insert(genome, (outcome, self.epoch));
         }
     }
 
@@ -128,6 +177,26 @@ mod tests {
         memo.record(bad.clone(), None);
         assert_eq!(memo.get(&bad), Some(None));
         assert_eq!(memo.hits(), 2);
+    }
+
+    #[test]
+    fn provenance_reports_cross_run_hits_exactly_once() {
+        let mut memo = GenomeMemo::new(true);
+        memo.begin_run(); // run 1
+        let g = genome(5);
+        let obj = Some(ObjectiveVector::from_slice(&[1.0, 2.0]));
+        memo.record(g.clone(), obj);
+        // Within the recording run: never foreign.
+        assert_eq!(memo.get_with_provenance(&g), Some((obj, false)));
+        assert_eq!(memo.get_with_provenance(&g), Some((obj, false)));
+
+        memo.begin_run(); // run 2
+                          // A plain `get` must not consume the pending replay.
+        assert_eq!(memo.get(&g), Some(obj));
+        // First provenance hit of the new run replays; repeats do not.
+        assert_eq!(memo.get_with_provenance(&g), Some((obj, true)));
+        assert_eq!(memo.get_with_provenance(&g), Some((obj, false)));
+        assert_eq!(memo.hits(), 5);
     }
 
     #[test]

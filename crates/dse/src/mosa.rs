@@ -50,10 +50,12 @@ impl Default for MosaConfig {
 }
 
 /// Replays `genome`'s outcome from the memo, or decodes and evaluates it,
-/// recording the result. Fresh feasible points enter the archive;
-/// replayed ones are skipped (re-insertion of a previously inserted
-/// objective vector is always rejected as weakly dominated — see
-/// [`GenomeMemo`] — so the archive stays bit-identical).
+/// recording the result. Fresh feasible points enter the archive; so
+/// does a run's *first* hit on an outcome recorded by an earlier run
+/// sharing the memo (the fresh archive has never seen it) — that replay
+/// is what keeps cross-run sharing observationally transparent.
+/// Within-run repeats skip the insertion: it would only be rejected as
+/// weakly dominated (see [`GenomeMemo`]).
 fn lookup_or_evaluate(
     genome: &Genome,
     space: &DesignSpace,
@@ -61,7 +63,12 @@ fn lookup_or_evaluate(
     memo: &mut GenomeMemo,
     archive: &mut ParetoArchive<DesignPoint>,
 ) -> Option<ObjectiveVector> {
-    if let Some(cached) = memo.get(genome) {
+    if let Some((cached, from_earlier_run)) = memo.get_with_provenance(genome) {
+        if from_earlier_run {
+            if let Some(obj) = cached {
+                archive.insert(obj, genome.decode(space));
+            }
+        }
         return cached;
     }
     let point = genome.decode(space);
@@ -99,11 +106,28 @@ fn domination_energy(a: &ObjectiveVector, b: &ObjectiveVector) -> f64 {
 /// ```
 #[must_use]
 pub fn mosa(space: &DesignSpace, evaluator: &dyn Evaluator, cfg: &MosaConfig) -> SearchResult {
+    let mut memo = GenomeMemo::new(cfg.memo);
+    mosa_with_memo(space, evaluator, cfg, &mut memo)
+}
+
+/// [`mosa`] running against a caller-provided [`GenomeMemo`], so several
+/// runs share one deduplication cache (see `nsga2_with_memo` for the
+/// transparency argument). The memo's own enabled flag governs
+/// memoization; [`MosaConfig::memo`] is ignored here.
+/// [`SearchResult::memo_hits`] counts only this run's hits.
+#[must_use]
+pub fn mosa_with_memo(
+    space: &DesignSpace,
+    evaluator: &dyn Evaluator,
+    cfg: &MosaConfig,
+    memo: &mut GenomeMemo,
+) -> SearchResult {
+    memo.begin_run();
+    let hits_before = memo.hits();
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut evaluations = 0u64;
     let mut infeasible = 0u64;
     let mut archive = ParetoArchive::new();
-    let mut memo = GenomeMemo::new(cfg.memo);
 
     // Find a feasible starting point.
     let mut current_genome;
@@ -111,7 +135,7 @@ pub fn mosa(space: &DesignSpace, evaluator: &dyn Evaluator, cfg: &MosaConfig) ->
     loop {
         let g = Genome::random(space, &mut rng);
         evaluations += 1;
-        if let Some(obj) = lookup_or_evaluate(&g, space, evaluator, &mut memo, &mut archive) {
+        if let Some(obj) = lookup_or_evaluate(&g, space, evaluator, memo, &mut archive) {
             current_genome = g;
             current_obj = obj;
             break;
@@ -123,7 +147,7 @@ pub fn mosa(space: &DesignSpace, evaluator: &dyn Evaluator, cfg: &MosaConfig) ->
                 front: archive,
                 evaluations,
                 infeasible,
-                memo_hits: memo.hits(),
+                memo_hits: memo.hits() - hits_before,
             };
         }
     }
@@ -134,8 +158,7 @@ pub fn mosa(space: &DesignSpace, evaluator: &dyn Evaluator, cfg: &MosaConfig) ->
         candidate.mutate(space, cfg.mutation_rate, &mut rng);
         evaluations += 1;
         temperature *= cfg.cooling;
-        let Some(obj) = lookup_or_evaluate(&candidate, space, evaluator, &mut memo, &mut archive)
-        else {
+        let Some(obj) = lookup_or_evaluate(&candidate, space, evaluator, memo, &mut archive) else {
             infeasible += 1;
             continue;
         };
@@ -151,7 +174,7 @@ pub fn mosa(space: &DesignSpace, evaluator: &dyn Evaluator, cfg: &MosaConfig) ->
             current_obj = obj;
         }
     }
-    SearchResult { front: archive, evaluations, infeasible, memo_hits: memo.hits() }
+    SearchResult { front: archive, evaluations, infeasible, memo_hits: memo.hits() - hits_before }
 }
 
 /// Runs `restarts` independent MOSA chains (seeds `seed`, `seed+1`, …)

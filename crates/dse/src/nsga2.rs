@@ -100,11 +100,34 @@ struct Individual {
 /// ```
 #[must_use]
 pub fn nsga2(space: &DesignSpace, evaluator: &dyn Evaluator, cfg: &Nsga2Config) -> SearchResult {
+    let mut memo = GenomeMemo::new(cfg.memo);
+    nsga2_with_memo(space, evaluator, cfg, &mut memo)
+}
+
+/// [`nsga2`] running against a caller-provided [`GenomeMemo`], so
+/// several runs (e.g. the optimizer-comparison experiment, or repeated
+/// searches over the same space) share one deduplication cache. The
+/// memo's own enabled flag governs memoization; [`Nsga2Config::memo`] is
+/// ignored here. [`SearchResult::memo_hits`] counts only this run's
+/// hits.
+///
+/// Sharing is observationally transparent: replayed outcomes are
+/// re-inserted into the run's archive (a rejected no-op when the first
+/// occurrence happened within the same run), so fronts and counters are
+/// bit-identical to a run with a private memo — or with none at all.
+#[must_use]
+pub fn nsga2_with_memo(
+    space: &DesignSpace,
+    evaluator: &dyn Evaluator,
+    cfg: &Nsga2Config,
+    memo: &mut GenomeMemo,
+) -> SearchResult {
+    memo.begin_run();
+    let hits_before = memo.hits();
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut evaluations = 0u64;
     let mut infeasible = 0u64;
     let mut archive: ParetoArchive<DesignPoint> = ParetoArchive::new();
-    let mut memo = GenomeMemo::new(cfg.memo);
     let infeasible_objectives =
         ObjectiveVector::new(vec![f64::INFINITY; evaluator.num_objectives()]);
 
@@ -116,7 +139,7 @@ pub fn nsga2(space: &DesignSpace, evaluator: &dyn Evaluator, cfg: &Nsga2Config) 
         genomes,
         space,
         evaluator,
-        &mut memo,
+        memo,
         infeasible_objectives,
         &mut evaluations,
         &mut infeasible,
@@ -143,7 +166,7 @@ pub fn nsga2(space: &DesignSpace, evaluator: &dyn Evaluator, cfg: &Nsga2Config) 
             children,
             space,
             evaluator,
-            &mut memo,
+            memo,
             infeasible_objectives,
             &mut evaluations,
             &mut infeasible,
@@ -160,7 +183,7 @@ pub fn nsga2(space: &DesignSpace, evaluator: &dyn Evaluator, cfg: &Nsga2Config) 
         population.truncate(cfg.population);
     }
 
-    SearchResult { front: archive, evaluations, infeasible, memo_hits: memo.hits() }
+    SearchResult { front: archive, evaluations, infeasible, memo_hits: memo.hits() - hits_before }
 }
 
 /// Evaluates one generation's genomes as a single batch, answering
@@ -168,10 +191,12 @@ pub fn nsga2(space: &DesignSpace, evaluator: &dyn Evaluator, cfg: &Nsga2Config) 
 ///
 /// Only genomes the memo has never seen (first occurrence within this
 /// batch included) are decoded and sent to [`Evaluator::evaluate_batch`];
-/// everything else replays its recorded outcome. Feasible *fresh* results
-/// enter the archive in genome order — re-inserting a replayed outcome
-/// would be rejected as weakly dominated anyway (see [`GenomeMemo`]), so
-/// skipping it keeps the archive bit-identical to the memo-free run.
+/// everything else replays its recorded outcome. Feasible replayed
+/// outcomes are re-inserted into the archive: within one run that is
+/// always rejected as weakly dominated (see [`GenomeMemo`]), and when a
+/// memo is shared across runs it seeds the fresh archive with outcomes
+/// first seen by an earlier run — either way the archive is bit-identical
+/// to the memo-free run.
 #[allow(clippy::too_many_arguments)]
 fn evaluate_generation(
     genomes: Vec<Genome>,
@@ -213,18 +238,29 @@ fn evaluate_generation(
         .into_iter()
         .zip(slots)
         .map(|(genome, slot)| {
-            let outcome = if let Some(cached) = memo.get(&genome) {
-                cached
-            } else {
-                let slot = slot.expect("uncached genome was decoded in pass 1");
-                let result = results[slot];
-                memo.record(genome.clone(), result);
-                if let Some(obj) = result {
-                    let point = fresh_points[slot].take().expect("fresh slot consumed once");
-                    archive.insert(obj, point);
-                }
-                result
-            };
+            let outcome =
+                if let Some((cached, from_earlier_run)) = memo.get_with_provenance(&genome) {
+                    // A memo shared across runs must seed this run's fresh
+                    // archive with outcomes an earlier run evaluated; the
+                    // epoch confines the replay to exactly those hits
+                    // (within-run repeats would only be rejected as weakly
+                    // dominated).
+                    if from_earlier_run {
+                        if let Some(obj) = cached {
+                            archive.insert(obj, genome.decode(space));
+                        }
+                    }
+                    cached
+                } else {
+                    let slot = slot.expect("uncached genome was decoded in pass 1");
+                    let result = results[slot];
+                    memo.record(genome.clone(), result);
+                    if let Some(obj) = result {
+                        let point = fresh_points[slot].take().expect("fresh slot consumed once");
+                        archive.insert(obj, point);
+                    }
+                    result
+                };
             let objectives = if let Some(obj) = outcome {
                 obj
             } else {

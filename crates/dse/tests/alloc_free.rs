@@ -11,6 +11,8 @@
 //! * `Genome::decode` reads picks straight from the genome fields;
 //! * `WbsnModel::evaluate_objectives` reuses the scratch buffers and the
 //!   `(kind, CR, fµC)` memo;
+//! * `WbsnModel::evaluate_objectives_batch` (the `SoA` kernel) reuses its
+//!   interned grid/MAC/cell tables and per-batch buffers;
 //! * `ObjectiveVector::from_slice` is an inline `Copy` value.
 //!
 //! This file holds a single `#[test]` so no sibling test thread can
@@ -20,6 +22,7 @@ use alloc_counter::{allocation_count as allocations, CountingAlloc};
 use wbsn_dse::genome::Genome;
 use wbsn_dse::objective::ObjectiveVector;
 use wbsn_model::evaluate::{EvalScratch, WbsnModel};
+use wbsn_model::soa::SoaScratch;
 use wbsn_model::space::DesignSpace;
 
 #[global_allocator]
@@ -58,7 +61,35 @@ fn batch_decode_and_evaluate_are_allocation_free_in_steady_state() {
     assert_eq!(feasible, feasible_warm);
     assert_eq!(delta, 0, "decode+evaluate steady state performed {delta} heap allocations");
 
+    soa_batch_path_is_allocation_free_in_steady_state();
     genome_decode_and_objective_construction_are_allocation_free();
+}
+
+// Called from the single #[test] above (the allocation counter is a
+// process-global). The SoA kernel's first pass may allocate freely —
+// interned grid/MAC tables, lazily grown cell blocks, per-batch buffers
+// — but a warm scratch re-running the same batch must perform zero heap
+// allocations: the batch evaluator pools these scratches and calls the
+// kernel once per chunk for millions of chunks.
+fn soa_batch_path_is_allocation_free_in_steady_state() {
+    let model = WbsnModel::shimmer();
+    let space = DesignSpace::case_study(6);
+    // A sweep mixes feasible points with every cheap infeasibility
+    // (duty-cycle and capacity errors); both outcome kinds must be
+    // allocation-free in steady state.
+    let points = space.sample_sweep(4096);
+    let mut scratch = SoaScratch::new();
+
+    let feasible_warm =
+        model.evaluate_objectives_batch(&points, &mut scratch).iter().filter(|o| o.is_ok()).count();
+    assert!(feasible_warm > 0, "sweep must hit feasible configurations");
+
+    let before = allocations();
+    let feasible =
+        model.evaluate_objectives_batch(&points, &mut scratch).iter().filter(|o| o.is_ok()).count();
+    let delta = allocations() - before;
+    assert_eq!(feasible, feasible_warm);
+    assert_eq!(delta, 0, "SoA batch steady state performed {delta} heap allocations");
 }
 
 // Called from the single #[test] above: a second parallel test thread

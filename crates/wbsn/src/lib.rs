@@ -22,7 +22,7 @@
 //!
 //! ## Batch evaluation engine
 //!
-//! The DSE hot loop runs on a two-level fast path:
+//! The DSE hot loop runs on a three-level fast path:
 //!
 //! * [`model::evaluate::WbsnModel::evaluate_objectives`] — an
 //!   objectives-only evaluation that reuses a caller-provided
@@ -34,11 +34,20 @@
 //!   per-MAC radio term. Results are bit-identical to
 //!   [`model::evaluate::WbsnModel::evaluate`], including which error a
 //!   given infeasible configuration raises.
+//! * [`model::soa`] — the struct-of-arrays batch kernel
+//!   ([`model::evaluate::WbsnModel::evaluate_objectives_batch`]):
+//!   whole point batches walked through interned node/MAC/cell tables,
+//!   with per-node energy/PRD/slot values served as plain loads,
+//!   infeasibility carried as a per-point mask, and the Eq. 8/9
+//!   reductions running as tight `f64` loops. Bit-identical to the
+//!   scalar paths (objectives *and* errors — property-tested in
+//!   `tests/soa_parity.rs`), zero allocations in steady state.
 //! * [`dse::Evaluator::evaluate_batch`] — order-preserving batch
-//!   evaluation; the model-backed evaluators override it to fan a batch
-//!   out across all cores (scoped threads, one scratch per worker).
-//!   NSGA-II evaluates each generation as one batch, exhaustive search
-//!   enumerates via a linear-index mixed-radix decode
+//!   evaluation; the model-backed evaluators run the SoA kernel per
+//!   chunk across all cores (scoped threads, one pooled kernel scratch
+//!   per worker; scalar fallback for tiny batches). NSGA-II evaluates
+//!   each generation as one batch, exhaustive search enumerates via a
+//!   linear-index mixed-radix decode
 //!   ([`model::space::DesignSpace::point_at`]) in parallel-friendly
 //!   chunks, and [`dse::mosa::mosa_restarts`] runs independent annealing
 //!   chains concurrently. Evaluation consumes no randomness, so seeded
@@ -47,12 +56,13 @@
 //!
 //! Measured on one (noisy, shared) core — `dse_throughput`, 6-node case
 //! study, mixed feasible/infeasible sweep: ≈ 2–4 M evals/s for the
-//! allocating serial path vs ≈ 9–14 M evals/s for the fast path, a 3–6×
-//! single-core speedup (the paper's reference implementation reports
-//! ≈ 4.8 k evals/s). Multi-core runners multiply the batch path by
-//! roughly the core count on top. The binary writes its measurements to
-//! `./BENCH_dse.json` (gitignored); the recorded baseline for cross-PR
-//! comparison lives at `benchmarks/BENCH_dse.json`.
+//! allocating serial path, ≈ 9–14 M evals/s for the scalar fast path,
+//! and ≈ 15–20 M evals/s for the SoA kernel (the paper's reference
+//! implementation reports ≈ 4.8 k evals/s). Multi-core runners multiply
+//! the batch path by roughly the core count on top. The binary writes
+//! its measurements to `./BENCH_dse.json` (gitignored); the recorded
+//! baseline for cross-PR comparison lives at
+//! `benchmarks/BENCH_dse.json`.
 
 #![warn(missing_docs)]
 

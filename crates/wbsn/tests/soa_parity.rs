@@ -1,0 +1,115 @@
+//! Differential property test: the struct-of-arrays batch kernel
+//! (`WbsnModel::evaluate_objectives_batch`) against the scalar
+//! `WbsnModel::evaluate_objectives` reference, over random node grids,
+//! MAC configurations, batch sizes and model variants.
+//!
+//! The contract under test is the strongest one the kernel claims:
+//! **bit-identical** objectives for every feasible point and the
+//! **identical `ModelError`** for every infeasible one (same variant,
+//! same node index, same payload values) — including invalid MAC
+//! parameters, invalid compression ratios, duty-cycle overflows,
+//! per-node bandwidth shortfalls and GTS capacity overflows, in the
+//! scalar path's resolution order. Both paths run through *shared,
+//! persistent* scratches across the whole batch sequence, so stale
+//! interned tables / memo entries would be caught too.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wbsn::model::evaluate::{EvalScratch, NodeConfig, WbsnModel};
+use wbsn::model::ieee802154::Ieee802154Config;
+use wbsn::model::shimmer::CompressionKind;
+use wbsn::model::soa::SoaScratch;
+use wbsn::model::space::{DesignPoint, NodeVec};
+use wbsn::model::units::Hertz;
+
+/// Draws one random design point. Roughly: realistic case-study draws,
+/// salted with out-of-range MAC parameters (payload 0 / SFO > BCO),
+/// invalid compression ratios, clocks that overflow the DWT duty cycle,
+/// and CRs large enough to overflow slot capacity on small payloads.
+fn random_point(rng: &mut StdRng) -> DesignPoint {
+    let n = rng.gen_range(0..=8usize);
+    let nodes: NodeVec = (0..n)
+        .map(|_| {
+            let kind = if rng.gen_bool(0.5) { CompressionKind::Dwt } else { CompressionKind::Cs };
+            let cr = match rng.gen_range(0..10u8) {
+                0 => *[0.0, -0.25, 1.5].get(rng.gen_range(0..3usize)).expect("in range"),
+                1 => rng.gen_range(0.5..1.0), // heavy traffic: capacity errors
+                _ => rng.gen_range(0.17..0.38),
+            };
+            let f = *[1.0, 2.0, 4.0, 8.0].get(rng.gen_range(0..4usize)).expect("in range");
+            NodeConfig::new(kind, cr, Hertz::from_mhz(f))
+        })
+        .collect();
+    let payload = match rng.gen_range(0..8u8) {
+        0 => 0u16, // invalid
+        1 => 120,  // invalid (above MAX_PAYLOAD_BYTES)
+        _ => *[30u16, 50, 70, 90, 114].get(rng.gen_range(0..5usize)).expect("in range"),
+    };
+    let sfo = rng.gen_range(3..=9u8);
+    let bco = rng.gen_range(3..=9u8); // sfo > bco sometimes: invalid
+    DesignPoint {
+        mac: Ieee802154Config {
+            payload_bytes: payload,
+            sfo,
+            bco,
+            beacon_payload_bytes: 0,
+            acknowledged: rng.gen_bool(0.9),
+        },
+        nodes,
+    }
+}
+
+fn assert_parity(model: &WbsnModel, points: &[DesignPoint], soa: &mut SoaScratch) {
+    let outcomes = model.evaluate_objectives_batch(points, soa);
+    assert_eq!(outcomes.len(), points.len());
+    let outcomes = outcomes.to_vec();
+    let mut scalar = EvalScratch::new();
+    let mut feasible = 0usize;
+    let mut infeasible = 0usize;
+    for (p, soa_outcome) in points.iter().zip(outcomes) {
+        let reference = model.evaluate_objectives(&p.mac, &p.nodes, &mut scalar);
+        match (reference, soa_outcome) {
+            (Ok(a), Ok(b)) => {
+                feasible += 1;
+                assert_eq!(a.energy.to_bits(), b.energy.to_bits());
+                assert_eq!(a.delay.to_bits(), b.delay.to_bits());
+                assert_eq!(a.prd.to_bits(), b.prd.to_bits());
+            }
+            (Err(a), Err(b)) => {
+                infeasible += 1;
+                assert_eq!(a, b, "errors must be identical");
+            }
+            (a, b) => panic!("feasibility disagreement: {a:?} vs {b:?}"),
+        }
+    }
+    // Batches big enough to carry both outcomes must show both over the
+    // sequence; tiny batches may legitimately be one-sided.
+    if points.len() >= 64 {
+        assert!(feasible > 0, "degenerate batch: nothing feasible");
+        assert!(infeasible > 0, "degenerate batch: nothing infeasible");
+    }
+}
+
+proptest! {
+    #[test]
+    fn soa_kernel_matches_scalar_reference(seed in 0u64..1 << 48) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let model = match rng.gen_range(0..3u8) {
+            0 => WbsnModel::shimmer(),
+            1 => WbsnModel::shimmer().with_theta(rng.gen_range(0.0..2.0)),
+            _ => WbsnModel::shimmer()
+                .with_packet_error_rate(rng.gen_range(0.0..0.9))
+                .with_theta(rng.gen_range(0.0..2.0)),
+        };
+        // One persistent kernel scratch across several random batch
+        // sizes (odd sizes, singletons, empty) — exactly how the batch
+        // evaluator reuses pooled scratches.
+        let mut soa = SoaScratch::new();
+        for _ in 0..rng.gen_range(1..=3usize) {
+            let len = *[0usize, 1, 7, 64, 170].get(rng.gen_range(0..5usize)).expect("in range");
+            let points: Vec<DesignPoint> = (0..len).map(|_| random_point(&mut rng)).collect();
+            assert_parity(&model, &points, &mut soa);
+        }
+    }
+}
