@@ -14,6 +14,8 @@ use wbsn_model::evaluate::{NodeConfig, WbsnModel};
 use wbsn_model::ieee802154::{Ieee802154Config, Ieee802154Mac};
 use wbsn_model::mac::MacModel;
 use wbsn_model::shimmer::{self, CompressionKind};
+use wbsn_model::soa::{FullEvalOut, SoaScratch};
+use wbsn_model::space::DesignPoint;
 use wbsn_model::units::{ByteRate, Hertz, Seconds};
 use wbsn_sim::engine::NetworkBuilder;
 
@@ -136,17 +138,34 @@ fn main() {
     // ~4.1 mJ/s, a CS node ~1.7 mJ/s, so the mixed network is inherently
     // unbalanced — exactly the "heavily optimized nodes alternated to
     // other nodes with an insufficient lifetime" the paper warns about.
+    //
+    // This sweep runs through the full-evaluation batch kernel; ϑ only
+    // scales the final Eq. 8 combination, so one warm `SoaScratch`
+    // serves every ϑ variant without re-interning. (The MAC-term
+    // ablation above cannot: `AblatedMac` is a custom `MacModel` the
+    // kernel's IEEE-802.15.4-keyed tables cannot intern.)
     println!("\n# Ablation — Eq. 8 balance weight ϑ (mixed DWT/CS vs homogeneous CS)\n");
     header(&["ϑ", "Enet mixed 3+3 [mJ/s]", "Enet all-CS [mJ/s]", "imbalance surfaced %"]);
     let mac_cfg = Ieee802154Config::new(114, 6, 6).expect("valid");
     let mixed = wbsn_model::evaluate::half_dwt_half_cs(6, 0.27, Hertz::from_mhz(8.0));
-    let homogeneous = vec![NodeConfig::new(CompressionKind::Cs, 0.27, Hertz::from_mhz(8.0)); 6];
+    let homogeneous = [NodeConfig::new(CompressionKind::Cs, 0.27, Hertz::from_mhz(8.0)); 6];
+    let points = [
+        DesignPoint { mac: mac_cfg, nodes: mixed.iter().copied().collect() },
+        DesignPoint { mac: mac_cfg, nodes: homogeneous.iter().copied().collect() },
+    ];
+    let mut scratch = SoaScratch::new();
+    let mut out = FullEvalOut::new();
+    let energies = |out: &FullEvalOut| -> (f64, f64) {
+        let mixed = out.outcomes()[0].as_ref().expect("ok").energy;
+        let homogeneous = out.outcomes()[1].as_ref().expect("ok").energy;
+        (mixed, homogeneous)
+    };
+    WbsnModel::shimmer().with_theta(0.0).evaluate_batch_full(&points, &mut scratch, &mut out);
+    let (mean_mixed, _) = energies(&out);
     for theta in [0.0, 0.5, 1.0, 2.0] {
         let model = WbsnModel::shimmer().with_theta(theta);
-        let e_mixed = model.evaluate(&mac_cfg, &mixed).expect("ok").energy_metric();
-        let e_homog = model.evaluate(&mac_cfg, &homogeneous).expect("ok").energy_metric();
-        let model0 = WbsnModel::shimmer().with_theta(0.0);
-        let mean_mixed = model0.evaluate(&mac_cfg, &mixed).expect("ok").energy_metric();
+        model.evaluate_batch_full(&points, &mut scratch, &mut out);
+        let (e_mixed, e_homog) = energies(&out);
         row(&[
             format!("{theta:.1}"),
             format!("{e_mixed:.3}"),

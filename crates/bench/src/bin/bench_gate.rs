@@ -9,7 +9,10 @@
 //! Gated fields (all evaluations/s, higher is better):
 //! * `batch_evals_per_s` — the multi-core batch engine;
 //! * `fastpath_evals_per_s` — the scalar allocation-free fast path;
-//! * `soa_evals_per_s` — the struct-of-arrays kernel, one core.
+//! * `soa_evals_per_s` — the struct-of-arrays kernel, one core;
+//! * `soa_grouped_evals_per_s` — the MAC-grouped SoA kernel, one core;
+//! * `full_evals_per_s` — the full-evaluation (per-node lanes) kernel,
+//!   one core.
 //!
 //! Same-machine quiet-run noise is a few percent per field, but
 //! co-tenant load on shared runners can depress a single run by 10 %+;
@@ -30,7 +33,13 @@
 use std::process::ExitCode;
 
 /// The gated fields of `BENCH_dse.json`.
-const GATED_FIELDS: [&str; 3] = ["batch_evals_per_s", "fastpath_evals_per_s", "soa_evals_per_s"];
+const GATED_FIELDS: [&str; 5] = [
+    "batch_evals_per_s",
+    "fastpath_evals_per_s",
+    "soa_evals_per_s",
+    "soa_grouped_evals_per_s",
+    "full_evals_per_s",
+];
 
 /// Extracts the number following `"key":` from a flat JSON document.
 /// (The bench JSON is machine-written with simple scalar fields; a full

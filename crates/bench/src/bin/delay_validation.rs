@@ -2,6 +2,18 @@
 //! simulation over 130 random feasible configurations with realistic
 //! `φout` and `χmac` draws.
 //!
+//! Candidate screening runs through the full-evaluation batch kernel
+//! (`WbsnModel::evaluate_batch_full`): each round of random draws is
+//! evaluated as one batch, and feasibility, the per-node Eq. 9 bounds
+//! and the Eq. 1 slot counts (the saturation screen's input) are all
+//! read from the kernel's flat output lanes. Each candidate's numbers
+//! are bit-identical to what scalar `evaluate()` would produce for it —
+//! but the *rejection-sampling stream* differs from the pre-batching
+//! binary: simulation seeds are now drawn at generation time (screening
+//! happens a whole batch later), so the accepted 130-configuration set
+//! and the summary statistics are a different (equally valid,
+//! deterministic) draw than the old point-by-point loop produced.
+//!
 //! Paper's result: the bound holds, with an average overestimation below
 //! 100 ms (acceptable for the application). The simulation uses the
 //! uniform packet-stream traffic abstraction of §4.2 ("data compression
@@ -14,9 +26,11 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use wbsn_bench::{header, row};
 use wbsn_dse::parallel::parallel_map_with_block;
-use wbsn_model::evaluate::{NodeConfig, SystemEvaluation, WbsnModel};
+use wbsn_model::evaluate::{NodeConfig, WbsnModel};
 use wbsn_model::ieee802154::Ieee802154Config;
 use wbsn_model::shimmer::CompressionKind;
+use wbsn_model::soa::{FullEvalOut, SoaScratch};
+use wbsn_model::space::DesignPoint;
 use wbsn_model::units::Hertz;
 use wbsn_sim::engine::{NetworkBuilder, TrafficMode};
 
@@ -27,13 +41,16 @@ const SIM_SECONDS: f64 = 120.0;
 struct Candidate {
     mac: Ieee802154Config,
     nodes: Vec<NodeConfig>,
-    eval: SystemEvaluation,
+    /// Worst per-node Eq. 9 bound (from the kernel's delay lane).
+    bound_max: f64,
     seed: u64,
 }
 
 fn main() {
     let model = WbsnModel::shimmer();
     let mut rng = StdRng::seed_from_u64(2012);
+    let mut scratch = SoaScratch::new();
+    let mut out = FullEvalOut::new();
 
     let mut accepted = 0usize;
     let mut attempts = 0usize;
@@ -58,15 +75,17 @@ fn main() {
         "overestimate [ms]",
     ]);
 
-    // Candidate generation stays serial (one RNG stream, deterministic),
-    // but the expensive 120-simulated-second validation runs fan out
-    // across cores per batch of candidates (block = 1: one simulation is
+    // Candidate generation stays serial (one RNG stream, deterministic);
+    // each round's draws are then model-screened as ONE batch through
+    // the full-evaluation kernel, and the expensive 120-simulated-second
+    // validation runs fan out across cores (block = 1: one simulation is
     // one work unit). Acceptance walks each batch in candidate order, so
     // the accepted set — and every statistic — is independent of thread
     // count (see `crates/wbsn/tests/sim_determinism.rs`).
     while accepted < RUNS {
-        let mut batch: Vec<Candidate> = Vec::new();
-        while batch.len() < RUNS - accepted {
+        // Phase 1: raw draws (MAC-valid; feasibility decided in phase 2).
+        let mut raw: Vec<(Ieee802154Config, Vec<NodeConfig>, u64)> = Vec::new();
+        while raw.len() < RUNS - accepted {
             attempts += 1;
             assert!(attempts < RUNS * 50, "rejection sampling runaway");
             // Random φout ∈ [40, 250] B/s per node via CR ∈ [0.107, 0.667].
@@ -83,20 +102,39 @@ fn main() {
             let sfo = rng.gen_range(4u8..=7);
             let bco = rng.gen_range(sfo..=8);
             let Ok(mac) = Ieee802154Config::new(payload, sfo, bco) else { continue };
+            let seed = rng.gen();
+            raw.push((mac, nodes, seed));
+        }
+
+        // Phase 2: one kernel batch screens the whole round.
+        let points: Vec<DesignPoint> = raw
+            .iter()
+            .map(|(mac, nodes, _)| DesignPoint {
+                mac: *mac,
+                nodes: nodes.iter().copied().collect(),
+            })
+            .collect();
+        model.evaluate_batch_full(&points, &mut scratch, &mut out);
+
+        let mut batch: Vec<Candidate> = Vec::new();
+        for (i, (mac, nodes, seed)) in raw.iter().enumerate() {
             // Keep only configurations the model itself declares feasible.
-            let Ok(eval) = model.evaluate(&mac, &nodes) else { continue };
+            if out.outcomes()[i].is_err() {
+                continue;
+            }
+            let lanes = out.node_range(i);
             // Screen out saturated designs: Eq. 1 sizes the GTS on fluid
             // airtime, but a slot serves an *integer* number of packet
             // transactions. If that integer capacity is below the arrival
             // rate the queue diverges and no delay bound can exist — such
             // configurations are unusable and outside the paper's
             // "realistic" draws.
-            let mac_model = wbsn_model::ieee802154::Ieee802154Mac::new(mac, nodes.len() as u32);
+            let mac_model = wbsn_model::ieee802154::Ieee802154Mac::new(*mac, nodes.len() as u32);
             let transaction = mac_model.packet_transaction_time().value();
             let delta = mac.slot_duration().value();
             let bi = mac.beacon_interval().value();
-            let saturated = nodes.iter().zip(&eval.assignment.slots).any(|(n, &k)| {
-                let arrivals_per_sf = n.cr * 375.0 * bi / f64::from(payload);
+            let saturated = nodes.iter().zip(&out.slots()[lanes.clone()]).any(|(node, &k)| {
+                let arrivals_per_sf = node.cr * 375.0 * bi / f64::from(mac.payload_bytes);
                 let capacity_per_sf = (f64::from(k) * delta / transaction).floor();
                 capacity_per_sf < arrivals_per_sf * 1.1
             });
@@ -104,10 +142,11 @@ fn main() {
                 screened += 1;
                 continue;
             }
-            let seed = rng.gen();
-            batch.push(Candidate { mac, nodes, eval, seed });
+            let bound_max = out.delay()[lanes].iter().copied().fold(0.0, f64::max);
+            batch.push(Candidate { mac: *mac, nodes: nodes.clone(), bound_max, seed: *seed });
         }
 
+        // Phase 3: parallel validation simulations.
         let reports = parallel_map_with_block(
             &batch,
             1,
@@ -130,8 +169,7 @@ fn main() {
             accepted += 1;
 
             // Per-configuration: worst node bound vs worst observed delay.
-            let bound_max: f64 =
-                candidate.eval.per_node.iter().map(|p| p.delay_bound.value()).fold(0.0, f64::max);
+            let bound_max = candidate.bound_max;
             let sim_max: f64 = report.nodes.iter().map(|nr| nr.delay.max_s()).fold(0.0, f64::max);
             let over = bound_max - sim_max;
             if over < 0.0 {

@@ -7,7 +7,7 @@
 //! magnitude. Our Rust model is faster and our simulator much faster
 //! than Castalia, but the *ratio* is what the experiment establishes.
 //!
-//! On top of the paper's comparison, this binary measures the four
+//! On top of the paper's comparison, this binary measures the six
 //! evaluation paths of the engine:
 //!
 //! * **serial** — `WbsnModel::evaluate` per point (allocating, no memo);
@@ -16,8 +16,14 @@
 //! * **SoA kernel** — `WbsnModel::evaluate_objectives_batch` through one
 //!   reused `SoaScratch` (struct-of-arrays, interned node/MAC/cell
 //!   tables, mask-based infeasibility) on a single core;
-//! * **batch** — `Evaluator::evaluate_batch`, the SoA kernel fanned out
-//!   across all cores chunk by chunk.
+//! * **SoA grouped** — `WbsnModel::evaluate_objectives_batch_grouped`,
+//!   the same tables with the batch sorted by interned MAC entry and
+//!   same-MAC runs reduced over transposed `node × point` lanes;
+//! * **SoA full** — `WbsnModel::evaluate_batch_full`, the
+//!   full-evaluation kernel emitting per-node energy-breakdown / delay /
+//!   PRD / slot lanes into caller-owned arrays;
+//! * **batch** — `Evaluator::evaluate_batch`, the grouped SoA kernel
+//!   fanned out across all cores chunk by chunk.
 //!
 //! Two debug counters make the allocation-free claims measurable here
 //! rather than asserted elsewhere: a counting global allocator reports
@@ -149,6 +155,50 @@ fn main() {
         soa_scratch.mac_len()
     );
 
+    // --- Path 3b: the MAC-grouped SoA kernel, one scratch, one core.
+    //     Same tables as path 3, transposed same-MAC reduction. ---
+    let _ = model.evaluate_objectives_batch_grouped(&soa_points, &mut soa_scratch);
+    let allocs_before = allocations();
+    let t0 = Instant::now();
+    let mut grouped_evals = 0usize;
+    let mut grouped_feasible = 0usize;
+    while t0.elapsed().as_secs_f64() < 0.5 {
+        grouped_feasible = model
+            .evaluate_objectives_batch_grouped(&soa_points, &mut soa_scratch)
+            .iter()
+            .filter(|o| o.is_ok())
+            .count();
+        grouped_evals += soa_points.len();
+    }
+    let soa_grouped_per_s = grouped_evals as f64 / t0.elapsed().as_secs_f64();
+    let soa_grouped_allocs_per_eval = (allocations() - allocs_before) as f64 / grouped_evals as f64;
+    assert_eq!(grouped_feasible, soa_warm_feasible, "grouping must not change outcomes");
+    println!(
+        "SoA grouped (objectives_batch_grouped): {soa_grouped_per_s:>8.0} evaluations/s  ({grouped_feasible} feasible, {soa_grouped_allocs_per_eval:.6} allocs/eval)"
+    );
+
+    // --- Path 3c: the full-evaluation batch kernel — per-node energy
+    //     breakdown / delay / PRD / slot lanes, not just objectives. ---
+    let mut full_out = wbsn_model::soa::FullEvalOut::new();
+    model.evaluate_batch_full(&soa_points, &mut soa_scratch, &mut full_out);
+    let full_warm_feasible = full_out.outcomes().iter().filter(|o| o.is_ok()).count();
+    let allocs_before = allocations();
+    let t0 = Instant::now();
+    let mut full_evals = 0usize;
+    let mut full_feasible = 0usize;
+    while t0.elapsed().as_secs_f64() < 0.5 {
+        model.evaluate_batch_full(&soa_points, &mut soa_scratch, &mut full_out);
+        full_feasible = full_out.outcomes().iter().filter(|o| o.is_ok()).count();
+        full_evals += soa_points.len();
+    }
+    let full_per_s = full_evals as f64 / t0.elapsed().as_secs_f64();
+    let full_allocs_per_eval = (allocations() - allocs_before) as f64 / full_evals as f64;
+    assert_eq!(full_feasible, soa_warm_feasible, "full kernel must agree on feasibility");
+    assert_eq!(full_feasible, full_warm_feasible, "full kernel must be deterministic");
+    println!(
+        "SoA full  (evaluate_batch_full):        {full_per_s:>8.0} evaluations/s  ({full_feasible} feasible, per-node lanes, {full_allocs_per_eval:.6} allocs/eval)"
+    );
+
     // --- Path 4: parallel batch over all cores. ---
     let threads = num_threads();
     let evaluator = ModelEvaluator::shimmer();
@@ -254,6 +304,8 @@ fn main() {
     let _ = writeln!(json, "  \"serial_evals_per_s\": {serial_per_s:.1},");
     let _ = writeln!(json, "  \"fastpath_evals_per_s\": {fastpath_per_s:.1},");
     let _ = writeln!(json, "  \"soa_evals_per_s\": {soa_per_s:.1},");
+    let _ = writeln!(json, "  \"soa_grouped_evals_per_s\": {soa_grouped_per_s:.1},");
+    let _ = writeln!(json, "  \"full_evals_per_s\": {full_per_s:.1},");
     let _ = writeln!(json, "  \"batch_evals_per_s\": {batch_per_s:.1},");
     let _ = writeln!(json, "  \"speedup_fastpath_vs_serial\": {fastpath_speedup:.3},");
     let _ = writeln!(json, "  \"speedup_soa_vs_serial\": {soa_speedup:.3},");
@@ -266,6 +318,8 @@ fn main() {
     );
     let _ = writeln!(json, "  \"fastpath_allocs_per_eval\": {fastpath_allocs_per_eval:.6},");
     let _ = writeln!(json, "  \"soa_allocs_per_eval\": {soa_allocs_per_eval:.6},");
+    let _ = writeln!(json, "  \"soa_grouped_allocs_per_eval\": {soa_grouped_allocs_per_eval:.6},");
+    let _ = writeln!(json, "  \"full_allocs_per_eval\": {full_allocs_per_eval:.6},");
     let _ = writeln!(json, "  \"decode_allocs_per_point\": {decode_allocs_per_point:.6},");
     let _ = writeln!(json, "  \"decode_eval_points_per_s\": {decode_per_s:.1},");
     let _ = writeln!(

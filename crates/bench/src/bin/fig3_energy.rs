@@ -4,116 +4,17 @@
 //! configurations — `fµC ∈ {1, 8} MHz × CR ∈ {0.17, 0.23, 0.32, 0.38}` —
 //! for both DWT and CS applications.
 //!
+//! The model side runs through the full-evaluation batch kernel
+//! (`WbsnModel::evaluate_batch_full`): one batch covers the whole sweep,
+//! bit-identical to the scalar `evaluate()` per node. The table is built
+//! by [`wbsn_bench::figures::fig3_table`] and snapshotted under
+//! `benchmarks/golden/` (see `crates/bench/tests/golden_figures.rs`).
+//!
 //! Paper's result: average error 0.88 % (CS) / 0.13 % (DWT), maximum
 //! ≤ 1.74 %; the model predicts DWT cannot run at 1 MHz (duty > 100 %).
 //!
 //! Run: `cargo run --release -p wbsn-bench --bin fig3_energy`
 
-use wbsn_bench::{header, percent_error, row, ErrorSummary};
-use wbsn_model::evaluate::{NodeConfig, WbsnModel};
-use wbsn_model::ieee802154::Ieee802154Config;
-use wbsn_model::shimmer::CompressionKind;
-use wbsn_model::units::Hertz;
-use wbsn_model::ModelError;
-use wbsn_sim::engine::NetworkBuilder;
-
-const SIM_SECONDS: f64 = 60.0;
-
 fn main() {
-    let mac = Ieee802154Config::new(114, 6, 6).expect("case-study MAC config");
-    let model = WbsnModel::shimmer();
-
-    println!("# Fig. 3 — node energy consumption per second [mJ/s], model vs simulation\n");
-    header(&[
-        "app",
-        "fµC",
-        "CR",
-        "model [mJ/s]",
-        "sim [mJ/s]",
-        "error %",
-        "model sensor/mcu/mem/radio",
-        "sim sensor/mcu/mem/radio",
-    ]);
-
-    let mut summaries =
-        [(CompressionKind::Cs, ErrorSummary::new()), (CompressionKind::Dwt, ErrorSummary::new())];
-    for kind in [CompressionKind::Dwt, CompressionKind::Cs] {
-        for f_mhz in [1.0, 8.0] {
-            for cr in [0.17, 0.23, 0.32, 0.38] {
-                let nodes = vec![NodeConfig::new(kind, cr, Hertz::from_mhz(f_mhz)); 6];
-                let estimate = model.evaluate(&mac, &nodes);
-                let measured = NetworkBuilder::new(mac, nodes)
-                    .duration_s(SIM_SECONDS)
-                    .seed(2012)
-                    .build()
-                    .expect("GTS assignment feasible for these rates")
-                    .run();
-                let sim_node = &measured.nodes[0];
-                match estimate {
-                    Ok(eval) => {
-                        let m = &eval.per_node[0].energy;
-                        let model_total = m.total().mj_per_s();
-                        let sim_total = sim_node.energy.total_mj_s();
-                        let err = percent_error(model_total, sim_total);
-                        for (k, s) in &mut summaries {
-                            if *k == kind {
-                                s.record(err);
-                            }
-                        }
-                        row(&[
-                            kind.label().to_string(),
-                            format!("{f_mhz} MHz"),
-                            format!("{cr:.2}"),
-                            format!("{model_total:.3}"),
-                            format!("{sim_total:.3}"),
-                            format!("{err:.2}"),
-                            format!(
-                                "{:.2}/{:.2}/{:.2}/{:.2}",
-                                m.sensor.mj_per_s(),
-                                m.mcu.mj_per_s(),
-                                m.memory.mj_per_s(),
-                                m.radio.mj_per_s()
-                            ),
-                            format!(
-                                "{:.2}/{:.2}/{:.2}/{:.2}",
-                                sim_node.energy.sensor_mj_s,
-                                sim_node.energy.mcu_mj_s,
-                                sim_node.energy.memory_mj_s,
-                                sim_node.energy.radio_mj_s
-                            ),
-                        ]);
-                    }
-                    Err(ModelError::DutyCycleExceeded { duty, .. }) => {
-                        row(&[
-                            kind.label().to_string(),
-                            format!("{f_mhz} MHz"),
-                            format!("{cr:.2}"),
-                            format!("INFEASIBLE (duty {:.0} %)", duty * 100.0),
-                            if sim_node.cpu_overrun { "CPU OVERRUN".into() } else { "?".into() },
-                            "-".into(),
-                            "-".into(),
-                            "-".into(),
-                        ]);
-                        assert!(
-                            sim_node.cpu_overrun,
-                            "simulator must confirm the model's infeasibility verdict"
-                        );
-                    }
-                    Err(e) => panic!("unexpected model error: {e}"),
-                }
-            }
-        }
-    }
-
-    println!();
-    for (kind, summary) in &summaries {
-        println!(
-            "{}: average error {:.2} % | max error {:.2} % over {} feasible configurations",
-            kind.label(),
-            summary.mean(),
-            summary.max(),
-            summary.count()
-        );
-    }
-    println!("\npaper: avg 0.88 % (CS) / 0.13 % (DWT), max <= 1.74 %; DWT infeasible at 1 MHz");
+    print!("{}", wbsn_bench::figures::fig3_table());
 }

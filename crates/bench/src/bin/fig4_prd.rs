@@ -1,75 +1,19 @@
 //! Figure 4 reproduction: application quality (PRD) as estimated by the
-//! model's fifth-order polynomials vs. the PRD measured by running the
-//! *real* DWT and CS codecs on synthetic ECG and reconstructing.
+//! model vs the PRD measured by running the *real* DWT and CS codecs on
+//! synthetic ECG and reconstructing.
+//!
+//! The estimates run through the full-evaluation batch kernel
+//! (`WbsnModel::evaluate_batch_full`), whose per-node PRD lane evaluates
+//! the model's fifth-order `P5(CR)` polynomials — one batch covers both
+//! applications' CR sweeps. The table is built by
+//! [`wbsn_bench::figures::fig4_table`] and snapshotted under
+//! `benchmarks/golden/` (see `crates/bench/tests/golden_figures.rs`).
 //!
 //! Paper's result: estimation error 0.92 % (CS) / 0.46 % (DWT); both
 //! curves decrease with CR; DWT sits well below CS.
 //!
 //! Run: `cargo run --release -p wbsn-bench --bin fig4_prd`
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use wbsn_bench::{header, row, ErrorSummary};
-use wbsn_dsp::compress::{measure_prd, Codec, CsCodec, DwtCodec};
-use wbsn_dsp::ecg::EcgGenerator;
-use wbsn_model::shimmer::{cs_prd_poly, dwt_prd_poly};
-
-const BLOCK: usize = 256;
-const SECONDS: usize = 64;
-/// Held-out seed: different recordings than the ones `fit_prd` used.
-const SIGNAL_SEED: u64 = 777;
-
 fn main() {
-    println!("# Fig. 4 — PRD [%], polynomial model vs real codec measurement\n");
-    let mut rng = StdRng::seed_from_u64(SIGNAL_SEED);
-    let signal = EcgGenerator::default().generate(250 * SECONDS, &mut rng);
-
-    header(&[
-        "app",
-        "CR",
-        "estimated PRD %",
-        "measured PRD %",
-        "abs error [PRD pts]",
-        "rel error %",
-    ]);
-    for (name, codec, poly) in [
-        ("DWT", Codec::Dwt(DwtCodec::default()), dwt_prd_poly()),
-        ("CS", Codec::Cs(CsCodec::default()), cs_prd_poly()),
-    ] {
-        let mut errors = ErrorSummary::new();
-        let mut abs_errors = ErrorSummary::new();
-        let mut cr = 0.17;
-        let mut last_measured = f64::INFINITY;
-        while cr <= 0.38 + 1e-9 {
-            let mut crng = StdRng::seed_from_u64(SIGNAL_SEED ^ 0xBEEF);
-            let report = measure_prd(&codec, &signal, BLOCK, cr, &mut crng)
-                .expect("block length divides signal");
-            let estimated = poly.eval(cr);
-            let abs = (estimated - report.prd).abs();
-            let rel = abs / report.prd * 100.0;
-            errors.record(rel);
-            abs_errors.record(abs);
-            row(&[
-                name.to_string(),
-                format!("{cr:.2}"),
-                format!("{estimated:.2}"),
-                format!("{:.2}", report.prd),
-                format!("{abs:.2}"),
-                format!("{rel:.1}"),
-            ]);
-            assert!(
-                report.prd < last_measured + 1.5,
-                "PRD should decrease (roughly monotonically) with CR"
-            );
-            last_measured = report.prd;
-            cr += 0.03;
-        }
-        println!(
-            "\n{name}: mean abs error {:.2} PRD pts | mean rel error {:.1} % | max rel {:.1} %\n",
-            abs_errors.mean(),
-            errors.mean(),
-            errors.max()
-        );
-    }
-    println!("paper: error 0.46 % (DWT) / 0.92 % (CS) against the measured PRD");
+    print!("{}", wbsn_bench::figures::fig4_table());
 }

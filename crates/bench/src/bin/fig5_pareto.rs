@@ -3,110 +3,18 @@
 //! state-of-the-art energy/delay model ([26]) that is blind to the
 //! application-quality axis.
 //!
+//! Both searches and the baseline's 3-D re-evaluation run through the
+//! batch evaluation engine (the MAC-grouped SoA kernel under
+//! `Evaluator::evaluate_batch`). The table is built by
+//! [`wbsn_bench::figures::fig5_table`] and snapshotted under
+//! `benchmarks/golden/` (see `crates/bench/tests/golden_figures.rs`).
+//!
 //! Paper's result: the energy/delay model recovers only ≈7 % of the
 //! trade-offs of the proposed model — it approximates the energy/delay
 //! curve but misses every mid-range-PRD solution.
 //!
 //! Run: `cargo run --release -p wbsn-bench --bin fig5_pareto`
 
-use wbsn_bench::{header, row};
-use wbsn_dse::evaluator::{EnergyDelayEvaluator, Evaluator, ModelEvaluator};
-use wbsn_dse::nsga2::{nsga2, Nsga2Config};
-use wbsn_dse::objective::ObjectiveVector;
-use wbsn_dse::quality::membership_in_front;
-use wbsn_model::space::DesignSpace;
-
-/// The case-study space with a finer CR grid (step 0.005) and more
-/// payload/order options, matching the paper's "tens of millions of
-/// configurations" resolution more closely than the default grid.
-fn fine_space() -> DesignSpace {
-    let mut space = DesignSpace::case_study(6);
-    space.cr_values = (0..=42).map(|i| 0.17 + 0.005 * f64::from(i)).collect();
-    space.payload_values = vec![30, 40, 50, 60, 70, 80, 90, 100, 114];
-    space.order_pairs.clear();
-    for sfo in 3u8..=9 {
-        for bco in sfo..=10 {
-            space.order_pairs.push((sfo, bco));
-        }
-    }
-    space
-}
-
 fn main() {
-    let space = fine_space();
-    println!("# Fig. 5 — Pareto trade-offs, proposed 3-objective model vs energy/delay baseline\n");
-    println!("design space cardinality: {:.3e} configurations\n", space.cardinality() as f64);
-
-    let cfg =
-        Nsga2Config { population: 200, generations: 250, seed: 2012, ..Nsga2Config::default() };
-    let proposed = nsga2(&space, &ModelEvaluator::shimmer(), &cfg);
-    let baseline = nsga2(&space, &EnergyDelayEvaluator::shimmer(), &cfg);
-
-    println!(
-        "proposed model  : {} Pareto points ({} evaluations, {} infeasible)",
-        proposed.front.len(),
-        proposed.evaluations,
-        proposed.infeasible
-    );
-    println!(
-        "energy/delay [26]: {} Pareto points ({} evaluations, {} infeasible)\n",
-        baseline.front.len(),
-        baseline.evaluations,
-        baseline.infeasible
-    );
-
-    // Re-evaluate the baseline's configurations under the full model to
-    // place them in 3-D objective space.
-    let model3 = ModelEvaluator::shimmer();
-    let baseline_in_3d: Vec<ObjectiveVector> =
-        baseline.front.entries().iter().filter_map(|e| model3.evaluate(&e.payload)).collect();
-    let proposed_objs: Vec<ObjectiveVector> = proposed.front.objectives().cloned().collect();
-
-    let member = membership_in_front(&baseline_in_3d, &proposed_objs);
-    println!(
-        "fraction of baseline solutions that survive as 3-objective trade-offs: {:.1} %",
-        member * 100.0
-    );
-    let survivors = (member * baseline_in_3d.len() as f64).round();
-    println!(
-        "trade-offs found by the baseline vs proposed: {} / {} = {:.1} %",
-        survivors,
-        proposed.front.len(),
-        survivors / proposed.front.len() as f64 * 100.0
-    );
-    // Complementary view: how much of the proposed front does the
-    // baseline actually cover?
-    let covered = proposed_objs
-        .iter()
-        .filter(|p| baseline_in_3d.iter().any(|b| b.weakly_dominates(p)))
-        .count();
-    println!(
-        "proposed-front points covered by the baseline: {} / {} = {:.1} %\n",
-        covered,
-        proposed_objs.len(),
-        covered as f64 / proposed_objs.len() as f64 * 100.0
-    );
-    println!("paper: the energy/delay Pareto set contains only ~7 % of the proposed model's trade-offs\n");
-
-    // The three 2-D projections of Fig. 5 (proposed model's front).
-    for (title, ix, iy) in [
-        ("Energy-Delay Tradeoffs [mJ/s vs s]", 0usize, 1usize),
-        ("Energy-PRD Tradeoffs [mJ/s vs %]", 0, 2),
-        ("PRD-Delay Tradeoffs [% vs s]", 2, 1),
-    ] {
-        println!("## {title}\n");
-        header(&["source", "x", "y"]);
-        let mut rows: Vec<(f64, f64, &str)> = proposed_objs
-            .iter()
-            .map(|o| (o.values()[ix], o.values()[iy], "proposed"))
-            .chain(baseline_in_3d.iter().map(|o| (o.values()[ix], o.values()[iy], "baseline")))
-            .collect();
-        rows.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
-        // Print a readable subsample (every k-th point).
-        let step = (rows.len() / 40).max(1);
-        for (x, y, src) in rows.iter().step_by(step) {
-            row(&[(*src).to_string(), format!("{x:.3}"), format!("{y:.3}")]);
-        }
-        println!();
-    }
+    print!("{}", wbsn_bench::figures::fig5_table());
 }

@@ -17,6 +17,8 @@
 
 #![warn(missing_docs)]
 
+pub mod figures;
+
 /// Relative error of `estimate` against `reference`, in percent.
 ///
 /// ```
@@ -39,6 +41,18 @@ pub fn row(cells: &[String]) {
 pub fn header(cells: &[&str]) {
     println!("| {} |", cells.join(" | "));
     println!("|{}|", cells.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+}
+
+/// [`row`] into a string buffer — the golden-figure generators build
+/// their whole report as one deterministic string (see [`figures`]).
+pub fn row_to(buf: &mut String, cells: &[String]) {
+    buf.push_str(&format!("| {} |\n", cells.join(" | ")));
+}
+
+/// [`header`] into a string buffer.
+pub fn header_to(buf: &mut String, cells: &[&str]) {
+    buf.push_str(&format!("| {} |\n", cells.join(" | ")));
+    buf.push_str(&format!("|{}|\n", cells.iter().map(|_| "---").collect::<Vec<_>>().join("|")));
 }
 
 /// Simple accumulator for average/maximum error summaries.

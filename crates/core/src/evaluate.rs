@@ -270,10 +270,17 @@ type MemoKey = (CompressionKind, u64, u64);
 #[derive(Debug, Clone)]
 pub(crate) enum MemoOutcome {
     Feasible {
-        /// `Esensor + EµC + Emem` summed in the exact order of
-        /// [`NodeEnergyBreakdown::total`], so adding the per-MAC radio
-        /// term reproduces the full evaluation bit-for-bit.
-        base: crate::units::MilliWatts,
+        /// `Esensor` (Eq. 3). The three MAC-independent components are
+        /// stored separately — the full-evaluation batch kernel emits
+        /// them as per-node lanes — and consumers re-sum them in the
+        /// exact order of [`NodeEnergyBreakdown::total`]
+        /// (`sensor + mcu + memory` then `+ radio`), so the full
+        /// evaluation is reproduced bit-for-bit.
+        sensor: crate::units::MilliWatts,
+        /// `EµC` (Eq. 4).
+        mcu: crate::units::MilliWatts,
+        /// `Emem` (Eq. 5).
+        memory: crate::units::MilliWatts,
         /// Application output stream (retransmission-inflated).
         phi_out: ByteRate,
         /// Estimated PRD.
@@ -457,9 +464,9 @@ impl WbsnModel {
                 fresh
             };
             match outcome {
-                MemoOutcome::Feasible { base, phi_out, prd } => {
+                MemoOutcome::Feasible { sensor, mcu, memory, phi_out, prd } => {
                     let radio = self.node_model.radio.energy_per_second(phi_out, &mac);
-                    scratch.energies.push((base + radio).mj_per_s());
+                    scratch.energies.push((sensor + mcu + memory + radio).mj_per_s());
                     scratch.phi_outs.push(phi_out);
                     scratch.prds.push(prd);
                 }
@@ -490,9 +497,10 @@ impl WbsnModel {
 
     /// One node's MAC-independent evaluation, sharing the exact code path
     /// of [`WbsnModel::evaluate`] so memoized results cannot drift. The
-    /// radio term is dropped here and recomputed per MAC by the caller;
-    /// `base` keeps the summation order of [`NodeEnergyBreakdown::total`].
-    /// Also the grid-building primitive of the [`crate::soa`] kernel.
+    /// radio term is dropped here and recomputed per MAC by the caller,
+    /// which re-sums the stored components in the order of
+    /// [`NodeEnergyBreakdown::total`]. Also the grid-building primitive
+    /// of the [`crate::soa`] kernel.
     pub(crate) fn node_outcome(
         &self,
         node: &NodeConfig,
@@ -506,7 +514,9 @@ impl WbsnModel {
         let app = RetransmittingApp { inner, factor: retransmission_factor };
         match self.node_model.energy_per_second(&app, node.f_mcu, mac) {
             Ok(breakdown) => MemoOutcome::Feasible {
-                base: breakdown.sensor + breakdown.mcu + breakdown.memory,
+                sensor: breakdown.sensor,
+                mcu: breakdown.mcu,
+                memory: breakdown.memory,
                 phi_out: breakdown.phi_out,
                 prd: app.quality_loss(self.node_model.input_rate()),
             },

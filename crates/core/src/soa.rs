@@ -47,6 +47,49 @@
 //! resolved error is identical to the scalar one — a property
 //! `crates/wbsn/tests/soa_parity.rs` checks against random batches.
 //!
+//! # Full evaluations
+//!
+//! [`WbsnModel::evaluate_batch_full`] extends the kernel to everything
+//! the scalar [`WbsnModel::evaluate`] computes: per-node energy
+//! breakdowns (sensor / µC / memory / radio and the Eq. 7 total), the
+//! Eq. 9 per-node delay bounds, per-node PRD and the Eq. 1 slot counts,
+//! written into the caller-owned flat arrays of [`FullEvalOut`]
+//! (struct-of-arrays out-params, no per-point allocation). The output
+//! contract: point `i` always owns lane range `node_range(i)` of
+//! exactly `points[i].nodes.len()` entries — bit-exact per-node values
+//! when `outcomes()[i]` is `Ok`, zero-filled when it carries the
+//! (identical-to-scalar) `ModelError`. Cells are shared with the
+//! objectives kernels, so mixed batches through one scratch reuse all
+//! warmth.
+//!
+//! # MAC-grouped transposition
+//!
+//! The `*_grouped` variants ([`WbsnModel::evaluate_objectives_batch_grouped`],
+//! [`WbsnModel::evaluate_batch_full_grouped`]) reorder *execution* (never
+//! output) to open real SIMD width. A batch is processed in three
+//! phases:
+//!
+//! 1. a sequential walk interns every point and resolves every
+//!    infeasibility (it is the ungrouped kernel's walk, minus the
+//!    reductions), emitting one compact 16-byte record plus the interned
+//!    per-node grid indices for each feasible point;
+//! 2. a stable counting sort physically permutes those records into
+//!    contiguous same-`(MAC, node count)` runs — batch order preserved
+//!    within a run, so the pass is deterministic;
+//! 3. each run is reduced in [`GROUP_TILE`]-point tiles over transposed
+//!    `node × point` lanes (`lane[j * K + k]` = node `j` of tile point
+//!    `k`): the Eq. 9 delay loop and the Eq. 8 mean/deviation passes run
+//!    with points side by side in their inner loops, vectorizing over up
+//!    to `K` points instead of over the ≈6 nodes of one network.
+//!
+//! Results are scattered back to batch positions, so callers cannot
+//! observe the grouping — outcomes are bit-identical to the ungrouped
+//! kernel (and therefore to the scalar path) in both modes. On the
+//! 6-node case-study sweep the grouped path performs at parity with the
+//! ungrouped kernel (the hash-interning walk dominates); it pulls ahead
+//! as networks grow (~5–10 % at 16 nodes) and is the engine behind
+//! `wbsn-dse`'s `Evaluator::evaluate_batch`.
+//!
 //! # Bit-exactness
 //!
 //! Cells are filled by calling the very functions the scalar path calls
@@ -63,7 +106,7 @@
 
 use crate::delay::control_time_from_total_slots;
 use crate::error::ModelError;
-use crate::evaluate::{EvalScratch, MemoOutcome, NodeConfig, WbsnModel};
+use crate::evaluate::{EvalScratch, MemoOutcome, NodeConfig, SystemEvaluation, WbsnModel};
 use crate::ieee802154::{Ieee802154Config, Ieee802154Mac, MAX_GTS_SLOTS};
 use crate::mac::MacModel;
 use crate::metrics::{balanced_metric_with_sum, NetworkObjectives};
@@ -95,13 +138,16 @@ struct Cell {
     energy: f64,
     /// Estimated PRD. NaN when infeasible.
     prd: f64,
+    /// [`Cell::k`] as an exact f64 integer (`k ≤ MAX_GTS_SLOTS`), so the
+    /// grouped kernel's pure-f64 Eq. 9 lanes gather without converting.
+    kf: f64,
     /// Eq. 1 slot count `k(n)`; 0 when the cell is not feasible.
     k: u32,
     /// [`FILLED`] | [`ENTRY_OK`] | [`BW_OK`] bits.
     flags: u32,
 }
 
-const EMPTY_CELL: Cell = Cell { energy: f64::NAN, prd: f64::NAN, k: 0, flags: 0 };
+const EMPTY_CELL: Cell = Cell { energy: f64::NAN, prd: f64::NAN, kf: 0.0, k: 0, flags: 0 };
 
 /// Upper bound on interned node configurations, mirroring the scalar
 /// memo's `MEMO_CAPACITY`: the case-study grid holds 176 combinations,
@@ -123,13 +169,33 @@ struct CellBlock {
     /// Parallel cold data: Eq. 1 airtime needed per allocation round
     /// (the [`ModelError::BandwidthExceeded`] detail).
     bw_needed: Vec<f64>,
+    /// Parallel cold data: the per-MAC radio term of Eq. 6 in mJ/s (the
+    /// full-evaluation path emits it as a breakdown lane; `Cell::energy`
+    /// only stores the pre-summed total).
+    radio: Vec<f64>,
+}
+
+impl CellBlock {
+    /// Grows all parallel arrays to cover grid entry `g`.
+    #[inline]
+    fn grow_to(&mut self, grid_len: usize) {
+        self.cells.resize(grid_len, EMPTY_CELL);
+        self.bw_needed.resize(grid_len, 0.0);
+        self.radio.resize(grid_len, 0.0);
+    }
 }
 
 /// MAC-independent outcome of one unique `(kind, CR, fµC)` combination.
 #[derive(Debug, Clone, Copy)]
 struct GridEntry {
+    /// `Esensor` in mJ/s (Eq. 3). NaN when infeasible.
+    sensor: f64,
+    /// `EµC` in mJ/s (Eq. 4). NaN when infeasible.
+    mcu: f64,
+    /// `Emem` in mJ/s (Eq. 5). NaN when infeasible.
+    memory: f64,
     /// `Esensor + EµC + Emem` in mJ/s (exact summation order of the
-    /// scalar memo). NaN when infeasible.
+    /// scalar memo / `NodeEnergyBreakdown::total`). NaN when infeasible.
     base: f64,
     /// Retransmission-inflated output stream `φout` in B/s.
     phi_out: f64,
@@ -321,12 +387,28 @@ impl GridTable {
         hash: u64,
     ) -> usize {
         let (entry, err) = match model.node_outcome(node, retransmission_factor, mac) {
-            MemoOutcome::Feasible { base, phi_out, prd } => {
-                (GridEntry { base: base.mj_per_s(), phi_out: phi_out.value(), prd }, None)
-            }
-            MemoOutcome::Infeasible(e) => {
-                (GridEntry { base: f64::NAN, phi_out: f64::NAN, prd: f64::NAN }, Some(e))
-            }
+            MemoOutcome::Feasible { sensor, mcu, memory, phi_out, prd } => (
+                GridEntry {
+                    sensor: sensor.mj_per_s(),
+                    mcu: mcu.mj_per_s(),
+                    memory: memory.mj_per_s(),
+                    base: (sensor + mcu + memory).mj_per_s(),
+                    phi_out: phi_out.value(),
+                    prd,
+                },
+                None,
+            ),
+            MemoOutcome::Infeasible(e) => (
+                GridEntry {
+                    sensor: f64::NAN,
+                    mcu: f64::NAN,
+                    memory: f64::NAN,
+                    base: f64::NAN,
+                    phi_out: f64::NAN,
+                    prd: f64::NAN,
+                },
+                Some(e),
+            ),
         };
         let idx = self.entries.len();
         self.keys.push(key);
@@ -430,11 +512,13 @@ impl MacTable {
 /// Computes one cell: the exact scalar per-node work under a fixed MAC,
 /// reduced to plain scalars. Calls the same model functions the scalar
 /// path calls, so every stored number is bit-identical to what
-/// [`WbsnModel::evaluate_objectives`] computes per node.
+/// [`WbsnModel::evaluate_objectives`] computes per node. Returns the
+/// cell plus its cold companions: the Eq. 1 airtime detail and the
+/// per-MAC radio term (a full-evaluation breakdown lane).
 #[cold]
-fn fill_cell(model: &WbsnModel, me: &MacEntry, ge: &GridEntry, entry_ok: bool) -> (Cell, f64) {
+fn fill_cell(model: &WbsnModel, me: &MacEntry, ge: &GridEntry, entry_ok: bool) -> (Cell, f64, f64) {
     if !entry_ok {
-        return (Cell { flags: FILLED, ..EMPTY_CELL }, 0.0);
+        return (Cell { flags: FILLED, ..EMPTY_CELL }, 0.0, 0.0);
     }
     let phi = ByteRate::new(ge.phi_out);
     let radio = model.node_model().radio.energy_per_second(phi, &me.mac);
@@ -455,7 +539,7 @@ fn fill_cell(model: &WbsnModel, me: &MacEntry, ge: &GridEntry, entry_ok: bool) -
         }
     };
     let flags = FILLED | ENTRY_OK | if bw_ok { BW_OK } else { 0 };
-    (Cell { energy, prd: ge.prd, k, flags }, bw_needed)
+    (Cell { energy, prd: ge.prd, kf: f64::from(k), k, flags }, bw_needed, radio.mj_per_s())
 }
 
 /// Reusable working memory (and persistent caches) of the `SoA` kernel.
@@ -480,10 +564,64 @@ pub struct SoaScratch {
     prds: Vec<f64>,
     slots: Vec<u32>,
     results: Vec<PointOutcome>,
+    /// Feasibility-pending points of the current grouped batch.
+    pending: Vec<Pending>,
+    /// Flat interned grid indices of the pending points
+    /// (`Pending::start` indexes into it) — the compact record phase 3
+    /// regathers from, instead of touching the large `DesignPoint`s out
+    /// of order.
+    point_nodes: Vec<u32>,
+
+    /// Counting-sort histogram / placement cursor, indexed by MAC entry.
+    counts: Vec<u32>,
+    /// Per-MAC node-lane base offset / placement cursor of the permuted
+    /// `sorted_nodes` buffer.
+    node_base: Vec<u32>,
+    /// The pending records physically permuted into same-MAC runs
+    /// (stable: batch order within a run) — phase 3 streams them
+    /// sequentially instead of chasing indices.
+    sorted_pending: Vec<Pending>,
+    /// `point_nodes` permuted alongside `sorted_pending` (each record's
+    /// `start` is rewritten to its permuted position).
+    sorted_nodes: Vec<u32>,
+    /// Transposed tile lanes, `node j × point k` at stride `K` (the tile
+    /// width): `lane[j * K + k]` is node `j` of tile point `k`.
+    lane_energy: Vec<f64>,
+    lane_prd: Vec<f64>,
+    lane_delay: Vec<f64>,
+    /// Eq. 1 slot counts as exact f64 integers: with slot totals capped
+    /// at `MAX_GTS_SLOTS`, the Eq. 9 loop is pure (vectorizable) f64
+    /// arithmetic on them.
+    lane_slots: Vec<f64>,
+    /// Per-tile-point accumulators (length = tile width).
+    tile_sum_energy: Vec<f64>,
+    tile_sum_prd: Vec<f64>,
+    tile_sum_delay: Vec<f64>,
+    tile_control: Vec<f64>,
+    tile_totalf: Vec<f64>,
+    tile_acc: Vec<f64>,
+    tile_metric_energy: Vec<f64>,
+    tile_metric_delay: Vec<f64>,
+    tile_metric_prd: Vec<f64>,
     /// Scalar scratch serving points that overflow the interning caps
     /// ([`GRID_CAPACITY`] / [`MAC_CAPACITY`]): the kernel degrades to
     /// the (bit-identical) scalar path instead of growing unboundedly.
     fallback: EvalScratch,
+}
+
+/// One feasibility-pending point of a grouped batch: everything the
+/// reduction phase needs, in one 16-byte streamable record.
+#[derive(Debug, Clone, Copy, Default)]
+struct Pending {
+    /// MAC entry index (the grouping key).
+    mac: u32,
+    /// Index of the point in the caller's batch.
+    point: u32,
+    /// Start of the point's grid indices in `SoaScratch::point_nodes`.
+    start: u32,
+    /// Eq. 1 slot total `Σ k(n)` (≤ capacity — overflows were resolved
+    /// by the phase 1 walk).
+    total: u32,
 }
 
 impl SoaScratch {
@@ -503,6 +641,25 @@ impl SoaScratch {
     #[must_use]
     pub fn mac_len(&self) -> usize {
         self.macs.entries.len()
+    }
+
+    /// Revalidates the node-model-derived caches against `model`,
+    /// clearing them when the stamp changed (the purely MAC-derived
+    /// entries stay valid). Shared by every batch entry point.
+    fn revalidate(&mut self, model: &WbsnModel) {
+        let stamp = SoaStamp {
+            packet_error_rate: model.packet_error_rate(),
+            node_model: *model.node_model(),
+        };
+        if self.stamp != Some(stamp) {
+            self.grid.clear();
+            self.cells.iter_mut().for_each(|block| {
+                block.cells.clear();
+                block.bw_needed.clear();
+                block.radio.clear();
+            });
+            self.stamp = Some(stamp);
+        }
     }
 }
 
@@ -524,20 +681,7 @@ impl WbsnModel {
         points: &[DesignPoint],
         scratch: &'s mut SoaScratch,
     ) -> &'s [PointOutcome] {
-        let stamp = SoaStamp {
-            packet_error_rate: self.packet_error_rate(),
-            node_model: *self.node_model(),
-        };
-        if scratch.stamp != Some(stamp) {
-            // Grid entries and cells derive from the node model; the
-            // purely MAC-derived entries stay valid.
-            scratch.grid.clear();
-            scratch.cells.iter_mut().for_each(|block| {
-                block.cells.clear();
-                block.bw_needed.clear();
-            });
-            scratch.stamp = Some(stamp);
-        }
+        scratch.revalidate(self);
         let retransmission_factor = 1.0 / (1.0 - self.packet_error_rate());
         let theta = self.theta();
 
@@ -600,14 +744,15 @@ impl WbsnModel {
                     break;
                 };
                 if g >= block.cells.len() {
-                    block.cells.resize(grid.entries.len(), EMPTY_CELL);
-                    block.bw_needed.resize(grid.entries.len(), 0.0);
+                    block.grow_to(grid.entries.len());
                 }
                 let mut cell = block.cells[g];
                 if cell.flags & FILLED == 0 {
-                    let (fresh, bw) = fill_cell(self, me, &grid.entries[g], grid.errs[g].is_none());
+                    let (fresh, bw, radio) =
+                        fill_cell(self, me, &grid.entries[g], grid.errs[g].is_none());
                     block.cells[g] = fresh;
                     block.bw_needed[g] = bw;
+                    block.radio[g] = radio;
                     cell = fresh;
                 }
                 en[i] = cell.energy;
@@ -687,6 +832,878 @@ impl WbsnModel {
             }));
         }
         results
+    }
+}
+
+/// Points per transposed tile of the MAC-grouped engine: the unit over
+/// which the Eq. 8/9 reductions run point-side-by-side. Wide enough to
+/// fill SIMD lanes with headroom, small enough that the `node × point`
+/// lane buffers of a 16-node deployment stay L1/L2-resident
+/// (16 × 128 × 8 B = 16 KiB per lane).
+const GROUP_TILE: usize = 128;
+
+/// Caller-owned flat output of the full-evaluation batch kernels
+/// ([`WbsnModel::evaluate_batch_full`] and its MAC-grouped sibling):
+/// everything [`WbsnModel::evaluate`] computes, laid out struct of
+/// arrays so figure-regeneration binaries can walk whole sweeps without
+/// materializing a [`SystemEvaluation`] per point.
+///
+/// Point `i` of the evaluated batch owns lane range
+/// [`FullEvalOut::node_range`]`(i)` — always exactly
+/// `points[i].nodes.len()` lanes, feasible or not, so the layout depends
+/// only on the batch shape. For a feasible point
+/// ([`FullEvalOut::outcomes`]`[i]` is `Ok`) the lanes carry the
+/// bit-exact per-node values of the scalar [`WbsnModel::evaluate`]; for
+/// an infeasible point (`outcomes[i]` holds the identical
+/// [`ModelError`] the scalar path raises) the lanes are zero-filled.
+///
+/// All buffers are reused across calls: a warm `FullEvalOut` re-running
+/// a same-shaped batch allocates nothing (enforced by
+/// `crates/dse/tests/alloc_free.rs`).
+#[derive(Debug, Clone, Default)]
+pub struct FullEvalOut {
+    /// Per-point aggregate outcome: exactly what
+    /// `WbsnModel::evaluate(..).map(|e| e.objectives)` returns.
+    outcomes: Vec<PointOutcome>,
+    /// Lane offsets: point `i` owns `offsets[i]..offsets[i + 1]`.
+    offsets: Vec<u32>,
+    /// `Esensor` per node in mJ/s (Eq. 3).
+    sensor: Vec<f64>,
+    /// `EµC` per node in mJ/s (Eq. 4).
+    mcu: Vec<f64>,
+    /// `Emem` per node in mJ/s (Eq. 5).
+    memory: Vec<f64>,
+    /// Radio share per node in mJ/s (Eq. 6).
+    radio: Vec<f64>,
+    /// `Enode` per node in mJ/s (Eq. 7 total).
+    energy: Vec<f64>,
+    /// Eq. 9 worst-case delay bound per node in seconds.
+    delay: Vec<f64>,
+    /// Estimated PRD per node in percent.
+    prd: Vec<f64>,
+    /// Eq. 1 slot count `k(n)` per node.
+    slots: Vec<u32>,
+}
+
+impl FullEvalOut {
+    /// Creates an empty output buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of points of the last evaluated batch.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// Whether the last evaluated batch was empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.outcomes.is_empty()
+    }
+
+    /// Per-point aggregate outcomes, `outcomes()[i]` for `points[i]`.
+    pub fn outcomes(&self) -> &[PointOutcome] {
+        &self.outcomes
+    }
+
+    /// The node-lane range of point `i` (length = node count of the
+    /// point; zero-filled when the point is infeasible).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range for the last batch.
+    #[must_use]
+    pub fn node_range(&self, i: usize) -> std::ops::Range<usize> {
+        self.offsets[i] as usize..self.offsets[i + 1] as usize
+    }
+
+    /// `Esensor` lane (mJ/s, Eq. 3), indexed via [`FullEvalOut::node_range`].
+    #[must_use]
+    pub fn sensor(&self) -> &[f64] {
+        &self.sensor
+    }
+
+    /// `EµC` lane (mJ/s, Eq. 4).
+    #[must_use]
+    pub fn mcu(&self) -> &[f64] {
+        &self.mcu
+    }
+
+    /// `Emem` lane (mJ/s, Eq. 5).
+    #[must_use]
+    pub fn memory(&self) -> &[f64] {
+        &self.memory
+    }
+
+    /// Radio lane (mJ/s, Eq. 6).
+    #[must_use]
+    pub fn radio(&self) -> &[f64] {
+        &self.radio
+    }
+
+    /// `Enode` lane (mJ/s, Eq. 7 total).
+    #[must_use]
+    pub fn energy(&self) -> &[f64] {
+        &self.energy
+    }
+
+    /// Eq. 9 worst-case delay-bound lane (seconds).
+    #[must_use]
+    pub fn delay(&self) -> &[f64] {
+        &self.delay
+    }
+
+    /// Estimated PRD lane (percent).
+    #[must_use]
+    pub fn prd(&self) -> &[f64] {
+        &self.prd
+    }
+
+    /// Eq. 1 slot-count lane.
+    #[must_use]
+    pub fn slots(&self) -> &[u32] {
+        &self.slots
+    }
+
+    /// Sizes the offsets and lanes for `points` (lane contents are then
+    /// either written or zeroed per point — nothing stale survives).
+    fn reset(&mut self, points: &[DesignPoint]) {
+        self.outcomes.clear();
+        self.offsets.clear();
+        self.offsets.reserve(points.len() + 1);
+        self.offsets.push(0);
+        let mut total: u32 = 0;
+        for p in points {
+            total += u32::try_from(p.nodes.len()).expect("node count fits u32");
+            self.offsets.push(total);
+        }
+        let total = total as usize;
+        self.sensor.resize(total, 0.0);
+        self.mcu.resize(total, 0.0);
+        self.memory.resize(total, 0.0);
+        self.radio.resize(total, 0.0);
+        self.energy.resize(total, 0.0);
+        self.delay.resize(total, 0.0);
+        self.prd.resize(total, 0.0);
+        self.slots.resize(total, 0);
+    }
+
+    /// Zero-fills the lanes of point `i` (the infeasible-point contract).
+    fn zero_point(&mut self, i: usize) {
+        let r = self.node_range(i);
+        self.sensor[r.clone()].fill(0.0);
+        self.mcu[r.clone()].fill(0.0);
+        self.memory[r.clone()].fill(0.0);
+        self.radio[r.clone()].fill(0.0);
+        self.energy[r.clone()].fill(0.0);
+        self.delay[r.clone()].fill(0.0);
+        self.prd[r.clone()].fill(0.0);
+        self.slots[r].fill(0);
+    }
+
+    /// Copies a scalar [`WbsnModel::evaluate`] result into the lanes of
+    /// point `i` — the interning-overflow spill path, bit-identical by
+    /// construction.
+    fn write_point_from_eval(&mut self, i: usize, eval: &SystemEvaluation) {
+        let r = self.node_range(i);
+        for (j, node) in eval.per_node.iter().enumerate() {
+            let o = r.start + j;
+            self.sensor[o] = node.energy.sensor.mj_per_s();
+            self.mcu[o] = node.energy.mcu.mj_per_s();
+            self.memory[o] = node.energy.memory.mj_per_s();
+            self.radio[o] = node.energy.radio.mj_per_s();
+            self.energy[o] = node.energy.total().mj_per_s();
+            self.delay[o] = node.delay_bound.value();
+            self.prd[o] = node.prd;
+            self.slots[o] = node.slots;
+        }
+    }
+}
+
+/// Transposed Eq. 8: [`balanced_metric_with_sum`] for `k_count` points
+/// at once over `node × point` lanes of stride `k_count`, vectorizing
+/// over points instead of over the ≈6 nodes. Reproduces the scalar
+/// expression operation for operation — mean from the pre-accumulated
+/// sum, the left-fold sum of squared deviations in node order, then
+/// `mean + ϑ·std` — so every metric is bit-identical to the scalar
+/// form. `n ≥ 1` (empty networks are resolved before tiling).
+fn transposed_metric(
+    lanes: &[f64],
+    sums: &[f64],
+    n: usize,
+    k_count: usize,
+    theta: f64,
+    acc: &mut [f64],
+    out: &mut [f64],
+) {
+    debug_assert!(n >= 1);
+    #[allow(clippy::cast_precision_loss)]
+    let nf = n as f64;
+    for k in 0..k_count {
+        out[k] = sums[k] / nf;
+    }
+    if n < 2 {
+        // `sample_std_about_mean` short-circuits to 0; keep the exact
+        // `mean + ϑ·0.0` arithmetic of the scalar form.
+        for k in 0..k_count {
+            out[k] += theta * 0.0;
+        }
+        return;
+    }
+    acc[..k_count].fill(0.0);
+    for j in 0..n {
+        let row = &lanes[j * k_count..(j + 1) * k_count];
+        let means = &out[..k_count];
+        for (k, a) in acc[..k_count].iter_mut().enumerate() {
+            let d = row[k] - means[k];
+            *a += d * d;
+        }
+    }
+    #[allow(clippy::cast_precision_loss)]
+    let denom = (n - 1) as f64;
+    for k in 0..k_count {
+        out[k] += theta * (acc[k] / denom).sqrt();
+    }
+}
+
+impl WbsnModel {
+    /// Full-evaluation batch kernel: computes, for every point, exactly
+    /// `self.evaluate(&p.mac, &p.nodes)` — bit-identical aggregate
+    /// objectives, bit-identical per-node energy breakdown / delay
+    /// bound / PRD / Eq. 1 slot counts, and the identical [`ModelError`]
+    /// on every infeasible point — writing the per-node values into the
+    /// caller-owned flat arrays of `out` (see [`FullEvalOut`] for the
+    /// layout contract) instead of allocating a [`SystemEvaluation`]
+    /// per point.
+    ///
+    /// Reuses the same interned `(node, MAC)` cell tables as
+    /// [`WbsnModel::evaluate_objectives_batch`], so mixing objective-only
+    /// and full batches through one [`SoaScratch`] shares all cache
+    /// warmth. Steady state allocates nothing.
+    // One linear walk per point, like the objectives kernel: splitting
+    // it would only scatter the borrow flow of the destructured scratch.
+    #[allow(clippy::too_many_lines)]
+    pub fn evaluate_batch_full(
+        &self,
+        points: &[DesignPoint],
+        scratch: &mut SoaScratch,
+        out: &mut FullEvalOut,
+    ) {
+        scratch.revalidate(self);
+        let retransmission_factor = 1.0 / (1.0 - self.packet_error_rate());
+        let theta = self.theta();
+        out.reset(points);
+        let SoaScratch { grid, macs, cells, node_grid, .. } = scratch;
+
+        for (pi, point) in points.iter().enumerate() {
+            let n = point.nodes.len();
+            let off = out.offsets[pi] as usize;
+            let Some(m) = macs.intern(point.mac, n as u32, cells) else {
+                match self.evaluate(&point.mac, &point.nodes) {
+                    Ok(eval) => {
+                        out.write_point_from_eval(pi, &eval);
+                        out.outcomes.push(Ok(eval.objectives));
+                    }
+                    Err(e) => {
+                        out.zero_point(pi);
+                        out.outcomes.push(Err(e));
+                    }
+                }
+                continue;
+            };
+            if let Some(err) = &macs.errs[m] {
+                out.zero_point(pi);
+                out.outcomes.push(Err(err.clone()));
+                continue;
+            }
+            let me = &macs.entries[m];
+            let block = &mut cells[m];
+            if n > node_grid.len() {
+                node_grid.resize(n, 0);
+            }
+            let ng = &mut node_grid[..n];
+
+            let mut mask: u32 = BW_OK;
+            let mut total: u32 = 0;
+            let mut sum_energy = 0.0f64;
+            let mut sum_prd = 0.0f64;
+            let mut entry_fail: Option<(usize, usize)> = None;
+            let mut spilled = false;
+            for (i, node) in point.nodes.iter().enumerate() {
+                let Some(g) = grid.intern(self, node, retransmission_factor, &me.mac) else {
+                    spilled = true;
+                    break;
+                };
+                if g >= block.cells.len() {
+                    block.grow_to(grid.entries.len());
+                }
+                let mut cell = block.cells[g];
+                if cell.flags & FILLED == 0 {
+                    let (fresh, bw, radio) =
+                        fill_cell(self, me, &grid.entries[g], grid.errs[g].is_none());
+                    block.cells[g] = fresh;
+                    block.bw_needed[g] = bw;
+                    block.radio[g] = radio;
+                    cell = fresh;
+                }
+                ng[i] = g as u32;
+                let ge = &grid.entries[g];
+                let o = off + i;
+                out.sensor[o] = ge.sensor;
+                out.mcu[o] = ge.mcu;
+                out.memory[o] = ge.memory;
+                out.radio[o] = block.radio[g];
+                out.energy[o] = cell.energy;
+                out.prd[o] = cell.prd;
+                out.slots[o] = cell.k;
+                sum_energy += cell.energy;
+                sum_prd += cell.prd;
+                total += cell.k;
+                mask &= cell.flags;
+                if cell.flags & ENTRY_OK == 0 {
+                    entry_fail = Some((i, g));
+                    break;
+                }
+            }
+
+            if spilled {
+                match self.evaluate(&point.mac, &point.nodes) {
+                    Ok(eval) => {
+                        out.write_point_from_eval(pi, &eval);
+                        out.outcomes.push(Ok(eval.objectives));
+                    }
+                    Err(e) => {
+                        out.zero_point(pi);
+                        out.outcomes.push(Err(e));
+                    }
+                }
+                continue;
+            }
+            if let Some((node, g)) = entry_fail {
+                let err = grid.errs[g].as_ref().expect("entry-infeasible cell has a stored error");
+                let err = match err {
+                    ModelError::DutyCycleExceeded { duty, .. } => {
+                        ModelError::DutyCycleExceeded { node, duty: *duty }
+                    }
+                    other => other.clone(),
+                };
+                out.zero_point(pi);
+                out.outcomes.push(Err(err));
+                continue;
+            }
+            if mask & BW_OK == 0 {
+                let (node, g) = ng
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &g)| (i, g as usize))
+                    .find(|&(_, g)| block.cells[g].flags & BW_OK == 0)
+                    .expect("masked point must contain a bandwidth-flagged node");
+                let err = ModelError::BandwidthExceeded {
+                    node,
+                    needed_s: block.bw_needed[g],
+                    available_s: me.max_per_round,
+                };
+                out.zero_point(pi);
+                out.outcomes.push(Err(err));
+                continue;
+            }
+            if total > me.capacity {
+                out.zero_point(pi);
+                out.outcomes.push(Err(ModelError::GtsCapacityExceeded {
+                    required: total,
+                    available: me.capacity,
+                }));
+                continue;
+            }
+
+            // Eq. 9, writing the per-node bounds straight into the lane.
+            let control = me.control[total as usize];
+            let (delta, pkt) = (me.delta, me.pkt);
+            let mut sum_delay = 0.0f64;
+            for i in 0..n {
+                let k = out.slots[off + i];
+                let others = total - k;
+                let crossed = others.div_ceil(MAX_GTS_SLOTS).max(1);
+                let d = delta * f64::from(others)
+                    + control * f64::from(crossed)
+                    + delta * f64::from(k)
+                    + pkt;
+                out.delay[off + i] = d;
+                sum_delay += d;
+            }
+
+            out.outcomes.push(Ok(NetworkObjectives {
+                energy: balanced_metric_with_sum(&out.energy[off..off + n], sum_energy, theta),
+                delay: balanced_metric_with_sum(&out.delay[off..off + n], sum_delay, theta),
+                prd: balanced_metric_with_sum(&out.prd[off..off + n], sum_prd, theta),
+            }));
+        }
+    }
+
+    /// MAC-grouped variant of [`WbsnModel::evaluate_objectives_batch`]:
+    /// same contract (bit-identical objectives and errors, result slice
+    /// valid until the next call), different execution order — points
+    /// are grouped by interned `(MAC configuration, node count)` entry
+    /// and reduced side by side over transposed `node × point` lanes, so
+    /// the Eq. 8/9 inner loops vectorize over up to [`GROUP_TILE`]
+    /// points instead of over the ≈6 nodes (see the module docs).
+    pub fn evaluate_objectives_batch_grouped<'s>(
+        &self,
+        points: &[DesignPoint],
+        scratch: &'s mut SoaScratch,
+    ) -> &'s [PointOutcome] {
+        self.grouped_batch::<false>(points, scratch, None);
+        &scratch.results
+    }
+
+    /// MAC-grouped variant of [`WbsnModel::evaluate_batch_full`]: same
+    /// output contract (bit-identical lanes, outcomes and offsets),
+    /// grouped execution as in
+    /// [`WbsnModel::evaluate_objectives_batch_grouped`].
+    pub fn evaluate_batch_full_grouped(
+        &self,
+        points: &[DesignPoint],
+        scratch: &mut SoaScratch,
+        out: &mut FullEvalOut,
+    ) {
+        self.grouped_batch::<true>(points, scratch, Some(out));
+    }
+
+    /// The MAC-grouped engine behind both grouped entry points
+    /// (monomorphized per mode: the `FULL = false` instantiation carries
+    /// no full-lane code in its hot walk).
+    ///
+    /// Three phases:
+    ///
+    /// 1. **Walk** every point in batch order — exactly the ungrouped
+    ///    kernel's walk: one grid intern, one cell load per node,
+    ///    node-outcome failures stopping at the failing node, assignment
+    ///    infeasibility resolved in `assign_slots_into` order. Every
+    ///    infeasible (or table-spilled) point is resolved here; every
+    ///    feasible point is deferred as a *pending* record — its interned
+    ///    grid indices, Eq. 8 element sums, slot total and control time
+    ///    stored in compact parallel arrays. The sequential walk keeps
+    ///    the (large) `DesignPoint`s prefetcher-friendly; the compact
+    ///    records are what the reordered phase 3 touches.
+    /// 2. **Group**: a stable counting sort turns the pending points
+    ///    into contiguous same-MAC runs (batch order preserved within a
+    ///    run).
+    /// 3. **Reduce** each run in [`GROUP_TILE`]-point tiles: gather the
+    ///    per-node cell scalars into transposed `node × point` lanes,
+    ///    then run the Eq. 9 delay loop and the Eq. 8 metrics with
+    ///    points side by side in their inner loops — branch-free, since
+    ///    phase 1 already resolved every infeasibility. Results are
+    ///    written back to each point's batch position, so output order
+    ///    never depends on grouping.
+    ///
+    /// With `FULL`, per-node lanes are additionally written into the
+    /// caller's [`FullEvalOut`] (point-major, during the sequential
+    /// phase 1; the delay lane during phase 3) and infeasible points are
+    /// zero-filled.
+    #[allow(clippy::too_many_lines)]
+    fn grouped_batch<const FULL: bool>(
+        &self,
+        points: &[DesignPoint],
+        scratch: &mut SoaScratch,
+        mut full: Option<&mut FullEvalOut>,
+    ) {
+        scratch.revalidate(self);
+        let retransmission_factor = 1.0 / (1.0 - self.packet_error_rate());
+        let theta = self.theta();
+        if FULL {
+            full.as_deref_mut().expect("full mode carries an output buffer").reset(points);
+        }
+        let SoaScratch {
+            grid,
+            macs,
+            cells,
+            results,
+            pending,
+            point_nodes,
+            counts,
+            node_base,
+            sorted_pending,
+            sorted_nodes,
+            lane_energy,
+            lane_prd,
+            lane_delay,
+            lane_slots,
+            tile_sum_energy,
+            tile_sum_prd,
+            tile_sum_delay,
+            tile_control,
+            tile_totalf,
+            tile_acc,
+            tile_metric_energy,
+            tile_metric_delay,
+            tile_metric_prd,
+            fallback,
+            ..
+        } = scratch;
+        // Every slot of `results` is overwritten below — phase 1 resolves
+        // its point in place or defers it to a tile, whose write-back
+        // covers every pending point — so a same-length buffer from the
+        // previous batch needs no re-initialization (overwriting drops
+        // the stale outcomes); only a resize needs the placeholder.
+        if results.len() != points.len() {
+            results.clear();
+            results.resize(
+                points.len(),
+                Err(ModelError::GtsCapacityExceeded { required: 0, available: 0 }),
+            );
+        }
+        pending.clear();
+        point_nodes.clear();
+        // Histogram for the phase 2 counting sort, filled at push time.
+        // Sized to the interning cap up front: phase 1 itself interns
+        // new MAC entries, so `macs.entries.len()` can grow under it.
+        counts.clear();
+        counts.resize(MAC_CAPACITY + 1, 0);
+
+        // Phase 1: the sequential walk; resolves every infeasibility.
+        for (pi, point) in points.iter().enumerate() {
+            let n = point.nodes.len();
+            let Some(m) = macs.intern(point.mac, n as u32, cells) else {
+                results[pi] = self.grouped_spill::<FULL>(point, pi, full.as_deref_mut(), fallback);
+                continue;
+            };
+            if let Some(err) = &macs.errs[m] {
+                if FULL {
+                    full.as_deref_mut().expect("full mode carries an output buffer").zero_point(pi);
+                }
+                results[pi] = Err(err.clone());
+                continue;
+            }
+            let me = &macs.entries[m];
+            let block = &mut cells[m];
+            let start = u32::try_from(point_nodes.len()).expect("flat node count fits u32");
+            let mut mask: u32 = BW_OK;
+            let mut total: u32 = 0;
+            let mut entry_fail: Option<(usize, usize)> = None;
+            let mut spilled = false;
+            for (j, node) in point.nodes.iter().enumerate() {
+                let Some(g) = grid.intern(self, node, retransmission_factor, &me.mac) else {
+                    spilled = true;
+                    break;
+                };
+                if g >= block.cells.len() {
+                    block.grow_to(grid.entries.len());
+                }
+                let mut cell = block.cells[g];
+                if cell.flags & FILLED == 0 {
+                    let (fresh, bw, radio) =
+                        fill_cell(self, me, &grid.entries[g], grid.errs[g].is_none());
+                    block.cells[g] = fresh;
+                    block.bw_needed[g] = bw;
+                    block.radio[g] = radio;
+                    cell = fresh;
+                }
+                point_nodes.push(g as u32);
+                total += cell.k;
+                mask &= cell.flags;
+                if FULL {
+                    let o = full.as_deref_mut().expect("full mode carries an output buffer");
+                    let o_j = o.offsets[pi] as usize + j;
+                    let ge = &grid.entries[g];
+                    o.sensor[o_j] = ge.sensor;
+                    o.mcu[o_j] = ge.mcu;
+                    o.memory[o_j] = ge.memory;
+                    o.radio[o_j] = block.radio[g];
+                    o.energy[o_j] = cell.energy;
+                    o.prd[o_j] = cell.prd;
+                    o.slots[o_j] = cell.k;
+                }
+                if cell.flags & ENTRY_OK == 0 {
+                    entry_fail = Some((j, g));
+                    break;
+                }
+            }
+
+            // Resolution in the scalar path's order: node-outcome
+            // failure, then the first bandwidth-flagged node, then the
+            // capacity total. Resolved points never reach phase 3.
+            let dead: Option<PointOutcome> = if spilled {
+                Some(self.grouped_spill::<FULL>(point, pi, full.as_deref_mut(), fallback))
+            } else if let Some((node, g)) = entry_fail {
+                let err = grid.errs[g].as_ref().expect("entry-infeasible cell has a stored error");
+                Some(Err(match err {
+                    ModelError::DutyCycleExceeded { duty, .. } => {
+                        ModelError::DutyCycleExceeded { node, duty: *duty }
+                    }
+                    other => other.clone(),
+                }))
+            } else if mask & BW_OK == 0 {
+                let (node, g) = point_nodes[start as usize..]
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &g)| (i, g as usize))
+                    .find(|&(_, g)| block.cells[g].flags & BW_OK == 0)
+                    .expect("masked point must contain a bandwidth-flagged node");
+                Some(Err(ModelError::BandwidthExceeded {
+                    node,
+                    needed_s: block.bw_needed[g],
+                    available_s: me.max_per_round,
+                }))
+            } else if total > me.capacity {
+                Some(Err(ModelError::GtsCapacityExceeded {
+                    required: total,
+                    available: me.capacity,
+                }))
+            } else {
+                None
+            };
+            if let Some(outcome) = dead {
+                if FULL && outcome.is_err() {
+                    full.as_deref_mut().expect("full mode carries an output buffer").zero_point(pi);
+                }
+                results[pi] = outcome;
+                point_nodes.truncate(start as usize);
+                continue;
+            }
+            pending.push(Pending {
+                mac: u32::try_from(m).expect("MAC entry index fits u32"),
+                point: u32::try_from(pi).expect("point index fits u32"),
+                start,
+                total,
+            });
+            counts[m + 1] += 1;
+        }
+
+        // Phase 2: stable counting sort of the pending points by MAC
+        // entry — same-MAC points become contiguous runs, batch order
+        // preserved within each run. The records (and their interned
+        // node indices) are physically permuted, not just indexed, so
+        // the reduction phase streams memory sequentially.
+        // `counts` arrives pre-filled: phase 1 histograms at push time.
+        node_base.clear();
+        node_base.resize(macs.entries.len(), 0);
+        let mut slot = 0u32;
+        let mut node_off = 0u32;
+        for m in 0..macs.entries.len() {
+            let c = counts[m + 1];
+            counts[m] = slot;
+            node_base[m] = node_off;
+            slot += c;
+            node_off += c * macs.keys[m].n_nodes;
+        }
+        sorted_pending.clear();
+        sorted_pending.resize(pending.len(), Pending::default());
+        sorted_nodes.clear();
+        sorted_nodes.resize(point_nodes.len(), 0);
+        for p in pending.iter() {
+            let m = p.mac as usize;
+            let n = macs.keys[m].n_nodes as usize;
+            let s = counts[m] as usize;
+            counts[m] += 1;
+            let nd = node_base[m] as usize;
+            node_base[m] += n as u32;
+            let start = p.start as usize;
+            sorted_nodes[nd..nd + n].copy_from_slice(&point_nodes[start..start + n]);
+            sorted_pending[s] = Pending { start: nd as u32, ..*p };
+        }
+
+        // Phase 3: branch-free transposed reduction per same-MAC run,
+        // streaming the permuted records sequentially.
+        let mut run = 0usize;
+        while run < sorted_pending.len() {
+            let mac = sorted_pending[run].mac as usize;
+            let mut run_end = run + 1;
+            while run_end < sorted_pending.len() && sorted_pending[run_end].mac as usize == mac {
+                run_end += 1;
+            }
+            let me = &macs.entries[mac];
+            let block = &cells[mac];
+            let n = macs.keys[mac].n_nodes as usize;
+
+            if n == 0 {
+                // Empty networks are trivially feasible; reuse the
+                // scalar metric form directly.
+                let objectives = NetworkObjectives {
+                    energy: balanced_metric_with_sum(&[], 0.0, theta),
+                    delay: balanced_metric_with_sum(&[], 0.0, theta),
+                    prd: balanced_metric_with_sum(&[], 0.0, theta),
+                };
+                for p in &sorted_pending[run..run_end] {
+                    results[p.point as usize] = Ok(objectives);
+                }
+                run = run_end;
+                continue;
+            }
+
+            if lane_energy.len() < n * GROUP_TILE {
+                lane_energy.resize(n * GROUP_TILE, 0.0);
+                lane_prd.resize(n * GROUP_TILE, 0.0);
+                lane_delay.resize(n * GROUP_TILE, 0.0);
+                lane_slots.resize(n * GROUP_TILE, 0.0);
+            }
+            if tile_sum_energy.len() < GROUP_TILE {
+                tile_sum_energy.resize(GROUP_TILE, 0.0);
+                tile_sum_prd.resize(GROUP_TILE, 0.0);
+                tile_sum_delay.resize(GROUP_TILE, 0.0);
+                tile_control.resize(GROUP_TILE, 0.0);
+                tile_totalf.resize(GROUP_TILE, 0.0);
+                tile_acc.resize(GROUP_TILE, 0.0);
+                tile_metric_energy.resize(GROUP_TILE, 0.0);
+                tile_metric_delay.resize(GROUP_TILE, 0.0);
+                tile_metric_prd.resize(GROUP_TILE, 0.0);
+            }
+
+            for tile in sorted_pending[run..run_end].chunks(GROUP_TILE) {
+                let kk = tile.len();
+                // Exact-length views drop the bounds checks (and Vec
+                // double-derefs) of the hot stores.
+                let (le, lp, ls) = (
+                    &mut lane_energy[..n * kk],
+                    &mut lane_prd[..n * kk],
+                    &mut lane_slots[..n * kk],
+                );
+                let ttf = &mut tile_totalf[..kk];
+                let tc = &mut tile_control[..kk];
+                let tse = &mut tile_sum_energy[..kk];
+                let tsp = &mut tile_sum_prd[..kk];
+
+                // Gather: streamed pending records → transposed lanes.
+                // Slot counts are stored as exact f64 integers — with
+                // `total ≤ capacity = MAX_GTS_SLOTS` every Eq. 9 integer
+                // stays exactly representable, so f64 lane arithmetic is
+                // bit-identical to the scalar u32→f64 form.
+                for (k, p) in tile.iter().enumerate() {
+                    let start = p.start as usize;
+                    ttf[k] = f64::from(p.total);
+                    tc[k] = me.control[p.total as usize];
+                    // Eq. 8 element sums accumulate here, while the cell
+                    // is in registers — in the scalar left-fold (node)
+                    // order, so they carry `iter().sum()`'s exact bits.
+                    let mut sum_energy = 0.0f64;
+                    let mut sum_prd = 0.0f64;
+                    let mut lane = k;
+                    for &g in &sorted_nodes[start..start + n] {
+                        let cell = block.cells[g as usize];
+                        le[lane] = cell.energy;
+                        lp[lane] = cell.prd;
+                        ls[lane] = cell.kf;
+                        sum_energy += cell.energy;
+                        sum_prd += cell.prd;
+                        lane += kk;
+                    }
+                    tse[k] = sum_energy;
+                    tsp[k] = sum_prd;
+                }
+
+                // Eq. 9, points side by side in the inner loop. Pure f64
+                // and bit-identical to the scalar form: `others` and the
+                // slot counts are exact small integers, so `ttf − kj`
+                // carries the very bits of `f64::from(others)`; and with
+                // `others ≤ capacity = MAX_GTS_SLOTS` the superframe
+                // ceil term is identically 1 — multiplying the control
+                // time by exactly 1.0, i.e. adding `tc[k]` unchanged
+                // (the kernel's MacEntry is always IEEE 802.15.4, whose
+                // capacity equals MAX_GTS_SLOTS; alive lanes passed the
+                // capacity check, dead lanes are zeroed).
+                {
+                    let tsd = &mut tile_sum_delay[..kk];
+                    tsd.fill(0.0);
+                    let (delta, pkt) = (me.delta, me.pkt);
+                    debug_assert!(me.capacity <= MAX_GTS_SLOTS);
+                    for j in 0..n {
+                        let slots_row = &ls[j * kk..(j + 1) * kk];
+                        let delay_row = &mut lane_delay[j * kk..(j + 1) * kk];
+                        for k in 0..kk {
+                            let kj = slots_row[k];
+                            let d = delta * (ttf[k] - kj) + tc[k] + delta * kj + pkt;
+                            delay_row[k] = d;
+                            tsd[k] += d;
+                        }
+                    }
+                }
+
+                // Eq. 8, points side by side in the inner loop.
+                transposed_metric(
+                    le,
+                    tse,
+                    n,
+                    kk,
+                    theta,
+                    &mut tile_acc[..kk],
+                    &mut tile_metric_energy[..kk],
+                );
+                transposed_metric(
+                    &lane_delay[..n * kk],
+                    &tile_sum_delay[..kk],
+                    n,
+                    kk,
+                    theta,
+                    &mut tile_acc[..kk],
+                    &mut tile_metric_delay[..kk],
+                );
+                transposed_metric(
+                    lp,
+                    tsp,
+                    n,
+                    kk,
+                    theta,
+                    &mut tile_acc[..kk],
+                    &mut tile_metric_prd[..kk],
+                );
+
+                // Restore batch order on output.
+                for (k, p) in tile.iter().enumerate() {
+                    let pi = p.point as usize;
+                    results[pi] = Ok(NetworkObjectives {
+                        energy: tile_metric_energy[k],
+                        delay: tile_metric_delay[k],
+                        prd: tile_metric_prd[k],
+                    });
+                    if FULL {
+                        let o = full.as_deref_mut().expect("full mode carries an output buffer");
+                        let off = o.offsets[pi] as usize;
+                        for j in 0..n {
+                            o.delay[off + j] = lane_delay[j * kk + k];
+                        }
+                    }
+                }
+            }
+            run = run_end;
+        }
+
+        // Outcomes live in `results` during the walk; for full batches
+        // the caller reads them from `out`, so hand the buffer over
+        // (the swapped-in vector is recycled next call).
+        if FULL {
+            let o = full.expect("full mode carries an output buffer");
+            std::mem::swap(&mut o.outcomes, results);
+        }
+    }
+
+    /// Interning-overflow spill of the grouped engine: degrade the point
+    /// to the (bit-identical) scalar path, filling the full lanes when
+    /// in full mode.
+    #[cold]
+    fn grouped_spill<const FULL: bool>(
+        &self,
+        point: &DesignPoint,
+        pi: usize,
+        full: Option<&mut FullEvalOut>,
+        fallback: &mut EvalScratch,
+    ) -> PointOutcome {
+        if FULL {
+            let o = full.expect("full mode carries an output buffer");
+            match self.evaluate(&point.mac, &point.nodes) {
+                Ok(eval) => {
+                    o.write_point_from_eval(pi, &eval);
+                    Ok(eval.objectives)
+                }
+                Err(e) => {
+                    o.zero_point(pi);
+                    Err(e)
+                }
+            }
+        } else {
+            self.evaluate_objectives(&point.mac, &point.nodes, fallback)
+        }
     }
 }
 
@@ -851,5 +1868,183 @@ mod tests {
             points.extend(space.sample_sweep(20));
         }
         assert_batch_matches_scalar(&model, &points);
+        assert_grouped_matches_ungrouped(&model, &points);
+        assert_full_matches_scalar(&model, &points);
+    }
+
+    /// Grouped objectives must be bit-identical (values AND errors) to
+    /// the ungrouped kernel — which is itself proven against the scalar
+    /// path — through one shared scratch.
+    fn assert_grouped_matches_ungrouped(model: &WbsnModel, points: &[DesignPoint]) {
+        let mut soa = SoaScratch::new();
+        let ungrouped: Vec<PointOutcome> =
+            model.evaluate_objectives_batch(points, &mut soa).to_vec();
+        let grouped: Vec<PointOutcome> =
+            model.evaluate_objectives_batch_grouped(points, &mut soa).to_vec();
+        assert_eq!(ungrouped.len(), grouped.len());
+        for (i, (u, g)) in ungrouped.iter().zip(&grouped).enumerate() {
+            match (u, g) {
+                (Ok(a), Ok(b)) => {
+                    assert_eq!(a.energy.to_bits(), b.energy.to_bits(), "point {i}");
+                    assert_eq!(a.delay.to_bits(), b.delay.to_bits(), "point {i}");
+                    assert_eq!(a.prd.to_bits(), b.prd.to_bits(), "point {i}");
+                }
+                (Err(a), Err(b)) => assert_eq!(a, b, "point {i}"),
+                (a, b) => panic!("point {i}: feasibility disagreement: {a:?} vs {b:?}"),
+            }
+        }
+    }
+
+    /// Full-evaluation batches (grouped and ungrouped) must reproduce
+    /// the scalar `evaluate()` bit for bit: aggregate objectives, every
+    /// per-node lane, identical errors, zero-filled infeasible ranges.
+    fn assert_full_matches_scalar(model: &WbsnModel, points: &[DesignPoint]) {
+        let mut soa = SoaScratch::new();
+        let mut out = FullEvalOut::new();
+        let mut out_grouped = FullEvalOut::new();
+        model.evaluate_batch_full(points, &mut soa, &mut out);
+        model.evaluate_batch_full_grouped(points, &mut soa, &mut out_grouped);
+        for current in [&out, &out_grouped] {
+            assert_eq!(current.len(), points.len());
+            for (i, p) in points.iter().enumerate() {
+                let r = current.node_range(i);
+                assert_eq!(r.len(), p.nodes.len(), "point {i}: lane range length");
+                match (model.evaluate(&p.mac, &p.nodes), &current.outcomes()[i]) {
+                    (Ok(eval), Ok(obj)) => {
+                        assert_eq!(eval.objectives.energy.to_bits(), obj.energy.to_bits());
+                        assert_eq!(eval.objectives.delay.to_bits(), obj.delay.to_bits());
+                        assert_eq!(eval.objectives.prd.to_bits(), obj.prd.to_bits());
+                        for (j, node) in eval.per_node.iter().enumerate() {
+                            let o = r.start + j;
+                            let lanes = [
+                                (current.sensor()[o], node.energy.sensor.mj_per_s()),
+                                (current.mcu()[o], node.energy.mcu.mj_per_s()),
+                                (current.memory()[o], node.energy.memory.mj_per_s()),
+                                (current.radio()[o], node.energy.radio.mj_per_s()),
+                                (current.energy()[o], node.energy.total().mj_per_s()),
+                                (current.delay()[o], node.delay_bound.value()),
+                                (current.prd()[o], node.prd),
+                            ];
+                            for (got, want) in lanes {
+                                assert_eq!(
+                                    got.to_bits(),
+                                    want.to_bits(),
+                                    "point {i} node {j}: {got} vs {want}"
+                                );
+                            }
+                            assert_eq!(current.slots()[o], node.slots, "point {i} node {j}");
+                        }
+                    }
+                    (Err(a), Err(b)) => {
+                        assert_eq!(&a, b, "point {i}");
+                        assert!(
+                            current.energy()[r.clone()].iter().all(|&v| v == 0.0)
+                                && current.slots()[r.clone()].iter().all(|&v| v == 0),
+                            "point {i}: infeasible lanes must be zero-filled"
+                        );
+                    }
+                    (a, b) => panic!("point {i}: feasibility disagreement: {a:?} vs {b:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn full_sweep_matches_scalar_bitwise() {
+        let space = DesignSpace::case_study(6);
+        assert_full_matches_scalar(&WbsnModel::shimmer(), &space.sample_sweep(400));
+    }
+
+    #[test]
+    fn full_kernel_resolves_every_error_kind() {
+        let space = DesignSpace::case_study(4);
+        let mut points = space.sample_sweep(12);
+        points[1].mac.payload_bytes = 0; // invalid MAC
+        points[3].mac.sfo = 9;
+        points[3].mac.bco = 5; // SFO > BCO
+        points[5].nodes[2].cr = 0.0; // invalid CR
+        points[7].nodes[0].f_mcu = Hertz::from_mhz(1.0); // DWT duty overflow
+        let model = WbsnModel::shimmer();
+        assert_full_matches_scalar(&model, &points);
+        assert_grouped_matches_ungrouped(&model, &points);
+        // Capacity/bandwidth errors under heavy loss.
+        let lossy = WbsnModel::shimmer().with_packet_error_rate(0.92);
+        let points = space.sample_sweep(40);
+        assert_full_matches_scalar(&lossy, &points);
+        assert_grouped_matches_ungrouped(&lossy, &points);
+    }
+
+    #[test]
+    fn grouped_sweep_matches_ungrouped_with_theta_and_loss() {
+        let space = DesignSpace::case_study(5);
+        let model = WbsnModel::shimmer().with_packet_error_rate(0.3).with_theta(0.4);
+        assert_grouped_matches_ungrouped(&model, &space.sample_sweep(500));
+    }
+
+    /// A grouped call on a COLD scratch must intern everything itself
+    /// (regression: the counting-sort histogram is sized before phase 1
+    /// interns new MAC entries).
+    #[test]
+    fn grouped_works_on_a_cold_scratch() {
+        let space = DesignSpace::case_study(6);
+        let points = space.sample_sweep(300);
+        let model = WbsnModel::shimmer();
+        let mut cold = SoaScratch::new();
+        let grouped: Vec<PointOutcome> =
+            model.evaluate_objectives_batch_grouped(&points, &mut cold).to_vec();
+        let mut scalar = EvalScratch::new();
+        for (p, outcome) in points.iter().zip(grouped) {
+            let reference = model.evaluate_objectives(&p.mac, &p.nodes, &mut scalar);
+            match (reference, outcome) {
+                (Ok(a), Ok(b)) => assert_eq!(a.energy.to_bits(), b.energy.to_bits()),
+                (Err(a), Err(b)) => assert_eq!(a, b),
+                (a, b) => panic!("disagreement: {a:?} vs {b:?}"),
+            }
+        }
+        let mut cold_full = SoaScratch::new();
+        let mut out = FullEvalOut::new();
+        model.evaluate_batch_full_grouped(&points, &mut cold_full, &mut out);
+        assert_eq!(out.len(), points.len());
+    }
+
+    #[test]
+    fn grouped_handles_empty_points_and_batches() {
+        let model = WbsnModel::shimmer();
+        let mut soa = SoaScratch::new();
+        assert!(model.evaluate_objectives_batch_grouped(&[], &mut soa).is_empty());
+        let empty_point =
+            DesignPoint { mac: Ieee802154Config::default(), nodes: crate::space::NodeVec::new() };
+        let points = vec![empty_point];
+        assert_grouped_matches_ungrouped(&model, &points);
+        assert_full_matches_scalar(&model, &points);
+    }
+
+    /// Mixing objective-only and full batches through one scratch shares
+    /// the interned tables without cross-talk.
+    #[test]
+    fn full_and_objective_batches_share_one_scratch() {
+        let space = DesignSpace::case_study(6);
+        let points = space.sample_sweep(300);
+        let model = WbsnModel::shimmer();
+        let mut soa = SoaScratch::new();
+        let mut out = FullEvalOut::new();
+        let objectives: Vec<PointOutcome> =
+            model.evaluate_objectives_batch(&points, &mut soa).to_vec();
+        model.evaluate_batch_full(&points, &mut soa, &mut out);
+        let grouped: Vec<PointOutcome> =
+            model.evaluate_objectives_batch_grouped(&points, &mut soa).to_vec();
+        for ((a, b), c) in objectives.iter().zip(out.outcomes()).zip(&grouped) {
+            match (a, b, c) {
+                (Ok(a), Ok(b), Ok(c)) => {
+                    assert_eq!(a.energy.to_bits(), b.energy.to_bits());
+                    assert_eq!(a.energy.to_bits(), c.energy.to_bits());
+                }
+                (Err(a), Err(b), Err(c)) => {
+                    assert_eq!(a, b);
+                    assert_eq!(a, c);
+                }
+                other => panic!("outcome disagreement: {other:?}"),
+            }
+        }
     }
 }

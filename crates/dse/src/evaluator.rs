@@ -8,8 +8,10 @@
 //!
 //! Both model-backed evaluators override [`Evaluator::evaluate_batch`]
 //! with a parallel implementation whose per-worker engine is the
-//! struct-of-arrays kernel [`WbsnModel::evaluate_objectives_batch`]
-//! (`wbsn_model::soa`): each worker runs whole chunks of the batch
+//! MAC-grouped struct-of-arrays kernel
+//! [`WbsnModel::evaluate_objectives_batch_grouped`] (`wbsn_model::soa`):
+//! each worker sorts its chunk by interned MAC entry and reduces
+//! same-MAC runs side by side over transposed `node × point` lanes, all
 //! through interned node/MAC tables held in a pooled [`SoaScratch`].
 //! Small batches fall back to the scalar per-point
 //! [`WbsnModel::evaluate_objectives`] path (one [`EvalScratch`] per
@@ -125,12 +127,13 @@ struct ModelPools {
     scalar: Arc<Pool<EvalScratch>>,
 }
 
-/// Order-preserving parallel batch evaluation through the `SoA` kernel:
-/// the batch is cut into [`SOA_CHUNK`]-point chunks, each worker runs
-/// whole chunks through a pooled [`SoaScratch`] and projects the
-/// per-point outcomes with `project`. Falls back to the scalar
+/// Order-preserving parallel batch evaluation through the MAC-grouped
+/// `SoA` kernel: the batch is cut into [`SOA_CHUNK`]-point chunks, each
+/// worker runs whole chunks through a pooled [`SoaScratch`] (grouping
+/// each chunk by MAC entry internally) and projects the per-point
+/// outcomes with `project`. Falls back to the scalar
 /// [`WbsnModel::evaluate_objectives`] per-point path for batches too
-/// small to amortize the kernel. Both engines are bit-identical to the
+/// small to amortize the kernel. All engines are bit-identical to the
 /// full model evaluation, so results do not depend on the path taken.
 fn batch_through_soa(
     model: &WbsnModel,
@@ -155,7 +158,7 @@ fn batch_through_soa(
         // call, skipping the chunk partition and the flatten copy.
         let mut pooled = pools.soa.take();
         return model
-            .evaluate_objectives_batch(points, &mut pooled.state)
+            .evaluate_objectives_batch_grouped(points, &mut pooled.state)
             .iter()
             .map(|outcome| outcome.as_ref().ok().map(&project))
             .collect();
@@ -167,7 +170,7 @@ fn batch_through_soa(
         || pools.soa.take(),
         |pooled, chunk| {
             model
-                .evaluate_objectives_batch(chunk, &mut pooled.state)
+                .evaluate_objectives_batch_grouped(chunk, &mut pooled.state)
                 .iter()
                 .map(|outcome| outcome.as_ref().ok().map(&project))
                 .collect()

@@ -49,8 +49,10 @@ pub fn exhaustive(space: &DesignSpace, evaluator: &dyn Evaluator, limit: u128) -
     // into the i-th mixed-radix digit vector (the same sequence the old
     // serial odometer produced), so the space partitions perfectly into
     // independent chunks handed to `evaluate_batch` — the evaluator fans
-    // each one out across cores (and runs each chunk through the SoA
-    // kernel). Archive insertion stays in index order: the result is
+    // each one out across cores and runs each chunk through the
+    // MAC-grouped SoA kernel (enumeration visits MAC configurations in
+    // long same-MAC stretches, so the grouped runs are maximal here).
+    // Archive insertion stays in index order: the result is
     // bit-identical to the fully serial enumeration. One decode buffer
     // is drained and refilled per chunk, so enumeration allocates per
     // batch, not per point.

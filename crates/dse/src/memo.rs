@@ -24,18 +24,48 @@
 //! `crates/dse/tests/properties.rs` checks the on/off property on random
 //! seeds, and the `optimizer_comparison` binary's test checks the
 //! shared-memo property.
+//!
+//! # Bounded memory: the LRU cap
+//!
+//! An uncapped memo grows with every distinct genome (~90 B each) —
+//! harmless for a searcher run, unbounded for a million-genome budget
+//! through one shared memo. [`GenomeMemo::with_capacity`] bounds
+//! occupancy: past the cap, recording a new genome evicts the least
+//! recently *used* one (gets, provenance gets and re-records all count
+//! as uses), implemented as an intrusive doubly-linked list over a slab
+//! so eviction is O(1) and deterministic. A capped memo only ever
+//! re-evaluates what an uncapped one would have served from cache —
+//! outcomes are pure, so seeded fronts stay bit-identical for ANY cap
+//! (property-tested in `crates/dse/tests/properties.rs`).
 
 use crate::genome::Genome;
 use crate::objective::ObjectiveVector;
 use std::collections::HashMap;
 
+/// Sentinel for "no slab neighbor" in the intrusive LRU list.
+const NIL: u32 = u32::MAX;
+
+/// One slab slot of the memo: the cached outcome plus its LRU links.
+#[derive(Debug, Clone)]
+struct Entry {
+    genome: Genome,
+    outcome: Option<ObjectiveVector>,
+    /// Run epoch the entry was last seen in (cross-run replay tracking).
+    epoch: u32,
+    /// Slab index of the next-more-recently-used entry.
+    prev: u32,
+    /// Slab index of the next-less-recently-used entry.
+    next: u32,
+}
+
 /// Memo of evaluation outcomes keyed by genome. `None` records an
 /// infeasible configuration — rejections repeat just as often as
 /// acceptances, so both are worth caching.
 ///
-/// Construct with [`GenomeMemo::new`]; a disabled memo (`enabled =
-/// false`) never stores or returns anything, giving callers a single
-/// code path for memoized and memo-free runs.
+/// Construct with [`GenomeMemo::new`] (unbounded) or
+/// [`GenomeMemo::with_capacity`] (LRU-evicting); a disabled memo
+/// (`enabled = false`) never stores or returns anything, giving callers
+/// a single code path for memoized and memo-free runs.
 ///
 /// Entries carry the *run epoch* they were last seen in
 /// ([`GenomeMemo::begin_run`]): a within-run hit skips the decode, the
@@ -47,17 +77,40 @@ use std::collections::HashMap;
 #[derive(Debug, Clone, Default)]
 pub struct GenomeMemo {
     enabled: bool,
-    map: HashMap<Genome, (Option<ObjectiveVector>, u32)>,
+    /// Maximum distinct genomes retained (`None` = unbounded).
+    capacity: Option<usize>,
+    /// Genome → slab index.
+    map: HashMap<Genome, u32>,
+    /// Entry storage; indices are stable (eviction reuses the slot).
+    slab: Vec<Entry>,
+    /// Most recently used slab index ([`NIL`] when empty).
+    head: u32,
+    /// Least recently used slab index ([`NIL`] when empty).
+    tail: u32,
     hits: u64,
     epoch: u32,
 }
 
 impl GenomeMemo {
-    /// Creates an empty memo; a disabled one is inert (all lookups miss,
-    /// all records are dropped).
+    /// Creates an empty, unbounded memo; a disabled one is inert (all
+    /// lookups miss, all records are dropped).
     #[must_use]
     pub fn new(enabled: bool) -> Self {
-        Self { enabled, map: HashMap::new(), hits: 0, epoch: 0 }
+        Self { enabled, head: NIL, tail: NIL, ..Self::default() }
+    }
+
+    /// Creates an empty memo retaining at most `capacity` distinct
+    /// genomes: past the cap, recording a new genome evicts the least
+    /// recently used one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero (an inert memo is spelled
+    /// `GenomeMemo::new(false)`).
+    #[must_use]
+    pub fn with_capacity(enabled: bool, capacity: usize) -> Self {
+        assert!(capacity > 0, "a zero-capacity memo cannot hold anything — disable it instead");
+        Self { capacity: Some(capacity), ..Self::new(enabled) }
     }
 
     /// Whether the memo stores anything at all.
@@ -66,8 +119,14 @@ impl GenomeMemo {
         self.enabled
     }
 
+    /// The configured LRU capacity (`None` = unbounded).
+    #[must_use]
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
     /// Whether an outcome for `genome` is already recorded (does not
-    /// count as a hit).
+    /// count as a hit and does not touch the LRU order).
     #[must_use]
     pub fn contains(&self, genome: &Genome) -> bool {
         self.enabled && self.map.contains_key(genome)
@@ -78,6 +137,49 @@ impl GenomeMemo {
     /// [`GenomeMemo::get_with_provenance`] until their first hit.
     pub fn begin_run(&mut self) {
         self.epoch = self.epoch.wrapping_add(1);
+    }
+
+    /// Unlinks slab entry `i` from the LRU list.
+    fn unlink(&mut self, i: u32) {
+        let (prev, next) = {
+            let e = &self.slab[i as usize];
+            (e.prev, e.next)
+        };
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.slab[prev as usize].next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.slab[next as usize].prev = prev;
+        }
+    }
+
+    /// Links slab entry `i` at the most-recently-used head.
+    fn link_front(&mut self, i: u32) {
+        let old_head = self.head;
+        {
+            let e = &mut self.slab[i as usize];
+            e.prev = NIL;
+            e.next = old_head;
+        }
+        if old_head != NIL {
+            self.slab[old_head as usize].prev = i;
+        }
+        self.head = i;
+        if self.tail == NIL {
+            self.tail = i;
+        }
+    }
+
+    /// Marks slab entry `i` as just-used.
+    fn touch(&mut self, i: u32) {
+        if self.head != i {
+            self.unlink(i);
+            self.link_front(i);
+        }
     }
 
     /// Looks up the recorded outcome for `genome`, counting a hit when
@@ -91,11 +193,10 @@ impl GenomeMemo {
         if !self.enabled {
             return None;
         }
-        let cached = self.map.get(genome).map(|&(outcome, _)| outcome);
-        if cached.is_some() {
-            self.hits += 1;
-        }
-        cached
+        let i = *self.map.get(genome)?;
+        self.hits += 1;
+        self.touch(i);
+        Some(self.slab[i as usize].outcome)
     }
 
     /// [`GenomeMemo::get`] that also reports whether the entry was last
@@ -111,19 +212,50 @@ impl GenomeMemo {
         if !self.enabled {
             return None;
         }
-        let epoch = self.epoch;
-        let entry = self.map.get_mut(genome)?;
+        let i = *self.map.get(genome)?;
         self.hits += 1;
-        let from_earlier_run = entry.1 != epoch;
-        entry.1 = epoch;
-        Some((entry.0, from_earlier_run))
+        self.touch(i);
+        let epoch = self.epoch;
+        let entry = &mut self.slab[i as usize];
+        let from_earlier_run = entry.epoch != epoch;
+        entry.epoch = epoch;
+        Some((entry.outcome, from_earlier_run))
     }
 
-    /// Records the evaluation outcome of `genome` (no-op when disabled).
+    /// Records the evaluation outcome of `genome` (no-op when disabled),
+    /// evicting the least recently used entry when at capacity.
     pub fn record(&mut self, genome: Genome, outcome: Option<ObjectiveVector>) {
-        if self.enabled {
-            self.map.insert(genome, (outcome, self.epoch));
+        if !self.enabled {
+            return;
         }
+        if let Some(&i) = self.map.get(&genome) {
+            // Re-record of a known genome: refresh outcome and epoch.
+            self.touch(i);
+            let entry = &mut self.slab[i as usize];
+            entry.outcome = outcome;
+            entry.epoch = self.epoch;
+            return;
+        }
+        let epoch = self.epoch;
+        if self.capacity.is_some_and(|cap| self.map.len() >= cap) {
+            // Reuse the least-recently-used slot for the new entry.
+            let lru = self.tail;
+            self.unlink(lru);
+            let evicted = std::mem::replace(&mut self.slab[lru as usize].genome, genome.clone());
+            self.map.remove(&evicted);
+            {
+                let entry = &mut self.slab[lru as usize];
+                entry.outcome = outcome;
+                entry.epoch = epoch;
+            }
+            self.map.insert(genome, lru);
+            self.link_front(lru);
+            return;
+        }
+        let i = u32::try_from(self.slab.len()).expect("memo slab fits u32 indices");
+        self.slab.push(Entry { genome: genome.clone(), outcome, epoch, prev: NIL, next: NIL });
+        self.map.insert(genome, i);
+        self.link_front(i);
     }
 
     /// Lookups answered from the memo so far.
@@ -132,7 +264,7 @@ impl GenomeMemo {
         self.hits
     }
 
-    /// Distinct genomes recorded.
+    /// Distinct genomes recorded (never exceeds the capacity).
     #[must_use]
     pub fn len(&self) -> usize {
         self.map.len()
@@ -209,5 +341,74 @@ mod tests {
         assert_eq!(memo.get(&g), None);
         assert_eq!(memo.hits(), 0);
         assert!(memo.is_empty());
+    }
+
+    #[test]
+    fn capped_memo_evicts_least_recently_used() {
+        let mut memo = GenomeMemo::with_capacity(true, 2);
+        assert_eq!(memo.capacity(), Some(2));
+        let (a, b, c) = (genome(10), genome(11), genome(12));
+        let obj = |v: f64| Some(ObjectiveVector::from_slice(&[v]));
+        memo.record(a.clone(), obj(1.0));
+        memo.record(b.clone(), obj(2.0));
+        assert_eq!(memo.len(), 2);
+
+        // Touch `a`: `b` becomes the LRU and is evicted by `c`.
+        assert_eq!(memo.get(&a), Some(obj(1.0)));
+        memo.record(c.clone(), obj(3.0));
+        assert_eq!(memo.len(), 2);
+        assert!(memo.contains(&a));
+        assert!(!memo.contains(&b), "least recently used entry must be evicted");
+        assert!(memo.contains(&c));
+
+        // Evicted genomes can be re-recorded (a re-evaluation happened).
+        memo.record(b.clone(), obj(2.0));
+        assert_eq!(memo.len(), 2);
+        assert!(!memo.contains(&a), "now `a` was the LRU");
+        assert_eq!(memo.get(&b), Some(obj(2.0)));
+        assert_eq!(memo.get(&c), Some(obj(3.0)));
+    }
+
+    #[test]
+    fn capped_memo_preserves_cross_run_provenance() {
+        let mut memo = GenomeMemo::with_capacity(true, 8);
+        memo.begin_run();
+        let g = genome(7);
+        let obj = Some(ObjectiveVector::from_slice(&[4.0]));
+        memo.record(g.clone(), obj);
+        memo.begin_run();
+        assert_eq!(memo.get_with_provenance(&g), Some((obj, true)));
+        assert_eq!(memo.get_with_provenance(&g), Some((obj, false)));
+    }
+
+    /// A million-genome synthetic stream through a small cap: occupancy
+    /// never exceeds the cap, recently recorded genomes stay resident,
+    /// and the memo keeps serving correct outcomes.
+    #[test]
+    fn million_genome_stream_respects_the_cap() {
+        const CAP: usize = 1024;
+        let space = DesignSpace::case_study(4);
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut memo = GenomeMemo::with_capacity(true, CAP);
+        let mut last: Option<(Genome, Option<ObjectiveVector>)> = None;
+        for i in 0..1_000_000u32 {
+            let g = Genome::random(&space, &mut rng);
+            let outcome = if i % 3 == 0 {
+                None
+            } else {
+                Some(ObjectiveVector::from_slice(&[f64::from(i), 1.0]))
+            };
+            memo.record(g.clone(), outcome);
+            assert!(memo.len() <= CAP, "occupancy {} exceeded cap {CAP} at step {i}", memo.len());
+            if i % 65_536 == 0 {
+                // The just-recorded genome is the most recently used:
+                // it must still be resident and replay its outcome.
+                assert_eq!(memo.get(&g), Some(outcome));
+            }
+            last = Some((g, outcome));
+        }
+        assert_eq!(memo.len(), CAP);
+        let (g, outcome) = last.expect("stream was non-empty");
+        assert_eq!(memo.get(&g), Some(outcome));
     }
 }

@@ -251,12 +251,26 @@ fn evaluate_generation(
                         }
                     }
                     cached
-                } else {
-                    let slot = slot.expect("uncached genome was decoded in pass 1");
+                } else if let Some(slot) = slot {
                     let result = results[slot];
                     memo.record(genome.clone(), result);
                     if let Some(obj) = result {
                         let point = fresh_points[slot].take().expect("fresh slot consumed once");
+                        archive.insert(obj, point);
+                    }
+                    result
+                } else {
+                    // Pass 1 saw this genome cached, but a pass-2
+                    // `record` evicted it (LRU-capped memo). Re-evaluate
+                    // in place: outcomes are pure, and the archive
+                    // insertion is either rejected as weakly dominated
+                    // (first seen this run) or exactly the cross-run
+                    // replay the provenance hit would have performed —
+                    // either way bit-identical to the uncapped memo.
+                    let point = genome.decode(space);
+                    let result = evaluator.evaluate(&point);
+                    memo.record(genome.clone(), result);
+                    if let Some(obj) = result {
                         archive.insert(obj, point);
                     }
                     result

@@ -2,8 +2,9 @@
 
 use proptest::prelude::*;
 use wbsn_dse::evaluator::ModelEvaluator;
-use wbsn_dse::mosa::{mosa, MosaConfig};
-use wbsn_dse::nsga2::{fast_non_dominated_sort, nsga2, Nsga2Config};
+use wbsn_dse::memo::GenomeMemo;
+use wbsn_dse::mosa::{mosa, mosa_with_memo, MosaConfig};
+use wbsn_dse::nsga2::{fast_non_dominated_sort, nsga2, nsga2_with_memo, Nsga2Config};
 use wbsn_dse::objective::{Dominance, ObjectiveVector};
 use wbsn_dse::pareto::{non_dominated_indices, ParetoArchive};
 use wbsn_dse::quality::{coverage, hypervolume_2d};
@@ -257,6 +258,41 @@ proptest! {
         prop_assert_eq!(sa_memo.front.entries(), sa_plain.front.entries());
         prop_assert_eq!(sa_memo.evaluations, sa_plain.evaluations);
         prop_assert_eq!(sa_memo.infeasible, sa_plain.infeasible);
+    }
+
+    // An LRU-capped memo only changes WHAT is cached, never what is
+    // returned: seeded fronts (entries, order, payloads) are
+    // bit-identical for any cap — even one small enough to thrash — with
+    // the memo uncapped, or off. Only the hit counter may differ.
+    #[test]
+    fn capped_memo_yields_bit_identical_fronts(seed in 0u64..500, cap in 1usize..48) {
+        let space = DesignSpace::case_study(3);
+        let eval = ModelEvaluator::shimmer();
+        let cfg = Nsga2Config {
+            population: 12, generations: 4, seed, ..Nsga2Config::default()
+        };
+
+        let mut capped = GenomeMemo::with_capacity(true, cap);
+        let mut uncapped = GenomeMemo::new(true);
+        let ga_capped = nsga2_with_memo(&space, &eval, &cfg, &mut capped);
+        let ga_uncapped = nsga2_with_memo(&space, &eval, &cfg, &mut uncapped);
+        let ga_plain = nsga2(&space, &eval, &Nsga2Config { memo: false, ..cfg });
+        prop_assert!(capped.len() <= cap, "memo occupancy {} exceeded cap {}", capped.len(), cap);
+        prop_assert!(ga_capped.memo_hits <= ga_uncapped.memo_hits);
+        prop_assert_eq!(ga_capped.front.entries(), ga_uncapped.front.entries());
+        prop_assert_eq!(ga_capped.front.entries(), ga_plain.front.entries());
+        prop_assert_eq!(ga_capped.evaluations, ga_uncapped.evaluations);
+        prop_assert_eq!(ga_capped.infeasible, ga_uncapped.infeasible);
+
+        let sa_cfg = MosaConfig { iterations: 150, seed, ..MosaConfig::default() };
+        let mut sa_capped_memo = GenomeMemo::with_capacity(true, cap);
+        let mut sa_uncapped_memo = GenomeMemo::new(true);
+        let sa_capped = mosa_with_memo(&space, &eval, &sa_cfg, &mut sa_capped_memo);
+        let sa_uncapped = mosa_with_memo(&space, &eval, &sa_cfg, &mut sa_uncapped_memo);
+        prop_assert!(sa_capped_memo.len() <= cap);
+        prop_assert_eq!(sa_capped.front.entries(), sa_uncapped.front.entries());
+        prop_assert_eq!(sa_capped.evaluations, sa_uncapped.evaluations);
+        prop_assert_eq!(sa_capped.infeasible, sa_uncapped.infeasible);
     }
 
     #[test]
