@@ -6,13 +6,17 @@
 //! field regresses by more than the tolerance — the check the ROADMAP
 //! asks CI to run after the throughput smoke run.
 //!
-//! Gated fields (all evaluations/s, higher is better):
+//! Gated fields (all higher-is-better rates):
 //! * `batch_evals_per_s` — the multi-core batch engine;
+//! * `batch_evals_per_s_16node` — the batch engine on the 16-node
+//!   large-deployment sweep (the grouped-kernel crossover workload);
 //! * `fastpath_evals_per_s` — the scalar allocation-free fast path;
 //! * `soa_evals_per_s` — the struct-of-arrays kernel, one core;
 //! * `soa_grouped_evals_per_s` — the MAC-grouped SoA kernel, one core;
 //! * `full_evals_per_s` — the full-evaluation (per-node lanes) kernel,
-//!   one core.
+//!   one core;
+//! * `decode_eval_points_per_s` — linear-index decode + scalar
+//!   fast-path evaluation per point.
 //!
 //! Same-machine quiet-run noise is a few percent per field, but
 //! co-tenant load on shared runners can depress a single run by 10 %+;
@@ -33,12 +37,14 @@
 use std::process::ExitCode;
 
 /// The gated fields of `BENCH_dse.json`.
-const GATED_FIELDS: [&str; 5] = [
+const GATED_FIELDS: [&str; 7] = [
     "batch_evals_per_s",
+    "batch_evals_per_s_16node",
     "fastpath_evals_per_s",
     "soa_evals_per_s",
     "soa_grouped_evals_per_s",
     "full_evals_per_s",
+    "decode_eval_points_per_s",
 ];
 
 /// Extracts the number following `"key":` from a flat JSON document.
@@ -93,6 +99,7 @@ fn main() -> ExitCode {
     };
 
     let mut failures = 0usize;
+    let mut deltas: Vec<String> = Vec::new();
     for field in GATED_FIELDS {
         let Some(fresh) = json_number(&fresh_doc, field) else {
             eprintln!("bench_gate: no `{field}` in {fresh_path}");
@@ -113,6 +120,7 @@ fn main() -> ExitCode {
             (ratio - 1.0) * 100.0,
             tolerance = tolerance * 100.0
         );
+        deltas.push(format!("{field} {:+.1}%", (ratio - 1.0) * 100.0));
         if fresh < floor {
             failures += 1;
         }
@@ -129,7 +137,9 @@ fn main() -> ExitCode {
         );
         return ExitCode::FAILURE;
     }
-    println!("bench_gate: PASS");
+    // One compact per-field delta line on success, for drift forensics
+    // straight from the CI log (machine-day drift vs real regressions).
+    println!("bench_gate: PASS ({})", deltas.join(", "));
     ExitCode::SUCCESS
 }
 

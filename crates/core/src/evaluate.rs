@@ -238,15 +238,15 @@ impl Default for WbsnModel {
     }
 }
 
-/// Upper bound on distinct `(kind, CR, fµC)` node configurations
-/// memoized at once. The case-study grid holds `2 · 22 · 4 = 176`
-/// combinations; the cap only guards against unbounded growth when a
-/// caller sweeps a continuous CR axis through one scratch (excess
-/// configurations are simply computed fresh).
+/// Upper bound on *off-axis* `(kind, CR, fµC)` node configurations
+/// memoized at once (the canonical case-study grid lives in a dense
+/// 176-slot table that cannot grow). The cap only guards against
+/// unbounded growth when a caller sweeps a continuous CR axis through
+/// one scratch (excess configurations are simply computed fresh).
 const MEMO_CAPACITY: usize = 1024;
 
-/// Slots of the open-addressing memo table (power of two, ≤ 50 % load at
-/// capacity so probe chains stay short).
+/// Slots of the open-addressing fallback table (power of two, ≤ 50 %
+/// load at capacity so probe chains stay short).
 const MEMO_SLOTS: usize = 2048;
 
 /// Fingerprint of everything a memoized node evaluation depends on
@@ -318,21 +318,38 @@ pub struct EvalScratch {
     misses: u64,
 }
 
-/// Fixed-size open-addressing (linear probing) map from [`MemoKey`] to
-/// [`MemoOutcome`]: the memo is probed six times per evaluation, so
-/// lookup must be O(1), not a scan of the whole grid.
+/// Map from node configurations to [`MemoOutcome`]s, looked up six
+/// times per evaluation, so lookup must be O(1), not a scan of the
+/// whole grid. Two tiers:
+///
+/// * **dense direct index** — picks on the canonical case-study axes
+///   (the entire DSE workload) resolve with one load at the perfect
+///   index [`crate::space::node_axis_index`] derives arithmetically
+///   from the pick — no hashing, no probing;
+/// * **open-addressing fallback** — off-axis picks (continuous CR
+///   sweeps, custom spaces) hash into a fixed-size linear-probing
+///   table capped at [`MEMO_CAPACITY`] entries.
 #[derive(Debug, Clone, Default)]
 struct MemoTable {
+    /// `dense[axis slot]` for on-axis picks; lazily sized to
+    /// [`crate::space::NODE_AXIS_SLOTS`].
+    dense: Vec<Option<MemoOutcome>>,
+    /// Off-axis fallback (linear probing over [`MEMO_SLOTS`]).
     slots: Vec<Option<(MemoKey, MemoOutcome)>>,
+    /// Total memoized configurations across both tiers (the
+    /// [`EvalScratch::memo_len`] statistic).
     len: usize,
+    /// Entries in the fallback tier alone — the [`MEMO_CAPACITY`] cap
+    /// applies to this count, so dense entries never consume the
+    /// off-axis budget.
+    fallback_len: usize,
 }
 
-/// Hash of a node-configuration key `(kind, CR bits, fµC bits)` — the
-/// key space both the scalar memo ([`MemoTable`]) and the `SoA` kernel's
-/// grid table ([`crate::soa`]) intern, shared so the two caches cannot
-/// drift apart when the key grows a field.
+/// Hash of an *off-axis* node-configuration key
+/// `(kind, CR bits, fµC bits)` for [`MemoTable`]'s fallback tier (the
+/// dense tier needs no hash — its index is perfect).
 #[inline]
-pub(crate) fn node_key_hash(kind: CompressionKind, cr_bits: u64, f_bits: u64) -> u64 {
+fn node_key_hash(kind: CompressionKind, cr_bits: u64, f_bits: u64) -> u64 {
     let kind_salt: u64 = match kind {
         CompressionKind::Dwt => 0x9E37_79B9_7F4A_7C15,
         CompressionKind::Cs => 0xC2B2_AE3D_27D4_EB4F,
@@ -350,7 +367,12 @@ impl MemoTable {
         (node_key_hash(key.0, key.1, key.2) as usize) & (MEMO_SLOTS - 1)
     }
 
-    fn get(&self, key: &MemoKey) -> Option<&MemoOutcome> {
+    /// Looks up a node's outcome: one load for on-axis picks
+    /// (`dense_slot` is `Some`), a linear probe otherwise.
+    fn get(&self, dense_slot: Option<usize>, key: &MemoKey) -> Option<&MemoOutcome> {
+        if let Some(slot) = dense_slot {
+            return self.dense.get(slot)?.as_ref();
+        }
         if self.slots.is_empty() {
             return None;
         }
@@ -364,10 +386,20 @@ impl MemoTable {
         }
     }
 
-    /// Inserts unless the table is at capacity (callers then just
+    /// Inserts a freshly computed outcome. On-axis picks always fit
+    /// (the dense table covers the whole axis); off-axis picks are
+    /// dropped once the fallback is at capacity (callers then just
     /// recompute such entries every time). The key must not be present.
-    fn insert(&mut self, key: MemoKey, outcome: MemoOutcome) {
-        if self.len >= MEMO_CAPACITY {
+    fn insert(&mut self, dense_slot: Option<usize>, key: MemoKey, outcome: MemoOutcome) {
+        if let Some(slot) = dense_slot {
+            if self.dense.is_empty() {
+                self.dense.resize(crate::space::NODE_AXIS_SLOTS, None);
+            }
+            self.dense[slot] = Some(outcome);
+            self.len += 1;
+            return;
+        }
+        if self.fallback_len >= MEMO_CAPACITY {
             return;
         }
         if self.slots.is_empty() {
@@ -379,11 +411,14 @@ impl MemoTable {
         }
         self.slots[i] = Some((key, outcome));
         self.len += 1;
+        self.fallback_len += 1;
     }
 
     fn clear(&mut self) {
+        self.dense.iter_mut().for_each(|s| *s = None);
         self.slots.iter_mut().for_each(|s| *s = None);
         self.len = 0;
+        self.fallback_len = 0;
     }
 }
 
@@ -453,14 +488,15 @@ impl WbsnModel {
         scratch.prds.clear();
         scratch.energies.clear();
         for (i, node) in nodes.iter().enumerate() {
+            let dense_slot = crate::space::node_axis_index(node.kind, node.cr, node.f_mcu);
             let key: MemoKey = (node.kind, node.cr.to_bits(), node.f_mcu.value().to_bits());
-            let outcome = if let Some(cached) = scratch.memo.get(&key) {
+            let outcome = if let Some(cached) = scratch.memo.get(dense_slot, &key) {
                 scratch.hits += 1;
                 cached.clone()
             } else {
                 scratch.misses += 1;
                 let fresh = self.node_outcome(node, retransmission_factor, &mac);
-                scratch.memo.insert(key, fresh.clone());
+                scratch.memo.insert(dense_slot, key, fresh.clone());
                 fresh
             };
             match outcome {

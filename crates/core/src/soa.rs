@@ -6,31 +6,41 @@
 //! objectives, same [`ModelError`] on every infeasible point) but
 //! restructured for throughput:
 //!
-//! * **Decode into parallel arrays.** Each point's per-node
-//!   `(kind, CR, fµC)` picks are interned into a *grid* of unique node
-//!   configurations; the batch is walked as flat `u32` grid indices and
-//!   gathered into per-point `f64`/`u32` arrays (struct of arrays), not
-//!   as per-node structs taken through enum matches.
-//! * **Pre-evaluate the unique grid once per MAC configuration.** Nodes
-//!   draw from a tiny configuration grid (≤ a few hundred distinct
-//!   combinations in practice) and MAC configurations from a small
-//!   cross-product, so every `(node-config, MAC)` *cell* — energy with
-//!   the per-MAC radio term folded in, PRD, Eq. 1 slot count, bandwidth
-//!   feasibility — is computed once and then served as plain loads. The
-//!   cell cache persists inside [`SoaScratch`] across batches.
+//! * **Dense direct-index interning.** The DAC 2012 design space is
+//!   small and fully enumerable: per-node picks are `(kind, CR, fµC)`
+//!   from fixed axes, MAC picks `(payload, SFO, BCO)` from fixed axes.
+//!   Each pick's table index is therefore *computed arithmetically* —
+//!   [`crate::space::node_axis_index`] for nodes, the composed
+//!   payload × order × acknowledged × node-count slot for MACs — and
+//!   verified bitwise against the canonical axis value. Interning is
+//!   one load from a stamped dense table: no hashing, no probing (the
+//!   hash-interning walk used to eat ~80 % of the 6-node per-point
+//!   budget). Off-axis picks (continuous CR sweeps, custom spaces,
+//!   beacon payloads, deployments past [`MAX_DENSE_NODES`]) and MAC
+//!   pairs past [`MAC_ENTRY_CAPACITY`] materialized entries *spill to
+//!   the scalar path*, point by point, bit-identically — the same
+//!   bounded-memory stance the scalar memo takes.
+//! * **Pre-evaluate the unique grid once per MAC configuration.** Every
+//!   `(node-config, MAC)` *cell* — energy with the per-MAC radio term
+//!   folded in, PRD, Eq. 1 slot count, bandwidth feasibility — is
+//!   computed once and then served as plain loads. The cell cache
+//!   persists inside [`SoaScratch`] across batches.
 //! * **Tight `f64`/`u32` loops.** The per-point reductions (slot total,
 //!   the Eq. 9 delay loop, the Eq. 8 metrics) contain no enum matching,
 //!   no `Result` branching and no virtual calls — just slice arithmetic
 //!   the compiler can unroll and vectorize.
 //!
-//! # Mask-based infeasibility and error semantics
+//! # One walk, mask-based infeasibility, error semantics
 //!
 //! The scalar path returns the **first** infeasibility it meets, in a
 //! fixed order: MAC validation, then the node loop (application
 //! parameter errors and duty-cycle overflows, tagged with the node
 //! index), then the Eq. 1–2 assignment (per-node bandwidth shortfall in
-//! node order, then the GTS capacity total). The kernel reproduces that
-//! order with two mechanisms:
+//! node order, then the GTS capacity total). That resolution sequence
+//! lives in **exactly one place** — the monomorphized [`walk_point`]
+//! helper every batch entry point (objectives, full, grouped phase 1)
+//! instantiates with its own per-node sink — so the order cannot drift
+//! between kernels. Two mechanisms reproduce it:
 //!
 //! * a *node-outcome* failure stops the decode walk at the failing node
 //!   — exactly where the scalar node loop stops — and re-tags the
@@ -45,7 +55,8 @@
 //! Because grid entries are built by the same
 //! [`WbsnModel::node_outcome`] code path the scalar memo uses, the
 //! resolved error is identical to the scalar one — a property
-//! `crates/wbsn/tests/soa_parity.rs` checks against random batches.
+//! `crates/wbsn/tests/soa_parity.rs` checks against random batches
+//! (including batches straddling the interning capacity).
 //!
 //! # Full evaluations
 //!
@@ -84,11 +95,12 @@
 //!
 //! Results are scattered back to batch positions, so callers cannot
 //! observe the grouping — outcomes are bit-identical to the ungrouped
-//! kernel (and therefore to the scalar path) in both modes. On the
-//! 6-node case-study sweep the grouped path performs at parity with the
-//! ungrouped kernel (the hash-interning walk dominates); it pulls ahead
-//! as networks grow (~5–10 % at 16 nodes) and is the engine behind
-//! `wbsn-dse`'s `Evaluator::evaluate_batch`.
+//! kernel (and therefore to the scalar path) in both modes. With the
+//! interning walk reduced to dense loads, the straight per-point
+//! reduction wins on narrow networks (the ≈6-node case study) and the
+//! transposed tiles only pay off on wide ones; `wbsn-dse`'s
+//! `Evaluator::evaluate_batch` therefore keys its per-chunk engine on
+//! the batch's node count (grouped from ~16 nodes up).
 //!
 //! # Bit-exactness
 //!
@@ -111,8 +123,10 @@ use crate::ieee802154::{Ieee802154Config, Ieee802154Mac, MAX_GTS_SLOTS};
 use crate::mac::MacModel;
 use crate::metrics::{balanced_metric_with_sum, NetworkObjectives};
 use crate::node::NodeModel;
-use crate::shimmer::CompressionKind;
-use crate::space::DesignPoint;
+use crate::space::{
+    node_axis_index, order_pair_axis_index, payload_axis_index, DesignPoint, NODE_AXIS_SLOTS,
+    ORDER_PAIR_SLOTS, PAYLOAD_AXIS,
+};
 use crate::units::ByteRate;
 
 /// Outcome of one point of a batch: exactly what
@@ -149,18 +163,46 @@ struct Cell {
 
 const EMPTY_CELL: Cell = Cell { energy: f64::NAN, prd: f64::NAN, kf: 0.0, k: 0, flags: 0 };
 
-/// Upper bound on interned node configurations, mirroring the scalar
-/// memo's `MEMO_CAPACITY`: the case-study grid holds 176 combinations,
-/// and the cap only guards against unbounded growth when a caller
-/// sweeps a continuous CR axis through one pooled scratch. Points
-/// drawing configurations beyond the cap spill to the scalar path.
-const GRID_CAPACITY: usize = 1024;
+/// Dense node-configuration slots: the full case-study node axis
+/// (kind × CR level × fµC level, 176 slots).
+/// [`crate::space::node_axis_index`] is a perfect index into it, so
+/// interning a node pick is one load — no hashing, no probing.
+/// Off-axis picks spill the point to the scalar path.
+const GRID_SLOTS: usize = NODE_AXIS_SLOTS;
 
-/// Upper bound on interned `(MAC configuration, node count)` pairs (the
-/// case study has 105); also bounds worst-case cell memory at
-/// `MAC_CAPACITY × GRID_CAPACITY` cells. Overflowing points spill to
-/// the scalar path.
-const MAC_CAPACITY: usize = 512;
+/// Largest node count representable in the dense MAC slot index; wider
+/// deployments spill to the scalar path (the inline-decode limit is 16
+/// nodes, so 128 leaves generous headroom).
+pub const MAX_DENSE_NODES: u32 = 128;
+
+/// Dense `(MAC configuration, node count)` slots: payload level ×
+/// (SFO, BCO) pair × acknowledged × node count. The slot index is
+/// computed arithmetically by [`mac_dense_slot`]; slots hold `u32`
+/// entry references, so the table is ~180 KiB per scratch.
+const MAC_SLOTS: usize = PAYLOAD_AXIS.len() * ORDER_PAIR_SLOTS * 2 * (MAX_DENSE_NODES as usize + 1);
+
+/// Upper bound on *materialized* MAC entries (the case study uses 105):
+/// each entry owns a lazily-grown cell block, so this bounds worst-case
+/// cell memory at `MAC_ENTRY_CAPACITY × GRID_SLOTS` cells. New pairs
+/// beyond the cap spill to the scalar path, bit-identically.
+pub const MAC_ENTRY_CAPACITY: usize = 512;
+
+/// Perfect dense index of an on-axis `(MAC configuration, node count)`
+/// pair, or `None` for off-axis shapes — payloads or orders outside the
+/// case-study axes, beacon payloads, deployments past
+/// [`MAX_DENSE_NODES`] — which spill to the scalar path. Pairs with
+/// `SFO > BCO` are representable on purpose: their validation error is
+/// cached like any other entry.
+#[inline]
+fn mac_dense_slot(cfg: Ieee802154Config, n_nodes: u32) -> Option<usize> {
+    if cfg.beacon_payload_bytes != 0 || n_nodes > MAX_DENSE_NODES {
+        return None;
+    }
+    let p = payload_axis_index(cfg.payload_bytes)?;
+    let o = order_pair_axis_index(cfg.sfo, cfg.bco)?;
+    let shape = (p * ORDER_PAIR_SLOTS + o) * 2 + usize::from(cfg.acknowledged);
+    Some(shape * (MAX_DENSE_NODES as usize + 1) + n_nodes as usize)
+}
 
 /// The cell cache of one MAC configuration, indexed by grid index.
 #[derive(Debug, Clone, Default)]
@@ -209,6 +251,8 @@ struct MacEntry {
     /// The configured MAC model (`n_gts` = node count, as in the scalar
     /// path).
     mac: Ieee802154Mac,
+    /// The pair's node count (the grouped engine's run geometry).
+    n_nodes: u32,
     /// Base time unit `δ` (slot duration), seconds.
     delta: f64,
     /// Allocation rounds (superframes) per second.
@@ -224,114 +268,6 @@ struct MacEntry {
     control: [f64; (MAX_GTS_SLOTS + 1) as usize],
 }
 
-/// Key of the grid table: the exact bits of a node configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct GridKey {
-    kind: CompressionKind,
-    cr_bits: u64,
-    f_bits: u64,
-}
-
-impl GridKey {
-    #[inline]
-    fn of(node: &NodeConfig) -> Self {
-        Self { kind: node.kind, cr_bits: node.cr.to_bits(), f_bits: node.f_mcu.value().to_bits() }
-    }
-
-    #[inline]
-    fn hash(&self) -> u64 {
-        crate::evaluate::node_key_hash(self.kind, self.cr_bits, self.f_bits)
-    }
-}
-
-/// Key of the MAC table: the full configuration plus the node count
-/// (the beacon announces one GTS descriptor per node, so every derived
-/// constant depends on both).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct MacKey {
-    cfg: Ieee802154Config,
-    n_nodes: u32,
-}
-
-impl MacKey {
-    #[inline]
-    fn hash(&self) -> u64 {
-        let packed = u64::from(self.cfg.payload_bytes)
-            | u64::from(self.cfg.sfo) << 16
-            | u64::from(self.cfg.bco) << 24
-            | u64::from(self.cfg.beacon_payload_bytes) << 32
-            | u64::from(self.cfg.acknowledged) << 48;
-        let mut h = packed.wrapping_mul(0xBF58_476D_1CE4_E5B9)
-            ^ u64::from(self.n_nodes).wrapping_mul(0x94D0_49BB_1331_11EB);
-        h ^= h >> 31;
-        h = h.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        h ^ (h >> 32)
-    }
-}
-
-/// Growable open-addressing index: maps hashes to `entry index + 1`
-/// (0 marks a vacant slot); key equality is checked against the caller's
-/// parallel key vector. Load factor is kept at ≤ 50 %.
-#[derive(Debug, Clone, Default)]
-struct ProbeIndex {
-    slots: Vec<u32>,
-}
-
-impl ProbeIndex {
-    const INITIAL_SLOTS: usize = 256;
-
-    /// Finds the entry index for `hash` where `matches(i)` confirms key
-    /// equality, or `None` (probe ended on a vacant slot).
-    #[inline]
-    fn get(&self, hash: u64, matches: impl Fn(usize) -> bool) -> Option<usize> {
-        if self.slots.is_empty() {
-            return None;
-        }
-        let mask = self.slots.len() - 1;
-        let mut i = (hash as usize) & mask;
-        loop {
-            match self.slots[i] {
-                0 => return None,
-                s => {
-                    let idx = s as usize - 1;
-                    if matches(idx) {
-                        return Some(idx);
-                    }
-                }
-            }
-            i = (i + 1) & mask;
-        }
-    }
-
-    /// Inserts `entry_idx` under `hash` (the key must be absent), growing
-    /// and rehashing when the table passes 50 % load. `rehash(i)` returns
-    /// the hash of existing entry `i`.
-    fn insert(&mut self, hash: u64, entry_idx: usize, len: usize, rehash: impl Fn(usize) -> u64) {
-        if self.slots.len() < (len + 1) * 2 {
-            let new_slots = (self.slots.len() * 2).max(Self::INITIAL_SLOTS);
-            self.slots.clear();
-            self.slots.resize(new_slots, 0);
-            for i in 0..len {
-                self.place(rehash(i), i);
-            }
-        }
-        self.place(hash, entry_idx);
-    }
-
-    fn place(&mut self, hash: u64, entry_idx: usize) {
-        let mask = self.slots.len() - 1;
-        let mut i = (hash as usize) & mask;
-        while self.slots[i] != 0 {
-            i = (i + 1) & mask;
-        }
-        self.slots[i] = u32::try_from(entry_idx + 1).expect("table far below u32 capacity");
-    }
-
-    fn clear(&mut self) {
-        self.slots.iter_mut().for_each(|s| *s = 0);
-    }
-}
-
 /// Everything the stamped caches depend on besides the node/MAC
 /// configurations themselves (mirrors the scalar memo's stamp).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -340,11 +276,15 @@ struct SoaStamp {
     node_model: NodeModel,
 }
 
-/// The interned unique node configurations.
+/// The interned unique node configurations, directly indexed by the
+/// perfect axis slot ([`crate::space::node_axis_index`]).
 #[derive(Debug, Clone, Default)]
 struct GridTable {
-    index: ProbeIndex,
-    keys: Vec<GridKey>,
+    /// `dense[axis slot]` = entry index + 1 (0 marks a vacant slot).
+    /// Lazily sized to [`GRID_SLOTS`]; the perfect index is injective
+    /// (bit-verified against the canonical axis values), so no key
+    /// comparison is needed.
+    dense: Vec<u32>,
     entries: Vec<GridEntry>,
     /// Parallel to `entries`: `Some` = infeasible node outcome (stored
     /// with node index 0, re-tagged on resolution).
@@ -352,10 +292,23 @@ struct GridTable {
 }
 
 impl GridTable {
-    /// Interns a node configuration, computing its MAC-independent
-    /// outcome on first sight (via the shared scalar code path).
-    /// Returns `None` when the table is full and the configuration is
-    /// new — the caller spills that point to the scalar path.
+    /// Entry index of an already-interned configuration — the read-only
+    /// lookup the (cold) bandwidth-mask resolution re-walks a point
+    /// with, instead of the hot walk recording indices it almost never
+    /// needs.
+    #[inline]
+    fn index_of(&self, node: &NodeConfig) -> Option<usize> {
+        let slot = node_axis_index(node.kind, node.cr, node.f_mcu)?;
+        match self.dense.get(slot) {
+            Some(&s) if s != 0 => Some(s as usize - 1),
+            _ => None,
+        }
+    }
+
+    /// Interns a node configuration by its perfect axis index, computing
+    /// its MAC-independent outcome on first sight (via the shared scalar
+    /// code path). Returns `None` when the pick is off-axis — the
+    /// caller spills that point to the scalar path.
     #[inline]
     fn intern(
         &mut self,
@@ -364,16 +317,13 @@ impl GridTable {
         retransmission_factor: f64,
         mac: &Ieee802154Mac,
     ) -> Option<usize> {
-        let key = GridKey::of(node);
-        let hash = key.hash();
-        let keys = &self.keys;
-        if let Some(idx) = self.index.get(hash, |i| keys[i] == key) {
-            return Some(idx);
+        let slot = node_axis_index(node.kind, node.cr, node.f_mcu)?;
+        if let Some(&s) = self.dense.get(slot) {
+            if s != 0 {
+                return Some(s as usize - 1);
+            }
         }
-        if self.entries.len() >= GRID_CAPACITY {
-            return None;
-        }
-        Some(self.intern_slow(model, node, retransmission_factor, mac, key, hash))
+        Some(self.intern_slow(model, node, retransmission_factor, mac, slot))
     }
 
     #[cold]
@@ -383,8 +333,7 @@ impl GridTable {
         node: &NodeConfig,
         retransmission_factor: f64,
         mac: &Ieee802154Mac,
-        key: GridKey,
-        hash: u64,
+        slot: usize,
     ) -> usize {
         let (entry, err) = match model.node_outcome(node, retransmission_factor, mac) {
             MemoOutcome::Feasible { sensor, mcu, memory, phi_out, prd } => (
@@ -411,27 +360,32 @@ impl GridTable {
             ),
         };
         let idx = self.entries.len();
-        self.keys.push(key);
         self.entries.push(entry);
         self.errs.push(err);
-        let keys = &self.keys;
-        self.index.insert(hash, idx, idx, |i| keys[i].hash());
+        if self.dense.is_empty() {
+            self.dense.resize(GRID_SLOTS, 0);
+        }
+        self.dense[slot] = u32::try_from(idx + 1).expect("grid far below u32 capacity");
         idx
     }
 
     fn clear(&mut self) {
-        self.index.clear();
-        self.keys.clear();
+        self.dense.iter_mut().for_each(|s| *s = 0);
         self.entries.clear();
         self.errs.clear();
     }
 }
 
-/// The interned unique `(MAC configuration, node count)` pairs.
+/// The interned unique `(MAC configuration, node count)` pairs,
+/// directly indexed by the perfect slot ([`mac_dense_slot`]). The
+/// beacon announces one GTS descriptor per node, so every derived
+/// constant depends on both the configuration and the node count.
 #[derive(Debug, Clone, Default)]
 struct MacTable {
-    index: ProbeIndex,
-    keys: Vec<MacKey>,
+    /// `dense[mac slot]` = entry index + 1 (0 marks a vacant slot).
+    /// Lazily sized to [`MAC_SLOTS`]; injective by construction, so no
+    /// key comparison is needed.
+    dense: Vec<u32>,
     entries: Vec<MacEntry>,
     /// Parallel to `entries`: `Some` = the configuration fails
     /// [`Ieee802154Config::validate`].
@@ -439,10 +393,11 @@ struct MacTable {
 }
 
 impl MacTable {
-    /// Interns a pair, deriving the per-MAC constants on first sight and
-    /// growing `cells` by one (empty) block. Returns `None` when the
-    /// table is full and the pair is new — the caller spills that point
-    /// to the scalar path.
+    /// Interns a pair by its perfect dense slot, deriving the per-MAC
+    /// constants on first sight and growing `cells` by one (empty)
+    /// block. Returns `None` when the pair is off-axis, or new while
+    /// [`MAC_ENTRY_CAPACITY`] entries are already materialized — the
+    /// caller spills that point to the scalar path.
     #[inline]
     fn intern(
         &mut self,
@@ -450,28 +405,34 @@ impl MacTable {
         n_nodes: u32,
         cells: &mut Vec<CellBlock>,
     ) -> Option<usize> {
-        let key = MacKey { cfg, n_nodes };
-        let hash = key.hash();
-        let keys = &self.keys;
-        if let Some(idx) = self.index.get(hash, |i| keys[i] == key) {
-            return Some(idx);
+        let slot = mac_dense_slot(cfg, n_nodes)?;
+        if let Some(&s) = self.dense.get(slot) {
+            if s != 0 {
+                return Some(s as usize - 1);
+            }
         }
-        if self.entries.len() >= MAC_CAPACITY {
+        if self.entries.len() >= MAC_ENTRY_CAPACITY {
             return None;
         }
-        Some(self.intern_slow(key, hash, cells))
+        Some(self.intern_slow(cfg, n_nodes, slot, cells))
     }
 
     #[cold]
-    fn intern_slow(&mut self, key: MacKey, hash: u64, cells: &mut Vec<CellBlock>) -> usize {
+    fn intern_slow(
+        &mut self,
+        cfg: Ieee802154Config,
+        n_nodes: u32,
+        slot: usize,
+        cells: &mut Vec<CellBlock>,
+    ) -> usize {
         // Validate-first, like the scalar path: deriving timing constants
         // from an invalid configuration is not merely wasted work — an
-        // out-of-range order (e.g. BCO = 40) overflows the `1 << order`
-        // superframe shift. Invalid entries keep inert zeroed constants;
-        // the per-point loop returns their stored error before touching
-        // anything derived.
-        let err = key.cfg.validate().err();
-        let mac = Ieee802154Mac::new(key.cfg, key.n_nodes);
+        // out-of-range order pair (e.g. SFO = 9 > BCO = 5) can make
+        // derived quantities meaningless. Invalid entries keep inert
+        // zeroed constants; the walk returns their stored error before
+        // touching anything derived.
+        let err = cfg.validate().err();
+        let mac = Ieee802154Mac::new(cfg, n_nodes);
         let entry = if err.is_none() {
             let capacity = mac.capacity_slots_per_round();
             let mut control = [0.0; (MAX_GTS_SLOTS + 1) as usize];
@@ -480,6 +441,7 @@ impl MacTable {
             }
             MacEntry {
                 mac,
+                n_nodes,
                 delta: mac.base_time_unit().value(),
                 rounds: mac.allocation_rounds_per_second(),
                 max_per_round: f64::from(capacity) * mac.base_time_unit().value(),
@@ -490,6 +452,7 @@ impl MacTable {
         } else {
             MacEntry {
                 mac,
+                n_nodes,
                 delta: 0.0,
                 rounds: 0.0,
                 max_per_round: 0.0,
@@ -499,12 +462,13 @@ impl MacTable {
             }
         };
         let idx = self.entries.len();
-        self.keys.push(key);
         self.entries.push(entry);
         self.errs.push(err);
         cells.push(CellBlock::default());
-        let keys = &self.keys;
-        self.index.insert(hash, idx, idx, |i| keys[i].hash());
+        if self.dense.is_empty() {
+            self.dense.resize(MAC_SLOTS, 0);
+        }
+        self.dense[slot] = u32::try_from(idx + 1).expect("mac table far below u32 capacity");
         idx
     }
 }
@@ -542,6 +506,148 @@ fn fill_cell(model: &WbsnModel, me: &MacEntry, ge: &GridEntry, entry_ok: bool) -
     (Cell { energy, prd: ge.prd, kf: f64::from(k), k, flags }, bw_needed, radio.mj_per_s())
 }
 
+/// Outcome of [`walk_point`] for one design point.
+enum Walked {
+    /// An off-axis pick (or a full MAC table) — the caller degrades the
+    /// point to the bit-identical scalar path.
+    Spill,
+    /// Infeasible, carrying exactly the scalar path's error.
+    Dead(ModelError),
+    /// Feasible: the MAC entry, the Eq. 1 slot total and the Eq. 8
+    /// element sums (accumulated in the scalar left-fold node order, so
+    /// they carry `iter().sum()`'s exact bits).
+    Alive { mac: usize, total: u32, sum_energy: f64, sum_prd: f64 },
+}
+
+/// **The** per-point walk — the single place the decode + intern +
+/// gather loop and its error-resolution sequence exist. Every batch
+/// entry point (the objectives kernel, the full-evaluation kernel and
+/// the grouped engine's phase 1) instantiates it with its own
+/// monomorphized `per_node` sink, so the resolution order — MAC
+/// validation, first failing node outcome (re-tagged with its node
+/// index), first bandwidth-flagged node in `assign_slots_into`'s scan
+/// order, then the GTS capacity total — cannot drift between kernels.
+///
+/// `per_node(j, g, cell, grid_entries, radio_lane)` fires once per
+/// node, after the cell is warm and **before** feasibility is judged
+/// (exactly where the old walks stored their gathers; infeasible
+/// points' partial writes are overwritten or zero-filled by the
+/// caller). The grid entry and radio value are handed over as slices
+/// plus the index `g`, so a sink that ignores them costs nothing — an
+/// eagerly-indexed argument would force the bounds-checked loads even
+/// into the objectives kernel, which needs neither. A sink that must
+/// remember the walked indices (the grouped engine's pending records)
+/// records `g` itself; the cold bandwidth-mask resolution re-derives
+/// them via [`GridTable::index_of`] instead of taxing the hot loop with
+/// bookkeeping.
+// The borrow flow wants the raw table parts, not a bundling struct:
+// `macs.intern` needs `cells` whole before `&mut cells[m]` splits off.
+#[inline]
+fn walk_point(
+    model: &WbsnModel,
+    grid: &mut GridTable,
+    macs: &mut MacTable,
+    cells: &mut Vec<CellBlock>,
+    point: &DesignPoint,
+    retransmission_factor: f64,
+    mut per_node: impl FnMut(usize, usize, &Cell, &[GridEntry], &[f64]),
+) -> Walked {
+    let Some(m) = macs.intern(point.mac, point.nodes.len() as u32, cells) else {
+        return Walked::Spill;
+    };
+    if let Some(err) = &macs.errs[m] {
+        return Walked::Dead(err.clone());
+    }
+    let me = &macs.entries[m];
+    let block = &mut cells[m];
+    let mut mask: u32 = BW_OK;
+    let mut total: u32 = 0;
+    let mut sum_energy = 0.0f64;
+    let mut sum_prd = 0.0f64;
+    for (j, node) in point.nodes.iter().enumerate() {
+        let Some(g) = grid.intern(model, node, retransmission_factor, &me.mac) else {
+            return Walked::Spill;
+        };
+        if g >= block.cells.len() {
+            block.grow_to(grid.entries.len());
+        }
+        let mut cell = block.cells[g];
+        if cell.flags & FILLED == 0 {
+            let (fresh, bw, radio) = fill_cell(model, me, &grid.entries[g], grid.errs[g].is_none());
+            block.cells[g] = fresh;
+            block.bw_needed[g] = bw;
+            block.radio[g] = radio;
+            cell = fresh;
+        }
+        per_node(j, g, &cell, &grid.entries, &block.radio);
+        sum_energy += cell.energy;
+        sum_prd += cell.prd;
+        total += cell.k;
+        mask &= cell.flags;
+        if cell.flags & ENTRY_OK == 0 {
+            // A node-outcome failure stops the walk at the failing node,
+            // exactly like the scalar node loop (which errors before the
+            // assignment stage runs); the grid-cached error is re-tagged
+            // with the node index, like the scalar memo does.
+            let err = grid.errs[g].as_ref().expect("entry-infeasible cell has a stored error");
+            let err = match err {
+                ModelError::DutyCycleExceeded { duty, .. } => {
+                    ModelError::DutyCycleExceeded { node: j, duty: *duty }
+                }
+                other => other.clone(),
+            };
+            return Walked::Dead(err);
+        }
+    }
+    if mask & BW_OK == 0 {
+        // Resolve the mask: first bandwidth-flagged node in node order,
+        // mirroring `assign_slots_into`'s scan. The walk interned every
+        // node of the point before reaching this (cold) branch, so the
+        // read-only re-derivation cannot miss.
+        let (node, g) = point
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, node)| {
+                (i, grid.index_of(node).expect("mask resolution re-walks interned nodes"))
+            })
+            .find(|&(_, g)| block.cells[g].flags & BW_OK == 0)
+            .expect("masked point must contain a bandwidth-flagged node");
+        return Walked::Dead(ModelError::BandwidthExceeded {
+            node,
+            needed_s: block.bw_needed[g],
+            available_s: me.max_per_round,
+        });
+    }
+    if total > me.capacity {
+        return Walked::Dead(ModelError::GtsCapacityExceeded {
+            required: total,
+            available: me.capacity,
+        });
+    }
+    Walked::Alive { mac: m, total, sum_energy, sum_prd }
+}
+
+/// Eq. 9 delay reduction for one feasible point: writes each node's
+/// worst-case bound and returns the left-fold delay sum. Pure f64/u32
+/// arithmetic in the exact association order of
+/// `worst_case_delay_from_slots`.
+#[inline]
+fn delay_reduce(me: &MacEntry, total: u32, slots: &[u32], delays: &mut [f64]) -> f64 {
+    let control = me.control[total as usize];
+    let (delta, pkt) = (me.delta, me.pkt);
+    let mut sum = 0.0f64;
+    for (delay, &k) in delays.iter_mut().zip(slots) {
+        let others = total - k;
+        let crossed = others.div_ceil(MAX_GTS_SLOTS).max(1);
+        let d =
+            delta * f64::from(others) + control * f64::from(crossed) + delta * f64::from(k) + pkt;
+        *delay = d;
+        sum += d;
+    }
+    sum
+}
+
 /// Reusable working memory (and persistent caches) of the `SoA` kernel.
 ///
 /// Holds the interned grid/MAC/cell tables plus every per-batch buffer,
@@ -556,9 +662,6 @@ pub struct SoaScratch {
     /// `cells[mac]` is the cell cache of MAC entry `mac`, lazily grown
     /// and filled.
     cells: Vec<CellBlock>,
-    /// Grid index of every node of the current point (for mask
-    /// resolution).
-    node_grid: Vec<u32>,
     energies: Vec<f64>,
     delays: Vec<f64>,
     prds: Vec<f64>,
@@ -566,10 +669,11 @@ pub struct SoaScratch {
     results: Vec<PointOutcome>,
     /// Feasibility-pending points of the current grouped batch.
     pending: Vec<Pending>,
-    /// Flat interned grid indices of the pending points
-    /// (`Pending::start` indexes into it) — the compact record phase 3
-    /// regathers from, instead of touching the large `DesignPoint`s out
-    /// of order.
+    /// Flat interned grid indices recorded by [`walk_point`]
+    /// (`Pending::start` indexes into it for grouped batches; the
+    /// ungrouped kernels truncate it back after every point) — the
+    /// compact record the grouped phase 3 regathers from, instead of
+    /// touching the large `DesignPoint`s out of order.
     point_nodes: Vec<u32>,
 
     /// Counting-sort histogram / placement cursor, indexed by MAC entry.
@@ -673,9 +777,6 @@ impl WbsnModel {
     /// The returned slice lives in `scratch` and is valid until the next
     /// call; `result[i]` corresponds to `points[i]`. Steady state
     /// allocates nothing.
-    // One linear walk per point: splitting it would only scatter the
-    // borrow flow of the destructured scratch.
-    #[allow(clippy::too_many_lines)]
     pub fn evaluate_objectives_batch<'s>(
         &self,
         points: &[DesignPoint],
@@ -686,150 +787,52 @@ impl WbsnModel {
         let theta = self.theta();
 
         let SoaScratch {
-            grid,
-            macs,
-            cells,
-            node_grid,
-            energies,
-            delays,
-            prds,
-            slots,
-            results,
-            fallback,
-            ..
+            grid, macs, cells, energies, delays, prds, slots, results, fallback, ..
         } = scratch;
         results.clear();
         results.reserve(points.len());
 
         for point in points {
             let n = point.nodes.len();
-            let Some(m) = macs.intern(point.mac, n as u32, cells) else {
-                results.push(self.evaluate_objectives(&point.mac, &point.nodes, fallback));
-                continue;
-            };
-            if let Some(err) = &macs.errs[m] {
-                results.push(Err(err.clone()));
-                continue;
-            }
-            let me = &macs.entries[m];
-            let block = &mut cells[m];
             if n > energies.len() {
                 energies.resize(n, 0.0);
                 delays.resize(n, 0.0);
                 prds.resize(n, 0.0);
                 slots.resize(n, 0);
-                node_grid.resize(n, 0);
             }
-
-            // Decode + gather walk. Assignment feasibility accumulates
-            // branchlessly in `mask`; a node-outcome failure stops the
-            // walk at the failing node, exactly like the scalar node
-            // loop (which errors before the assignment stage runs).
-            // Exact-length slice views let the compiler drop the bounds
-            // checks of the four gather stores.
-            let (en, pr, sl, ng) =
-                (&mut energies[..n], &mut prds[..n], &mut slots[..n], &mut node_grid[..n]);
-            // The element sums ride along in `iter().sum()`'s left-fold
-            // order, so the Eq. 8 means come out of the walk for free
-            // (see `balanced_metric_with_sum`).
-            let mut mask: u32 = BW_OK;
-            let mut total: u32 = 0;
-            let mut sum_energy = 0.0f64;
-            let mut sum_prd = 0.0f64;
-            let mut entry_fail: Option<(usize, usize)> = None;
-            let mut spilled = false;
-            for (i, node) in point.nodes.iter().enumerate() {
-                let Some(g) = grid.intern(self, node, retransmission_factor, &me.mac) else {
-                    spilled = true;
-                    break;
-                };
-                if g >= block.cells.len() {
-                    block.grow_to(grid.entries.len());
+            // The sink gathers the per-node cell scalars into per-point
+            // arrays; the walk resolves every infeasibility and carries
+            // the Eq. 8 element sums out in `iter().sum()`'s left-fold
+            // order (see `balanced_metric_with_sum`).
+            let (en, pr, sl) = (&mut energies[..n], &mut prds[..n], &mut slots[..n]);
+            let walked = walk_point(
+                self,
+                grid,
+                macs,
+                cells,
+                point,
+                retransmission_factor,
+                |j, _, cell, _, _| {
+                    en[j] = cell.energy;
+                    pr[j] = cell.prd;
+                    sl[j] = cell.k;
+                },
+            );
+            match walked {
+                Walked::Spill => {
+                    results.push(self.evaluate_objectives(&point.mac, &point.nodes, fallback));
                 }
-                let mut cell = block.cells[g];
-                if cell.flags & FILLED == 0 {
-                    let (fresh, bw, radio) =
-                        fill_cell(self, me, &grid.entries[g], grid.errs[g].is_none());
-                    block.cells[g] = fresh;
-                    block.bw_needed[g] = bw;
-                    block.radio[g] = radio;
-                    cell = fresh;
-                }
-                en[i] = cell.energy;
-                pr[i] = cell.prd;
-                sl[i] = cell.k;
-                ng[i] = g as u32;
-                sum_energy += cell.energy;
-                sum_prd += cell.prd;
-                total += cell.k;
-                mask &= cell.flags;
-                if cell.flags & ENTRY_OK == 0 {
-                    entry_fail = Some((i, g));
-                    break;
+                Walked::Dead(err) => results.push(Err(err)),
+                Walked::Alive { mac, total, sum_energy, sum_prd } => {
+                    let me = &macs.entries[mac];
+                    let sum_delay = delay_reduce(me, total, &slots[..n], &mut delays[..n]);
+                    results.push(Ok(NetworkObjectives {
+                        energy: balanced_metric_with_sum(&energies[..n], sum_energy, theta),
+                        delay: balanced_metric_with_sum(&delays[..n], sum_delay, theta),
+                        prd: balanced_metric_with_sum(&prds[..n], sum_prd, theta),
+                    }));
                 }
             }
-
-            if spilled {
-                results.push(self.evaluate_objectives(&point.mac, &point.nodes, fallback));
-                continue;
-            }
-            if let Some((node, g)) = entry_fail {
-                let err = grid.errs[g].as_ref().expect("entry-infeasible cell has a stored error");
-                results.push(Err(match err {
-                    ModelError::DutyCycleExceeded { duty, .. } => {
-                        ModelError::DutyCycleExceeded { node, duty: *duty }
-                    }
-                    other => other.clone(),
-                }));
-                continue;
-            }
-            if mask & BW_OK == 0 {
-                // Resolve the mask: first bandwidth-flagged node in node
-                // order, mirroring `assign_slots_into`'s scan.
-                let (node, g) = node_grid[..n]
-                    .iter()
-                    .enumerate()
-                    .map(|(i, &g)| (i, g as usize))
-                    .find(|&(_, g)| block.cells[g].flags & BW_OK == 0)
-                    .expect("masked point must contain a bandwidth-flagged node");
-                results.push(Err(ModelError::BandwidthExceeded {
-                    node,
-                    needed_s: block.bw_needed[g],
-                    available_s: me.max_per_round,
-                }));
-                continue;
-            }
-            if total > me.capacity {
-                results.push(Err(ModelError::GtsCapacityExceeded {
-                    required: total,
-                    available: me.capacity,
-                }));
-                continue;
-            }
-
-            // Eq. 9 delay reduction: pure f64/u32 arithmetic, same
-            // association order as `worst_case_delay_from_slots`.
-            let control = me.control[total as usize];
-            let delta = me.delta;
-            let pkt = me.pkt;
-            let mut sum_delay = 0.0f64;
-            let (slots_n, delays_n) = (&slots[..n], &mut delays[..n]);
-            for (delay, &k) in delays_n.iter_mut().zip(slots_n) {
-                let others = total - k;
-                let crossed = others.div_ceil(MAX_GTS_SLOTS).max(1);
-                let d = delta * f64::from(others)
-                    + control * f64::from(crossed)
-                    + delta * f64::from(k)
-                    + pkt;
-                *delay = d;
-                sum_delay += d;
-            }
-
-            results.push(Ok(NetworkObjectives {
-                energy: balanced_metric_with_sum(&energies[..n], sum_energy, theta),
-                delay: balanced_metric_with_sum(&delays[..n], sum_delay, theta),
-                prd: balanced_metric_with_sum(&prds[..n], sum_prd, theta),
-            }));
         }
         results
     }
@@ -1083,9 +1086,6 @@ impl WbsnModel {
     /// [`WbsnModel::evaluate_objectives_batch`], so mixing objective-only
     /// and full batches through one [`SoaScratch`] shares all cache
     /// warmth. Steady state allocates nothing.
-    // One linear walk per point, like the objectives kernel: splitting
-    // it would only scatter the borrow flow of the destructured scratch.
-    #[allow(clippy::too_many_lines)]
     pub fn evaluate_batch_full(
         &self,
         points: &[DesignPoint],
@@ -1096,81 +1096,37 @@ impl WbsnModel {
         let retransmission_factor = 1.0 / (1.0 - self.packet_error_rate());
         let theta = self.theta();
         out.reset(points);
-        let SoaScratch { grid, macs, cells, node_grid, .. } = scratch;
+        let SoaScratch { grid, macs, cells, .. } = scratch;
 
         for (pi, point) in points.iter().enumerate() {
             let n = point.nodes.len();
             let off = out.offsets[pi] as usize;
-            let Some(m) = macs.intern(point.mac, n as u32, cells) else {
-                match self.evaluate(&point.mac, &point.nodes) {
-                    Ok(eval) => {
-                        out.write_point_from_eval(pi, &eval);
-                        out.outcomes.push(Ok(eval.objectives));
-                    }
-                    Err(e) => {
-                        out.zero_point(pi);
-                        out.outcomes.push(Err(e));
-                    }
-                }
-                continue;
+            // The sink writes the per-node lanes in place (point-major);
+            // infeasible points are zero-filled right after.
+            let walked = {
+                let FullEvalOut { sensor, mcu, memory, radio, energy, prd, slots, .. } = &mut *out;
+                walk_point(
+                    self,
+                    grid,
+                    macs,
+                    cells,
+                    point,
+                    retransmission_factor,
+                    |j, g, cell, entries, radio_lane| {
+                        let ge = &entries[g];
+                        let o = off + j;
+                        sensor[o] = ge.sensor;
+                        mcu[o] = ge.mcu;
+                        memory[o] = ge.memory;
+                        radio[o] = radio_lane[g];
+                        energy[o] = cell.energy;
+                        prd[o] = cell.prd;
+                        slots[o] = cell.k;
+                    },
+                )
             };
-            if let Some(err) = &macs.errs[m] {
-                out.zero_point(pi);
-                out.outcomes.push(Err(err.clone()));
-                continue;
-            }
-            let me = &macs.entries[m];
-            let block = &mut cells[m];
-            if n > node_grid.len() {
-                node_grid.resize(n, 0);
-            }
-            let ng = &mut node_grid[..n];
-
-            let mut mask: u32 = BW_OK;
-            let mut total: u32 = 0;
-            let mut sum_energy = 0.0f64;
-            let mut sum_prd = 0.0f64;
-            let mut entry_fail: Option<(usize, usize)> = None;
-            let mut spilled = false;
-            for (i, node) in point.nodes.iter().enumerate() {
-                let Some(g) = grid.intern(self, node, retransmission_factor, &me.mac) else {
-                    spilled = true;
-                    break;
-                };
-                if g >= block.cells.len() {
-                    block.grow_to(grid.entries.len());
-                }
-                let mut cell = block.cells[g];
-                if cell.flags & FILLED == 0 {
-                    let (fresh, bw, radio) =
-                        fill_cell(self, me, &grid.entries[g], grid.errs[g].is_none());
-                    block.cells[g] = fresh;
-                    block.bw_needed[g] = bw;
-                    block.radio[g] = radio;
-                    cell = fresh;
-                }
-                ng[i] = g as u32;
-                let ge = &grid.entries[g];
-                let o = off + i;
-                out.sensor[o] = ge.sensor;
-                out.mcu[o] = ge.mcu;
-                out.memory[o] = ge.memory;
-                out.radio[o] = block.radio[g];
-                out.energy[o] = cell.energy;
-                out.prd[o] = cell.prd;
-                out.slots[o] = cell.k;
-                sum_energy += cell.energy;
-                sum_prd += cell.prd;
-                total += cell.k;
-                mask &= cell.flags;
-                if cell.flags & ENTRY_OK == 0 {
-                    entry_fail = Some((i, g));
-                    break;
-                }
-            }
-
-            if spilled {
-                match self.evaluate(&point.mac, &point.nodes) {
+            match walked {
+                Walked::Spill => match self.evaluate(&point.mac, &point.nodes) {
                     Ok(eval) => {
                         out.write_point_from_eval(pi, &eval);
                         out.outcomes.push(Ok(eval.objectives));
@@ -1179,67 +1135,32 @@ impl WbsnModel {
                         out.zero_point(pi);
                         out.outcomes.push(Err(e));
                     }
+                },
+                Walked::Dead(err) => {
+                    out.zero_point(pi);
+                    out.outcomes.push(Err(err));
                 }
-                continue;
+                Walked::Alive { mac, total, sum_energy, sum_prd } => {
+                    // Eq. 9, writing the per-node bounds straight into
+                    // the lane.
+                    let me = &macs.entries[mac];
+                    let sum_delay = delay_reduce(
+                        me,
+                        total,
+                        &out.slots[off..off + n],
+                        &mut out.delay[off..off + n],
+                    );
+                    out.outcomes.push(Ok(NetworkObjectives {
+                        energy: balanced_metric_with_sum(
+                            &out.energy[off..off + n],
+                            sum_energy,
+                            theta,
+                        ),
+                        delay: balanced_metric_with_sum(&out.delay[off..off + n], sum_delay, theta),
+                        prd: balanced_metric_with_sum(&out.prd[off..off + n], sum_prd, theta),
+                    }));
+                }
             }
-            if let Some((node, g)) = entry_fail {
-                let err = grid.errs[g].as_ref().expect("entry-infeasible cell has a stored error");
-                let err = match err {
-                    ModelError::DutyCycleExceeded { duty, .. } => {
-                        ModelError::DutyCycleExceeded { node, duty: *duty }
-                    }
-                    other => other.clone(),
-                };
-                out.zero_point(pi);
-                out.outcomes.push(Err(err));
-                continue;
-            }
-            if mask & BW_OK == 0 {
-                let (node, g) = ng
-                    .iter()
-                    .enumerate()
-                    .map(|(i, &g)| (i, g as usize))
-                    .find(|&(_, g)| block.cells[g].flags & BW_OK == 0)
-                    .expect("masked point must contain a bandwidth-flagged node");
-                let err = ModelError::BandwidthExceeded {
-                    node,
-                    needed_s: block.bw_needed[g],
-                    available_s: me.max_per_round,
-                };
-                out.zero_point(pi);
-                out.outcomes.push(Err(err));
-                continue;
-            }
-            if total > me.capacity {
-                out.zero_point(pi);
-                out.outcomes.push(Err(ModelError::GtsCapacityExceeded {
-                    required: total,
-                    available: me.capacity,
-                }));
-                continue;
-            }
-
-            // Eq. 9, writing the per-node bounds straight into the lane.
-            let control = me.control[total as usize];
-            let (delta, pkt) = (me.delta, me.pkt);
-            let mut sum_delay = 0.0f64;
-            for i in 0..n {
-                let k = out.slots[off + i];
-                let others = total - k;
-                let crossed = others.div_ceil(MAX_GTS_SLOTS).max(1);
-                let d = delta * f64::from(others)
-                    + control * f64::from(crossed)
-                    + delta * f64::from(k)
-                    + pkt;
-                out.delay[off + i] = d;
-                sum_delay += d;
-            }
-
-            out.outcomes.push(Ok(NetworkObjectives {
-                energy: balanced_metric_with_sum(&out.energy[off..off + n], sum_energy, theta),
-                delay: balanced_metric_with_sum(&out.delay[off..off + n], sum_delay, theta),
-                prd: balanced_metric_with_sum(&out.prd[off..off + n], sum_prd, theta),
-            }));
         }
     }
 
@@ -1278,16 +1199,15 @@ impl WbsnModel {
     ///
     /// Three phases:
     ///
-    /// 1. **Walk** every point in batch order — exactly the ungrouped
-    ///    kernel's walk: one grid intern, one cell load per node,
-    ///    node-outcome failures stopping at the failing node, assignment
-    ///    infeasibility resolved in `assign_slots_into` order. Every
-    ///    infeasible (or table-spilled) point is resolved here; every
-    ///    feasible point is deferred as a *pending* record — its interned
-    ///    grid indices, Eq. 8 element sums, slot total and control time
-    ///    stored in compact parallel arrays. The sequential walk keeps
-    ///    the (large) `DesignPoint`s prefetcher-friendly; the compact
-    ///    records are what the reordered phase 3 touches.
+    /// 1. **Walk** every point in batch order — literally the ungrouped
+    ///    kernel's walk (the shared [`walk_point`] helper): one dense
+    ///    grid load per node, node-outcome failures stopping at the
+    ///    failing node, assignment infeasibility resolved in
+    ///    `assign_slots_into` order. Every infeasible (or axis-spilled)
+    ///    point is resolved here; every feasible point is deferred as a
+    ///    *pending* record over its walked grid indices. The sequential
+    ///    walk keeps the (large) `DesignPoint`s prefetcher-friendly; the
+    ///    compact records are what the reordered phase 3 touches.
     /// 2. **Group**: a stable counting sort turns the pending points
     ///    into contiguous same-MAC runs (batch order preserved within a
     ///    run).
@@ -1357,127 +1277,87 @@ impl WbsnModel {
         }
         pending.clear();
         point_nodes.clear();
-        // Histogram for the phase 2 counting sort, filled at push time.
-        // Sized to the interning cap up front: phase 1 itself interns
-        // new MAC entries, so `macs.entries.len()` can grow under it.
-        counts.clear();
-        counts.resize(MAC_CAPACITY + 1, 0);
 
-        // Phase 1: the sequential walk; resolves every infeasibility.
+        // Phase 1: the sequential walk (the shared [`walk_point`]
+        // helper); resolves every infeasibility, defers every feasible
+        // point as a compact pending record over its walked indices
+        // (recorded by the sink — only the grouped engine needs them
+        // after the walk).
         for (pi, point) in points.iter().enumerate() {
-            let n = point.nodes.len();
-            let Some(m) = macs.intern(point.mac, n as u32, cells) else {
-                results[pi] = self.grouped_spill::<FULL>(point, pi, full.as_deref_mut(), fallback);
-                continue;
-            };
-            if let Some(err) = &macs.errs[m] {
-                if FULL {
-                    full.as_deref_mut().expect("full mode carries an output buffer").zero_point(pi);
-                }
-                results[pi] = Err(err.clone());
-                continue;
-            }
-            let me = &macs.entries[m];
-            let block = &mut cells[m];
             let start = u32::try_from(point_nodes.len()).expect("flat node count fits u32");
-            let mut mask: u32 = BW_OK;
-            let mut total: u32 = 0;
-            let mut entry_fail: Option<(usize, usize)> = None;
-            let mut spilled = false;
-            for (j, node) in point.nodes.iter().enumerate() {
-                let Some(g) = grid.intern(self, node, retransmission_factor, &me.mac) else {
-                    spilled = true;
-                    break;
-                };
-                if g >= block.cells.len() {
-                    block.grow_to(grid.entries.len());
-                }
-                let mut cell = block.cells[g];
-                if cell.flags & FILLED == 0 {
-                    let (fresh, bw, radio) =
-                        fill_cell(self, me, &grid.entries[g], grid.errs[g].is_none());
-                    block.cells[g] = fresh;
-                    block.bw_needed[g] = bw;
-                    block.radio[g] = radio;
-                    cell = fresh;
-                }
-                point_nodes.push(g as u32);
-                total += cell.k;
-                mask &= cell.flags;
-                if FULL {
-                    let o = full.as_deref_mut().expect("full mode carries an output buffer");
-                    let o_j = o.offsets[pi] as usize + j;
-                    let ge = &grid.entries[g];
-                    o.sensor[o_j] = ge.sensor;
-                    o.mcu[o_j] = ge.mcu;
-                    o.memory[o_j] = ge.memory;
-                    o.radio[o_j] = block.radio[g];
-                    o.energy[o_j] = cell.energy;
-                    o.prd[o_j] = cell.prd;
-                    o.slots[o_j] = cell.k;
-                }
-                if cell.flags & ENTRY_OK == 0 {
-                    entry_fail = Some((j, g));
-                    break;
-                }
-            }
-
-            // Resolution in the scalar path's order: node-outcome
-            // failure, then the first bandwidth-flagged node, then the
-            // capacity total. Resolved points never reach phase 3.
-            let dead: Option<PointOutcome> = if spilled {
-                Some(self.grouped_spill::<FULL>(point, pi, full.as_deref_mut(), fallback))
-            } else if let Some((node, g)) = entry_fail {
-                let err = grid.errs[g].as_ref().expect("entry-infeasible cell has a stored error");
-                Some(Err(match err {
-                    ModelError::DutyCycleExceeded { duty, .. } => {
-                        ModelError::DutyCycleExceeded { node, duty: *duty }
-                    }
-                    other => other.clone(),
-                }))
-            } else if mask & BW_OK == 0 {
-                let (node, g) = point_nodes[start as usize..]
-                    .iter()
-                    .enumerate()
-                    .map(|(i, &g)| (i, g as usize))
-                    .find(|&(_, g)| block.cells[g].flags & BW_OK == 0)
-                    .expect("masked point must contain a bandwidth-flagged node");
-                Some(Err(ModelError::BandwidthExceeded {
-                    node,
-                    needed_s: block.bw_needed[g],
-                    available_s: me.max_per_round,
-                }))
-            } else if total > me.capacity {
-                Some(Err(ModelError::GtsCapacityExceeded {
-                    required: total,
-                    available: me.capacity,
-                }))
+            let walked = if FULL {
+                let o = full.as_deref_mut().expect("full mode carries an output buffer");
+                let off = o.offsets[pi] as usize;
+                let FullEvalOut { sensor, mcu, memory, radio, energy, prd, slots, .. } = &mut *o;
+                walk_point(
+                    self,
+                    grid,
+                    macs,
+                    cells,
+                    point,
+                    retransmission_factor,
+                    |j, g, cell, entries, radio_lane| {
+                        point_nodes.push(g as u32);
+                        let ge = &entries[g];
+                        let o_j = off + j;
+                        sensor[o_j] = ge.sensor;
+                        mcu[o_j] = ge.mcu;
+                        memory[o_j] = ge.memory;
+                        radio[o_j] = radio_lane[g];
+                        energy[o_j] = cell.energy;
+                        prd[o_j] = cell.prd;
+                        slots[o_j] = cell.k;
+                    },
+                )
             } else {
-                None
+                walk_point(
+                    self,
+                    grid,
+                    macs,
+                    cells,
+                    point,
+                    retransmission_factor,
+                    |_, g, _, _, _| point_nodes.push(g as u32),
+                )
             };
-            if let Some(outcome) = dead {
-                if FULL && outcome.is_err() {
-                    full.as_deref_mut().expect("full mode carries an output buffer").zero_point(pi);
+            match walked {
+                Walked::Spill => {
+                    point_nodes.truncate(start as usize);
+                    results[pi] =
+                        self.grouped_spill::<FULL>(point, pi, full.as_deref_mut(), fallback);
                 }
-                results[pi] = outcome;
-                point_nodes.truncate(start as usize);
-                continue;
+                Walked::Dead(err) => {
+                    point_nodes.truncate(start as usize);
+                    if FULL {
+                        full.as_deref_mut()
+                            .expect("full mode carries an output buffer")
+                            .zero_point(pi);
+                    }
+                    results[pi] = Err(err);
+                }
+                Walked::Alive { mac, total, .. } => {
+                    pending.push(Pending {
+                        mac: u32::try_from(mac).expect("MAC entry index fits u32"),
+                        point: u32::try_from(pi).expect("point index fits u32"),
+                        start,
+                        total,
+                    });
+                }
             }
-            pending.push(Pending {
-                mac: u32::try_from(m).expect("MAC entry index fits u32"),
-                point: u32::try_from(pi).expect("point index fits u32"),
-                start,
-                total,
-            });
-            counts[m + 1] += 1;
         }
 
         // Phase 2: stable counting sort of the pending points by MAC
         // entry — same-MAC points become contiguous runs, batch order
         // preserved within each run. The records (and their interned
         // node indices) are physically permuted, not just indexed, so
-        // the reduction phase streams memory sequentially.
-        // `counts` arrives pre-filled: phase 1 histograms at push time.
+        // the reduction phase streams memory sequentially. The histogram
+        // runs after phase 1 (which interns new MAC entries under it),
+        // so it is sized to the final entry count.
+        counts.clear();
+        counts.resize(macs.entries.len() + 1, 0);
+        for p in pending.iter() {
+            counts[p.mac as usize + 1] += 1;
+        }
         node_base.clear();
         node_base.resize(macs.entries.len(), 0);
         let mut slot = 0u32;
@@ -1487,7 +1367,7 @@ impl WbsnModel {
             counts[m] = slot;
             node_base[m] = node_off;
             slot += c;
-            node_off += c * macs.keys[m].n_nodes;
+            node_off += c * macs.entries[m].n_nodes;
         }
         sorted_pending.clear();
         sorted_pending.resize(pending.len(), Pending::default());
@@ -1495,7 +1375,7 @@ impl WbsnModel {
         sorted_nodes.resize(point_nodes.len(), 0);
         for p in pending.iter() {
             let m = p.mac as usize;
-            let n = macs.keys[m].n_nodes as usize;
+            let n = macs.entries[m].n_nodes as usize;
             let s = counts[m] as usize;
             counts[m] += 1;
             let nd = node_base[m] as usize;
@@ -1516,7 +1396,7 @@ impl WbsnModel {
             }
             let me = &macs.entries[mac];
             let block = &cells[mac];
-            let n = macs.keys[mac].n_nodes as usize;
+            let n = me.n_nodes as usize;
 
             if n == 0 {
                 // Empty networks are trivially feasible; reuse the
@@ -1762,9 +1642,9 @@ mod tests {
         assert_batch_matches_scalar(&WbsnModel::shimmer(), &points);
     }
 
-    /// Sweeping more distinct node configurations than [`GRID_CAPACITY`]
-    /// through one scratch must stay bounded (the overflow spills to the
-    /// scalar path) and bit-identical.
+    /// A continuous CR sweep is off-axis for the dense grid: every such
+    /// point must spill to the scalar path bit-identically, and the
+    /// dense tables must stay bounded (nothing off-axis is interned).
     #[test]
     fn continuous_cr_sweep_spills_to_scalar_beyond_grid_capacity() {
         let model = WbsnModel::shimmer();
@@ -1783,7 +1663,7 @@ mod tests {
         let mut scalar = EvalScratch::new();
         let outcomes: Vec<PointOutcome> =
             model.evaluate_objectives_batch(&points, &mut soa).to_vec();
-        assert!(soa.grid_len() <= GRID_CAPACITY, "grid grew past its cap: {}", soa.grid_len());
+        assert!(soa.grid_len() <= GRID_SLOTS, "grid grew past its cap: {}", soa.grid_len());
         for (p, outcome) in points.iter().zip(outcomes) {
             let reference = model.evaluate_objectives(&p.mac, &p.nodes, &mut scalar);
             match (reference, outcome) {

@@ -21,8 +21,121 @@
 
 use crate::evaluate::NodeConfig;
 use crate::ieee802154::Ieee802154Config;
-use crate::shimmer::{CompressionKind, CR_MAX, CR_MIN, F_MCU_OPTIONS_MHZ};
+use crate::shimmer::{CompressionKind, F_MCU_OPTIONS_MHZ};
 use crate::units::Hertz;
+
+// ---------------------------------------------------------------------
+// Canonical case-study axes and their perfect indices
+// ---------------------------------------------------------------------
+//
+// The DAC 2012 design space is small and fully enumerable: per-node
+// picks are `(kind, CR, fµC)` drawn from fixed axes, MAC picks are
+// `(payload, SFO, BCO)` from fixed axes. The batch kernels
+// (`crate::soa`) and the scalar memo (`crate::evaluate`) exploit that
+// by interning picks into *dense* tables indexed by a perfect index
+// computed arithmetically from the pick — no hashing, no probing. The
+// helpers below derive those indices and verify them **bitwise**
+// against the canonical axis values, so two distinct `f64` bit patterns
+// can never alias one table slot: a pick that is not bit-identical to a
+// canonical value is *off-axis* (`None`) and takes the scalar path.
+
+/// The canonical CR axis: 0.17..=0.38 in steps of 0.01 (§4.1). The
+/// literals are bit-identical to `round(cr · 100) / 100` over the
+/// paper's range — IEEE division is correctly rounded, so `k / 100.0`
+/// *is* the nearest double to `0.k`, which is what the literal parses
+/// to (asserted in this module's tests).
+pub const CR_AXIS: [f64; 22] = [
+    0.17, 0.18, 0.19, 0.20, 0.21, 0.22, 0.23, 0.24, 0.25, 0.26, 0.27, 0.28, 0.29, 0.30, 0.31, 0.32,
+    0.33, 0.34, 0.35, 0.36, 0.37, 0.38,
+];
+
+/// The canonical µC clock axis in Hz: `Hertz::from_mhz(m)` for the
+/// platform options `m ∈ {1, 2, 4, 8}` (`m * 1e6` is exact for all
+/// four, asserted in tests).
+pub const F_MCU_AXIS_HZ: [f64; 4] = [1e6, 2e6, 4e6, 8e6];
+
+/// The canonical packet payload axis (`Lpayload`, bytes).
+pub const PAYLOAD_AXIS: [u16; 5] = [30, 50, 70, 90, 114];
+
+/// Smallest superframe/beacon order on the canonical axis.
+pub const ORDER_AXIS_MIN: u8 = 4;
+/// Largest superframe/beacon order on the canonical axis.
+pub const ORDER_AXIS_MAX: u8 = 9;
+/// Levels per order axis (SFO and BCO each).
+pub const ORDER_AXIS_LEVELS: usize = (ORDER_AXIS_MAX - ORDER_AXIS_MIN + 1) as usize;
+/// Dense `(SFO, BCO)` pair slots — the full square, *including*
+/// `SFO > BCO` pairs, so a MAC-validation error is representable (and
+/// cacheable) like any other outcome.
+pub const ORDER_PAIR_SLOTS: usize = ORDER_AXIS_LEVELS * ORDER_AXIS_LEVELS;
+
+/// Application-kind levels ([`CompressionKind`] variants).
+pub const KIND_AXIS_LEVELS: usize = 2;
+
+/// Dense node-configuration slots: kind × CR level × fµC level (176 for
+/// the case study) — the codomain of [`node_axis_index`].
+pub const NODE_AXIS_SLOTS: usize = KIND_AXIS_LEVELS * CR_AXIS.len() * F_MCU_AXIS_HZ.len();
+
+/// Level of `cr` on the canonical CR axis, or `None` when `cr` is not
+/// bit-identical to a canonical value (off-axis, NaN, out of range).
+#[inline]
+#[must_use]
+pub fn cr_axis_index(cr: f64) -> Option<usize> {
+    let r = (cr * 100.0).round();
+    if !(17.0..=38.0).contains(&r) {
+        return None;
+    }
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let level = (r as i64 - 17) as usize;
+    (CR_AXIS[level].to_bits() == cr.to_bits()).then_some(level)
+}
+
+/// Level of `f` on the canonical µC clock axis (bitwise), or `None`.
+#[inline]
+#[must_use]
+pub fn f_mcu_axis_index(f: Hertz) -> Option<usize> {
+    let bits = f.value().to_bits();
+    F_MCU_AXIS_HZ.iter().position(|c| c.to_bits() == bits)
+}
+
+/// Level of an application kind (total: every kind is on-axis).
+#[inline]
+#[must_use]
+pub fn kind_axis_index(kind: CompressionKind) -> usize {
+    match kind {
+        CompressionKind::Dwt => 0,
+        CompressionKind::Cs => 1,
+    }
+}
+
+/// Perfect dense index of a `(kind, CR, fµC)` node pick in
+/// `0..`[`NODE_AXIS_SLOTS`], or `None` when any component is off-axis.
+#[inline]
+#[must_use]
+pub fn node_axis_index(kind: CompressionKind, cr: f64, f_mcu: Hertz) -> Option<usize> {
+    let c = cr_axis_index(cr)?;
+    let f = f_mcu_axis_index(f_mcu)?;
+    Some((kind_axis_index(kind) * CR_AXIS.len() + c) * F_MCU_AXIS_HZ.len() + f)
+}
+
+/// Level of a payload size on the canonical axis, or `None`.
+#[inline]
+#[must_use]
+pub fn payload_axis_index(payload_bytes: u16) -> Option<usize> {
+    PAYLOAD_AXIS.iter().position(|&p| p == payload_bytes)
+}
+
+/// Perfect dense index of an `(SFO, BCO)` pair in
+/// `0..`[`ORDER_PAIR_SLOTS`], or `None` when either order is outside
+/// the canonical `4..=9` axis. `SFO > BCO` pairs are representable on
+/// purpose — their validation error caches like any other entry.
+#[inline]
+#[must_use]
+pub fn order_pair_axis_index(sfo: u8, bco: u8) -> Option<usize> {
+    let on_axis = |o: u8| (ORDER_AXIS_MIN..=ORDER_AXIS_MAX).contains(&o);
+    (on_axis(sfo) && on_axis(bco)).then(|| {
+        usize::from(sfo - ORDER_AXIS_MIN) * ORDER_AXIS_LEVELS + usize::from(bco - ORDER_AXIS_MIN)
+    })
+}
 
 /// Per-node configurations a [`NodeVec`] stores without heap allocation.
 ///
@@ -181,25 +294,21 @@ impl DesignSpace {
     /// ```
     #[must_use]
     pub fn case_study(n_nodes: usize) -> Self {
-        let mut cr_values = Vec::new();
-        let mut cr = CR_MIN;
-        while cr <= CR_MAX + 1e-9 {
-            cr_values.push((cr * 100.0).round() / 100.0);
-            cr += 0.01;
-        }
         let mut order_pairs = Vec::new();
-        for sfo in 4u8..=9 {
-            for bco in sfo..=9 {
+        for sfo in ORDER_AXIS_MIN..=ORDER_AXIS_MAX {
+            for bco in sfo..=ORDER_AXIS_MAX {
                 order_pairs.push((sfo, bco));
             }
         }
         let node_kinds = (0..n_nodes)
             .map(|i| if i < n_nodes / 2 { CompressionKind::Dwt } else { CompressionKind::Cs })
             .collect();
+        // Axes come from the canonical tables, so every generated point
+        // is on-axis for the dense-index interning of the batch kernels.
         Self {
-            cr_values,
+            cr_values: CR_AXIS.to_vec(),
             f_mcu_values: F_MCU_OPTIONS_MHZ.iter().map(|&m| Hertz::from_mhz(m)).collect(),
-            payload_values: vec![30, 50, 70, 90, 114],
+            payload_values: PAYLOAD_AXIS.to_vec(),
             order_pairs,
             node_kinds,
         }
@@ -338,6 +447,89 @@ impl DesignSpace {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::shimmer::{CR_MAX, CR_MIN};
+
+    /// The literal axis tables must be bit-identical to the values the
+    /// rest of the model computes: `CR_AXIS` to `round(cr·100)/100`
+    /// over the paper's range (the expression the CR grid historically
+    /// used) and `F_MCU_AXIS_HZ` to `Hertz::from_mhz` of the platform
+    /// options. A mismatch would silently split one configuration
+    /// across a dense slot and the scalar spill path.
+    #[test]
+    fn axis_tables_are_bit_identical_to_computed_values() {
+        for (level, &canon) in CR_AXIS.iter().enumerate() {
+            let computed = (17.0 + level as f64).round() / 100.0;
+            assert_eq!(canon.to_bits(), computed.to_bits(), "CR level {level}");
+        }
+        // The historical accumulating generator (cr += 0.01, snapped to
+        // two decimals) produces the same bits.
+        let mut cr = CR_MIN;
+        let mut accumulated = Vec::new();
+        while cr <= CR_MAX + 1e-9 {
+            accumulated.push((cr * 100.0).round() / 100.0);
+            cr += 0.01;
+        }
+        assert_eq!(accumulated.len(), CR_AXIS.len());
+        for (a, c) in accumulated.iter().zip(&CR_AXIS) {
+            assert_eq!(a.to_bits(), c.to_bits());
+        }
+        for (level, &m) in F_MCU_OPTIONS_MHZ.iter().enumerate() {
+            assert_eq!(
+                F_MCU_AXIS_HZ[level].to_bits(),
+                Hertz::from_mhz(m).value().to_bits(),
+                "fµC level {level}"
+            );
+        }
+    }
+
+    /// Every axis value of the case-study space must resolve to its own
+    /// dense index (round trip), and near misses must be rejected.
+    #[test]
+    fn axis_indices_round_trip_and_reject_off_axis_picks() {
+        let space = DesignSpace::case_study(6);
+        for (i, &cr) in space.cr_values.iter().enumerate() {
+            assert_eq!(cr_axis_index(cr), Some(i), "cr {cr}");
+            // One ulp off is off-axis.
+            assert_eq!(cr_axis_index(f64::from_bits(cr.to_bits() + 1)), None);
+        }
+        for (i, &f) in space.f_mcu_values.iter().enumerate() {
+            assert_eq!(f_mcu_axis_index(f), Some(i), "f {f:?}");
+        }
+        for (i, &p) in space.payload_values.iter().enumerate() {
+            assert_eq!(payload_axis_index(p), Some(i), "payload {p}");
+        }
+        for &(sfo, bco) in &space.order_pairs {
+            let slot = order_pair_axis_index(sfo, bco).expect("case-study pair on axis");
+            assert!(slot < ORDER_PAIR_SLOTS);
+        }
+        // Composed node indices are injective over the whole axis grid.
+        let mut seen = [false; NODE_AXIS_SLOTS];
+        for kind in [CompressionKind::Dwt, CompressionKind::Cs] {
+            for &cr in &space.cr_values {
+                for &f in &space.f_mcu_values {
+                    let slot = node_axis_index(kind, cr, f).expect("on-axis");
+                    assert!(!seen[slot], "slot {slot} aliased");
+                    seen[slot] = true;
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "axis grid must fill every dense slot");
+        // Off-axis rejections: accumulated drift, out-of-range values,
+        // NaN, off-axis MAC shapes.
+        assert_eq!(cr_axis_index(0.17 + 0.01), None, "accumulated 0.18 is off-axis bits");
+        assert_eq!(cr_axis_index(0.0), None);
+        assert_eq!(cr_axis_index(-0.25), None);
+        assert_eq!(cr_axis_index(1.5), None);
+        assert_eq!(cr_axis_index(f64::NAN), None);
+        assert_eq!(f_mcu_axis_index(Hertz::from_mhz(3.0)), None);
+        assert_eq!(payload_axis_index(0), None);
+        assert_eq!(payload_axis_index(120), None);
+        assert_eq!(order_pair_axis_index(3, 5), None);
+        assert_eq!(order_pair_axis_index(4, 10), None);
+        // SFO > BCO within the axis IS representable (validation errors
+        // are cacheable).
+        assert!(order_pair_axis_index(9, 4).is_some());
+    }
 
     #[test]
     fn case_study_cardinality_exceeds_tens_of_millions() {

@@ -8,18 +8,21 @@
 //!
 //! Both model-backed evaluators override [`Evaluator::evaluate_batch`]
 //! with a parallel implementation whose per-worker engine is the
-//! MAC-grouped struct-of-arrays kernel
-//! [`WbsnModel::evaluate_objectives_batch_grouped`] (`wbsn_model::soa`):
-//! each worker sorts its chunk by interned MAC entry and reduces
-//! same-MAC runs side by side over transposed `node × point` lanes, all
-//! through interned node/MAC tables held in a pooled [`SoaScratch`].
-//! Small batches fall back to the scalar per-point
-//! [`WbsnModel::evaluate_objectives`] path (one [`EvalScratch`] per
-//! worker) — the `SoA` tables only pay off once a chunk amortizes them.
-//! Both engines are bit-identical to the full model evaluation, so the
-//! choice is invisible to callers. [`SerialEvaluator`] opts any
-//! evaluator back into the one-at-a-time default — the baseline the
-//! speedup is measured against and the reference for determinism tests.
+//! struct-of-arrays kernel (`wbsn_model::soa`), **keyed on the batch's
+//! node count**: narrow networks (the ≈6-node case study) run the
+//! straight per-point [`WbsnModel::evaluate_objectives_batch`] walk,
+//! while wide deployments (≥ [`GROUPED_MIN_NODES`] nodes) run the
+//! MAC-grouped [`WbsnModel::evaluate_objectives_batch_grouped`] variant
+//! whose transposed `node × point` tiles only pay off once networks are
+//! wide enough to amortize the permutation. Both run through interned
+//! dense node/MAC tables held in a pooled [`SoaScratch`]. Small batches
+//! fall back to the scalar per-point [`WbsnModel::evaluate_objectives`]
+//! path (one [`EvalScratch`] per worker) — the `SoA` tables only pay
+//! off once a chunk amortizes them. All engines are bit-identical to
+//! the full model evaluation, so the choice is invisible to callers.
+//! [`SerialEvaluator`] opts any evaluator back into the one-at-a-time
+//! default — the baseline the speedup is measured against and the
+//! reference for determinism tests.
 
 use crate::objective::ObjectiveVector;
 use crate::parallel::{parallel_map_with, parallel_map_with_block};
@@ -118,6 +121,16 @@ const SOA_MIN_BATCH: usize = 64;
 /// split a generation-sized batch across every core.
 const SOA_CHUNK: usize = 1024;
 
+/// Node count at which the per-chunk engine switches from the ungrouped
+/// `SoA` kernel to the MAC-grouped one. With interning reduced to dense
+/// loads, the straight walk wins on narrow networks; the grouped
+/// engine's counting-sort permutation and transposed tiles only out-run
+/// it once networks are wide enough (crossover measured ≈16 nodes on
+/// the case-study sweeps — see `dse_throughput`'s 16-node section and
+/// the ROADMAP crossover note). Both engines are bit-identical, so the
+/// threshold is pure tuning.
+const GROUPED_MIN_NODES: usize = 16;
+
 /// Shared warm state of the two model-backed evaluators: a pool of `SoA`
 /// kernel scratches for real batches and a pool of scalar scratches for
 /// the small-batch fallback.
@@ -127,14 +140,16 @@ struct ModelPools {
     scalar: Arc<Pool<EvalScratch>>,
 }
 
-/// Order-preserving parallel batch evaluation through the MAC-grouped
-/// `SoA` kernel: the batch is cut into [`SOA_CHUNK`]-point chunks, each
-/// worker runs whole chunks through a pooled [`SoaScratch`] (grouping
-/// each chunk by MAC entry internally) and projects the per-point
-/// outcomes with `project`. Falls back to the scalar
-/// [`WbsnModel::evaluate_objectives`] per-point path for batches too
-/// small to amortize the kernel. All engines are bit-identical to the
-/// full model evaluation, so results do not depend on the path taken.
+/// Order-preserving parallel batch evaluation through the `SoA` kernel:
+/// the batch is cut into [`SOA_CHUNK`]-point chunks, each worker runs
+/// whole chunks through a pooled [`SoaScratch`] and projects the
+/// per-point outcomes with `project`. The per-chunk engine is keyed on
+/// the batch's node count (first point) — ungrouped walk below
+/// [`GROUPED_MIN_NODES`], MAC-grouped transposition at or above it.
+/// Falls back to the scalar [`WbsnModel::evaluate_objectives`]
+/// per-point path for batches too small to amortize the kernel. All
+/// engines are bit-identical to the full model evaluation, so results
+/// do not depend on the path taken.
 fn batch_through_soa(
     model: &WbsnModel,
     pools: &ModelPools,
@@ -153,28 +168,33 @@ fn batch_through_soa(
             },
         );
     }
+    // Node-count-keyed engine choice: grouped only pays off on wide
+    // networks. Keyed on the first point — search batches decode from
+    // one space, so node counts are homogeneous in practice, and both
+    // engines are bit-identical, so a mixed batch is merely served by
+    // one engine throughout (never wrong).
+    let grouped = points.first().is_some_and(|p| p.nodes.len() >= GROUPED_MIN_NODES);
+    let run_kernel =
+        |scratch: &mut SoaScratch, chunk: &[DesignPoint]| -> Vec<Option<ObjectiveVector>> {
+            let outcomes = if grouped {
+                model.evaluate_objectives_batch_grouped(chunk, scratch)
+            } else {
+                model.evaluate_objectives_batch(chunk, scratch)
+            };
+            outcomes.iter().map(|outcome| outcome.as_ref().ok().map(&project)).collect()
+        };
     if crate::parallel::num_threads() == 1 {
         // No workers to feed: run the kernel over the whole batch in one
         // call, skipping the chunk partition and the flatten copy.
         let mut pooled = pools.soa.take();
-        return model
-            .evaluate_objectives_batch_grouped(points, &mut pooled.state)
-            .iter()
-            .map(|outcome| outcome.as_ref().ok().map(&project))
-            .collect();
+        return run_kernel(&mut pooled.state, points);
     }
     let chunks: Vec<&[DesignPoint]> = points.chunks(SOA_CHUNK).collect();
     let per_chunk: Vec<Vec<Option<ObjectiveVector>>> = parallel_map_with_block(
         &chunks,
         1,
         || pools.soa.take(),
-        |pooled, chunk| {
-            model
-                .evaluate_objectives_batch_grouped(chunk, &mut pooled.state)
-                .iter()
-                .map(|outcome| outcome.as_ref().ok().map(&project))
-                .collect()
-        },
+        |pooled, chunk| run_kernel(&mut pooled.state, chunk),
     );
     per_chunk.into_iter().flatten().collect()
 }
@@ -348,6 +368,32 @@ mod tests {
         let scalar_path: Vec<_> =
             points.chunks(SOA_MIN_BATCH - 1).flat_map(|chunk| eval.evaluate_batch(chunk)).collect();
         assert_eq!(soa_path, scalar_path);
+    }
+
+    /// The node-count-keyed engine choice (ungrouped below
+    /// [`GROUPED_MIN_NODES`], grouped at or above) must be invisible:
+    /// batches on either side of the threshold equal the serial map.
+    #[test]
+    fn node_count_keyed_engine_choice_is_invisible() {
+        let eval = ModelEvaluator::shimmer();
+        let serial = SerialEvaluator(eval.clone());
+        for n_nodes in [GROUPED_MIN_NODES - 1, GROUPED_MIN_NODES, GROUPED_MIN_NODES + 1] {
+            let space = DesignSpace::case_study(n_nodes);
+            let points = space.sample_sweep(200);
+            assert_eq!(
+                eval.evaluate_batch(&points),
+                serial.evaluate_batch(&points),
+                "{n_nodes} nodes"
+            );
+        }
+        // A mixed batch keys on its first point; still invisible
+        // whichever engine serves the rest.
+        for lead in [6usize, GROUPED_MIN_NODES + 2] {
+            let mut points = DesignSpace::case_study(lead).sample_sweep(100);
+            let other = 6 + GROUPED_MIN_NODES + 2 - lead;
+            points.extend(DesignSpace::case_study(other).sample_sweep(100));
+            assert_eq!(eval.evaluate_batch(&points), serial.evaluate_batch(&points));
+        }
     }
 
     #[test]

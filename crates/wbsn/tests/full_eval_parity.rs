@@ -23,13 +23,16 @@ use wbsn::model::evaluate::{NodeConfig, WbsnModel};
 use wbsn::model::ieee802154::Ieee802154Config;
 use wbsn::model::shimmer::CompressionKind;
 use wbsn::model::soa::{FullEvalOut, SoaScratch};
-use wbsn::model::space::{DesignPoint, NodeVec};
+use wbsn::model::space::{DesignPoint, NodeVec, CR_AXIS};
 use wbsn::model::units::Hertz;
 
-/// Draws one random design point. Roughly: realistic case-study draws,
-/// salted with out-of-range MAC parameters (payload 0 / SFO > BCO),
-/// invalid compression ratios, clocks that overflow the DWT duty cycle,
-/// and CRs large enough to overflow slot capacity on small payloads.
+/// Draws one random design point. Roughly: realistic case-study draws
+/// (canonical axis values, so the dense-index kernel path — not just
+/// the scalar spill — is what gets exercised), salted with off-axis
+/// continuous CRs (which must spill bit-identically), out-of-range MAC
+/// parameters (payload 0 / SFO > BCO), invalid compression ratios,
+/// clocks that overflow the DWT duty cycle, and CRs large enough to
+/// overflow slot capacity on small payloads.
 fn random_point(rng: &mut StdRng) -> DesignPoint {
     let n = rng.gen_range(0..=8usize);
     let nodes: NodeVec = (0..n)
@@ -38,7 +41,8 @@ fn random_point(rng: &mut StdRng) -> DesignPoint {
             let cr = match rng.gen_range(0..10u8) {
                 0 => *[0.0, -0.25, 1.5].get(rng.gen_range(0..3usize)).expect("in range"),
                 1 => rng.gen_range(0.5..1.0), // heavy traffic: capacity errors
-                _ => rng.gen_range(0.17..0.38),
+                2 | 3 => rng.gen_range(0.17..0.38), // off-axis: the spill path
+                _ => CR_AXIS[rng.gen_range(0..CR_AXIS.len())], // dense path
             };
             let f = *[1.0, 2.0, 4.0, 8.0].get(rng.gen_range(0..4usize)).expect("in range");
             NodeConfig::new(kind, cr, Hertz::from_mhz(f))

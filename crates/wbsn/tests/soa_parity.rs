@@ -19,14 +19,17 @@ use rand::{Rng, SeedableRng};
 use wbsn::model::evaluate::{EvalScratch, NodeConfig, WbsnModel};
 use wbsn::model::ieee802154::Ieee802154Config;
 use wbsn::model::shimmer::CompressionKind;
-use wbsn::model::soa::SoaScratch;
-use wbsn::model::space::{DesignPoint, NodeVec};
+use wbsn::model::soa::{SoaScratch, MAC_ENTRY_CAPACITY};
+use wbsn::model::space::{DesignPoint, NodeVec, CR_AXIS, NODE_AXIS_SLOTS, PAYLOAD_AXIS};
 use wbsn::model::units::Hertz;
 
-/// Draws one random design point. Roughly: realistic case-study draws,
-/// salted with out-of-range MAC parameters (payload 0 / SFO > BCO),
-/// invalid compression ratios, clocks that overflow the DWT duty cycle,
-/// and CRs large enough to overflow slot capacity on small payloads.
+/// Draws one random design point. Roughly: realistic case-study draws
+/// (canonical axis values, so the dense-index kernel path — not just
+/// the scalar spill — is what gets exercised), salted with off-axis
+/// continuous CRs (which must spill bit-identically), out-of-range MAC
+/// parameters (payload 0 / SFO > BCO), invalid compression ratios,
+/// clocks that overflow the DWT duty cycle, and CRs large enough to
+/// overflow slot capacity on small payloads.
 fn random_point(rng: &mut StdRng) -> DesignPoint {
     let n = rng.gen_range(0..=8usize);
     let nodes: NodeVec = (0..n)
@@ -35,7 +38,8 @@ fn random_point(rng: &mut StdRng) -> DesignPoint {
             let cr = match rng.gen_range(0..10u8) {
                 0 => *[0.0, -0.25, 1.5].get(rng.gen_range(0..3usize)).expect("in range"),
                 1 => rng.gen_range(0.5..1.0), // heavy traffic: capacity errors
-                _ => rng.gen_range(0.17..0.38),
+                2 | 3 => rng.gen_range(0.17..0.38), // off-axis: the spill path
+                _ => CR_AXIS[rng.gen_range(0..CR_AXIS.len())], // dense path
             };
             let f = *[1.0, 2.0, 4.0, 8.0].get(rng.gen_range(0..4usize)).expect("in range");
             NodeConfig::new(kind, cr, Hertz::from_mhz(f))
@@ -88,6 +92,81 @@ fn assert_parity(model: &WbsnModel, points: &[DesignPoint], soa: &mut SoaScratch
     if points.len() >= 64 {
         assert!(feasible > 0, "degenerate batch: nothing feasible");
         assert!(infeasible > 0, "degenerate batch: nothing infeasible");
+    }
+}
+
+/// Draws one node configuration off the canonical axis grid.
+fn on_axis_node(rng: &mut StdRng) -> NodeConfig {
+    let kind = if rng.gen_bool(0.5) { CompressionKind::Dwt } else { CompressionKind::Cs };
+    let cr = CR_AXIS[rng.gen_range(0..CR_AXIS.len())];
+    let f = *[1.0f64, 2.0, 4.0, 8.0].get(rng.gen_range(0..4usize)).expect("in range");
+    NodeConfig::new(kind, cr, Hertz::from_mhz(f))
+}
+
+// Interning-cap boundary: a batch whose unique `(MAC, node count)`
+// pairs land exactly at the dense MAC-entry capacity must intern all of
+// them; one pair past the cap must spill to the scalar path —
+// bit-identically in both cases, with the table never exceeding its
+// cap. (The node grid's dense table covers the whole 176-slot axis, so
+// its boundary is on/off-axis rather than a count: the companion case
+// below pushes one ulp off a canonical CR and must spill without
+// growing the grid.)
+proptest! {
+    #[test]
+    fn interning_cap_boundary_spills_bit_identically(seed in 0u64..1 << 48) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let model = WbsnModel::shimmer();
+        // Every on-axis (payload, valid order pair, acknowledged, node
+        // count 1..=3) combination: 5 × 21 × 2 × 3 = 630 unique dense
+        // pairs, comfortably past the 512-entry cap. Deterministically
+        // shuffled so the boundary lands on a different pair each case.
+        let mut pairs = Vec::new();
+        for &payload in &PAYLOAD_AXIS {
+            for sfo in 4u8..=9 {
+                for bco in sfo..=9 {
+                    for ack in [true, false] {
+                        for n in 1..=3usize {
+                            pairs.push((payload, sfo, bco, ack, n));
+                        }
+                    }
+                }
+            }
+        }
+        prop_assert!(pairs.len() > MAC_ENTRY_CAPACITY + 1);
+        for i in (1..pairs.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            pairs.swap(i, j);
+        }
+        let mut points: Vec<DesignPoint> = Vec::new();
+        for &(payload, sfo, bco, ack, n) in &pairs[..=MAC_ENTRY_CAPACITY] {
+            points.push(DesignPoint {
+                mac: Ieee802154Config {
+                    payload_bytes: payload,
+                    sfo,
+                    bco,
+                    beacon_payload_bytes: 0,
+                    acknowledged: ack,
+                },
+                nodes: (0..n).map(|_| on_axis_node(&mut rng)).collect(),
+            });
+        }
+        let mut soa = SoaScratch::new();
+        // Exactly at capacity: every pair materializes an entry.
+        let at_cap = &points[..MAC_ENTRY_CAPACITY];
+        assert_parity(&model, at_cap, &mut soa);
+        prop_assert_eq!(soa.mac_len(), MAC_ENTRY_CAPACITY);
+        // One past: the extra pair must spill, bit-identically, without
+        // growing the table.
+        assert_parity(&model, &points, &mut soa);
+        prop_assert_eq!(soa.mac_len(), MAC_ENTRY_CAPACITY);
+        // Grid boundary: a canonical CR nudged one ulp off the axis
+        // must spill without interning anything new.
+        let grid_before = soa.grid_len();
+        prop_assert!(grid_before <= NODE_AXIS_SLOTS);
+        let mut off_axis = points[0].clone();
+        off_axis.nodes[0].cr = f64::from_bits(off_axis.nodes[0].cr.to_bits() + 1);
+        assert_parity(&model, &[off_axis], &mut soa);
+        prop_assert_eq!(soa.grid_len(), grid_before);
     }
 }
 
