@@ -1,12 +1,12 @@
 //! Cross-PR bench regression gate.
 //!
-//! Compares the throughput fields of a fresh `dse_throughput` run
-//! (`./BENCH_dse.json`) against the committed baseline snapshot
-//! (`benchmarks/BENCH_dse.json`) and exits non-zero when any gated
-//! field regresses by more than the tolerance — the check the ROADMAP
-//! asks CI to run after the throughput smoke run.
+//! Compares the gated fields of a fresh bench run (`./BENCH_dse.json`,
+//! written by `dse_throughput` then merged by `serve_throughput`)
+//! against the committed baseline snapshot (`benchmarks/BENCH_dse.json`)
+//! and exits non-zero when any field regresses past its tolerance —
+//! the check the ROADMAP asks CI to run after the throughput smoke run.
 //!
-//! Gated fields (all higher-is-better rates):
+//! Gated fields (higher-is-better rates unless noted):
 //! * `batch_evals_per_s` — the multi-core batch engine;
 //! * `batch_evals_per_s_16node` — the batch engine on the 16-node
 //!   large-deployment sweep (the grouped-kernel crossover workload);
@@ -16,35 +16,56 @@
 //! * `full_evals_per_s` — the full-evaluation (per-node lanes) kernel,
 //!   one core;
 //! * `decode_eval_points_per_s` — linear-index decode + scalar
-//!   fast-path evaluation per point.
+//!   fast-path evaluation per point;
+//! * `serve_queries_per_s` — the serve engine's best sustained
+//!   scenario-query rate;
+//! * `serve_p50_ms` / `serve_p99_ms` — single-client serve latency
+//!   percentiles (**lower is better**: the gate fails when they rise).
 //!
 //! Same-machine quiet-run noise is a few percent per field, but
-//! co-tenant load on shared runners can depress a single run by 10 %+;
-//! the default 20 % tolerance keeps margin over both while still
-//! catching real regressions (rerun before judging a borderline FAIL).
-//! A field missing from the *baseline* is reported and skipped
-//! (snapshots predating the field); a field missing from the *fresh*
-//! run fails.
+//! co-tenant load on shared runners can depress a single run by
+//! 10–15 %; the default 20 % tolerance keeps margin over both while
+//! still catching real regressions. Because a single noisy run can
+//! still land just past the floor, a FAIL that lies within the *retry
+//! band* past its tolerance is re-measured once (when a re-measure
+//! command is configured) before the gate judges it: transient noise
+//! passes the second run, a real regression fails twice. A field
+//! missing from the *baseline* is reported and skipped (snapshots
+//! predating the field); a field missing from the *fresh* run fails.
 //!
 //! Usage: `bench_gate [fresh.json [baseline.json]]`
 //!
 //! Environment:
 //! * `BENCH_GATE_TOLERANCE` — allowed fractional regression (default
 //!   `0.20`, i.e. fail below 80 % of baseline; CI noise tolerance).
+//! * `BENCH_GATE_TOLERANCE_<FIELD>` — per-field override, `<FIELD>`
+//!   being the field name upper-cased (e.g.
+//!   `BENCH_GATE_TOLERANCE_BATCH_EVALS_PER_S_16NODE=0.30` for a field
+//!   known to swing harder than the rest).
+//! * `BENCH_GATE_RETRY_BAND` — width of the borderline band past the
+//!   tolerance, as a fraction (default `0.15`): a FAIL regressed by no
+//!   more than `tolerance + band` qualifies for one re-measurement.
+//! * `BENCH_GATE_REMEASURE_CMD` — shell command that regenerates the
+//!   fresh document (e.g. the `dse_throughput` run); executed at most
+//!   once, only when every failure is borderline. Unset: no retry.
 //! * `BENCH_GATE_SKIP` — set to `1`/`true` to report and exit 0
 //!   regardless (escape hatch for known-slow runners).
 
 use std::process::ExitCode;
 
-/// The gated fields of `BENCH_dse.json`.
-const GATED_FIELDS: [&str; 7] = [
-    "batch_evals_per_s",
-    "batch_evals_per_s_16node",
-    "fastpath_evals_per_s",
-    "soa_evals_per_s",
-    "soa_grouped_evals_per_s",
-    "full_evals_per_s",
-    "decode_eval_points_per_s",
+/// The gated fields of `BENCH_dse.json`; `true` marks lower-is-better
+/// fields (latencies), where the gate fails on *rises* past tolerance.
+const GATED_FIELDS: [(&str, bool); 10] = [
+    ("batch_evals_per_s", false),
+    ("batch_evals_per_s_16node", false),
+    ("fastpath_evals_per_s", false),
+    ("soa_evals_per_s", false),
+    ("soa_grouped_evals_per_s", false),
+    ("full_evals_per_s", false),
+    ("decode_eval_points_per_s", false),
+    ("serve_queries_per_s", false),
+    ("serve_p50_ms", true),
+    ("serve_p99_ms", true),
 ];
 
 /// Extracts the number following `"key":` from a flat JSON document.
@@ -62,6 +83,93 @@ fn json_number(doc: &str, key: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
+/// How far a fresh value regressed from baseline, as a fraction of the
+/// baseline, in the field's "worse" direction: positive = worse.
+/// Higher-is-better fields regress by falling, lower-is-better fields
+/// (latencies) by rising; improvements come back negative either way.
+fn regression(fresh: f64, baseline: f64, lower_is_better: bool) -> f64 {
+    if lower_is_better {
+        fresh / baseline - 1.0
+    } else {
+        1.0 - fresh / baseline
+    }
+}
+
+/// Parses a `[0, 1)` fraction env var, distinguishing unset (`Ok(None)`)
+/// from invalid (`Err` with the offending value).
+fn fraction_env(name: &str) -> Result<Option<f64>, String> {
+    match std::env::var(name) {
+        Err(_) => Ok(None),
+        Ok(v) => match v.parse() {
+            Ok(t) if (0.0..1.0).contains(&t) => Ok(Some(t)),
+            _ => Err(v),
+        },
+    }
+}
+
+/// One comparison pass over every gated field. Returns the number of
+/// hard failures, whether every failure sits inside the retry band,
+/// and the per-field delta strings for the PASS summary line.
+fn judge(
+    fresh_doc: &str,
+    baseline_doc: &str,
+    fresh_path: &str,
+    baseline_path: &str,
+    default_tolerance: f64,
+    retry_band: f64,
+) -> Result<(usize, bool, Vec<String>), ExitCode> {
+    let mut failures = 0usize;
+    let mut all_borderline = true;
+    let mut deltas: Vec<String> = Vec::new();
+    for (field, lower_is_better) in GATED_FIELDS {
+        let tolerance =
+            match fraction_env(&format!("BENCH_GATE_TOLERANCE_{}", field.to_ascii_uppercase())) {
+                Ok(per_field) => per_field.unwrap_or(default_tolerance),
+                Err(v) => {
+                    eprintln!(
+                    "bench_gate: BENCH_GATE_TOLERANCE_{} must be a fraction in [0, 1), got `{v}`",
+                    field.to_ascii_uppercase()
+                );
+                    return Err(ExitCode::FAILURE);
+                }
+            };
+        let Some(fresh) = json_number(fresh_doc, field) else {
+            eprintln!("bench_gate: no `{field}` in {fresh_path}");
+            failures += 1;
+            all_borderline = false; // a missing field is never noise
+            continue;
+        };
+        let Some(baseline) = json_number(baseline_doc, field) else {
+            // Old snapshot without this field: nothing to compare yet.
+            println!("bench_gate: `{field}` absent from baseline {baseline_path} — skipped");
+            continue;
+        };
+        let regressed = regression(fresh, baseline, lower_is_better);
+        let fail = regressed > tolerance;
+        let direction = if lower_is_better { "<=" } else { ">=" };
+        let bound = if lower_is_better {
+            baseline * (1.0 + tolerance)
+        } else {
+            baseline * (1.0 - tolerance)
+        };
+        let verdict = if fail { "FAIL" } else { "ok" };
+        println!(
+            "bench_gate: {field} fresh {fresh:.4} vs baseline {baseline:.4} \
+             ({:+.1}% worse, need {direction} {bound:.4} at tolerance {:.0}%) {verdict}",
+            regressed * 100.0,
+            tolerance * 100.0
+        );
+        deltas.push(format!("{field} {:+.1}%", -regressed * 100.0));
+        if fail {
+            failures += 1;
+            if regressed > tolerance + retry_band {
+                all_borderline = false;
+            }
+        }
+    }
+    Ok((failures, all_borderline, deltas))
+}
+
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let fresh_path = args.next().unwrap_or_else(|| "BENCH_dse.json".into());
@@ -69,21 +177,25 @@ fn main() -> ExitCode {
 
     let skip =
         std::env::var("BENCH_GATE_SKIP").is_ok_and(|v| v == "1" || v.eq_ignore_ascii_case("true"));
-    let tolerance: f64 = match std::env::var("BENCH_GATE_TOLERANCE") {
-        Err(_) => 0.20,
-        // A fraction in [0, 1): 1.0+ would make the floor non-positive and
-        // silently wave every regression through (`20` for "20%" is the
-        // likely misconfiguration — the gate prints percentages).
-        Ok(v) => match v.parse() {
-            Ok(t) if (0.0..1.0).contains(&t) => t,
-            _ => {
-                eprintln!(
-                    "bench_gate: BENCH_GATE_TOLERANCE must be a fraction in [0, 1) \
-                     (e.g. 0.20 for 20%), got `{v}`"
-                );
-                return ExitCode::FAILURE;
-            }
-        },
+    // A fraction in [0, 1): 1.0+ would make the floor non-positive and
+    // silently wave every regression through (`20` for "20%" is the
+    // likely misconfiguration — the gate prints percentages).
+    let tolerance = match fraction_env("BENCH_GATE_TOLERANCE") {
+        Ok(t) => t.unwrap_or(0.20),
+        Err(v) => {
+            eprintln!(
+                "bench_gate: BENCH_GATE_TOLERANCE must be a fraction in [0, 1) \
+                 (e.g. 0.20 for 20%), got `{v}`"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let retry_band = match fraction_env("BENCH_GATE_RETRY_BAND") {
+        Ok(b) => b.unwrap_or(0.15),
+        Err(v) => {
+            eprintln!("bench_gate: BENCH_GATE_RETRY_BAND must be a fraction in [0, 1), got `{v}`");
+            return ExitCode::FAILURE;
+        }
     };
 
     let read_doc = |path: &str| match std::fs::read_to_string(path) {
@@ -93,47 +205,75 @@ fn main() -> ExitCode {
             None
         }
     };
-    let (Some(fresh_doc), Some(baseline_doc)) = (read_doc(&fresh_path), read_doc(&baseline_path))
+    let (Some(mut fresh_doc), Some(baseline_doc)) =
+        (read_doc(&fresh_path), read_doc(&baseline_path))
     else {
         return ExitCode::FAILURE;
     };
 
-    let mut failures = 0usize;
-    let mut deltas: Vec<String> = Vec::new();
-    for field in GATED_FIELDS {
-        let Some(fresh) = json_number(&fresh_doc, field) else {
-            eprintln!("bench_gate: no `{field}` in {fresh_path}");
-            failures += 1;
-            continue;
-        };
-        let Some(baseline) = json_number(&baseline_doc, field) else {
-            // Old snapshot without this field: nothing to compare yet.
-            println!("bench_gate: `{field}` absent from baseline {baseline_path} — skipped");
-            continue;
-        };
-        let floor = baseline * (1.0 - tolerance);
-        let ratio = fresh / baseline;
-        let verdict = if fresh < floor { "FAIL" } else { "ok" };
-        println!(
-            "bench_gate: {field} fresh {fresh:.0} vs baseline {baseline:.0} \
-             ({:+.1}%, floor {floor:.0} at tolerance {tolerance:.0}%) {verdict}",
-            (ratio - 1.0) * 100.0,
-            tolerance = tolerance * 100.0
-        );
-        deltas.push(format!("{field} {:+.1}%", (ratio - 1.0) * 100.0));
-        if fresh < floor {
-            failures += 1;
+    let (mut failures, mut all_borderline, mut deltas) = match judge(
+        &fresh_doc,
+        &baseline_doc,
+        &fresh_path,
+        &baseline_path,
+        tolerance,
+        retry_band,
+    ) {
+        Ok(result) => result,
+        Err(code) => return code,
+    };
+
+    // Borderline FAILs are indistinguishable from a single noisy run;
+    // when a re-measure command is configured, spend one repeat before
+    // judging. Failures past the band skip the retry: 35 %+ drops are
+    // not weather.
+    if failures > 0 && all_borderline {
+        if let Ok(cmd) = std::env::var("BENCH_GATE_REMEASURE_CMD") {
+            println!(
+                "bench_gate: {failures} borderline failure(s) within the {:.0}% retry band — \
+                 re-measuring once: {cmd}",
+                retry_band * 100.0
+            );
+            let status = std::process::Command::new("sh").arg("-c").arg(&cmd).status();
+            match status {
+                Ok(s) if s.success() => {}
+                Ok(s) => {
+                    eprintln!("bench_gate: re-measure command exited with {s}");
+                    return ExitCode::FAILURE;
+                }
+                Err(e) => {
+                    eprintln!("bench_gate: could not run the re-measure command: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            let Some(doc) = read_doc(&fresh_path) else {
+                return ExitCode::FAILURE;
+            };
+            fresh_doc = doc;
+            (failures, all_borderline, deltas) = match judge(
+                &fresh_doc,
+                &baseline_doc,
+                &fresh_path,
+                &baseline_path,
+                tolerance,
+                retry_band,
+            ) {
+                Ok(result) => result,
+                Err(code) => return code,
+            };
+            let _ = all_borderline; // one retry only, however the rerun lands
         }
     }
+
     if skip {
         println!("bench_gate: BENCH_GATE_SKIP set — result ignored");
         return ExitCode::SUCCESS;
     }
     if failures > 0 {
         eprintln!(
-            "bench_gate: FAIL — {failures} field(s) regressed more than {:.0}% \
-             (override with BENCH_GATE_SKIP=1 or BENCH_GATE_TOLERANCE)",
-            tolerance * 100.0
+            "bench_gate: FAIL — {failures} field(s) regressed past tolerance \
+             (override with BENCH_GATE_SKIP=1, BENCH_GATE_TOLERANCE, or per-field \
+             BENCH_GATE_TOLERANCE_<FIELD>)"
         );
         return ExitCode::FAILURE;
     }
@@ -145,7 +285,7 @@ fn main() -> ExitCode {
 
 #[cfg(test)]
 mod tests {
-    use super::{json_number, GATED_FIELDS};
+    use super::{json_number, regression, GATED_FIELDS};
 
     #[test]
     fn extracts_scalars() {
@@ -162,8 +302,32 @@ mod tests {
         assert_eq!(json_number(doc, "y"), Some(0.01));
     }
 
-    /// The committed baseline must carry every gated field, or the gate
-    /// silently shrinks to a subset.
+    /// Regression is signed toward "worse" in each field's direction:
+    /// a throughput drop and a latency rise are both positive, and
+    /// improvements are negative either way.
+    #[test]
+    fn regression_respects_the_field_direction() {
+        // Higher is better: an 80-vs-100 run regressed 20 %.
+        assert!((regression(80.0, 100.0, false) - 0.20).abs() < 1e-12);
+        assert!(regression(110.0, 100.0, false) < 0.0);
+        // Lower is better: a 1.2/1.0 ms latency regressed 20 %.
+        assert!((regression(1.2, 1.0, true) - 0.20).abs() < 1e-12);
+        assert!(regression(0.8, 1.0, true) < 0.0);
+    }
+
+    /// A 20 % tolerance must pass a flat run and fail a 25 % regression
+    /// in both directions.
+    #[test]
+    fn tolerance_cuts_both_directions_at_the_same_fraction() {
+        for (fresh, baseline, lower) in [(75.0_f64, 100.0_f64, false), (1.25_f64, 1.0_f64, true)] {
+            assert!(regression(fresh, baseline, lower) > 0.20, "25% worse must fail at 20%");
+            assert!(regression(baseline, baseline, lower) <= 0.20, "flat runs pass");
+        }
+    }
+
+    /// The committed baseline must carry every gated field — including
+    /// the serve-layer fields — or the gate silently shrinks to a
+    /// subset.
     #[test]
     fn committed_baseline_has_every_gated_field() {
         let doc = std::fs::read_to_string(concat!(
@@ -171,7 +335,7 @@ mod tests {
             "/../../benchmarks/BENCH_dse.json"
         ))
         .expect("committed baseline exists");
-        for field in GATED_FIELDS {
+        for (field, _) in GATED_FIELDS {
             assert!(
                 json_number(&doc, field).is_some(),
                 "baseline snapshot is missing gated field `{field}`"

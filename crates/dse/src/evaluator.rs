@@ -98,6 +98,13 @@ impl<T: Default> Pool<T> {
 
 /// RAII handle returning its state to the pool on drop (i.e. when the
 /// worker thread finishes its share of the batch).
+///
+/// The drop guard is panic-aware: when the owning thread is unwinding
+/// (a model bug or injected fault fired mid-evaluation), the leased
+/// state is **discarded** instead of returned — a scratch abandoned
+/// halfway through an evaluation may hold inconsistent tables, and
+/// recycling it would poison every later batch served from the warm
+/// pool. The pool lazily rebuilds a fresh state on the next take.
 struct Pooled<T: Default> {
     state: T,
     pool: Arc<Pool<T>>,
@@ -105,6 +112,9 @@ struct Pooled<T: Default> {
 
 impl<T: Default> Drop for Pooled<T> {
     fn drop(&mut self) {
+        if std::thread::panicking() {
+            return;
+        }
         if let Ok(mut pool) = self.pool.0.lock() {
             pool.push(std::mem::take(&mut self.state));
         }
@@ -255,7 +265,13 @@ impl EnergyDelayEvaluator {
     /// Uses the Shimmer case-study model.
     #[must_use]
     pub fn shimmer() -> Self {
-        Self { model: WbsnModel::shimmer(), pools: ModelPools::default() }
+        Self::new(WbsnModel::shimmer())
+    }
+
+    /// Uses a custom model (e.g. different ϑ).
+    #[must_use]
+    pub fn new(model: WbsnModel) -> Self {
+        Self { model, pools: ModelPools::default() }
     }
 }
 
@@ -394,6 +410,32 @@ mod tests {
             points.extend(DesignSpace::case_study(other).sample_sweep(100));
             assert_eq!(eval.evaluate_batch(&points), serial.evaluate_batch(&points));
         }
+    }
+
+    /// A state leased while its thread panics must be discarded, not
+    /// recycled: the warm pool only ever holds states that completed
+    /// their batch share cleanly.
+    #[test]
+    fn panicking_lease_discards_state_instead_of_poisoning_the_pool() {
+        let pool: Arc<Pool<Vec<u8>>> = Arc::default();
+
+        // Clean lease/return round-trip: the state comes back warm.
+        {
+            let mut lease = pool.take();
+            lease.state.push(42);
+        }
+        assert_eq!(pool.take().state, vec![42], "clean drops recycle the state");
+
+        // Lease the warm state again, corrupt it, and panic holding it.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut lease = pool.take();
+            lease.state.push(99); // half-written "poisoned" scratch
+            panic!("evaluation died mid-batch");
+        }));
+        assert!(result.is_err());
+
+        // The poisoned state was discarded: the next take builds fresh.
+        assert!(pool.take().state.is_empty(), "panicked lease must not re-enter the pool");
     }
 
     #[test]

@@ -12,6 +12,8 @@
 //!   allocation-free decode;
 //! * [`memo`] — genome-keyed evaluation memo: identical genomes are
 //!   never re-evaluated across generations/iterations, bit-identically;
+//!   [`memo::ShardedGenomeMemo`] is its lock-sharded thread-safe form
+//!   for concurrent consumers (the `wbsn-serve` worker pool);
 //! * [`evaluator`] — the proposed 3-objective model and the
 //!   energy/delay-only state-of-the-art baseline ([26]), both with a
 //!   multi-core [`Evaluator::evaluate_batch`] running the
@@ -62,7 +64,7 @@ pub mod quality;
 
 pub use evaluator::{EnergyDelayEvaluator, Evaluator, ModelEvaluator, SerialEvaluator};
 pub use genome::Genome;
-pub use memo::GenomeMemo;
+pub use memo::{GenomeMemo, ShardedGenomeMemo};
 pub use mosa::{mosa, mosa_restarts, mosa_with_memo, random_search, MosaConfig};
 pub use nsga2::{nsga2, nsga2_with_memo, Nsga2Config, SearchResult};
 pub use objective::{Dominance, ObjectiveVector, MAX_OBJECTIVES};

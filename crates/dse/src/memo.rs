@@ -41,6 +41,8 @@
 use crate::genome::Genome;
 use crate::objective::ObjectiveVector;
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::{Mutex, PoisonError};
 
 /// Sentinel for "no slab neighbor" in the intrusive LRU list.
 const NIL: u32 = u32::MAX;
@@ -277,6 +279,97 @@ impl GenomeMemo {
     }
 }
 
+/// Thread-safe [`GenomeMemo`] sharded by genome hash, for concurrent
+/// consumers (the `wbsn-serve` worker pool) that dedup evaluations
+/// *across* requests.
+///
+/// Each shard is an independent LRU [`GenomeMemo`] behind its own lock,
+/// so workers recording outcomes of different genomes rarely contend:
+/// a genome's shard is a pure function of its (deterministic) hash, and
+/// with `shards ≫ workers` two concurrent accesses collide on a lock
+/// only when they touch hash-colliding genomes. Outcomes are pure, so
+/// the memo stays observationally transparent no matter how records
+/// interleave — a hit replays the bitwise-identical outcome some worker
+/// evaluated earlier, and the per-shard LRU caps bound memory exactly
+/// like the single-threaded memo.
+///
+/// A thread that panics while touching a shard cannot poison it for the
+/// others: lock poisoning is explicitly cleared (`PoisonError::into_inner`)
+/// — safe because shard mutations are small and self-contained (no user
+/// code runs under the lock, so an entry is either fully recorded or not
+/// at all).
+#[derive(Debug)]
+pub struct ShardedGenomeMemo {
+    shards: Box<[Mutex<GenomeMemo>]>,
+}
+
+impl ShardedGenomeMemo {
+    /// Creates a memo with `shards` independent shards, each retaining
+    /// at most `capacity_per_shard` genomes (LRU).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` or `capacity_per_shard` is zero.
+    #[must_use]
+    pub fn new(shards: usize, capacity_per_shard: usize) -> Self {
+        assert!(shards > 0, "a sharded memo needs at least one shard");
+        Self {
+            shards: (0..shards)
+                .map(|_| Mutex::new(GenomeMemo::with_capacity(true, capacity_per_shard)))
+                .collect(),
+        }
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard owning `genome`. `DefaultHasher` hashes with fixed
+    /// keys, so the assignment is deterministic across runs and threads.
+    fn shard_for(&self, genome: &Genome) -> &Mutex<GenomeMemo> {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        genome.hash(&mut hasher);
+        let index = usize::try_from(hasher.finish() % self.shards.len() as u64)
+            .expect("shard index < shard count, which fits usize");
+        &self.shards[index]
+    }
+
+    /// Looks up the recorded outcome for `genome` in its shard, counting
+    /// a shard hit when found. `Some(None)` means "known infeasible".
+    pub fn get(&self, genome: &Genome) -> Option<Option<ObjectiveVector>> {
+        self.shard_for(genome).lock().unwrap_or_else(PoisonError::into_inner).get(genome)
+    }
+
+    /// Records the evaluation outcome of `genome` in its shard, evicting
+    /// that shard's least recently used entry when at capacity.
+    pub fn record(&self, genome: Genome, outcome: Option<ObjectiveVector>) {
+        self.shard_for(&genome)
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .record(genome, outcome);
+    }
+
+    /// Lookups answered from any shard so far.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.shards.iter().map(|s| s.lock().unwrap_or_else(PoisonError::into_inner).hits()).sum()
+    }
+
+    /// Distinct genomes recorded across all shards.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().unwrap_or_else(PoisonError::into_inner).len()).sum()
+    }
+
+    /// Whether no genome is recorded in any shard.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.lock().unwrap_or_else(PoisonError::into_inner).is_empty())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -410,5 +503,74 @@ mod tests {
         assert_eq!(memo.len(), CAP);
         let (g, outcome) = last.expect("stream was non-empty");
         assert_eq!(memo.get(&g), Some(outcome));
+    }
+
+    #[test]
+    fn sharded_memo_is_transparent_and_counts_hits() {
+        let memo = ShardedGenomeMemo::new(8, 64);
+        assert_eq!(memo.shard_count(), 8);
+        assert!(memo.is_empty());
+        let (a, b) = (genome(20), genome(21));
+        let obj = Some(ObjectiveVector::from_slice(&[1.0, 2.0, 3.0]));
+        assert_eq!(memo.get(&a), None);
+        memo.record(a.clone(), obj);
+        memo.record(b.clone(), None); // infeasibility is cached too
+        assert_eq!(memo.get(&a), Some(obj));
+        assert_eq!(memo.get(&b), Some(None));
+        assert_eq!(memo.len(), 2);
+        assert_eq!(memo.hits(), 2);
+    }
+
+    /// Concurrent recorders over overlapping genome streams: every
+    /// recorded genome replays the bitwise outcome of its first
+    /// evaluation (outcomes are pure, so all writers agree), occupancy
+    /// respects the per-shard caps, and nothing deadlocks.
+    #[test]
+    fn sharded_memo_survives_concurrent_hammering() {
+        const CAP_PER_SHARD: usize = 32;
+        const SHARDS: usize = 4;
+        let memo = ShardedGenomeMemo::new(SHARDS, CAP_PER_SHARD);
+        let space = DesignSpace::case_study(4);
+        std::thread::scope(|scope| {
+            for worker in 0..4u64 {
+                let memo = &memo;
+                let space = &space;
+                scope.spawn(move || {
+                    // All workers draw the same genome stream (same
+                    // seed), so the same genomes are recorded and
+                    // queried concurrently from every thread.
+                    let mut rng = StdRng::seed_from_u64(7 + worker % 2);
+                    for _ in 0..2000u64 {
+                        let g = Genome::random(space, &mut rng);
+                        // Outcome is a pure function of the genome (its
+                        // deterministic hash), so every writer agrees.
+                        let mut h = std::collections::hash_map::DefaultHasher::new();
+                        g.hash(&mut h);
+                        let outcome =
+                            Some(ObjectiveVector::from_slice(&[(h.finish() % 1024) as f64, 1.0]));
+                        if let Some(cached) = memo.get(&g) {
+                            // A hit replays the bitwise outcome of the
+                            // first record for this genome.
+                            assert_eq!(cached, outcome);
+                        }
+                        memo.record(g, outcome);
+                    }
+                });
+            }
+        });
+        assert!(memo.len() <= SHARDS * CAP_PER_SHARD, "per-shard caps bound total occupancy");
+        assert!(!memo.is_empty());
+    }
+
+    #[test]
+    fn sharded_memo_shard_assignment_is_deterministic() {
+        let memo = ShardedGenomeMemo::new(16, 8);
+        let g = genome(33);
+        memo.record(g.clone(), None);
+        // Re-recording the same genome lands on the same shard: the
+        // total count stays 1 (a duplicate across shards would show 2).
+        memo.record(g.clone(), None);
+        assert_eq!(memo.len(), 1);
+        assert_eq!(memo.get(&g), Some(None));
     }
 }

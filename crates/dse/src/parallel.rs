@@ -78,8 +78,27 @@ where
     F: Fn(&mut S, &T) -> R + Sync,
 {
     assert!(block > 0, "work-unit size must be positive");
+    map_with_threads(items, block, num_threads(), make_state, f)
+}
+
+/// The engine behind [`parallel_map_with_block`] with an explicit thread
+/// budget, so the threaded path (and its panic propagation) is testable
+/// on single-core hosts.
+fn map_with_threads<T, R, S, MS, F>(
+    items: &[T],
+    block: usize,
+    threads: usize,
+    make_state: MS,
+    f: F,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    MS: Fn() -> S + Sync,
+    F: Fn(&mut S, &T) -> R + Sync,
+{
     let n = items.len();
-    let threads = num_threads().min(n.div_ceil(block));
+    let threads = threads.min(n.div_ceil(block));
     if threads <= 1 {
         let mut state = make_state();
         return items.iter().map(|item| f(&mut state, item)).collect();
@@ -106,7 +125,28 @@ where
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("parallel_map worker panicked")).collect()
+        // Join EVERY worker before propagating a panic: a panic payload
+        // raised mid-collect would otherwise unwind through the scope
+        // while siblings still run, replacing the original payload with
+        // a generic join error and racing their per-worker state drops
+        // (pooled scratches) against the unwind. Surviving workers keep
+        // draining the cursor — their leased states return to the warm
+        // pool through the normal drop path — and only then does the
+        // first panic payload resurface, unchanged, for the caller.
+        let joined: Vec<_> = handles.into_iter().map(std::thread::ScopedJoinHandle::join).collect();
+        let mut outputs = Vec::with_capacity(joined.len());
+        let mut first_panic = None;
+        for result in joined {
+            match result {
+                Ok(produced) => outputs.push(produced),
+                Err(payload) if first_panic.is_none() => first_panic = Some(payload),
+                Err(_) => {}
+            }
+        }
+        if let Some(payload) = first_panic {
+            std::panic::resume_unwind(payload);
+        }
+        outputs
     });
 
     let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
@@ -167,5 +207,69 @@ mod tests {
     #[test]
     fn thread_count_is_positive() {
         assert!(num_threads() >= 1);
+    }
+
+    /// A panicking closure must surface its own payload (not a generic
+    /// join error), and every other item must still have been processed
+    /// before the panic propagates — workers are joined first.
+    #[test]
+    fn panicking_closure_propagates_payload_after_joining_all_workers() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let items: Vec<usize> = (0..1000).collect();
+        let processed = AtomicUsize::new(0);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            map_with_threads(
+                &items,
+                16,
+                4,
+                || (),
+                |(), &x| {
+                    assert!(x != 500, "deliberate worker panic on item {x}");
+                    processed.fetch_add(1, Ordering::Relaxed);
+                    x
+                },
+            )
+        }));
+        let payload = result.expect_err("the panic must propagate");
+        let message = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+            .expect("panic payload is the closure's own message");
+        assert!(
+            message.contains("deliberate worker panic on item 500"),
+            "original payload must survive the join: got `{message}`"
+        );
+        // All workers were joined before propagation: every block except
+        // the panicking worker's current one ran to completion. Item 500
+        // falls in block [496, 512): 496–499 were processed before the
+        // panic, 501–511 abandoned with it, everything else drained by
+        // the surviving workers.
+        assert_eq!(processed.load(Ordering::Relaxed), items.len() - 12);
+    }
+
+    /// Same through the explicit-block entry point (the batch
+    /// evaluator's chunk fan-out): the panic from one long job must not
+    /// prevent the other jobs from completing.
+    #[test]
+    fn panicking_block_job_joins_siblings_before_propagating() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let items: Vec<usize> = (0..8).collect();
+        let processed = AtomicUsize::new(0);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            map_with_threads(
+                &items,
+                1,
+                4,
+                || (),
+                |(), &x| {
+                    assert!(x != 0, "job 0 died");
+                    processed.fetch_add(1, Ordering::Relaxed);
+                    x
+                },
+            )
+        }));
+        assert!(result.is_err());
+        assert_eq!(processed.load(Ordering::Relaxed), items.len() - 1);
     }
 }

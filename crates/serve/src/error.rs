@@ -1,0 +1,73 @@
+//! The failure taxonomy of the serve layer.
+//!
+//! Every way a request can fail is a typed, documented outcome — the
+//! engine never hangs a caller and never silently drops a request:
+//!
+//! * [`ServeError::QueueFull`] — backpressure: the bounded submission
+//!   queue was full (or fault injection forced saturation) and
+//!   `try_submit` failed fast instead of buffering unboundedly.
+//! * [`ServeError::DeadlineExceeded`] — the request's budget ran out
+//!   between evaluation chunks; whatever prefix completed rides along
+//!   as a partial response instead of being thrown away.
+//! * [`ServeError::WorkerPanic`] — an evaluation panicked (poisoned
+//!   input, model bug, injected fault). Only the offending request
+//!   fails; the worker retires, its half-written scratch is discarded
+//!   (never recycled into the warm pool), and a supervisor respawns a
+//!   replacement with capped exponential backoff.
+//! * [`ServeError::EngineShutdown`] — the engine dropped before the
+//!   request could be served (or the response channel vanished with
+//!   it).
+//! * [`ServeError::WaitTimedOut`] — caller-side impatience: a
+//!   `wait_timeout` elapsed before the response arrived. The request
+//!   itself may still complete; this is a property of the wait, not of
+//!   the request.
+
+use crate::engine::ScenarioResponse;
+
+/// A failed scenario request (see the module docs for the taxonomy).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The bounded submission queue was full: fast-fail backpressure.
+    QueueFull,
+    /// The per-request budget expired between chunks. `partial` holds
+    /// everything completed before expiry: for evaluation queries the
+    /// outcome prefix covering the completed chunks, for sweeps the
+    /// Pareto front over the points enumerated so far.
+    DeadlineExceeded {
+        /// The completed prefix of the response.
+        partial: Box<ScenarioResponse>,
+    },
+    /// Evaluation of this request panicked; the panic was confined to
+    /// this request and the worker was retired for respawn.
+    WorkerPanic {
+        /// Index of the worker that died serving the request.
+        worker: usize,
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+    /// The engine shut down before a response could be produced.
+    EngineShutdown,
+    /// A caller-side `wait_timeout` elapsed; the request may still be
+    /// in flight.
+    WaitTimedOut,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::QueueFull => write!(f, "submission queue full (backpressure)"),
+            Self::DeadlineExceeded { partial } => write!(
+                f,
+                "deadline exceeded after {} completed chunk(s); partial response attached",
+                partial.chunks_completed
+            ),
+            Self::WorkerPanic { worker, message } => {
+                write!(f, "worker {worker} panicked serving the request: {message}")
+            }
+            Self::EngineShutdown => write!(f, "engine shut down before the request was served"),
+            Self::WaitTimedOut => write!(f, "timed out waiting for the response"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
