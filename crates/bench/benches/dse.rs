@@ -17,13 +17,13 @@ fn bench_dse(c: &mut Criterion) {
     let space = DesignSpace::case_study(6);
     let eval = ModelEvaluator::shimmer();
     c.bench_function("nsga2_pop50_5_generations", |b| {
-        b.iter(|| nsga2(&space, &eval, &short_cfg()))
+        b.iter(|| nsga2(&space, &eval, &short_cfg()));
     });
     // Same search forced through the serial one-point-at-a-time batch
     // default: the baseline quantifying what batching buys end-to-end.
     let serial = SerialEvaluator(ModelEvaluator::shimmer());
     c.bench_function("nsga2_pop50_5_generations_serial_eval", |b| {
-        b.iter(|| nsga2(&space, &serial, &short_cfg()))
+        b.iter(|| nsga2(&space, &serial, &short_cfg()));
     });
 
     // Exhaustive enumeration of a reduced space through the linear-index
@@ -35,7 +35,7 @@ fn bench_dse(c: &mut Criterion) {
     tiny.order_pairs = vec![(5, 5), (6, 6)];
     let eval = ModelEvaluator::shimmer();
     c.bench_function("exhaustive_reduced_space", |b| {
-        b.iter(|| exhaustive(&tiny, &eval, 1_000_000))
+        b.iter(|| exhaustive(&tiny, &eval, 1_000_000));
     });
 }
 

@@ -13,7 +13,7 @@ fn bench_model_eval(c: &mut Criterion) {
     let mac = Ieee802154Config::new(114, 6, 6).expect("valid");
     let nodes = half_dwt_half_cs(6, 0.25, Hertz::from_mhz(8.0));
     c.bench_function("model_evaluate_6_nodes", |b| {
-        b.iter(|| model.evaluate(black_box(&mac), black_box(&nodes)))
+        b.iter(|| model.evaluate(black_box(&mac), black_box(&nodes)));
     });
 
     // Mixed feasible/infeasible sweep over the design space (the DSE
@@ -26,7 +26,7 @@ fn bench_model_eval(c: &mut Criterion) {
             idx = (idx + 1) % points.len();
             let p = &points[idx];
             black_box(model.evaluate(&p.mac, &p.nodes).ok())
-        })
+        });
     });
 }
 
@@ -46,7 +46,7 @@ fn bench_evaluation_paths(c: &mut Criterion) {
             idx = (idx + 1) % points.len();
             let p = &points[idx];
             black_box(model.evaluate(&p.mac, &p.nodes).ok())
-        })
+        });
     });
 
     let mut scratch = EvalScratch::new();
@@ -56,12 +56,12 @@ fn bench_evaluation_paths(c: &mut Criterion) {
             idx = (idx + 1) % points.len();
             let p = &points[idx];
             black_box(model.evaluate_objectives(&p.mac, &p.nodes, &mut scratch).ok())
-        })
+        });
     });
 
     let evaluator = ModelEvaluator::shimmer();
     c.bench_function("eval_path_batch_512_points", |b| {
-        b.iter(|| black_box(evaluator.evaluate_batch(&points)))
+        b.iter(|| black_box(evaluator.evaluate_batch(&points)));
     });
 }
 

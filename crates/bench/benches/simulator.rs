@@ -18,7 +18,7 @@ fn bench_simulator(c: &mut Criterion) {
                 .build()
                 .expect("feasible")
                 .run()
-        })
+        });
     });
 
     c.bench_function("simulate_10s_6_nodes_with_cap_alerts", |b| {
@@ -29,7 +29,7 @@ fn bench_simulator(c: &mut Criterion) {
                 .build()
                 .expect("feasible")
                 .run()
-        })
+        });
     });
 }
 

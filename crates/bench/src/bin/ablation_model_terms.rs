@@ -105,9 +105,8 @@ fn main() {
                         drop_acks,
                         drop_beacons,
                     };
-                    let app = match kind.app(cr) {
-                        Ok(app) => app,
-                        Err(_) => continue,
+                    let Ok(app) = kind.app(cr) else {
+                        continue;
                     };
                     let Ok(breakdown) = node_model.energy_per_second(app.as_ref(), cfg.f_mcu, &mac)
                     else {

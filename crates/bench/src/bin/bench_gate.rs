@@ -12,7 +12,7 @@
 //!   large-deployment sweep (the grouped-kernel crossover workload);
 //! * `fastpath_evals_per_s` — the scalar allocation-free fast path;
 //! * `soa_evals_per_s` — the struct-of-arrays kernel, one core;
-//! * `soa_grouped_evals_per_s` — the MAC-grouped SoA kernel, one core;
+//! * `soa_grouped_evals_per_s` — the MAC-grouped `SoA` kernel, one core;
 //! * `full_evals_per_s` — the full-evaluation (per-node lanes) kernel,
 //!   one core;
 //! * `decode_eval_points_per_s` — linear-index decode + scalar

@@ -13,16 +13,16 @@
 //! * **serial** — `WbsnModel::evaluate` per point (allocating, no memo);
 //! * **fast path** — `WbsnModel::evaluate_objectives` through one
 //!   reused `EvalScratch` (allocation-free, node-level memoization);
-//! * **SoA kernel** — `WbsnModel::evaluate_objectives_batch` through one
+//! * **`SoA` kernel** — `WbsnModel::evaluate_objectives_batch` through one
 //!   reused `SoaScratch` (struct-of-arrays, interned node/MAC/cell
 //!   tables, mask-based infeasibility) on a single core;
-//! * **SoA grouped** — `WbsnModel::evaluate_objectives_batch_grouped`,
+//! * **`SoA` grouped** — `WbsnModel::evaluate_objectives_batch_grouped`,
 //!   the same tables with the batch sorted by interned MAC entry and
 //!   same-MAC runs reduced over transposed `node × point` lanes;
-//! * **SoA full** — `WbsnModel::evaluate_batch_full`, the
+//! * **`SoA` full** — `WbsnModel::evaluate_batch_full`, the
 //!   full-evaluation kernel emitting per-node energy-breakdown / delay /
 //!   PRD / slot lanes into caller-owned arrays;
-//! * **batch** — `Evaluator::evaluate_batch`, the SoA kernel (engine
+//! * **batch** — `Evaluator::evaluate_batch`, the `SoA` kernel (engine
 //!   keyed on node count) fanned out across all cores chunk by chunk.
 //!
 //! A 16-node large-deployment sweep additionally measures the grouped

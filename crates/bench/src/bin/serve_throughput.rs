@@ -128,7 +128,7 @@ fn merge_into_bench_json(doc: Option<&str>, serve_lines: &str) -> String {
             }
             out
         }
-        _ => format!("{{\n{}  \"bench\": \"serve_throughput\"\n}}\n", serve_lines),
+        _ => format!("{{\n{serve_lines}  \"bench\": \"serve_throughput\"\n}}\n"),
     }
 }
 

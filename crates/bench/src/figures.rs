@@ -356,7 +356,7 @@ pub fn fig5_table() -> String {
         baseline.front.entries().iter().map(|e| e.payload.clone()).collect();
     let baseline_in_3d: Vec<ObjectiveVector> =
         model3.evaluate_batch(&baseline_points).into_iter().flatten().collect();
-    let proposed_objs: Vec<ObjectiveVector> = proposed.front.objectives().cloned().collect();
+    let proposed_objs: Vec<ObjectiveVector> = proposed.front.objectives().copied().collect();
 
     let member = membership_in_front(&baseline_in_3d, &proposed_objs);
     let _ = writeln!(

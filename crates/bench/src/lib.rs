@@ -32,6 +32,8 @@ pub fn percent_error(estimate: f64, reference: f64) -> f64 {
     ((estimate - reference) / reference).abs() * 100.0
 }
 
+use std::fmt::Write as _;
+
 /// Prints a Markdown-style table row.
 pub fn row(cells: &[String]) {
     println!("| {} |", cells.join(" | "));
@@ -46,13 +48,13 @@ pub fn header(cells: &[&str]) {
 /// [`row`] into a string buffer — the golden-figure generators build
 /// their whole report as one deterministic string (see [`figures`]).
 pub fn row_to(buf: &mut String, cells: &[String]) {
-    buf.push_str(&format!("| {} |\n", cells.join(" | ")));
+    let _ = writeln!(buf, "| {} |", cells.join(" | "));
 }
 
 /// [`header`] into a string buffer.
 pub fn header_to(buf: &mut String, cells: &[&str]) {
-    buf.push_str(&format!("| {} |\n", cells.join(" | ")));
-    buf.push_str(&format!("|{}|\n", cells.iter().map(|_| "---").collect::<Vec<_>>().join("|")));
+    let _ = writeln!(buf, "| {} |", cells.join(" | "));
+    let _ = writeln!(buf, "|{}|", cells.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
 }
 
 /// Simple accumulator for average/maximum error summaries.

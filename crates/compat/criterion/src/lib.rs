@@ -81,6 +81,9 @@ pub struct Bencher {
 impl Bencher {
     /// Measures `routine`: warm-up to calibrate, then a fixed-budget
     /// timed run; the mean time per iteration is reported.
+    // The name mirrors the real criterion API this crate stands in for;
+    // drop-in compatibility outweighs the Iterator naming convention.
+    #[allow(clippy::iter_not_returning_iterator)]
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
         // Warm-up: find an iteration count that fills the warm-up budget.
         let warm_start = Instant::now();

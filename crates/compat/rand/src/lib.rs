@@ -3,7 +3,7 @@
 //! The build environment has no registry access, so this crate provides
 //! the exact surface the workspace uses: [`RngCore`], the [`Rng`]
 //! extension trait (`gen`, `gen_range`, `gen_bool`), [`SeedableRng`] and
-//! [`rngs::StdRng`]. `StdRng` is xoshiro256** seeded via SplitMix64:
+//! [`rngs::StdRng`]. `StdRng` is xoshiro256** seeded via `SplitMix64`:
 //! deterministic per seed, statistically solid for simulation and
 //! property-testing workloads, but *not* byte-compatible with the real
 //! `rand` crate.
@@ -167,7 +167,7 @@ pub trait SeedableRng: Sized {
     fn seed_from_u64(seed: u64) -> Self;
 }
 
-/// SplitMix64 step: used for seed expansion.
+/// `SplitMix64` step: used for seed expansion.
 #[inline]
 fn splitmix64(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -182,7 +182,7 @@ pub mod rngs {
     use super::{splitmix64, RngCore, SeedableRng};
 
     /// The workspace's standard RNG: xoshiro256** (Blackman & Vigna),
-    /// seeded via SplitMix64.
+    /// seeded via `SplitMix64`.
     #[derive(Debug, Clone, PartialEq, Eq)]
     pub struct StdRng {
         s: [u64; 4],

@@ -45,6 +45,7 @@ pub enum ModelError {
 }
 
 impl fmt::Display for ModelError {
+    // verify: allow(single-definition, reason = "Display names every variant to format it; it does not re-derive the MAC error-resolution order")
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Self::DutyCycleExceeded { node, duty } => {

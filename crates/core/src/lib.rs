@@ -52,17 +52,8 @@
 //! ```
 
 #![warn(missing_docs)]
-#![warn(clippy::pedantic)]
-#![allow(clippy::module_name_repetitions)]
-#![allow(clippy::must_use_candidate)]
-#![allow(clippy::cast_precision_loss)]
-// Bit-exact f64 comparison is a deliberate tool here: tests and the
-// evaluation fast path verify exact reproducibility, not approximation.
-#![allow(clippy::float_cmp)]
-// Node counts and slot counts are paper-scale (≤ tens), casts cannot truncate.
-#![allow(clippy::cast_possible_truncation)]
-#![allow(clippy::missing_panics_doc)]
-#![allow(clippy::needless_range_loop)]
+// Clippy policy (pedantic + curated allows/denies) lives in the
+// [workspace.lints] table in the root Cargo.toml.
 
 pub mod app;
 pub mod assignment;

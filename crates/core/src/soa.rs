@@ -542,6 +542,7 @@ enum Walked {
 /// bookkeeping.
 // The borrow flow wants the raw table parts, not a bundling struct:
 // `macs.intern` needs `cells` whole before `&mut cells[m]` splits off.
+// verify: hot-path-begin(walk-point)
 #[inline]
 fn walk_point(
     model: &WbsnModel,
@@ -627,11 +628,13 @@ fn walk_point(
     }
     Walked::Alive { mac: m, total, sum_energy, sum_prd }
 }
+// verify: hot-path-end(walk-point)
 
 /// Eq. 9 delay reduction for one feasible point: writes each node's
 /// worst-case bound and returns the left-fold delay sum. Pure f64/u32
 /// arithmetic in the exact association order of
 /// `worst_case_delay_from_slots`.
+// verify: hot-path-begin(delay-reduce)
 #[inline]
 fn delay_reduce(me: &MacEntry, total: u32, slots: &[u32], delays: &mut [f64]) -> f64 {
     let control = me.control[total as usize];
@@ -647,6 +650,7 @@ fn delay_reduce(me: &MacEntry, total: u32, slots: &[u32], delays: &mut [f64]) ->
     }
     sum
 }
+// verify: hot-path-end(delay-reduce)
 
 /// Reusable working memory (and persistent caches) of the `SoA` kernel.
 ///
@@ -1033,6 +1037,7 @@ impl FullEvalOut {
 /// sum, the left-fold sum of squared deviations in node order, then
 /// `mean + ϑ·std` — so every metric is bit-identical to the scalar
 /// form. `n ≥ 1` (empty networks are resolved before tiling).
+// verify: hot-path-begin(transposed-metric)
 fn transposed_metric(
     lanes: &[f64],
     sums: &[f64],
@@ -1071,6 +1076,7 @@ fn transposed_metric(
         out[k] += theta * (acc[k] / denom).sqrt();
     }
 }
+// verify: hot-path-end(transposed-metric)
 
 impl WbsnModel {
     /// Full-evaluation batch kernel: computes, for every point, exactly
@@ -1431,6 +1437,7 @@ impl WbsnModel {
                 tile_metric_prd.resize(GROUP_TILE, 0.0);
             }
 
+            // verify: hot-path-begin(grouped-tile-loop)
             for tile in sorted_pending[run..run_end].chunks(GROUP_TILE) {
                 let kk = tile.len();
                 // Exact-length views drop the bounds checks (and Vec
@@ -1546,6 +1553,7 @@ impl WbsnModel {
                     }
                 }
             }
+            // verify: hot-path-end(grouped-tile-loop)
             run = run_end;
         }
 

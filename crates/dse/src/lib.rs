@@ -43,13 +43,8 @@
 //! ```
 
 #![warn(missing_docs)]
-#![warn(clippy::pedantic)]
-#![allow(clippy::module_name_repetitions)]
-#![allow(clippy::must_use_candidate)]
-#![allow(clippy::cast_precision_loss)]
-// Exact f64 comparison verifies bit-identical serial/parallel results.
-#![allow(clippy::float_cmp)]
-#![allow(clippy::missing_panics_doc)]
+// Clippy policy (pedantic + curated allows/denies) lives in the
+// [workspace.lints] table in the root Cargo.toml.
 
 pub mod evaluator;
 pub mod exhaustive;

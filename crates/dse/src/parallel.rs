@@ -111,16 +111,20 @@ where
                 scope.spawn(|| {
                     let mut state = make_state();
                     let mut produced = Vec::new();
+                    // verify: hot-path-begin(chunk-claim-loop)
                     loop {
                         let start = cursor.fetch_add(block, Ordering::Relaxed);
                         if start >= n {
                             break;
                         }
                         let end = (start + block).min(n);
-                        let block: Vec<R> =
-                            items[start..end].iter().map(|item| f(&mut state, item)).collect();
+                        let mapped = items[start..end].iter().map(|item| f(&mut state, item));
+                        // verify: allow(hot-path-alloc, reason = "one result Vec per claimed block (>= MIN_BLOCK items), amortized across the whole block's evaluations")
+                        let block: Vec<R> = mapped.collect();
+                        // verify: allow(hot-path-alloc, reason = "one bookkeeping push per claimed block, not per item")
                         produced.push((start, block));
                     }
+                    // verify: hot-path-end(chunk-claim-loop)
                     produced
                 })
             })

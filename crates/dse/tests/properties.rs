@@ -84,7 +84,7 @@ proptest! {
         for (i, p) in points.iter().enumerate() {
             archive.insert(*p, i);
         }
-        let objs: Vec<_> = archive.objectives().cloned().collect();
+        let objs: Vec<_> = archive.objectives().copied().collect();
         for (i, a) in objs.iter().enumerate() {
             for (j, b) in objs.iter().enumerate() {
                 if i != j {

@@ -30,18 +30,8 @@
 //! ```
 
 #![warn(missing_docs)]
-#![warn(clippy::pedantic)]
-#![allow(clippy::module_name_repetitions)]
-#![allow(clippy::must_use_candidate)]
-#![allow(clippy::cast_precision_loss)]
-// Numeric kernels: exact float comparison, index-based loops and full-
-// precision published constants are intentional.
-#![allow(clippy::float_cmp)]
-#![allow(clippy::needless_range_loop)]
-#![allow(clippy::many_single_char_names)]
-#![allow(clippy::excessive_precision)]
-#![allow(clippy::missing_panics_doc)]
-#![allow(clippy::unused_self)]
+// Clippy policy (pedantic + curated allows/denies) lives in the
+// [workspace.lints] table in the root Cargo.toml.
 
 pub mod compress;
 pub mod ecg;

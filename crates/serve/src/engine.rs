@@ -184,7 +184,7 @@ pub struct ServeConfig {
     /// [`ServeError::QueueFull`] beyond it. Default 64.
     pub queue_capacity: usize,
     /// Points per evaluation chunk — the granularity of deadline
-    /// checks and fault injection. Defaults to 1024 (the SoA kernel's
+    /// checks and fault injection. Defaults to 1024 (the `SoA` kernel's
     /// chunk size, so each chunk runs inline on its worker through one
     /// pooled scratch).
     pub chunk_points: usize,
@@ -315,6 +315,7 @@ fn chaos_hook(shared: &Shared, seq: u64, chunk: usize) {
     use crate::chaos::Fault;
     if let Some(chaos) = &shared.cfg.chaos {
         match chaos.fault(seq, chunk) {
+            // verify: allow(panic-surface, reason = "chaos-injected fault: the panic IS the test stimulus; catch_unwind in worker_loop converts it to ServeError::WorkerPanic")
             Some(Fault::Panic) => panic!("chaos: injected panic (request {seq}, chunk {chunk})"),
             Some(Fault::Slow(delay)) => std::thread::sleep(delay),
             None => {}
@@ -430,13 +431,18 @@ impl ServeEngine {
 
         let (obituary_tx, obituary_rx) = mpsc::channel();
         let handles: Vec<Option<JoinHandle<()>>> = (0..workers)
-            .map(|id| Some(spawn_worker(Arc::clone(&shared), id, obituary_tx.clone())))
+            .map(|id| {
+                let worker = spawn_worker(Arc::clone(&shared), id, obituary_tx.clone());
+                // verify: allow(panic-surface, reason = "startup-only: no requests are in flight before start returns, and a host that cannot spawn its initial threads cannot run an engine")
+                Some(worker.expect("spawning a serve worker thread"))
+            })
             .collect();
         let supervisor = {
             let shared = Arc::clone(&shared);
             std::thread::Builder::new()
                 .name("wbsn-serve-supervisor".into())
                 .spawn(move || supervisor_loop(&shared, &obituary_rx, &obituary_tx, handles))
+                // verify: allow(panic-surface, reason = "startup-only: no requests are in flight before start returns; once running, thread respawns go through the fallible supervisor path")
                 .expect("spawning the supervisor thread")
         };
         Self {
@@ -551,12 +557,17 @@ impl Drop for ServeEngine {
 }
 
 /// Spawns worker `id`, which drains the queue until it disconnects or
-/// the worker dies on a caught panic.
-fn spawn_worker(shared: Arc<Shared>, id: usize, obituary_tx: Sender<usize>) -> JoinHandle<()> {
+/// the worker dies on a caught panic. Spawn failure (host thread
+/// exhaustion) is returned, not panicked: at startup the caller treats
+/// it as fatal, but the supervisor's respawn path must survive it.
+fn spawn_worker(
+    shared: Arc<Shared>,
+    id: usize,
+    obituary_tx: Sender<usize>,
+) -> std::io::Result<JoinHandle<()>> {
     std::thread::Builder::new()
         .name(format!("wbsn-serve-worker-{id}"))
         .spawn(move || worker_loop(&shared, id, &obituary_tx))
-        .expect("spawning a serve worker thread")
 }
 
 /// Extracts a human-readable message from a panic payload.
@@ -568,6 +579,7 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
         .unwrap_or_else(|| "non-string panic payload".to_string())
 }
 
+// verify: hot-path-begin(worker-drain-loop)
 fn worker_loop(shared: &Arc<Shared>, id: usize, obituary_tx: &Sender<usize>) {
     loop {
         // Lock held across the blocking recv: the mutex doubles as the
@@ -606,6 +618,7 @@ fn worker_loop(shared: &Arc<Shared>, id: usize, obituary_tx: &Sender<usize>) {
         }
     }
 }
+// verify: hot-path-end(worker-drain-loop)
 
 /// Reaps dead workers and respawns them with capped exponential
 /// backoff; on shutdown, joins every remaining worker.
@@ -641,8 +654,21 @@ fn supervisor_loop(
                 if shared.shutdown.load(Ordering::Acquire) {
                     continue; // keep reaping, but don't respawn
                 }
-                shared.stats.respawns.fetch_add(1, Ordering::Relaxed);
-                handles[id] = Some(spawn_worker(Arc::clone(shared), id, obituary_tx.clone()));
+                match spawn_worker(Arc::clone(shared), id, obituary_tx.clone()) {
+                    Ok(handle) => {
+                        shared.stats.respawns.fetch_add(1, Ordering::Relaxed);
+                        handles[id] = Some(handle);
+                    }
+                    Err(_) => {
+                        // Host thread exhaustion at respawn time must
+                        // not kill the supervisor. Re-enqueue the
+                        // obituary: the worker comes back through this
+                        // path with a grown consecutive-panic count,
+                        // so retries back off toward backoff_max until
+                        // the host recovers.
+                        let _ = obituary_tx.send(id);
+                    }
+                }
             }
             Err(RecvTimeoutError::Timeout) => {
                 if shared.shutdown.load(Ordering::Acquire) {

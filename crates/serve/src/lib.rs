@@ -3,7 +3,7 @@
 //!
 //! The rest of the workspace answers one question per call: build an
 //! evaluator, hand it a grid, wait. This crate keeps the expensive
-//! state — warm SoA scratch pools, a sharded cross-request genome memo,
+//! state — warm `SoA` scratch pools, a sharded cross-request genome memo,
 //! a pool of worker threads — alive across many requests, so callers
 //! (sweep drivers, notebooks, benchmark harnesses) can submit a stream
 //! of heterogeneous scenario queries and get robust, typed answers.
@@ -20,7 +20,7 @@
 //!    counts against the budget.
 //! 3. **A worker drains** the bounded queue and serves the request in
 //!    [`ServeConfig::chunk_points`]-sized chunks through the existing
-//!    [`Evaluator::evaluate_batch`] SoA engine, checking the deadline
+//!    [`Evaluator::evaluate_batch`] `SoA` engine, checking the deadline
 //!    between chunks (cooperative cancellation — never mid-kernel).
 //!    Genome queries consult the sharded cross-request memo first and
 //!    record fresh outcomes back; sweeps degrade to a strided

@@ -42,11 +42,12 @@ fn all_points(space: &DesignSpace) -> Vec<DesignPoint> {
     (0..total).map(|n| space.point_at(n)).collect()
 }
 
-fn engine_with(chaos: ChaosSchedule, cfg: ServeConfig) -> ServeEngine {
-    ServeEngine::start(ServeConfig { chaos: Some(Arc::new(chaos)), ..cfg })
+fn engine_with(chaos: ChaosSchedule, mut cfg: ServeConfig) -> ServeEngine {
+    cfg.chaos = Some(Arc::new(chaos));
+    ServeEngine::start(cfg)
 }
 
-const WAIT: Duration = Duration::from_secs(60);
+const WAIT: Duration = Duration::from_mins(1);
 
 /// Pillar 3 (panic isolation): an injected panic fails exactly the
 /// targeted request with a typed `WorkerPanic`, sibling requests stay
@@ -300,13 +301,13 @@ fn classify(chaos: &ChaosSchedule, seq: u64, chunks: usize) -> Expect {
 /// un-poisoned) still answers a clean batch exactly.
 #[test]
 fn seeded_chaos_storm_never_corrupts_surviving_requests() {
+    const REQUESTS: u64 = 32;
+    const CHUNKS: usize = 4;
     quiet_chaos_panics();
     let space = small_space();
     let points = all_points(&space); // 16 points -> 4 chunks of 4
     let expected = ModelEvaluator::shimmer().evaluate_batch(&points);
 
-    const REQUESTS: u64 = 32;
-    const CHUNKS: usize = 4;
     let knobs = ChaosKnobs {
         requests: REQUESTS,
         chunks_per_request: CHUNKS,

@@ -41,16 +41,8 @@
 //! ```
 
 #![warn(missing_docs)]
-#![warn(clippy::pedantic)]
-#![allow(clippy::module_name_repetitions)]
-#![allow(clippy::must_use_candidate)]
-#![allow(clippy::cast_precision_loss)]
-// Simulation counters are paper-scale; exact f64 equality checks verify
-// determinism.
-#![allow(clippy::float_cmp)]
-#![allow(clippy::cast_possible_truncation)]
-#![allow(clippy::cast_possible_wrap)]
-#![allow(clippy::unused_self)]
+// Clippy policy (pedantic + curated allows/denies) lives in the
+// [workspace.lints] table in the root Cargo.toml.
 
 pub mod channel;
 pub mod csma;

@@ -1,0 +1,13 @@
+// Known-bad fixture: every bit-stability hazard the float-determinism
+// lint bans, in one file. Checked under a kernel-module path each site
+// must be reported; checked under any other path none may be.
+
+pub fn reduce(xs: &[f64]) -> f64 {
+    let scale = 0.5f32 as f64;
+    let total: f64 = xs.iter().sum();
+    total.mul_add(scale, 0.0)
+}
+
+pub fn narrow(x: f64) -> f32 {
+    x as f32
+}

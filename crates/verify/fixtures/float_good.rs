@@ -1,0 +1,11 @@
+// Known-good fixture: f64 throughout, the reduction spelled as an
+// explicit left fold in node order. `float-determinism` must report
+// nothing even under a kernel-module path.
+
+pub fn reduce(xs: &[f64]) -> f64 {
+    let mut total = 0.0f64;
+    for &x in xs {
+        total += x;
+    }
+    total
+}

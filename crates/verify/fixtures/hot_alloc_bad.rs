@@ -1,0 +1,15 @@
+// Known-bad fixture: allocations inside a declared hot region. Each of
+// the three allocating APIs below must be reported by `hot-path-alloc`.
+
+pub fn walk(items: &[u64]) -> u64 {
+    // verify: hot-path-begin(walk-loop)
+    let mut scratch = Vec::new();
+    let mut total = 0u64;
+    for &x in items {
+        scratch.push(x);
+        let label = format!("{x}");
+        total += x + label.len() as u64;
+    }
+    // verify: hot-path-end(walk-loop)
+    total + scratch.len() as u64
+}

@@ -1,0 +1,27 @@
+// Known-good fixture: allocation happens outside the hot region, the
+// one amortized push inside carries a reasoned allow, and test code may
+// allocate freely. `hot-path-alloc` must report nothing.
+
+pub fn walk(items: &[u64], scratch: &mut Vec<u64>) -> u64 {
+    scratch.clear();
+    scratch.reserve(items.len());
+    // verify: hot-path-begin(walk-loop)
+    let mut total = 0u64;
+    for &x in items {
+        // verify: allow(hot-path-alloc, reason = "pre-reserved above; never reallocates in steady state")
+        scratch.push(x);
+        total += x;
+    }
+    // verify: hot-path-end(walk-loop)
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_allocate() {
+        let items = vec![1u64, 2, 3];
+        let mut scratch = Vec::new();
+        assert_eq!(super::walk(&items, &mut scratch), 6);
+    }
+}

@@ -1,0 +1,13 @@
+// Known-bad fixture: two shapes of nested lock scope. Checked under a
+// `crates/serve/src/` path (or the sharded-memo file) the second
+// acquisition in each function must be reported by `lock-discipline`.
+
+pub fn held_across(a: &Shard, b: &Shard) -> u64 {
+    let ga = a.inner.lock();
+    let gb = b.inner.lock();
+    *ga + *gb
+}
+
+pub fn same_statement(a: &Shard, b: &Shard) -> u64 {
+    *a.inner.lock() + *b.inner.lock()
+}

@@ -1,0 +1,23 @@
+// Known-good fixture: one lock at a time — each guard is confined to
+// its own block and released before the next acquisition.
+// `lock-discipline` must report nothing.
+
+pub fn total(a: &Shard, b: &Shard) -> u64 {
+    let x;
+    {
+        let ga = a.inner.lock();
+        x = *ga;
+    }
+    let y;
+    {
+        let gb = b.inner.lock();
+        y = *gb;
+    }
+    x + y
+}
+
+pub fn sequential_reacquisition(a: &Shard) -> u64 {
+    touch(*a.inner.lock());
+    touch(*a.inner.lock());
+    0
+}

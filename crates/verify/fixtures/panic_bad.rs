@@ -1,0 +1,20 @@
+// Known-bad fixture: five unannotated panic sites. Checked under a
+// `crates/serve/src/` path each must be reported by `panic-surface`;
+// checked under any other crate's path none may be.
+
+pub fn handle(x: Option<u64>) -> u64 {
+    let v = x.unwrap();
+    let w = compute(v).expect("compute failed");
+    if w == 0 {
+        panic!("zero is impossible here");
+    }
+    match w {
+        1 => todo!(),
+        2 => unreachable!(),
+        _ => w,
+    }
+}
+
+fn compute(v: u64) -> Option<u64> {
+    Some(v)
+}

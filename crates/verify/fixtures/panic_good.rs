@@ -1,0 +1,33 @@
+// Known-good fixture: expected failures are typed errors, the one
+// invariant-guaranteed unwrap carries a reasoned allow, and test code
+// may panic freely. `panic-surface` must report nothing.
+
+pub fn handle(x: Option<u64>) -> Result<u64, Error> {
+    let v = x.ok_or(Error::Missing)?;
+    // verify: allow(panic-surface, reason = "v was validated non-zero at enqueue time")
+    let w = checked(v).unwrap();
+    Ok(w)
+}
+
+fn checked(v: u64) -> Option<u64> {
+    Some(v)
+}
+
+pub enum Error {
+    Missing,
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let r = super::handle(Some(3)).unwrap();
+        assert_eq!(r, 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn tests_may_even_panic() {
+        panic!("fine in tests");
+    }
+}

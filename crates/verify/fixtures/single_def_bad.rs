@@ -1,0 +1,18 @@
+// Known-bad fixture: a function outside the allowed pair that resolves
+// both slot-capacity failures — a second copy of the MAC
+// error-resolution sequence. `single-definition` must report it when
+// checked under a `src/` path.
+
+fn resolve_mac_errors(required: u32, available: u32) -> Result<(), ModelError> {
+    if required > available {
+        return Err(ModelError::BandwidthExceeded { required, available });
+    }
+    if gts_full() {
+        return Err(ModelError::GtsCapacityExceeded { required, available });
+    }
+    Ok(())
+}
+
+fn gts_full() -> bool {
+    false
+}

@@ -1,0 +1,30 @@
+// Known-good fixture: each helper touches at most one of the two
+// slot-capacity variants, so no function qualifies as a resolution
+// site. `single-definition` must report nothing.
+
+fn check_bandwidth(required: u32, available: u32) -> Result<(), ModelError> {
+    if required > available {
+        return Err(ModelError::BandwidthExceeded { required, available });
+    }
+    Ok(())
+}
+
+fn check_gts(required: u32, available: u32) -> Result<(), ModelError> {
+    if required > available {
+        return Err(ModelError::GtsCapacityExceeded { required, available });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_mention_both() {
+        let both = (
+            super::check_bandwidth(1, 0),
+            super::check_gts(1, 0),
+        );
+        let _ = both;
+        // BandwidthExceeded and GtsCapacityExceeded together are fine here.
+    }
+}

@@ -1,0 +1,44 @@
+// Tokenizer edge cases: every banned token below is inert — buried in a
+// string, a comment, or test code. Checked under a `crates/serve/src/`
+// path this file must produce zero violations.
+
+/* a block comment mentioning .unwrap() and panic!("boom")
+   /* nested block: Vec::new(), format!("x"), .lock() */
+   still inside the outer comment */
+
+pub fn clean() -> u64 {
+    let a = "call .unwrap() or panic!(\"boom\") inside a string";
+    let b = r#"raw string with .expect("x") and vec![0; 8]"#;
+    let c = br##"raw byte string: BandwidthExceeded GtsCapacityExceeded"##;
+    let d = b"byte string .unwrap()";
+    let e = 'x';
+    let s = "// verify: allow(panic-surface, reason = \"not a real directive\")";
+    // a line comment with .unwrap() and Vec::new() in it
+    (a.len() + b.len() + c.len() + d.len() + s.len()) as u64 + e as u64
+}
+
+pub fn lifetimes_are_not_chars<'a>(x: &'a str) -> &'a str {
+    x
+}
+
+#[cfg(not(test))]
+pub fn live_when_shipping() -> u64 {
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_do_anything() {
+        let v: Option<u64> = Some(1);
+        v.unwrap();
+        let grown = Vec::<u64>::new();
+        assert!(grown.is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn stacked_attributes_are_test_marked() {
+        panic!("fine in tests");
+    }
+}

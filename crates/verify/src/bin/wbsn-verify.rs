@@ -1,0 +1,64 @@
+//! The `wbsn-verify` CLI: run every invariant lint over the workspace.
+//!
+//! ```text
+//! wbsn-verify [workspace-root]
+//! ```
+//!
+//! Without an argument the tool walks upward from the current directory
+//! to the nearest `Cargo.toml` declaring `[workspace]`. Exit code 0
+//! means the tree is clean; 1 means violations were printed (one per
+//! line, `file:line: [lint] message`); 2 means the tool itself could
+//! not run.
+
+use std::env;
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = match env::args().nth(1).map(PathBuf::from) {
+        Some(p) => p,
+        None => {
+            if let Some(p) = find_workspace_root() {
+                p
+            } else {
+                eprintln!("wbsn-verify: no workspace root found (pass one explicitly)");
+                return ExitCode::from(2);
+            }
+        }
+    };
+    match wbsn_verify::run_workspace(&root) {
+        Ok(violations) if violations.is_empty() => {
+            println!("wbsn-verify: workspace clean");
+            ExitCode::SUCCESS
+        }
+        Ok(violations) => {
+            for v in &violations {
+                println!("{v}");
+            }
+            eprintln!("wbsn-verify: {} violation(s)", violations.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("wbsn-verify: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Walks upward from the current directory to the nearest `Cargo.toml`
+/// containing a `[workspace]` table.
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! `float-determinism`: the bit-stability contract of the kernel
+//! modules, checked lexically.
+//!
+//! The batch kernels promise objectives *bit-identical* to the scalar
+//! reference (PAPER.md Eq. 1/8/9) — a promise that survives only while
+//! every float operation keeps the reference's precision and
+//! association order. Three things are banned in kernel modules:
+//!
+//! * **`f32`** (types, casts, literal suffixes) — a single narrowing
+//!   round-trip silently changes bits;
+//! * **`mul_add`** — fused multiply-add contracts the intermediate
+//!   rounding step, so FMA and non-FMA targets produce different bits;
+//! * **`.sum()` / `.product()` iterator reductions** — the kernels'
+//!   restructured loops must spell their accumulation order out as
+//!   explicit left folds (`sum += x` in node order); a `.sum()` hides
+//!   the order behind an `impl Sum` that a refactor (chunking, rayon,
+//!   SIMD adapters) can quietly re-associate.
+//!
+//! Scope: [`KERNEL_FILES`]. The scalar reference (`evaluate.rs`,
+//! `math.rs`) deliberately stays out — `iter().sum()` there *is* the
+//! defining order the kernels must reproduce.
+
+use super::{is_method, FileCtx};
+use crate::tokenizer::TokKind;
+use crate::Violation;
+
+/// Modules whose float arithmetic is bit-stability-locked.
+pub const KERNEL_FILES: &[&str] = &["crates/core/src/soa.rs", "crates/core/src/metrics.rs"];
+
+/// Runs the lint when `ctx` is a kernel module.
+#[must_use]
+pub fn check(ctx: &FileCtx<'_>) -> Vec<Violation> {
+    if !KERNEL_FILES.contains(&ctx.rel_path) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (i, tok) in ctx.toks.iter().enumerate() {
+        if !ctx.is_live(i) {
+            continue;
+        }
+        let found: Option<&str> = match tok.kind {
+            TokKind::Ident if tok.text == "f32" => Some("`f32` (narrowing breaks bit-stability)"),
+            TokKind::Ident if tok.text == "mul_add" => {
+                Some("`mul_add` (FMA contraction differs across targets)")
+            }
+            TokKind::Number if tok.text.ends_with("f32") => {
+                Some("`f32` literal suffix (narrowing breaks bit-stability)")
+            }
+            TokKind::Ident if is_method(ctx.toks, i, "sum") => {
+                Some("`.sum()` (spell the reduction as an explicit left fold)")
+            }
+            TokKind::Ident if is_method(ctx.toks, i, "product") => {
+                Some("`.product()` (spell the reduction as an explicit left fold)")
+            }
+            _ => None,
+        };
+        if let Some(what) = found {
+            out.push(Violation::new(
+                "float-determinism",
+                ctx.rel_path,
+                tok.line,
+                format!("{what} in a bit-stability-locked kernel module"),
+            ));
+        }
+    }
+    out
+}

@@ -1,0 +1,99 @@
+//! `hot-path-alloc`: no allocating API calls inside declared hot
+//! regions.
+//!
+//! The `SoA` kernels' contract is *zero steady-state allocations*; the
+//! runtime `alloc_free` test proves it for the paths it exercises, and
+//! this lint is the static complement for the paths it cannot: any code
+//! between `// verify: hot-path-begin(name)` and
+//! `// verify: hot-path-end(name)` markers must not mention an
+//! allocating constructor, macro or method. Amortized growth that is
+//! deliberate (a pre-reserved `push`, a once-per-block `collect`)
+//! carries a `// verify: allow(hot-path-alloc, reason = "…")` so the
+//! exception is visible and reasoned at the call site.
+//!
+//! The check is lexical and shallow: it sees the tokens of the region,
+//! not what callees do. Deep allocation-freedom stays the runtime
+//! test's job; this lint guarantees nobody *writes* an allocation into
+//! a hot region without saying why.
+
+use super::{is_macro, is_method, is_path2, FileCtx};
+use crate::Violation;
+
+/// Allocating `Type::constructor` paths.
+const ALLOC_PATHS: &[(&str, &str)] = &[
+    ("Vec", "new"),
+    ("Vec", "with_capacity"),
+    ("Vec", "from"),
+    ("String", "new"),
+    ("String", "from"),
+    ("String", "with_capacity"),
+    ("Box", "new"),
+    ("Rc", "new"),
+    ("Arc", "new"),
+    ("VecDeque", "new"),
+    ("HashMap", "new"),
+    ("BTreeMap", "new"),
+];
+
+/// Allocating macros.
+const ALLOC_MACROS: &[&str] = &["vec", "format"];
+
+/// Allocating (or allocation-capable) methods.
+const ALLOC_METHODS: &[&str] = &[
+    "push",
+    "push_str",
+    "collect",
+    "extend",
+    "extend_from_slice",
+    "append",
+    "reserve",
+    "reserve_exact",
+    "resize",
+    "resize_with",
+    "insert",
+    "to_vec",
+    "to_string",
+    "to_owned",
+    "into_vec",
+    "repeat",
+];
+
+/// Runs the lint over every hot region of the file.
+#[must_use]
+pub fn check(ctx: &FileCtx<'_>) -> Vec<Violation> {
+    if ctx.regions.is_empty() {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (i, tok) in ctx.toks.iter().enumerate() {
+        if !ctx.is_live(i) {
+            continue;
+        }
+        let Some(region) = ctx.regions.iter().find(|r| r.contains(tok.line)) else {
+            continue;
+        };
+        let found: Option<String> = if let Some((head, tail)) =
+            ALLOC_PATHS.iter().find(|(h, t)| is_path2(ctx.toks, i, h, t))
+        {
+            Some(format!("{head}::{tail}"))
+        } else if let Some(m) = ALLOC_MACROS.iter().find(|m| is_macro(ctx.toks, i, m)) {
+            Some(format!("{m}!"))
+        } else {
+            ALLOC_METHODS.iter().find(|m| is_method(ctx.toks, i, m)).map(|m| format!(".{m}()"))
+        };
+        if let Some(api) = found {
+            out.push(Violation::new(
+                "hot-path-alloc",
+                ctx.rel_path,
+                tok.line,
+                format!(
+                    "allocating API `{api}` inside hot region `{}` — hot paths must be \
+                     steady-state allocation-free; move the allocation out of the region or \
+                     annotate the amortization argument",
+                    region.name
+                ),
+            ));
+        }
+    }
+    out
+}

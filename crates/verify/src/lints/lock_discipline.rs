@@ -1,0 +1,96 @@
+//! `lock-discipline`: no nested `.lock()` scopes in the serve layer.
+//!
+//! The deadlock-freedom argument of `wbsn-serve` is *one lock at a
+//! time*: the `ShardedGenomeMemo` holds N mutexes but every operation
+//! locks exactly one shard and releases it before anything else is
+//! acquired, and the worker queue mutex is never held while touching a
+//! shard. There is no lock ordering protocol to get right because no
+//! thread ever waits on lock B while holding lock A — this lint keeps
+//! it that way.
+//!
+//! The detection is a conservative lexical scan of each function body:
+//!
+//! * a second `.lock()`/`.try_lock()` inside the same statement as an
+//!   earlier one overlaps two guards (method-chain temporaries live to
+//!   the end of the statement);
+//! * a `let`-bound statement containing `.lock()` is treated as holding
+//!   its guard until the enclosing block closes; any further lock
+//!   acquisition before that close is flagged.
+//!
+//! The approximation over-reports (a `let n = m.lock()….len();` drops
+//! its guard at the `;` but is treated as held) and never
+//! under-reports within a function body. Cross-function nesting — a
+//! helper that locks, called while a lock is held — is out of lexical
+//! reach; the chaos suite's no-hang storms are the runtime backstop.
+
+use super::{is_method, FileCtx};
+use crate::Violation;
+
+/// Files subject to the discipline: the serve crate plus the sharded
+/// memo it leans on for its deadlock-freedom argument.
+pub const SCOPE_PREFIX: &str = "crates/serve/src/";
+
+/// Additional exact-path scope members.
+pub const SCOPE_FILES: &[&str] = &["crates/dse/src/memo.rs"];
+
+/// Lock-acquiring methods.
+const LOCK_METHODS: &[&str] = &["lock", "try_lock"];
+
+/// Runs the lint when `ctx` is in scope.
+#[must_use]
+pub fn check(ctx: &FileCtx<'_>) -> Vec<Violation> {
+    if !ctx.rel_path.starts_with(SCOPE_PREFIX) && !SCOPE_FILES.contains(&ctx.rel_path) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for f in ctx.fns {
+        if f.is_test {
+            continue;
+        }
+        check_fn_body(ctx, f.body.clone(), &mut out);
+    }
+    out
+}
+
+/// Scans one function body for overlapping lock scopes.
+fn check_fn_body(ctx: &FileCtx<'_>, body: std::ops::Range<usize>, out: &mut Vec<Violation>) {
+    let mut depth = 0usize;
+    // Depths at which a `let`-bound lock guard is (conservatively) held.
+    let mut guard_depths: Vec<usize> = Vec::new();
+    let mut stmt_has_lock = false;
+    let mut stmt_has_let = false;
+    for i in body {
+        let tok = &ctx.toks[i];
+        match tok.text.as_str() {
+            "{" => depth += 1,
+            "}" => {
+                depth = depth.saturating_sub(1);
+                guard_depths.retain(|&g| g <= depth);
+            }
+            ";" => {
+                stmt_has_lock = false;
+                stmt_has_let = false;
+            }
+            "let" if tok.kind == crate::tokenizer::TokKind::Ident => stmt_has_let = true,
+            _ => {
+                if LOCK_METHODS.iter().any(|m| is_method(ctx.toks, i, m)) {
+                    if stmt_has_lock || !guard_depths.is_empty() {
+                        out.push(Violation::new(
+                            "lock-discipline",
+                            ctx.rel_path,
+                            tok.line,
+                            "lock acquired while another lock scope is (possibly) still \
+                             held — the serve layer's deadlock-freedom argument is \
+                             one-lock-at-a-time"
+                                .to_string(),
+                        ));
+                    }
+                    stmt_has_lock = true;
+                    if stmt_has_let {
+                        guard_depths.push(depth);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! The lint passes and the token-pattern helpers they share.
+//!
+//! Each lint is a pure function from a [`FileCtx`] to raw violations;
+//! the runner in [`crate`] applies `// verify: allow` suppressions
+//! afterwards, so lints never need to know about annotations.
+
+pub mod float_det;
+pub mod hot_alloc;
+pub mod lock_discipline;
+pub mod panic_surface;
+pub mod single_def;
+
+use crate::shape::{FnSpan, HotRegion};
+use crate::tokenizer::{Tok, TokKind};
+
+/// Everything a lint pass may look at for one file.
+#[derive(Debug)]
+pub struct FileCtx<'a> {
+    /// Workspace-relative path with `/` separators.
+    pub rel_path: &'a str,
+    /// The flat token stream.
+    pub toks: &'a [Tok],
+    /// Per-token test-code flags (parallel to `toks`).
+    pub test_marks: &'a [bool],
+    /// Every function with a body.
+    pub fns: &'a [FnSpan],
+    /// Declared hot regions.
+    pub regions: &'a [HotRegion],
+}
+
+impl FileCtx<'_> {
+    /// Is token `i` live (non-test) code?
+    #[must_use]
+    pub fn is_live(&self, i: usize) -> bool {
+        !self.test_marks[i]
+    }
+}
+
+/// Is token `i` the identifier `name` invoked as a method
+/// (`. name`)? Matches `.collect::<…>(…)` as well as `.push(…)`,
+/// and — by design — bare `.len`-style field-or-method mentions: the
+/// lints' vocabularies are method names unlikely to be field names.
+#[must_use]
+pub fn is_method(toks: &[Tok], i: usize, name: &str) -> bool {
+    toks[i].kind == TokKind::Ident
+        && toks[i].text == name
+        && i > 0
+        && toks[i - 1].kind == TokKind::Punct
+        && toks[i - 1].text == "."
+}
+
+/// Is token `i` the identifier `name` invoked as a macro (`name !`)?
+#[must_use]
+pub fn is_macro(toks: &[Tok], i: usize, name: &str) -> bool {
+    toks[i].kind == TokKind::Ident
+        && toks[i].text == name
+        && toks.get(i + 1).is_some_and(|t| t.kind == TokKind::Punct && t.text == "!")
+}
+
+/// Is token `i` the start of the qualified path `head :: tail`
+/// (e.g. `Vec :: new`)?
+#[must_use]
+pub fn is_path2(toks: &[Tok], i: usize, head: &str, tail: &str) -> bool {
+    toks[i].kind == TokKind::Ident
+        && toks[i].text == head
+        && toks.get(i + 1).is_some_and(|t| t.text == ":")
+        && toks.get(i + 2).is_some_and(|t| t.text == ":")
+        && toks.get(i + 3).is_some_and(|t| t.kind == TokKind::Ident && t.text == tail)
+}

@@ -1,0 +1,60 @@
+//! `panic-surface`: every potential panic site in `wbsn-serve`
+//! non-test code must carry a reasoned annotation.
+//!
+//! The serve engine isolates panics (`catch_unwind` + worker respawn),
+//! so a panic is survivable — but it still kills the one request that
+//! hit it and costs a worker respawn. The failure taxonomy in
+//! `crates/serve/src/error.rs` exists so that *expected* failures are
+//! typed `ServeError`s, not panics; anything that can panic in the
+//! request or worker path must therefore either be converted to error
+//! propagation or be annotated with the argument for why it cannot
+//! fire (startup-only, chaos-injected, invariant-guaranteed).
+//!
+//! `assert!`-family config validation is deliberately out of scope:
+//! those sites are documented `# Panics` API contracts checked once at
+//! engine construction, not request-path hazards.
+
+use super::{is_macro, is_method, FileCtx};
+use crate::Violation;
+
+/// The scope prefix: serve crate sources (bins included), tests
+/// excluded by path and by `#[cfg(test)]` marking.
+pub const SCOPE_PREFIX: &str = "crates/serve/src/";
+
+/// Panicking methods.
+const PANIC_METHODS: &[&str] = &["unwrap", "expect"];
+
+/// Panicking macros.
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Runs the lint when `ctx` is serve non-test code.
+#[must_use]
+pub fn check(ctx: &FileCtx<'_>) -> Vec<Violation> {
+    if !ctx.rel_path.starts_with(SCOPE_PREFIX) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (i, tok) in ctx.toks.iter().enumerate() {
+        if !ctx.is_live(i) {
+            continue;
+        }
+        let found: Option<String> =
+            if let Some(m) = PANIC_METHODS.iter().find(|m| is_method(ctx.toks, i, m)) {
+                Some(format!(".{m}()"))
+            } else {
+                PANIC_MACROS.iter().find(|m| is_macro(ctx.toks, i, m)).map(|m| format!("{m}!"))
+            };
+        if let Some(api) = found {
+            out.push(Violation::new(
+                "panic-surface",
+                ctx.rel_path,
+                tok.line,
+                format!(
+                    "`{api}` in wbsn-serve non-test code — convert to typed ServeError \
+                     propagation, or annotate why this site cannot fire"
+                ),
+            ));
+        }
+    }
+    out
+}

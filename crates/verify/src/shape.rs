@@ -1,0 +1,362 @@
+//! Shape recovery over the flat token stream: which tokens are test
+//! code, where function bodies start and end, and which lines fall in
+//! declared hot regions.
+//!
+//! These passes are deliberately lexical — they track brace nesting and
+//! a handful of token patterns, nothing more. That is enough for the
+//! lint passes, keeps the analyzer dependency-free, and makes its
+//! behavior predictable: anything it cannot decide is treated as
+//! *in scope* (erring toward a false positive that an explicit,
+//! reasoned `// verify: allow` can silence, never toward a silent
+//! pass).
+
+use crate::tokenizer::{Directive, Tok, TokKind};
+use crate::Violation;
+
+/// Marks every token that belongs to a test item: an item annotated
+/// `#[test]` or `#[cfg(test)]` (including `cfg(any(test, …))`-style
+/// compositions, but not `cfg(not(test))`).
+///
+/// The skip covers the attribute through the end of the item: its
+/// matching `}` for brace items (`mod tests { … }`, `fn case() { … }`)
+/// or the first top-level `;` for brace-less items (`use` lines).
+#[must_use]
+pub fn mark_test_tokens(toks: &[Tok]) -> Vec<bool> {
+    let mut test = vec![false; toks.len()];
+    let mut i = 0usize;
+    while i < toks.len() {
+        if is_test_attr_start(toks, i) {
+            let attr_start = i;
+            // Consume this attribute and any stacked ones that follow.
+            let mut j = skip_attr(toks, i);
+            while j < toks.len()
+                && toks[j].text == "#"
+                && toks.get(j + 1).map(|t| t.text.as_str()) == Some("[")
+            {
+                j = skip_attr(toks, j);
+            }
+            let end = skip_item(toks, j);
+            for flag in &mut test[attr_start..end.min(toks.len())] {
+                *flag = true;
+            }
+            i = end;
+        } else {
+            i += 1;
+        }
+    }
+    test
+}
+
+/// Is the token at `i` the `#` of a `#[test]` / `#[cfg(test)]`-family
+/// attribute?
+fn is_test_attr_start(toks: &[Tok], i: usize) -> bool {
+    if toks[i].text != "#" || toks.get(i + 1).map(|t| t.text.as_str()) != Some("[") {
+        return false;
+    }
+    let end = skip_attr(toks, i);
+    let inner = &toks[i + 2..end.saturating_sub(1).min(toks.len())];
+    let has = |s: &str| inner.iter().any(|t| t.kind == TokKind::Ident && t.text == s);
+    // `#[test]`, `#[tokio::test]`-style: a lone `test` path.
+    if inner.first().is_some_and(|t| t.text == "test") {
+        return true;
+    }
+    // `#[cfg(test)]` and compositions — but `cfg(not(test))` is live code.
+    has("cfg") && has("test") && !has("not")
+}
+
+/// Returns the index one past the `]` closing the attribute at `i`
+/// (which must point at `#`).
+fn skip_attr(toks: &[Tok], i: usize) -> usize {
+    let mut depth = 0usize;
+    let mut j = i + 1;
+    while j < toks.len() {
+        match toks[j].text.as_str() {
+            "[" => depth += 1,
+            "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    toks.len()
+}
+
+/// Returns the index one past the item starting at `i`: past the `}`
+/// matching its first `{`, or past the first `;` seen before any brace.
+fn skip_item(toks: &[Tok], i: usize) -> usize {
+    let mut j = i;
+    while j < toks.len() {
+        match toks[j].text.as_str() {
+            ";" => return j + 1,
+            "{" => return skip_braces(toks, j),
+            _ => j += 1,
+        }
+    }
+    toks.len()
+}
+
+/// Returns the index one past the `}` matching the `{` at `i`.
+fn skip_braces(toks: &[Tok], i: usize) -> usize {
+    let mut depth = 0usize;
+    let mut j = i;
+    while j < toks.len() {
+        match toks[j].text.as_str() {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    toks.len()
+}
+
+/// One function definition found in the stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnSpan {
+    /// The function's name.
+    pub name: String,
+    /// Line of the `fn` keyword.
+    pub line: u32,
+    /// Token range of the body, *inside* the outer braces.
+    pub body: std::ops::Range<usize>,
+    /// Whether any token of the definition is test-marked.
+    pub is_test: bool,
+}
+
+/// Extracts every `fn` with a body. Trait-method declarations (ending
+/// in `;`) produce no span. Nested functions yield their own spans in
+/// addition to appearing inside their parent's.
+#[must_use]
+pub fn functions(toks: &[Tok], test_marks: &[bool]) -> Vec<FnSpan> {
+    let mut fns = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].kind == TokKind::Ident && toks[i].text == "fn" {
+            if let Some(span) = parse_fn(toks, test_marks, i) {
+                fns.push(span);
+            }
+        }
+        i += 1;
+    }
+    fns
+}
+
+/// Parses one `fn` starting at the keyword index; returns its span when
+/// it has a body.
+fn parse_fn(toks: &[Tok], test_marks: &[bool], kw: usize) -> Option<FnSpan> {
+    let name_tok = toks.get(kw + 1)?;
+    if name_tok.kind != TokKind::Ident {
+        return None;
+    }
+    let mut j = kw + 2;
+    // Generic parameters: match `<…>`, treating `->` as one unit so the
+    // `>` of an `Fn(&T) -> R` bound does not close the list early.
+    if toks.get(j).is_some_and(|t| t.text == "<") {
+        let mut depth = 0i32;
+        while j < toks.len() {
+            let t = toks[j].text.as_str();
+            if t == "-" && toks.get(j + 1).is_some_and(|n| n.text == ">") {
+                j += 2;
+                continue;
+            }
+            match t {
+                "<" => depth += 1,
+                ">" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+    }
+    // Argument list.
+    while j < toks.len() && toks[j].text != "(" {
+        j += 1;
+    }
+    let mut depth = 0usize;
+    while j < toks.len() {
+        match toks[j].text.as_str() {
+            "(" => depth += 1,
+            ")" => {
+                depth -= 1;
+                if depth == 0 {
+                    j += 1;
+                    break;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    // Return type / where clause, up to the body or a `;` declaration.
+    while j < toks.len() && toks[j].text != "{" {
+        if toks[j].text == ";" {
+            return None;
+        }
+        j += 1;
+    }
+    if j >= toks.len() {
+        return None;
+    }
+    let end = skip_braces(toks, j);
+    let body = (j + 1)..end.saturating_sub(1);
+    let is_test = test_marks[kw..end.min(test_marks.len())].iter().any(|&t| t);
+    Some(FnSpan { name: name_tok.text.clone(), line: toks[kw].line, body, is_test })
+}
+
+/// A resolved hot region: the lines strictly between its begin and end
+/// markers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HotRegion {
+    /// Region name (from the markers).
+    pub name: String,
+    /// Line of the begin marker.
+    pub begin: u32,
+    /// Line of the end marker.
+    pub end: u32,
+}
+
+impl HotRegion {
+    /// Is `line` inside the region (markers excluded)?
+    #[must_use]
+    pub fn contains(&self, line: u32) -> bool {
+        line > self.begin && line < self.end
+    }
+}
+
+/// Pairs `hot-path-begin`/`hot-path-end` markers into regions. Marker
+/// mistakes (unbalanced, name mismatch, nesting) become violations —
+/// a broken declaration must never silently shrink the checked surface.
+#[must_use]
+pub fn hot_regions(rel_path: &str, directives: &[Directive]) -> (Vec<HotRegion>, Vec<Violation>) {
+    let mut regions = Vec::new();
+    let mut violations = Vec::new();
+    let mut open: Option<(String, u32)> = None;
+    for d in directives {
+        match d {
+            Directive::HotBegin { name, line } => {
+                if let Some((prev, prev_line)) = &open {
+                    violations.push(Violation::new(
+                        "hot-region-markers",
+                        rel_path,
+                        *line,
+                        format!(
+                            "hot-path-begin({name}) while hot-path-begin({prev}) from line \
+                             {prev_line} is still open (regions cannot nest)"
+                        ),
+                    ));
+                }
+                open = Some((name.clone(), *line));
+            }
+            Directive::HotEnd { name, line } => match open.take() {
+                Some((open_name, begin)) if open_name == *name => {
+                    regions.push(HotRegion { name: name.clone(), begin, end: *line });
+                }
+                Some((open_name, begin)) => {
+                    violations.push(Violation::new(
+                        "hot-region-markers",
+                        rel_path,
+                        *line,
+                        format!(
+                            "hot-path-end({name}) does not match hot-path-begin({open_name}) \
+                             from line {begin}"
+                        ),
+                    ));
+                }
+                None => {
+                    violations.push(Violation::new(
+                        "hot-region-markers",
+                        rel_path,
+                        *line,
+                        format!("hot-path-end({name}) without a matching begin"),
+                    ));
+                }
+            },
+            Directive::Allow { .. } | Directive::Malformed { .. } => {}
+        }
+    }
+    if let Some((name, line)) = open {
+        violations.push(Violation::new(
+            "hot-region-markers",
+            rel_path,
+            line,
+            format!("hot-path-begin({name}) is never closed"),
+        ));
+    }
+    (regions, violations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenizer::tokenize;
+
+    #[test]
+    fn cfg_test_mod_is_marked() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn helper() { x.unwrap(); }\n}\nfn also_live() {}\n";
+        let lexed = tokenize(src);
+        let marks = mark_test_tokens(&lexed.toks);
+        let fns = functions(&lexed.toks, &marks);
+        let by_name: Vec<(&str, bool)> = fns.iter().map(|f| (f.name.as_str(), f.is_test)).collect();
+        assert_eq!(by_name, vec![("live", false), ("helper", true), ("also_live", false)]);
+    }
+
+    #[test]
+    fn cfg_not_test_stays_live() {
+        let src = "#[cfg(not(test))]\nfn shipping() {}\n";
+        let lexed = tokenize(src);
+        let marks = mark_test_tokens(&lexed.toks);
+        assert!(marks.iter().all(|&m| !m));
+    }
+
+    #[test]
+    fn test_attr_fn_is_marked() {
+        let src = "#[test]\nfn case() { assert!(true); }\nfn live() {}\n";
+        let lexed = tokenize(src);
+        let marks = mark_test_tokens(&lexed.toks);
+        let fns = functions(&lexed.toks, &marks);
+        assert!(fns[0].is_test);
+        assert!(!fns[1].is_test);
+    }
+
+    #[test]
+    fn fn_with_closure_bound_generics() {
+        let src = "fn walk<F: FnMut(usize, &T) -> bool>(f: F) -> u32 { 0 }\n";
+        let lexed = tokenize(src);
+        let marks = mark_test_tokens(&lexed.toks);
+        let fns = functions(&lexed.toks, &marks);
+        assert_eq!(fns.len(), 1);
+        assert_eq!(fns[0].name, "walk");
+    }
+
+    #[test]
+    fn trait_declarations_have_no_body() {
+        let src = "trait T { fn decl(&self) -> u32; fn with_default(&self) -> u32 { 1 } }\n";
+        let lexed = tokenize(src);
+        let marks = mark_test_tokens(&lexed.toks);
+        let fns = functions(&lexed.toks, &marks);
+        assert_eq!(fns.len(), 1);
+        assert_eq!(fns[0].name, "with_default");
+    }
+
+    #[test]
+    fn unbalanced_hot_markers_are_violations() {
+        let lexed = tokenize("// verify: hot-path-begin(a)\nfn f() {}\n");
+        let (regions, violations) = hot_regions("x.rs", &lexed.directives);
+        assert!(regions.is_empty());
+        assert_eq!(violations.len(), 1);
+    }
+}

@@ -1,0 +1,549 @@
+//! A small hand-rolled Rust lexer for the lint passes.
+//!
+//! The analyzer runs in a registry-less build environment, so it cannot
+//! lean on `syn`/`proc-macro2`; instead this module lexes source text
+//! into a flat token stream that is *reliable about the things the
+//! lints care about*:
+//!
+//! * comments (line, nested block) never produce tokens — but comments
+//!   carrying `verify:` directives are parsed into [`Directive`]s;
+//! * string/char/byte literals never leak their contents as tokens, so
+//!   `"call .unwrap() here"` in a message cannot trip a lint;
+//! * raw strings (`r"…"`, `r#"…"#`, any hash depth) and raw byte
+//!   strings are handled, as are escapes and the lifetime-vs-char
+//!   ambiguity of `'`;
+//! * every token carries its 1-based source line for reporting and for
+//!   matching `allow` annotations.
+//!
+//! The stream is deliberately *flat* — higher-level shape (test-item
+//! marking, function spans, brace depth) is recovered by the small
+//! passes in [`crate::shape`].
+
+/// What kind of lexeme a [`Tok`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `unwrap`, `Vec`, …).
+    Ident,
+    /// Single punctuation character (`.`, `{`, `!`, …).
+    Punct,
+    /// String, raw-string, byte-string or char literal (text omitted).
+    Literal,
+    /// Numeric literal, suffix included (`1.5e-3`, `0.0f64`, `0xff`).
+    Number,
+    /// Lifetime (`'a`, `'static`), quote included in `text`.
+    Lifetime,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// Lexeme class.
+    pub kind: TokKind,
+    /// The token text (empty for string/char literals — lints must
+    /// never match inside literal contents).
+    pub text: String,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+}
+
+/// A parsed `// verify: …` comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Directive {
+    /// `// verify: allow(<lint>, reason = "…")` — suppresses one lint
+    /// on the same line or the line directly below.
+    Allow {
+        /// The lint being allowed.
+        lint: String,
+        /// Why the violation is acceptable (must be non-empty).
+        reason: String,
+        /// Line the directive sits on.
+        line: u32,
+    },
+    /// `// verify: hot-path-begin(<name>)` — opens a hot region for the
+    /// `hot-path-alloc` lint.
+    HotBegin {
+        /// Region name (must match its `hot-path-end`).
+        name: String,
+        /// Line the directive sits on.
+        line: u32,
+    },
+    /// `// verify: hot-path-end(<name>)` — closes a hot region.
+    HotEnd {
+        /// Region name.
+        name: String,
+        /// Line the directive sits on.
+        line: u32,
+    },
+    /// A comment that starts with `verify:` but does not parse — always
+    /// reported, so a typo cannot silently disable a suppression.
+    Malformed {
+        /// What went wrong.
+        message: String,
+        /// Line the directive sits on.
+        line: u32,
+    },
+}
+
+impl Directive {
+    /// The line the directive occupies.
+    #[must_use]
+    pub fn line(&self) -> u32 {
+        match self {
+            Self::Allow { line, .. }
+            | Self::HotBegin { line, .. }
+            | Self::HotEnd { line, .. }
+            | Self::Malformed { line, .. } => *line,
+        }
+    }
+}
+
+/// Output of [`tokenize`]: the token stream plus every directive found
+/// in comments.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// The flat token stream, in source order.
+    pub toks: Vec<Tok>,
+    /// Every `verify:` directive, in source order.
+    pub directives: Vec<Directive>,
+}
+
+/// Lexes `source` into tokens and directives. Never fails: unexpected
+/// bytes become single-character punctuation tokens, and unterminated
+/// literals run to end of file (the compiler, not this tool, owns
+/// syntax errors).
+#[must_use]
+pub fn tokenize(source: &str) -> Lexed {
+    let bytes = source.as_bytes();
+    let mut lexed = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                let start = i + 2;
+                let end = line_end(bytes, start);
+                parse_comment_text(&source[start..end], line, &mut lexed.directives);
+                i = end;
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                i = skip_block_comment(bytes, i + 2, &mut line);
+            }
+            b'"' => {
+                let start_line = line;
+                i = skip_string(bytes, i + 1, &mut line, &mut lexed, start_line);
+            }
+            b'r' | b'b' if starts_raw_or_byte_literal(bytes, i) => {
+                i = skip_prefixed_literal(bytes, i, &mut line, &mut lexed);
+            }
+            b'\'' => i = lex_quote(source, bytes, i, &mut line, &mut lexed),
+            c if c == b'_' || c.is_ascii_alphabetic() => {
+                let end = ident_end(bytes, i);
+                lexed.toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text: source[i..end].to_string(),
+                    line,
+                });
+                i = end;
+            }
+            c if c.is_ascii_digit() => {
+                let end = number_end(bytes, i);
+                lexed.toks.push(Tok {
+                    kind: TokKind::Number,
+                    text: source[i..end].to_string(),
+                    line,
+                });
+                i = end;
+            }
+            c => {
+                lexed.toks.push(Tok { kind: TokKind::Punct, text: (c as char).to_string(), line });
+                i += 1;
+            }
+        }
+    }
+    lexed
+}
+
+fn line_end(bytes: &[u8], mut i: usize) -> usize {
+    while i < bytes.len() && bytes[i] != b'\n' {
+        i += 1;
+    }
+    i
+}
+
+fn ident_end(bytes: &[u8], mut i: usize) -> usize {
+    while i < bytes.len() && (bytes[i] == b'_' || bytes[i].is_ascii_alphanumeric()) {
+        i += 1;
+    }
+    i
+}
+
+/// Consumes a number literal: digits, `_`, type/hex letters, one
+/// decimal point when followed by a digit, and signed exponents.
+fn number_end(bytes: &[u8], mut i: usize) -> usize {
+    while i < bytes.len() {
+        let c = bytes[i];
+        if c == b'_' || c.is_ascii_alphanumeric() {
+            // `1e-9` / `2.5E+3`: the sign belongs to the exponent.
+            if (c == b'e' || c == b'E')
+                && matches!(bytes.get(i + 1), Some(b'+' | b'-'))
+                && bytes.get(i + 2).is_some_and(u8::is_ascii_digit)
+            {
+                i += 2;
+            }
+            i += 1;
+        } else if c == b'.' && bytes.get(i + 1).is_some_and(u8::is_ascii_digit) {
+            // `1.5` continues the number; `1.max(2)` and `0..n` do not.
+            i += 1;
+        } else {
+            break;
+        }
+    }
+    i
+}
+
+/// Skips a (possibly nested) block comment; directives inside block
+/// comments are intentionally not recognized (the documented directive
+/// form is a line comment).
+fn skip_block_comment(bytes: &[u8], mut i: usize, line: &mut u32) -> usize {
+    let mut depth = 1usize;
+    while i < bytes.len() && depth > 0 {
+        match bytes[i] {
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                depth += 1;
+                i += 2;
+            }
+            b'*' if bytes.get(i + 1) == Some(&b'/') => {
+                depth -= 1;
+                i += 2;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Skips a `"…"` string body (opening quote already consumed), pushing
+/// one contents-free `Literal` token.
+fn skip_string(
+    bytes: &[u8],
+    mut i: usize,
+    line: &mut u32,
+    lexed: &mut Lexed,
+    start_line: u32,
+) -> usize {
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            b'"' => {
+                i += 1;
+                break;
+            }
+            _ => i += 1,
+        }
+    }
+    lexed.toks.push(Tok { kind: TokKind::Literal, text: String::new(), line: start_line });
+    i
+}
+
+/// Does `r`/`b` at `i` start a raw string, byte string or raw byte
+/// string (as opposed to an ordinary identifier like `radius`)?
+fn starts_raw_or_byte_literal(bytes: &[u8], i: usize) -> bool {
+    match bytes[i] {
+        b'r' => {
+            matches!(bytes.get(i + 1), Some(b'"' | b'#')) && raw_hashes_then_quote(bytes, i + 1)
+        }
+        b'b' => match bytes.get(i + 1) {
+            Some(b'"' | b'\'') => true,
+            Some(b'r') => raw_hashes_then_quote(bytes, i + 2),
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+/// After an `r`, is the tail `#…#"`? (Distinguishes `r"…"` / `r#"…"#`
+/// from raw identifiers like `r#fn`.)
+fn raw_hashes_then_quote(bytes: &[u8], mut i: usize) -> bool {
+    while bytes.get(i) == Some(&b'#') {
+        i += 1;
+    }
+    bytes.get(i) == Some(&b'"')
+}
+
+/// Skips `r"…"`, `r#"…"#`, `b"…"`, `b'…'`, `br#"…"#` literals.
+fn skip_prefixed_literal(bytes: &[u8], mut i: usize, line: &mut u32, lexed: &mut Lexed) -> usize {
+    let start_line = *line;
+    let mut raw = false;
+    if bytes[i] == b'b' {
+        i += 1;
+        if bytes.get(i) == Some(&b'\'') {
+            // Byte char `b'x'` / `b'\n'`.
+            i += 1;
+            if bytes.get(i) == Some(&b'\\') {
+                i += 1;
+            }
+            i += 1; // the byte itself
+            if bytes.get(i) == Some(&b'\'') {
+                i += 1;
+            }
+            lexed.toks.push(Tok { kind: TokKind::Literal, text: String::new(), line: start_line });
+            return i;
+        }
+        if bytes.get(i) == Some(&b'r') {
+            raw = true;
+            i += 1;
+        }
+    } else {
+        // `starts_raw_or_byte_literal` guarantees this is `r"`/`r#…"`.
+        raw = true;
+        i += 1;
+    }
+    let mut hashes = 0usize;
+    while bytes.get(i) == Some(&b'#') {
+        hashes += 1;
+        i += 1;
+    }
+    if bytes.get(i) == Some(&b'"') {
+        i += 1;
+    }
+    if raw {
+        // Raw string: ends at `"` followed by `hashes` hashes; no escapes.
+        while i < bytes.len() {
+            if bytes[i] == b'\n' {
+                *line += 1;
+                i += 1;
+            } else if bytes[i] == b'"' && bytes[i + 1..].iter().take(hashes).all(|&b| b == b'#') {
+                i += 1 + hashes;
+                break;
+            } else {
+                i += 1;
+            }
+        }
+        lexed.toks.push(Tok { kind: TokKind::Literal, text: String::new(), line: start_line });
+        i
+    } else {
+        // Plain byte string `b"…"`.
+        skip_string(bytes, i, line, lexed, start_line)
+    }
+}
+
+/// Disambiguates `'` between a char literal (`'a'`, `'\n'`) and a
+/// lifetime (`'a`, `'static`).
+fn lex_quote(source: &str, bytes: &[u8], i: usize, line: &mut u32, lexed: &mut Lexed) -> usize {
+    let start_line = *line;
+    match bytes.get(i + 1) {
+        Some(b'\\') => {
+            // Escaped char literal: consume to the closing quote.
+            let mut j = i + 2;
+            while j < bytes.len() && bytes[j] != b'\'' {
+                j += 1;
+            }
+            lexed.toks.push(Tok { kind: TokKind::Literal, text: String::new(), line: start_line });
+            j + 1
+        }
+        Some(&c) if c == b'_' || c.is_ascii_alphabetic() => {
+            let end = ident_end(bytes, i + 1);
+            if bytes.get(end) == Some(&b'\'') {
+                // `'a'` — a char literal.
+                lexed.toks.push(Tok {
+                    kind: TokKind::Literal,
+                    text: String::new(),
+                    line: start_line,
+                });
+                end + 1
+            } else {
+                // `'a` / `'static` — a lifetime.
+                lexed.toks.push(Tok {
+                    kind: TokKind::Lifetime,
+                    text: source[i..end].to_string(),
+                    line: start_line,
+                });
+                end
+            }
+        }
+        Some(_) => {
+            // `'('`-style single-char literal.
+            let mut j = i + 1;
+            while j < bytes.len() && bytes[j] != b'\'' {
+                if bytes[j] == b'\n' {
+                    *line += 1;
+                }
+                j += 1;
+            }
+            lexed.toks.push(Tok { kind: TokKind::Literal, text: String::new(), line: start_line });
+            j + 1
+        }
+        None => i + 1,
+    }
+}
+
+/// Parses the text of one line comment, extracting a directive when it
+/// starts with `verify:` (after doc-comment markers and whitespace).
+fn parse_comment_text(text: &str, line: u32, directives: &mut Vec<Directive>) {
+    let body = text.trim_start_matches(['/', '!']).trim();
+    let Some(rest) = body.strip_prefix("verify:") else {
+        return;
+    };
+    let rest = rest.trim();
+    directives.push(parse_directive(rest, line));
+}
+
+/// Parses the payload after `verify:`.
+fn parse_directive(rest: &str, line: u32) -> Directive {
+    if let Some(args) = strip_call(rest, "allow") {
+        return parse_allow(args, line);
+    }
+    if let Some(name) = strip_call(rest, "hot-path-begin") {
+        return Directive::HotBegin { name: name.trim().to_string(), line };
+    }
+    if let Some(name) = strip_call(rest, "hot-path-end") {
+        return Directive::HotEnd { name: name.trim().to_string(), line };
+    }
+    Directive::Malformed {
+        message: format!(
+            "unknown directive `{rest}` (expected allow(lint, reason = \"…\"), \
+             hot-path-begin(name) or hot-path-end(name))"
+        ),
+        line,
+    }
+}
+
+/// If `rest` is `head(<args>)`, returns `<args>`.
+fn strip_call<'a>(rest: &'a str, head: &str) -> Option<&'a str> {
+    let tail = rest.strip_prefix(head)?.trim_start();
+    let inner = tail.strip_prefix('(')?;
+    let close = inner.rfind(')')?;
+    if !inner[close + 1..].trim().is_empty() {
+        return None;
+    }
+    Some(&inner[..close])
+}
+
+/// Parses `<lint>, reason = "<why>"`.
+fn parse_allow(args: &str, line: u32) -> Directive {
+    let malformed = |message: String| Directive::Malformed { message, line };
+    let Some((lint, rest)) = args.split_once(',') else {
+        return malformed(format!("allow needs a reason: allow({args}, reason = \"…\")"));
+    };
+    let lint = lint.trim();
+    let rest = rest.trim();
+    let Some(value) = rest
+        .strip_prefix("reason")
+        .map(str::trim_start)
+        .and_then(|r| r.strip_prefix('=').map(str::trim_start))
+    else {
+        return malformed(format!("expected `reason = \"…\"` after the lint name, got `{rest}`"));
+    };
+    let reason = value.trim().trim_matches('"').trim();
+    if lint.is_empty() || reason.is_empty() {
+        return malformed("allow needs a non-empty lint name and reason".to_string());
+    }
+    Directive::Allow { lint: lint.to_string(), reason: reason.to_string(), line }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        tokenize(src)
+            .toks
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_never_leak_tokens() {
+        let src = r##"let x = "call .unwrap() and panic!"; let y = r#"Vec::new()"#;"##;
+        let ids = idents(src);
+        assert_eq!(ids, vec!["let", "x", "let", "y"]);
+    }
+
+    #[test]
+    fn nested_block_comments_are_skipped() {
+        let ids = idents("/* outer /* inner .unwrap() */ still comment */ fn ok() {}");
+        assert_eq!(ids, vec!["fn", "ok"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lexed = tokenize("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes: Vec<_> = lexed.toks.iter().filter(|t| t.kind == TokKind::Lifetime).collect();
+        assert_eq!(lifetimes.len(), 2);
+        let chars: Vec<_> = lexed.toks.iter().filter(|t| t.kind == TokKind::Literal).collect();
+        assert_eq!(chars.len(), 1);
+    }
+
+    #[test]
+    fn numbers_with_exponents_and_ranges() {
+        let lexed = tokenize("let a = 1.5e-3; for i in 0..10 { b = 0.0f64; }");
+        let nums: Vec<_> = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Number)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(nums, vec!["1.5e-3", "0", "10", "0.0f64"]);
+    }
+
+    #[test]
+    fn allow_directive_parses() {
+        let lexed = tokenize("// verify: allow(panic-surface, reason = \"startup only\")\n");
+        assert_eq!(
+            lexed.directives,
+            vec![Directive::Allow {
+                lint: "panic-surface".to_string(),
+                reason: "startup only".to_string(),
+                line: 1,
+            }]
+        );
+    }
+
+    #[test]
+    fn hot_region_directives_parse() {
+        let lexed =
+            tokenize("// verify: hot-path-begin(walk)\nfn f() {}\n// verify: hot-path-end(walk)\n");
+        assert!(
+            matches!(&lexed.directives[0], Directive::HotBegin { name, line: 1 } if name == "walk")
+        );
+        assert!(
+            matches!(&lexed.directives[1], Directive::HotEnd { name, line: 3 } if name == "walk")
+        );
+    }
+
+    #[test]
+    fn malformed_directives_are_reported_not_dropped() {
+        let lexed = tokenize("// verify: allow(hot-path-alloc)\n// verify: frobnicate(x)\n");
+        assert_eq!(lexed.directives.len(), 2);
+        assert!(matches!(lexed.directives[0], Directive::Malformed { .. }));
+        assert!(matches!(lexed.directives[1], Directive::Malformed { .. }));
+    }
+
+    #[test]
+    fn directive_inside_string_is_ignored() {
+        let lexed = tokenize("let s = \"// verify: allow(x, reason = \\\"y\\\")\";");
+        assert!(lexed.directives.is_empty());
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        let ids = idents("let a = b\"push bytes\"; let c = br#\"collect\"#; let d = b'x';");
+        assert_eq!(ids, vec!["let", "a", "let", "c", "let", "d"]);
+    }
+}

@@ -1,0 +1,143 @@
+//! The fixture corpus: every seeded violation in a known-bad fixture
+//! must be detected, every known-good fixture must pass, and each
+//! scoped lint must stay silent outside its scope.
+
+use wbsn_verify::{check_source, Violation};
+
+const HOT_ALLOC_BAD: &str = include_str!("../fixtures/hot_alloc_bad.rs");
+const HOT_ALLOC_GOOD: &str = include_str!("../fixtures/hot_alloc_good.rs");
+const FLOAT_BAD: &str = include_str!("../fixtures/float_bad.rs");
+const FLOAT_GOOD: &str = include_str!("../fixtures/float_good.rs");
+const PANIC_BAD: &str = include_str!("../fixtures/panic_bad.rs");
+const PANIC_GOOD: &str = include_str!("../fixtures/panic_good.rs");
+const LOCKS_BAD: &str = include_str!("../fixtures/locks_bad.rs");
+const LOCKS_GOOD: &str = include_str!("../fixtures/locks_good.rs");
+const SINGLE_DEF_BAD: &str = include_str!("../fixtures/single_def_bad.rs");
+const SINGLE_DEF_GOOD: &str = include_str!("../fixtures/single_def_good.rs");
+const TOKENIZER_EDGES: &str = include_str!("../fixtures/tokenizer_edges.rs");
+
+/// A serve-crate path (panic-surface + lock-discipline scope).
+const SERVE_PATH: &str = "crates/serve/src/fixture.rs";
+/// The `SoA` kernel path (float-determinism scope, `walk_point` home).
+const KERNEL_PATH: &str = "crates/core/src/soa.rs";
+/// A path no scoped lint claims.
+const NEUTRAL_PATH: &str = "crates/wbsn/src/fixture.rs";
+
+fn lints_of(violations: &[Violation]) -> Vec<&str> {
+    violations.iter().map(|v| v.lint.as_str()).collect()
+}
+
+#[test]
+fn hot_alloc_bad_trips_on_every_seeded_site() {
+    let vs = check_source(NEUTRAL_PATH, HOT_ALLOC_BAD);
+    assert_eq!(vs.len(), 3, "expected Vec::new, .push and format! to trip: {vs:#?}");
+    assert!(lints_of(&vs).iter().all(|l| *l == "hot-path-alloc"));
+    let lines: Vec<u32> = vs.iter().map(|v| v.line).collect();
+    assert_eq!(lines, vec![6, 9, 10]);
+}
+
+#[test]
+fn hot_alloc_good_is_clean() {
+    let vs = check_source(NEUTRAL_PATH, HOT_ALLOC_GOOD);
+    assert!(vs.is_empty(), "annotated amortized push and test allocs must pass: {vs:#?}");
+}
+
+#[test]
+fn float_bad_trips_in_kernel_scope() {
+    let vs = check_source(KERNEL_PATH, FLOAT_BAD);
+    assert!(lints_of(&vs).iter().all(|l| *l == "float-determinism"));
+    // 0.5f32 suffix, .sum(), mul_add, and two f32 idents in `narrow`.
+    assert_eq!(vs.len(), 5, "{vs:#?}");
+}
+
+#[test]
+fn float_bad_is_silent_outside_kernel_scope() {
+    assert!(check_source(NEUTRAL_PATH, FLOAT_BAD).is_empty());
+}
+
+#[test]
+fn float_good_is_clean_even_in_kernel_scope() {
+    let vs = check_source(KERNEL_PATH, FLOAT_GOOD);
+    assert!(vs.is_empty(), "{vs:#?}");
+}
+
+#[test]
+fn panic_bad_trips_on_all_five_sites() {
+    let vs = check_source(SERVE_PATH, PANIC_BAD);
+    assert_eq!(vs.len(), 5, "unwrap, expect, panic!, todo!, unreachable!: {vs:#?}");
+    assert!(lints_of(&vs).iter().all(|l| *l == "panic-surface"));
+}
+
+#[test]
+fn panic_bad_is_silent_outside_serve_scope() {
+    assert!(check_source(NEUTRAL_PATH, PANIC_BAD).is_empty());
+}
+
+#[test]
+fn panic_good_is_clean() {
+    let vs = check_source(SERVE_PATH, PANIC_GOOD);
+    assert!(vs.is_empty(), "typed errors + annotated unwrap + test panics: {vs:#?}");
+}
+
+#[test]
+fn locks_bad_trips_in_serve_and_memo_scope() {
+    for path in [SERVE_PATH, "crates/dse/src/memo.rs"] {
+        let vs = check_source(path, LOCKS_BAD);
+        assert_eq!(vs.len(), 2, "held-across and same-statement nesting at {path}: {vs:#?}");
+        assert!(lints_of(&vs).iter().all(|l| *l == "lock-discipline"));
+    }
+}
+
+#[test]
+fn locks_bad_is_silent_outside_scope() {
+    assert!(check_source(NEUTRAL_PATH, LOCKS_BAD).is_empty());
+}
+
+#[test]
+fn locks_good_is_clean() {
+    let vs = check_source(SERVE_PATH, LOCKS_GOOD);
+    assert!(vs.is_empty(), "block-confined guards and re-acquisition must pass: {vs:#?}");
+}
+
+#[test]
+fn single_def_bad_trips_under_src() {
+    let vs = check_source("crates/core/src/fixture.rs", SINGLE_DEF_BAD);
+    assert_eq!(vs.len(), 1, "{vs:#?}");
+    assert_eq!(vs[0].lint, "single-definition");
+    assert!(vs[0].message.contains("resolve_mac_errors"));
+}
+
+#[test]
+fn single_def_bad_is_silent_outside_src() {
+    assert!(check_source("crates/core/tests/fixture.rs", SINGLE_DEF_BAD).is_empty());
+}
+
+#[test]
+fn single_def_good_is_clean() {
+    let vs = check_source("crates/core/src/fixture.rs", SINGLE_DEF_GOOD);
+    assert!(vs.is_empty(), "{vs:#?}");
+}
+
+#[test]
+fn walk_point_is_allowed_only_in_soa() {
+    let src = "fn walk_point() { let a = BandwidthExceeded; let b = GtsCapacityExceeded; }";
+    let elsewhere = check_source("crates/dse/src/fixture.rs", src);
+    assert_eq!(lints_of(&elsewhere), vec!["single-definition"]);
+}
+
+#[test]
+fn walk_point_triple_must_be_ordered() {
+    let bad = "fn walk_point() {\n let g = GtsCapacityExceeded;\n let d = DutyCycleExceeded;\n let b = BandwidthExceeded;\n}";
+    let vs = check_source(KERNEL_PATH, bad);
+    assert_eq!(lints_of(&vs), vec!["single-definition"]);
+    assert!(vs[0].message.contains("priority order"));
+
+    let good = "fn walk_point() {\n let d = DutyCycleExceeded;\n let b = BandwidthExceeded;\n let g = GtsCapacityExceeded;\n}";
+    assert!(check_source(KERNEL_PATH, good).is_empty());
+}
+
+#[test]
+fn tokenizer_edge_cases_produce_no_violations() {
+    let vs = check_source(SERVE_PATH, TOKENIZER_EDGES);
+    assert!(vs.is_empty(), "strings/comments/tests must be inert: {vs:#?}");
+}

@@ -1,0 +1,21 @@
+//! Tier-1 gate: the full workspace source tree passes every invariant
+//! lint. A violation here means either new code broke an invariant or
+//! it needs a reasoned `// verify: allow` at the site — both are
+//! decisions a human should make before merging.
+
+use std::path::Path;
+
+#[test]
+fn workspace_passes_all_invariant_lints() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/verify has a workspace root two levels up");
+    let violations = wbsn_verify::run_workspace(root).expect("workspace walk succeeds");
+    assert!(
+        violations.is_empty(),
+        "wbsn-verify found {} violation(s):\n{}",
+        violations.len(),
+        violations.iter().map(ToString::to_string).collect::<Vec<_>>().join("\n")
+    );
+}

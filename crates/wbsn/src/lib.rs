@@ -43,7 +43,7 @@
 //!   scalar paths (objectives *and* errors — property-tested in
 //!   `tests/soa_parity.rs`), zero allocations in steady state.
 //! * [`dse::Evaluator::evaluate_batch`] — order-preserving batch
-//!   evaluation; the model-backed evaluators run the SoA kernel per
+//!   evaluation; the model-backed evaluators run the `SoA` kernel per
 //!   chunk across all cores (scoped threads, one pooled kernel scratch
 //!   per worker; scalar fallback for tiny batches). NSGA-II evaluates
 //!   each generation as one batch, exhaustive search enumerates via a
@@ -57,7 +57,7 @@
 //! Measured on one (noisy, shared) core — `dse_throughput`, 6-node case
 //! study, mixed feasible/infeasible sweep: ≈ 2–4 M evals/s for the
 //! allocating serial path, ≈ 9–14 M evals/s for the scalar fast path,
-//! and ≈ 15–20 M evals/s for the SoA kernel (the paper's reference
+//! and ≈ 15–20 M evals/s for the `SoA` kernel (the paper's reference
 //! implementation reports ≈ 4.8 k evals/s). Multi-core runners multiply
 //! the batch path by roughly the core count on top. The binary writes
 //! its measurements to `./BENCH_dse.json` (gitignored); the recorded

@@ -86,7 +86,7 @@ fn parallel_restarts_cover_at_least_the_single_chain() {
     assert!(!merged.front.is_empty());
     // Repetition is bit-identical: scheduling cannot leak into results.
     let again = mosa_restarts(&space, &eval, &cfg, 3);
-    let a: Vec<_> = merged.front.objectives().cloned().collect();
-    let b: Vec<_> = again.front.objectives().cloned().collect();
+    let a: Vec<_> = merged.front.objectives().copied().collect();
+    let b: Vec<_> = again.front.objectives().copied().collect();
     assert_eq!(a, b);
 }

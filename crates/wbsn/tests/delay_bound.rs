@@ -11,8 +11,8 @@ use wbsn::sim::engine::{NetworkBuilder, TrafficMode};
 
 /// True when every node's GTS can serve its integer-packet arrivals (the
 /// fluid Eq. 1 sizing leaves enough slack for transaction granularity).
-fn unsaturated(mac: &Ieee802154Config, nodes: &[NodeConfig], slots: &[u32]) -> bool {
-    let mac_model = Ieee802154Mac::new(*mac, nodes.len() as u32);
+fn unsaturated(mac: Ieee802154Config, nodes: &[NodeConfig], slots: &[u32]) -> bool {
+    let mac_model = Ieee802154Mac::new(mac, nodes.len() as u32);
     let transaction = mac_model.packet_transaction_time().value();
     let delta = mac.slot_duration().value();
     let bi = mac.beacon_interval().value();
@@ -39,7 +39,7 @@ fn bound_holds_for_random_unsaturated_configs() {
         let bco = rng.gen_range(sfo..=8);
         let Ok(mac) = Ieee802154Config::new(90, sfo, bco) else { continue };
         let Ok(eval) = model.evaluate(&mac, &nodes) else { continue };
-        if !unsaturated(&mac, &nodes, &eval.assignment.slots) {
+        if !unsaturated(mac, &nodes, &eval.assignment.slots) {
             continue;
         }
         let report = NetworkBuilder::new(mac, nodes)

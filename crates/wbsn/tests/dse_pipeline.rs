@@ -37,7 +37,7 @@ fn proposed_front_holds_tradeoffs_the_baseline_misses() {
     let model3 = ModelEvaluator::shimmer();
     let base_in_3d: Vec<ObjectiveVector> =
         base.front.entries().iter().filter_map(|e| model3.evaluate(&e.payload)).collect();
-    let full_objs: Vec<ObjectiveVector> = full.front.objectives().cloned().collect();
+    let full_objs: Vec<ObjectiveVector> = full.front.objectives().copied().collect();
     let missed =
         full_objs.iter().filter(|f| !base_in_3d.iter().any(|b| b.weakly_dominates(f))).count();
     assert!(
@@ -62,7 +62,7 @@ fn metaheuristics_beat_random_search() {
     let rs = random_search(&space, &eval, budget, 5);
 
     let fronts: Vec<Vec<ObjectiveVector>> =
-        [&ga, &sa, &rs].iter().map(|r| r.front.objectives().cloned().collect()).collect();
+        [&ga, &sa, &rs].iter().map(|r| r.front.objectives().copied().collect()).collect();
     let mut ideal = [f64::INFINITY; 3];
     let mut nadir = [f64::NEG_INFINITY; 3];
     for front in &fronts {
@@ -85,7 +85,7 @@ fn metaheuristics_beat_random_search() {
 fn coverage_is_reflexively_total() {
     let space = DesignSpace::case_study(4);
     let ga = nsga2(&space, &ModelEvaluator::shimmer(), &small_cfg(6));
-    let objs: Vec<ObjectiveVector> = ga.front.objectives().cloned().collect();
+    let objs: Vec<ObjectiveVector> = ga.front.objectives().copied().collect();
     assert!((coverage(&objs, &objs) - 1.0).abs() < 1e-12);
 }
 
