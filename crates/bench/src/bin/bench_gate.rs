@@ -17,10 +17,19 @@
 //!   one core;
 //! * `decode_eval_points_per_s` — linear-index decode + scalar
 //!   fast-path evaluation per point;
+//! * `sweep_incremental_points_per_s` — the axis-major incremental
+//!   full-space sweep (the ground-truth harness's enumeration path);
 //! * `serve_queries_per_s` — the serve engine's best sustained
 //!   scenario-query rate;
 //! * `serve_p50_ms` / `serve_p99_ms` — single-client serve latency
-//!   percentiles (**lower is better**: the gate fails when they rise).
+//!   percentiles (**lower is better**: the gate fails when they rise);
+//! * `hypervolume_ratio_nsga2` / `front_coverage_nsga2` — NSGA-II
+//!   search quality against the exact paper-2node Pareto front
+//!   (**absolute floors**, not tolerance bands: the values are fully
+//!   deterministic — seeded searcher, seeded Monte-Carlo estimator —
+//!   so any drop below the `wbsn_dse::truth` thresholds is a real
+//!   search-quality regression, never measurement noise, and is
+//!   excluded from the noise-retry machinery).
 //!
 //! Same-machine quiet-run noise is a few percent per field, but
 //! co-tenant load on shared runners can depress a single run by
@@ -52,20 +61,40 @@
 //!   regardless (escape hatch for known-slow runners).
 
 use std::process::ExitCode;
+use wbsn_dse::truth::{NSGA2_MIN_FRONT_COVERAGE, NSGA2_MIN_HYPERVOLUME_RATIO};
 
-/// The gated fields of `BENCH_dse.json`; `true` marks lower-is-better
-/// fields (latencies), where the gate fails on *rises* past tolerance.
-const GATED_FIELDS: [(&str, bool); 10] = [
-    ("batch_evals_per_s", false),
-    ("batch_evals_per_s_16node", false),
-    ("fastpath_evals_per_s", false),
-    ("soa_evals_per_s", false),
-    ("soa_grouped_evals_per_s", false),
-    ("full_evals_per_s", false),
-    ("decode_eval_points_per_s", false),
-    ("serve_queries_per_s", false),
-    ("serve_p50_ms", true),
-    ("serve_p99_ms", true),
+/// How a gated field is judged.
+#[derive(Clone, Copy)]
+enum Gate {
+    /// Throughput-style rate: fails when the fresh value falls more
+    /// than the tolerance below baseline.
+    HigherIsBetter,
+    /// Latency-style: fails when the fresh value rises more than the
+    /// tolerance above baseline.
+    LowerIsBetter,
+    /// Deterministic quality statistic: fails whenever the fresh value
+    /// sits below the absolute floor. No tolerance, no retry band —
+    /// the number cannot be noisy, so a miss is always a regression.
+    Floor(f64),
+}
+
+/// The gated fields of `BENCH_dse.json` and how each is judged. The
+/// quality floors are the same constants the tier-1 `search_quality`
+/// harness asserts, so the gate and the test can never disagree.
+const GATED_FIELDS: [(&str, Gate); 13] = [
+    ("batch_evals_per_s", Gate::HigherIsBetter),
+    ("batch_evals_per_s_16node", Gate::HigherIsBetter),
+    ("fastpath_evals_per_s", Gate::HigherIsBetter),
+    ("soa_evals_per_s", Gate::HigherIsBetter),
+    ("soa_grouped_evals_per_s", Gate::HigherIsBetter),
+    ("full_evals_per_s", Gate::HigherIsBetter),
+    ("decode_eval_points_per_s", Gate::HigherIsBetter),
+    ("sweep_incremental_points_per_s", Gate::HigherIsBetter),
+    ("serve_queries_per_s", Gate::HigherIsBetter),
+    ("serve_p50_ms", Gate::LowerIsBetter),
+    ("serve_p99_ms", Gate::LowerIsBetter),
+    ("hypervolume_ratio_nsga2", Gate::Floor(NSGA2_MIN_HYPERVOLUME_RATIO)),
+    ("front_coverage_nsga2", Gate::Floor(NSGA2_MIN_FRONT_COVERAGE)),
 ];
 
 /// Extracts the number following `"key":` from a flat JSON document.
@@ -121,7 +150,28 @@ fn judge(
     let mut failures = 0usize;
     let mut all_borderline = true;
     let mut deltas: Vec<String> = Vec::new();
-    for (field, lower_is_better) in GATED_FIELDS {
+    for (field, gate) in GATED_FIELDS {
+        let Some(fresh) = json_number(fresh_doc, field) else {
+            eprintln!("bench_gate: no `{field}` in {fresh_path}");
+            failures += 1;
+            all_borderline = false; // a missing field is never noise
+            continue;
+        };
+        // Absolute floors judge the fresh value alone: deterministic
+        // statistics have no baseline to drift from and no noise to
+        // retry through.
+        if let Gate::Floor(floor) = gate {
+            let fail = fresh < floor;
+            let verdict = if fail { "FAIL" } else { "ok" };
+            println!("bench_gate: {field} fresh {fresh:.4} vs absolute floor {floor:.4} {verdict}");
+            deltas.push(format!("{field} {fresh:.4} (floor {floor:.4})"));
+            if fail {
+                failures += 1;
+                all_borderline = false;
+            }
+            continue;
+        }
+        let lower_is_better = matches!(gate, Gate::LowerIsBetter);
         let tolerance =
             match fraction_env(&format!("BENCH_GATE_TOLERANCE_{}", field.to_ascii_uppercase())) {
                 Ok(per_field) => per_field.unwrap_or(default_tolerance),
@@ -133,12 +183,6 @@ fn judge(
                     return Err(ExitCode::FAILURE);
                 }
             };
-        let Some(fresh) = json_number(fresh_doc, field) else {
-            eprintln!("bench_gate: no `{field}` in {fresh_path}");
-            failures += 1;
-            all_borderline = false; // a missing field is never noise
-            continue;
-        };
         let Some(baseline) = json_number(baseline_doc, field) else {
             // Old snapshot without this field: nothing to compare yet.
             println!("bench_gate: `{field}` absent from baseline {baseline_path} — skipped");
@@ -285,7 +329,43 @@ fn main() -> ExitCode {
 
 #[cfg(test)]
 mod tests {
-    use super::{json_number, regression, GATED_FIELDS};
+    use super::{json_number, judge, regression, Gate, GATED_FIELDS, NSGA2_MIN_HYPERVOLUME_RATIO};
+
+    /// Builds a complete bench document with every gated field healthy,
+    /// except `hypervolume_ratio_nsga2` pinned to `hv`.
+    fn doc_with_hv(hv: f64) -> String {
+        use std::fmt::Write as _;
+        let mut doc = String::from("{\n");
+        for (field, gate) in GATED_FIELDS {
+            let v = match gate {
+                Gate::Floor(_) if field == "hypervolume_ratio_nsga2" => hv,
+                Gate::Floor(floor) => floor,
+                Gate::LowerIsBetter => 1.0,
+                Gate::HigherIsBetter => 100.0,
+            };
+            let _ = writeln!(doc, "  \"{field}\": {v},");
+        }
+        doc.push('}');
+        doc
+    }
+
+    /// Floor gates judge the fresh value against the absolute
+    /// threshold — a value *at* the floor passes, any value below it
+    /// fails, and the failure is never classed as retry-band noise
+    /// (the statistics are deterministic).
+    #[test]
+    fn floor_gates_bind_absolutely() {
+        let good = doc_with_hv(NSGA2_MIN_HYPERVOLUME_RATIO);
+        let (failures, _, _) =
+            judge(&good, &good, "fresh", "baseline", 0.20, 0.15).expect("judgeable");
+        assert_eq!(failures, 0, "values at their floors must pass");
+
+        let bad = doc_with_hv(NSGA2_MIN_HYPERVOLUME_RATIO - 0.01);
+        let (failures, all_borderline, _) =
+            judge(&bad, &good, "fresh", "baseline", 0.20, 0.15).expect("judgeable");
+        assert_eq!(failures, 1, "a below-floor quality value must fail");
+        assert!(!all_borderline, "a floor miss is a real regression, not noise to retry");
+    }
 
     #[test]
     fn extracts_scalars() {

@@ -29,6 +29,14 @@
 //! kernel's crossover claim (grouped ≥ ungrouped on wide networks) and
 //! the batch path at 16 nodes (`batch_evals_per_s_16node`, gated).
 //!
+//! The ground-truth harness numbers ride along: the axis-major
+//! incremental sweep's full-space throughput on the paper-2node truth
+//! scenario (`sweep_incremental_points_per_s`, gated, with the
+//! canonical sweep alongside for the speedup ratio) and NSGA-II's
+//! deterministic quality against the exact front
+//! (`hypervolume_ratio_nsga2` / `front_coverage_nsga2`, held to
+//! absolute floors by `bench_gate` — see `wbsn_dse::truth`).
+//!
 //! Two debug counters make the allocation-free claims measurable here
 //! rather than asserted elsewhere: a counting global allocator reports
 //! heap allocations per evaluation on the fast path and per point on the
@@ -41,8 +49,10 @@ use alloc_counter::{allocation_count as allocations, CountingAlloc};
 use std::fmt::Write as _;
 use std::time::Instant;
 use wbsn_dse::evaluator::{Evaluator, ModelEvaluator};
+use wbsn_dse::exhaustive::{exhaustive, exhaustive_incremental};
 use wbsn_dse::nsga2::{nsga2, Nsga2Config};
 use wbsn_dse::parallel::{num_threads, parallel_map_with_block};
+use wbsn_dse::truth::{self, TruthFront};
 use wbsn_model::evaluate::{half_dwt_half_cs, EvalScratch, WbsnModel};
 use wbsn_model::ieee802154::Ieee802154Config;
 use wbsn_model::soa::SoaScratch;
@@ -286,6 +296,54 @@ fn main() {
         points16.len()
     );
 
+    // --- Ground-truth harness numbers: the axis-major incremental
+    //     sweep's full-space throughput and NSGA-II's quality against
+    //     the exact front (the three fields the truth harness gates).
+    //     The quality values are deterministic (seeded searcher, seeded
+    //     Monte-Carlo estimator), so `bench_gate` holds them to
+    //     absolute floors rather than a noise tolerance. ---
+    let truth_scenario = truth::paper_2node();
+    let truth_total = truth_scenario.space.cardinality();
+    let truth_front = TruthFront::compute(&truth_scenario, &evaluator); // warmup + reference
+    let t0 = Instant::now();
+    let mut sweep_points = 0u128;
+    while t0.elapsed().as_secs_f64() < 0.5 {
+        let sweep = exhaustive_incremental(&truth_scenario.space, &evaluator, truth::TRUTH_LIMIT);
+        assert_eq!(
+            sweep.evaluations - sweep.infeasible,
+            truth_front.feasible,
+            "incremental sweep must be deterministic"
+        );
+        sweep_points += truth_total;
+    }
+    let sweep_incremental_per_s = sweep_points as f64 / t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let mut canonical_points = 0u128;
+    while t0.elapsed().as_secs_f64() < 0.5 {
+        let _ = exhaustive(&truth_scenario.space, &evaluator, truth::TRUTH_LIMIT);
+        canonical_points += truth_total;
+    }
+    let sweep_canonical_per_s = canonical_points as f64 / t0.elapsed().as_secs_f64();
+    println!(
+        "truth sweep ({}, {truth_total} points): incremental {sweep_incremental_per_s:>10.0} points/s | \
+         canonical {sweep_canonical_per_s:>10.0} points/s (ratio {:.3}, {} feasible, front {})",
+        truth_scenario.name,
+        sweep_incremental_per_s / sweep_canonical_per_s,
+        truth_front.feasible,
+        truth_front.objectives.len()
+    );
+    let truth_ga = nsga2(&truth_scenario.space, &evaluator, &Nsga2Config::default());
+    let truth_ga_front: Vec<_> = truth_ga.front.objectives().copied().collect();
+    let quality = truth_front.quality_of(&truth_ga_front);
+    println!(
+        "nsga2 vs truth ({}): hypervolume_ratio {:.4}, front_coverage {:.4} (floors {} / {})",
+        truth_scenario.name,
+        quality.hypervolume_ratio,
+        quality.front_coverage,
+        truth::NSGA2_MIN_HYPERVOLUME_RATIO,
+        truth::NSGA2_MIN_FRONT_COVERAGE
+    );
+
     // --- Genome-memo dedup: how many evaluator calls NSGA-II skips. ---
     let ga_cfg =
         Nsga2Config { population: 64, generations: 60, seed: 42, ..Nsga2Config::default() };
@@ -388,6 +446,10 @@ fn main() {
     let _ = writeln!(json, "  \"full_allocs_per_eval\": {full_allocs_per_eval:.6},");
     let _ = writeln!(json, "  \"decode_allocs_per_point\": {decode_allocs_per_point:.6},");
     let _ = writeln!(json, "  \"decode_eval_points_per_s\": {decode_per_s:.1},");
+    let _ = writeln!(json, "  \"sweep_incremental_points_per_s\": {sweep_incremental_per_s:.1},");
+    let _ = writeln!(json, "  \"sweep_canonical_points_per_s\": {sweep_canonical_per_s:.1},");
+    let _ = writeln!(json, "  \"hypervolume_ratio_nsga2\": {:.4},", quality.hypervolume_ratio);
+    let _ = writeln!(json, "  \"front_coverage_nsga2\": {:.4},", quality.front_coverage);
     let _ = writeln!(
         json,
         "  \"nsga2_memo\": {{\"evaluations\": {}, \"hits\": {}, \"hit_rate\": {:.4}}},",

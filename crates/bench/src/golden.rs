@@ -1,0 +1,64 @@
+//! Golden-snapshot helpers shared by the regression suites
+//! (`tests/golden_figures.rs`, `tests/golden_truth.rs`).
+//!
+//! Snapshots live under `benchmarks/golden/` and are compared
+//! **bitwise**: every number is rendered through Rust's
+//! shortest-round-trip `Display`, so a model change, a kernel change,
+//! an RNG change or a formatting change all fail loudly at the first
+//! diverging line.
+//!
+//! To regenerate after an *intentional* change, run the owning test
+//! with `GOLDEN_BLESS=1` and commit the rewritten files:
+//!
+//! ```text
+//! GOLDEN_BLESS=1 cargo test -p wbsn-bench --test golden_truth
+//! ```
+
+use std::path::PathBuf;
+
+/// Absolute path of a snapshot file under `benchmarks/golden/`.
+#[must_use]
+pub fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../benchmarks/golden")).join(name)
+}
+
+/// Compares `actual` against the committed snapshot (or rewrites the
+/// snapshot under `GOLDEN_BLESS=1`).
+///
+/// # Panics
+///
+/// Panics when the snapshot is missing or differs from `actual`; the
+/// failure message shows the first diverging line.
+pub fn assert_matches_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var("GOLDEN_BLESS").is_ok_and(|v| v == "1" || v.eq_ignore_ascii_case("true")) {
+        std::fs::create_dir_all(path.parent().expect("golden dir has a parent"))
+            .expect("create benchmarks/golden");
+        std::fs::write(&path, actual).expect("write blessed golden");
+        eprintln!("blessed {}", path.display());
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read golden snapshot {}: {e}\n\
+             (generate it with GOLDEN_BLESS=1 cargo test -p wbsn-bench)",
+            path.display()
+        )
+    });
+    if expected != actual {
+        // Find the first diverging line for a readable failure.
+        let mut diff = String::from("<tables have different line counts>");
+        for (i, (e, a)) in expected.lines().zip(actual.lines()).enumerate() {
+            if e != a {
+                diff = format!("first divergence at line {}:\n  golden: {e}\n  actual: {a}", i + 1);
+                break;
+            }
+        }
+        panic!(
+            "{name} drifted from its golden snapshot ({} vs {} bytes)\n{diff}\n\
+             If the change is intentional, re-bless with GOLDEN_BLESS=1.",
+            expected.len(),
+            actual.len()
+        );
+    }
+}

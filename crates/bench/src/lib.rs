@@ -18,6 +18,7 @@
 #![warn(missing_docs)]
 
 pub mod figures;
+pub mod golden;
 
 /// Relative error of `estimate` against `reference`, in percent.
 ///

@@ -1,9 +1,10 @@
 //! Golden-figure regression: the numeric tables of the paper-figure
 //! binaries (`fig3_energy`, `fig4_prd`, `fig5_pareto`) are snapshotted
 //! under `benchmarks/golden/` and regenerated here through the batch
-//! evaluation path — compared **bitwise**, so figure output can never
-//! silently drift (a model change, a kernel change, an RNG change or a
-//! formatting change all fail loudly).
+//! evaluation path — compared **bitwise** via
+//! [`wbsn_bench::golden::assert_matches_golden`], so figure output can
+//! never silently drift (a model change, a kernel change, an RNG
+//! change or a formatting change all fail loudly).
 //!
 //! The tables are fully deterministic: seeded simulator runs, seeded
 //! NSGA-II searches (bit-identical across thread counts — see
@@ -22,48 +23,8 @@
 //!
 //! and commit the updated files under `benchmarks/golden/`.
 
-use std::path::PathBuf;
 use wbsn_bench::figures;
-
-fn golden_path(name: &str) -> PathBuf {
-    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../benchmarks/golden")).join(name)
-}
-
-/// Compares `actual` against the committed snapshot (or rewrites the
-/// snapshot under `GOLDEN_BLESS=1`).
-fn assert_matches_golden(name: &str, actual: &str) {
-    let path = golden_path(name);
-    if std::env::var("GOLDEN_BLESS").is_ok_and(|v| v == "1" || v.eq_ignore_ascii_case("true")) {
-        std::fs::create_dir_all(path.parent().expect("golden dir has a parent"))
-            .expect("create benchmarks/golden");
-        std::fs::write(&path, actual).expect("write blessed golden");
-        eprintln!("blessed {}", path.display());
-        return;
-    }
-    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
-        panic!(
-            "cannot read golden snapshot {}: {e}\n\
-             (generate it with GOLDEN_BLESS=1 cargo test -p wbsn-bench --test golden_figures)",
-            path.display()
-        )
-    });
-    if expected != actual {
-        // Find the first diverging line for a readable failure.
-        let mut diff = String::from("<tables have different line counts>");
-        for (i, (e, a)) in expected.lines().zip(actual.lines()).enumerate() {
-            if e != a {
-                diff = format!("first divergence at line {}:\n  golden: {e}\n  actual: {a}", i + 1);
-                break;
-            }
-        }
-        panic!(
-            "{name} drifted from its golden snapshot ({} vs {} bytes)\n{diff}\n\
-             If the change is intentional, re-bless with GOLDEN_BLESS=1.",
-            expected.len(),
-            actual.len()
-        );
-    }
-}
+use wbsn_bench::golden::assert_matches_golden;
 
 #[test]
 fn fig3_energy_matches_golden() {

@@ -652,6 +652,59 @@ fn delay_reduce(me: &MacEntry, total: u32, slots: &[u32], delays: &mut [f64]) ->
 }
 // verify: hot-path-end(delay-reduce)
 
+/// One point through [`walk_point`] + the Eq. 8/9 finalization — the
+/// plain objectives kernel's loop body, factored out so the axis-run
+/// kernel's priming and fallback paths share it literally (bit-identity
+/// between the kernels then holds by construction, not by parallel
+/// maintenance). Lane slices must already be sized to at least
+/// `point.nodes.len()`.
+// The split `SoaScratch` borrows cannot bundle into a struct here:
+// `walk_point` needs `grid`/`macs`/`cells` raw (interning splits
+// `&mut cells[m]` off the whole vector), and the lane slices are
+// reborrowed disjointly per phase.
+#[expect(clippy::too_many_arguments)]
+#[inline]
+fn eval_point_via_walk(
+    model: &WbsnModel,
+    grid: &mut GridTable,
+    macs: &mut MacTable,
+    cells: &mut Vec<CellBlock>,
+    fallback: &mut EvalScratch,
+    point: &DesignPoint,
+    retransmission_factor: f64,
+    theta: f64,
+    energies: &mut [f64],
+    delays: &mut [f64],
+    prds: &mut [f64],
+    slots: &mut [u32],
+) -> PointOutcome {
+    let n = point.nodes.len();
+    // The sink gathers the per-node cell scalars into per-point arrays;
+    // the walk resolves every infeasibility and carries the Eq. 8
+    // element sums out in `iter().sum()`'s left-fold order (see
+    // `balanced_metric_with_sum`).
+    let (en, pr, sl) = (&mut energies[..n], &mut prds[..n], &mut slots[..n]);
+    let walked =
+        walk_point(model, grid, macs, cells, point, retransmission_factor, |j, _, cell, _, _| {
+            en[j] = cell.energy;
+            pr[j] = cell.prd;
+            sl[j] = cell.k;
+        });
+    match walked {
+        Walked::Spill => model.evaluate_objectives(&point.mac, &point.nodes, fallback),
+        Walked::Dead(err) => Err(err),
+        Walked::Alive { mac, total, sum_energy, sum_prd } => {
+            let me = &macs.entries[mac];
+            let sum_delay = delay_reduce(me, total, &slots[..n], &mut delays[..n]);
+            Ok(NetworkObjectives {
+                energy: balanced_metric_with_sum(&energies[..n], sum_energy, theta),
+                delay: balanced_metric_with_sum(&delays[..n], sum_delay, theta),
+                prd: balanced_metric_with_sum(&prds[..n], sum_prd, theta),
+            })
+        }
+    }
+}
+
 /// Reusable working memory (and persistent caches) of the `SoA` kernel.
 ///
 /// Holds the interned grid/MAC/cell tables plus every per-batch buffer,
@@ -804,17 +857,102 @@ impl WbsnModel {
                 prds.resize(n, 0.0);
                 slots.resize(n, 0);
             }
-            // The sink gathers the per-node cell scalars into per-point
-            // arrays; the walk resolves every infeasibility and carries
-            // the Eq. 8 element sums out in `iter().sum()`'s left-fold
-            // order (see `balanced_metric_with_sum`).
+            results.push(eval_point_via_walk(
+                self,
+                grid,
+                macs,
+                cells,
+                fallback,
+                point,
+                retransmission_factor,
+                theta,
+                energies,
+                delays,
+                prds,
+                slots,
+            ));
+        }
+        results
+    }
+
+    /// Axis-run sibling of [`WbsnModel::evaluate_objectives_batch`]:
+    /// the same contract — for every point, bit-identical objectives
+    /// and identical [`ModelError`]s to the scalar path, results in
+    /// batch order — restructured for batches laid out as **axis
+    /// runs**: stretches of consecutive points that share the MAC
+    /// configuration and every node but the last, differing only in the
+    /// last node's `(kind, CR, fµC)` pick. The axis-major exhaustive
+    /// sweep produces exactly this layout by construction (the last
+    /// node's dimensions are its fastest-varying digits), with runs of
+    /// `|CR| × |fµC|` points.
+    ///
+    /// Each run is primed by one full [`walk_point`] of its first
+    /// point. When that walk comes back `Alive`, the shared prefix is
+    /// trusted for the rest of the run: the first `N − 1` nodes'
+    /// gathered lanes stay in place, their Eq. 8 partial sums are
+    /// re-folded once (the exact left-fold prefix of `iter().sum()`,
+    /// so splicing the last element on yields `iter().sum()`'s bits),
+    /// and every subsequent point costs one dense cell load for its
+    /// last node plus the O(N) Eq. 8/9 finalization — instead of the
+    /// full N-node intern-and-gather walk.
+    ///
+    /// Error resolution stays in its single home: a point whose last
+    /// cell is not cleanly feasible (entry failure, bandwidth flag, GTS
+    /// overflow) or whose last pick is off-axis is re-run through the
+    /// full per-point path ([`eval_point_via_walk`]), as is every point
+    /// of a run whose head did not walk `Alive` — the fast path only
+    /// ever *skips* work on points that need no error, never re-derives
+    /// an error sequence. On a batch with no shared-prefix structure
+    /// this degrades to exactly the plain kernel, point by point.
+    pub fn evaluate_objectives_batch_axis_runs<'s>(
+        &self,
+        points: &[DesignPoint],
+        scratch: &'s mut SoaScratch,
+    ) -> &'s [PointOutcome] {
+        scratch.revalidate(self);
+        let retransmission_factor = 1.0 / (1.0 - self.packet_error_rate());
+        let theta = self.theta();
+
+        let SoaScratch {
+            grid, macs, cells, energies, delays, prds, slots, results, fallback, ..
+        } = scratch;
+        results.clear();
+        results.reserve(points.len());
+
+        let mut i = 0usize;
+        while i < points.len() {
+            let head = &points[i];
+            let n = head.nodes.len();
+            // Maximal axis run: consecutive points sharing the MAC and
+            // every node but the last.
+            let mut end = i + 1;
+            while n > 0
+                && end < points.len()
+                && points[end].mac == head.mac
+                && points[end].nodes.len() == n
+                && points[end].nodes[..n - 1] == head.nodes[..n - 1]
+            {
+                end += 1;
+            }
+            if n > energies.len() {
+                energies.resize(n, 0.0);
+                delays.resize(n, 0.0);
+                prds.resize(n, 0.0);
+                slots.resize(n, 0);
+            }
+            // Prime the run: one full walk of its head, gathering the
+            // per-node lanes exactly like the plain kernel. Only an
+            // `Alive` head arms the fast path — a spilled head proves
+            // nothing about the prefix (its lanes are partial and its
+            // MAC may not even be interned), and a dead head already
+            // carries the run-wide verdict candidates.
             let (en, pr, sl) = (&mut energies[..n], &mut prds[..n], &mut slots[..n]);
             let walked = walk_point(
                 self,
                 grid,
                 macs,
                 cells,
-                point,
+                head,
                 retransmission_factor,
                 |j, _, cell, _, _| {
                     en[j] = cell.energy;
@@ -822,11 +960,15 @@ impl WbsnModel {
                     sl[j] = cell.k;
                 },
             );
-            match walked {
+            let alive = match walked {
                 Walked::Spill => {
-                    results.push(self.evaluate_objectives(&point.mac, &point.nodes, fallback));
+                    results.push(self.evaluate_objectives(&head.mac, &head.nodes, fallback));
+                    None
                 }
-                Walked::Dead(err) => results.push(Err(err)),
+                Walked::Dead(err) => {
+                    results.push(Err(err));
+                    None
+                }
                 Walked::Alive { mac, total, sum_energy, sum_prd } => {
                     let me = &macs.entries[mac];
                     let sum_delay = delay_reduce(me, total, &slots[..n], &mut delays[..n]);
@@ -835,8 +977,116 @@ impl WbsnModel {
                         delay: balanced_metric_with_sum(&delays[..n], sum_delay, theta),
                         prd: balanced_metric_with_sum(&prds[..n], sum_prd, theta),
                     }));
+                    Some(mac)
+                }
+            };
+
+            // The fast path only matters for runs with tail points; the
+            // filter also keeps a 0-node head (always a 1-point run —
+            // extension requires `n > 0`) away from the `n - 1` prefix
+            // arithmetic.
+            if let Some(m) = alive.filter(|_| end > i + 1) {
+                // The head walked `Alive`, so nodes 0..N−1 are feasible
+                // and bandwidth-clean and their lanes sit in
+                // `energies`/`prds`/`slots`. Re-fold the prefix partial
+                // sums — the exact left-fold intermediates of
+                // `iter().sum()` over the first N−1 elements.
+                let mut prefix_energy = 0.0f64;
+                let mut prefix_prd = 0.0f64;
+                let mut prefix_total = 0u32;
+                for j in 0..n - 1 {
+                    prefix_energy += energies[j];
+                    prefix_prd += prds[j];
+                    prefix_total += slots[j];
+                }
+                // `MacEntry` is `Copy`: the snapshot frees `macs` for the
+                // fallback walks below, and the entry is immutable once
+                // interned.
+                let me = macs.entries[m];
+                // verify: hot-path-begin(axis-run-inner)
+                for point in &points[i + 1..end] {
+                    let last = &point.nodes[n - 1];
+                    let fast = grid.intern(self, last, retransmission_factor, &me.mac).map(|g| {
+                        let block = &mut cells[m];
+                        if g >= block.cells.len() {
+                            block.grow_to(grid.entries.len());
+                        }
+                        let mut cell = block.cells[g];
+                        if cell.flags & FILLED == 0 {
+                            let (fresh, bw, radio) =
+                                fill_cell(self, &me, &grid.entries[g], grid.errs[g].is_none());
+                            block.cells[g] = fresh;
+                            block.bw_needed[g] = bw;
+                            block.radio[g] = radio;
+                            cell = fresh;
+                        }
+                        cell
+                    });
+                    let outcome = match fast {
+                        Some(cell)
+                            if cell.flags & (ENTRY_OK | BW_OK) == ENTRY_OK | BW_OK
+                                && prefix_total + cell.k <= me.capacity =>
+                        {
+                            // Cleanly feasible: splice the last cell into
+                            // the prefix folds. `prefix + last` carries
+                            // the full left-fold's exact bits.
+                            let total = prefix_total + cell.k;
+                            energies[n - 1] = cell.energy;
+                            prds[n - 1] = cell.prd;
+                            slots[n - 1] = cell.k;
+                            let sum_energy = prefix_energy + cell.energy;
+                            let sum_prd = prefix_prd + cell.prd;
+                            let sum_delay = delay_reduce(&me, total, &slots[..n], &mut delays[..n]);
+                            Ok(NetworkObjectives {
+                                energy: balanced_metric_with_sum(&energies[..n], sum_energy, theta),
+                                delay: balanced_metric_with_sum(&delays[..n], sum_delay, theta),
+                                prd: balanced_metric_with_sum(&prds[..n], sum_prd, theta),
+                            })
+                        }
+                        // Off-axis last pick, entry failure, bandwidth
+                        // flag or GTS overflow: the full per-point path
+                        // owns spill and error resolution.
+                        _ => eval_point_via_walk(
+                            self,
+                            grid,
+                            macs,
+                            cells,
+                            fallback,
+                            point,
+                            retransmission_factor,
+                            theta,
+                            energies,
+                            delays,
+                            prds,
+                            slots,
+                        ),
+                    };
+                    // verify: allow(hot-path-alloc, reason = "pre-reserved; reserve(points.len()) amortizes every push of the sweep")
+                    results.push(outcome);
+                }
+                // verify: hot-path-end(axis-run-inner)
+            } else {
+                // Head spilled or died: no trusted prefix — the rest of
+                // the run takes the plain per-point path.
+                for point in &points[i + 1..end] {
+                    let outcome = eval_point_via_walk(
+                        self,
+                        grid,
+                        macs,
+                        cells,
+                        fallback,
+                        point,
+                        retransmission_factor,
+                        theta,
+                        energies,
+                        delays,
+                        prds,
+                        slots,
+                    );
+                    results.push(outcome);
                 }
             }
+            i = end;
         }
         results
     }

@@ -50,6 +50,19 @@ pub trait Evaluator {
         points.iter().map(|p| self.evaluate(p)).collect()
     }
 
+    /// Evaluates a batch whose points arrive in **axis-run order**:
+    /// stretches of consecutive points sharing the MAC configuration
+    /// and every node but the last (the layout the axis-major
+    /// exhaustive sweep produces by construction). The contract is
+    /// unchanged from [`Evaluator::evaluate_batch`] — `result[i]`
+    /// corresponds to `points[i]`, bit-identical to the serial map —
+    /// but implementations may exploit the layout to reuse shared-
+    /// prefix work. The layout is a *hint*: any point order is valid
+    /// input. The default simply delegates to `evaluate_batch`.
+    fn evaluate_batch_axis_runs(&self, points: &[DesignPoint]) -> Vec<Option<ObjectiveVector>> {
+        self.evaluate_batch(points)
+    }
+
     /// Number of objectives produced.
     fn num_objectives(&self) -> usize;
 
@@ -164,6 +177,7 @@ fn batch_through_soa(
     model: &WbsnModel,
     pools: &ModelPools,
     points: &[DesignPoint],
+    axis_runs: bool,
     project: impl Fn(&NetworkObjectives) -> ObjectiveVector + Sync,
 ) -> Vec<Option<ObjectiveVector>> {
     if points.len() < SOA_MIN_BATCH {
@@ -182,12 +196,17 @@ fn batch_through_soa(
     // networks. Keyed on the first point — search batches decode from
     // one space, so node counts are homogeneous in practice, and both
     // engines are bit-identical, so a mixed batch is merely served by
-    // one engine throughout (never wrong).
+    // one engine throughout (never wrong). `axis_runs` (the caller's
+    // layout hint) selects the shared-prefix kernel on narrow networks;
+    // the grouped engine already amortizes across points its own way,
+    // so the hint defers to it on wide ones.
     let grouped = points.first().is_some_and(|p| p.nodes.len() >= GROUPED_MIN_NODES);
     let run_kernel =
         |scratch: &mut SoaScratch, chunk: &[DesignPoint]| -> Vec<Option<ObjectiveVector>> {
             let outcomes = if grouped {
                 model.evaluate_objectives_batch_grouped(chunk, scratch)
+            } else if axis_runs {
+                model.evaluate_objectives_batch_axis_runs(chunk, scratch)
             } else {
                 model.evaluate_objectives_batch(chunk, scratch)
             };
@@ -239,7 +258,13 @@ impl Evaluator for ModelEvaluator {
     }
 
     fn evaluate_batch(&self, points: &[DesignPoint]) -> Vec<Option<ObjectiveVector>> {
-        batch_through_soa(&self.model, &self.pools, points, |o| {
+        batch_through_soa(&self.model, &self.pools, points, false, |o| {
+            ObjectiveVector::from_slice(&o.to_array())
+        })
+    }
+
+    fn evaluate_batch_axis_runs(&self, points: &[DesignPoint]) -> Vec<Option<ObjectiveVector>> {
+        batch_through_soa(&self.model, &self.pools, points, true, |o| {
             ObjectiveVector::from_slice(&o.to_array())
         })
     }
@@ -284,7 +309,13 @@ impl Evaluator for EnergyDelayEvaluator {
     }
 
     fn evaluate_batch(&self, points: &[DesignPoint]) -> Vec<Option<ObjectiveVector>> {
-        batch_through_soa(&self.model, &self.pools, points, |o| {
+        batch_through_soa(&self.model, &self.pools, points, false, |o| {
+            ObjectiveVector::from_slice(&o.energy_delay())
+        })
+    }
+
+    fn evaluate_batch_axis_runs(&self, points: &[DesignPoint]) -> Vec<Option<ObjectiveVector>> {
+        batch_through_soa(&self.model, &self.pools, points, true, |o| {
             ObjectiveVector::from_slice(&o.energy_delay())
         })
     }

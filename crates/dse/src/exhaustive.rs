@@ -77,6 +77,106 @@ pub fn exhaustive(space: &DesignSpace, evaluator: &dyn Evaluator, limit: u128) -
     SearchResult { front, evaluations, infeasible, memo_hits: 0 }
 }
 
+/// Decodes linear index `index` in **axis-major** order: the mirror of
+/// [`DesignSpace::point_at`], with digit significance reversed so the
+/// *last* pick dimension (the final node's fµC) varies fastest and the
+/// first (the MAC payload) slowest.
+///
+/// This order is what makes single-axis deltas between consecutive
+/// points structural: indices `i` and `i + 1` differ in exactly one
+/// trailing dimension roll, so consecutive points share the MAC
+/// configuration and every node but the last for runs of
+/// `|CR| × |fµC|` points — the axis-run layout
+/// `Evaluator::evaluate_batch_axis_runs` exploits. Both orders visit
+/// exactly the same point set ([`enumeration_size`] indices, each
+/// decoding a distinct digit vector).
+///
+/// # Panics
+///
+/// Panics if `index` is out of range.
+#[must_use]
+pub fn point_at_axis_major(space: &DesignSpace, index: u128) -> wbsn_model::space::DesignPoint {
+    let radices = space.dimension_radices();
+    let mut digits = vec![0usize; radices.len()];
+    decode_axis_major(space, &radices, &mut digits, index)
+}
+
+/// Shared decode body of [`point_at_axis_major`] and the sweep loop:
+/// fills `digits` with the reverse-significance mixed-radix digits of
+/// `index` and rebuilds the point. The caller owns the buffers so the
+/// sweep decodes without per-point allocation.
+fn decode_axis_major(
+    space: &DesignSpace,
+    radices: &[usize],
+    digits: &mut [usize],
+    index: u128,
+) -> wbsn_model::space::DesignPoint {
+    let mut rem = index;
+    // Least significant digit = LAST dimension: walk the radices from
+    // the back, exactly `point_at` with the significance order flipped.
+    for (digit, &radix) in digits.iter_mut().zip(radices).rev() {
+        *digit = usize::try_from(rem % radix as u128).expect("digit below its radix");
+        rem /= radix as u128;
+    }
+    assert!(rem == 0, "axis-major index out of range");
+    let mut it = digits.iter().copied();
+    space.point_with(|_| it.next().expect("one digit per dimension"))
+}
+
+/// Exhaustively evaluates every configuration of `space` like
+/// [`exhaustive`], but enumerating in **axis-major** order
+/// ([`point_at_axis_major`]) and evaluating through
+/// [`Evaluator::evaluate_batch_axis_runs`] — the incremental sweep
+/// mode: consecutive points differ only in the last node's `(CR, fµC)`
+/// pick, so the batch kernel re-evaluates only the lane that single
+/// axis step changes and reuses the shared prefix of each run.
+///
+/// Visits exactly the same point set as [`exhaustive`] with the same
+/// `evaluations`/`infeasible` counts and the same *set* of
+/// non-dominated objective vectors. The archive's entry order (and
+/// therefore which payload represents an objective tie) follows the
+/// axis-major insertion order, which differs from `exhaustive`'s —
+/// compare fronts as sets, the way the parity tests do.
+///
+/// # Panics
+///
+/// Panics if the space holds more than `limit` points.
+#[must_use]
+pub fn exhaustive_incremental(
+    space: &DesignSpace,
+    evaluator: &dyn Evaluator,
+    limit: u128,
+) -> SearchResult {
+    let total = enumeration_size(space);
+    assert!(total <= limit, "space holds {total} points, above the exhaustive limit {limit}");
+    let mut front = ParetoArchive::new();
+    let mut evaluations = 0u64;
+    let mut infeasible = 0u64;
+
+    let radices = space.dimension_radices();
+    let mut digits = vec![0usize; radices.len()];
+    let mut points = Vec::with_capacity(BATCH);
+    let mut next: u128 = 0;
+    while next < total {
+        let count = usize::try_from((total - next).min(BATCH as u128)).expect("bounded by BATCH");
+        points.extend(
+            (0..count).map(|i| decode_axis_major(space, &radices, &mut digits, next + i as u128)),
+        );
+        let results = evaluator.evaluate_batch_axis_runs(&points);
+        evaluations += count as u64;
+        for (point, result) in points.drain(..).zip(results) {
+            match result {
+                Some(obj) => {
+                    front.insert(obj, point);
+                }
+                None => infeasible += 1,
+            }
+        }
+        next += count as u128;
+    }
+    SearchResult { front, evaluations, infeasible, memo_hits: 0 }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -176,5 +276,121 @@ mod tests {
     fn refuses_oversized_spaces() {
         let space = DesignSpace::case_study(6);
         let _ = exhaustive(&space, &ModelEvaluator::shimmer(), 1000);
+    }
+
+    /// A tiny space salted with infeasible axis values: 1 and 2 MHz
+    /// clocks overflow the DWT duty cycle and tight superframe orders
+    /// overflow bandwidth/GTS capacity, so the incremental sweep's
+    /// fallback paths (dead run heads, per-variant infeasibility inside
+    /// an alive run) are all exercised, not just the feasible fast path.
+    fn error_heavy_space() -> DesignSpace {
+        let mut space = DesignSpace::case_study(2);
+        space.cr_values = vec![0.17, 0.38];
+        space.f_mcu_values = vec![
+            wbsn_model::units::Hertz::from_mhz(1.0),
+            wbsn_model::units::Hertz::from_mhz(2.0),
+            wbsn_model::units::Hertz::from_mhz(8.0),
+        ];
+        space.payload_values = vec![30, 114];
+        space.order_pairs = vec![(4, 4), (4, 9), (9, 9)];
+        space
+    }
+
+    /// Axis-major decode is a permutation of the canonical decode: every
+    /// axis-major index maps back to a distinct canonical index (digit
+    /// vectors reversed in significance, same digit set), and the two
+    /// orders enumerate the same point sequence under that mapping.
+    #[test]
+    fn axis_major_decode_is_a_permutation_of_point_at() {
+        let space = tiny_space();
+        let radices = space.dimension_radices();
+        let total = space.cardinality();
+        for index in 0..total {
+            // Recover the axis-major digits, then re-encode them in
+            // canonical (first-dimension-fastest) significance.
+            let mut rem = index;
+            let mut digits = vec![0usize; radices.len()];
+            for (digit, &radix) in digits.iter_mut().zip(&radices).rev() {
+                *digit = usize::try_from(rem % radix as u128).expect("digit below radix");
+                rem /= radix as u128;
+            }
+            let mut canonical: u128 = 0;
+            let mut stride: u128 = 1;
+            for (&digit, &radix) in digits.iter().zip(&radices) {
+                canonical += digit as u128 * stride;
+                stride *= radix as u128;
+            }
+            assert_eq!(
+                point_at_axis_major(&space, index),
+                space.point_at(canonical),
+                "axis-major index {index}"
+            );
+        }
+    }
+
+    /// Consecutive axis-major points form axis runs: within a run of
+    /// `|CR| × |fµC|` points, the MAC configuration and every node but
+    /// the last are shared.
+    #[test]
+    fn axis_major_neighbors_share_the_prefix() {
+        let space = tiny_space();
+        let run = (space.cr_values.len() * space.f_mcu_values.len()) as u128;
+        let total = space.cardinality();
+        for index in 0..total - 1 {
+            let a = point_at_axis_major(&space, index);
+            let b = point_at_axis_major(&space, index + 1);
+            if (index + 1) % run != 0 {
+                let n = a.nodes.len();
+                assert_eq!(a.mac, b.mac, "index {index}");
+                assert_eq!(a.nodes[..n - 1], b.nodes[..n - 1], "index {index}");
+            }
+        }
+    }
+
+    /// The incremental sweep through the axis-run kernel is bit-identical
+    /// (entries, order, payloads, counters) to the same axis-major
+    /// enumeration through the serial reference evaluator — the run
+    /// fast path must be invisible.
+    #[test]
+    fn incremental_sweep_is_bit_identical_to_serial_axis_major() {
+        for space in [tiny_space(), error_heavy_space()] {
+            let eval = ModelEvaluator::shimmer();
+            let fast = exhaustive_incremental(&space, &eval, 100_000);
+            let serial =
+                exhaustive_incremental(&space, &crate::evaluator::SerialEvaluator(eval), 100_000);
+            assert_eq!(fast.evaluations, serial.evaluations);
+            assert_eq!(fast.infeasible, serial.infeasible);
+            assert_eq!(fast.front.entries(), serial.front.entries());
+        }
+    }
+
+    /// The incremental sweep finds exactly the canonical sweep's front
+    /// *set* (insertion order legitimately differs between the two
+    /// enumeration orders) with identical evaluation counts.
+    #[test]
+    fn incremental_sweep_front_matches_canonical_exhaustive() {
+        for space in [tiny_space(), error_heavy_space()] {
+            let eval = ModelEvaluator::shimmer();
+            let canonical = exhaustive(&space, &eval, 100_000);
+            let incremental = exhaustive_incremental(&space, &eval, 100_000);
+            assert_eq!(incremental.evaluations, canonical.evaluations);
+            assert_eq!(incremental.infeasible, canonical.infeasible);
+            let sort = |r: &SearchResult| {
+                let mut objs: Vec<String> =
+                    r.front.objectives().map(|o| format!("{o:?}")).collect();
+                objs.sort();
+                objs
+            };
+            assert_eq!(sort(&incremental), sort(&canonical));
+        }
+    }
+
+    /// The error-heavy space really exercises the error paths.
+    #[test]
+    fn error_heavy_space_has_infeasible_points() {
+        let result =
+            exhaustive_incremental(&error_heavy_space(), &ModelEvaluator::shimmer(), 100_000);
+        assert!(result.infeasible > 0, "space must exercise the dead paths");
+        assert!(!result.front.is_empty());
     }
 }

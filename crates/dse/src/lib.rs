@@ -27,7 +27,11 @@
 //! * [`mosa`] — multi-objective simulated annealing ([27]), a random
 //!   search baseline, and parallel independent restarts
 //!   ([`mosa::mosa_restarts`]);
-//! * [`quality`] — C-metric, Pareto membership, hypervolume.
+//! * [`quality`] — C-metric, Pareto membership, hypervolume;
+//! * [`truth`] — exact ground-truth fronts per reduced scenario
+//!   (computed by the axis-major incremental exhaustive sweep,
+//!   golden-snapshotted) and the search-quality harness gating
+//!   NSGA-II/MOSA on hypervolume ratio + front coverage vs truth.
 //!
 //! ```no_run
 //! use wbsn_dse::evaluator::ModelEvaluator;
@@ -56,6 +60,7 @@ pub mod objective;
 pub mod parallel;
 pub mod pareto;
 pub mod quality;
+pub mod truth;
 
 pub use evaluator::{EnergyDelayEvaluator, Evaluator, ModelEvaluator, SerialEvaluator};
 pub use genome::Genome;
@@ -64,3 +69,4 @@ pub use mosa::{mosa, mosa_restarts, mosa_with_memo, random_search, MosaConfig};
 pub use nsga2::{nsga2, nsga2_with_memo, Nsga2Config, SearchResult};
 pub use objective::{Dominance, ObjectiveVector, MAX_OBJECTIVES};
 pub use pareto::ParetoArchive;
+pub use truth::{scenarios, SearchQuality, TruthFront, TruthScenario};

@@ -1,7 +1,33 @@
 //! Front-quality metrics: set coverage, hypervolume, spread.
 //!
 //! Used by the Fig. 5 reproduction to quantify "the energy/delay model
-//! only contains ≈7 % of the trade-offs found by the proposed model".
+//! only contains ≈7 % of the trade-offs found by the proposed model",
+//! and by the ground-truth search-quality harness ([`crate::truth`]) to
+//! gate NSGA-II/MOSA fronts against the exact exhaustive front.
+//!
+//! # Conventions and edge-case semantics
+//!
+//! All objectives are **minimized**. Hypervolume is measured against a
+//! caller-chosen `reference` point that every interesting front point
+//! should dominate; [`crate::truth`] derives it from the true front's
+//! componentwise worst corner (see
+//! [`crate::truth::TruthFront::reference`]). The degenerate inputs all
+//! have defined, documented behavior:
+//!
+//! - **Empty fronts** dominate nothing: every hypervolume of an empty
+//!   front is `0`, and `coverage(_, [])` / `coverage([], b)` are `0`.
+//! - **`+inf` coordinates** (the conventional encoding of an
+//!   infeasible/missing objective) are clipped to the reference corner
+//!   and contribute zero volume — an infeasible point never inflates a
+//!   front's quality score.
+//! - **`-inf` coordinates** claim unbounded improvement along that
+//!   axis: the exact 2-D hypervolume returns `+inf` when such a point
+//!   contributes a strip of positive width (and `0` width contributes
+//!   nothing, not NaN).
+//! - **NaN coordinates** are a caller bug and panic in
+//!   [`hypervolume_2d`] (the sort cannot order them); the Monte-Carlo
+//!   estimator treats them as dominating nothing (every comparison is
+//!   false).
 
 use crate::objective::ObjectiveVector;
 use rand::rngs::StdRng;
@@ -10,7 +36,12 @@ use rand::{Rng, SeedableRng};
 /// C-metric (Zitzler): fraction of `b` weakly dominated by some point of
 /// `a`. `coverage(a, b) = 1` means `a` covers all of `b`.
 ///
-/// Returns 0 when `b` is empty.
+/// Returns 0 when `b` is empty (nothing is covered — the conservative
+/// reading for a quality gate: an empty searcher front scores 0, it
+/// does not vacuously pass). Non-finite coordinates need no special
+/// casing here: a `+inf`-padded point is weakly dominated by any
+/// feasible point on the other axes and weakly dominates nothing
+/// feasible.
 #[must_use]
 pub fn coverage(a: &[ObjectiveVector], b: &[ObjectiveVector]) -> f64 {
     if b.is_empty() {
@@ -37,9 +68,16 @@ pub fn membership_in_front(candidates: &[ObjectiveVector], reference: &[Objectiv
 /// Exact 2-D hypervolume dominated by `front` relative to `reference`
 /// (both objectives minimized; points beyond the reference are clipped).
 ///
+/// Returns 0 for an empty front. A `+inf` coordinate clips to the
+/// reference and its point contributes a zero-area strip; a `-inf`
+/// coordinate with positive strip width yields `+inf` (unbounded
+/// dominated volume), while a zero-width strip contributes 0 — never
+/// NaN.
+///
 /// # Panics
 ///
-/// Panics if any point has a dimensionality other than 2.
+/// Panics if any point has a dimensionality other than 2, or on NaN
+/// coordinates (they cannot be ordered).
 #[must_use]
 pub fn hypervolume_2d(front: &[ObjectiveVector], reference: [f64; 2]) -> f64 {
     let mut pts: Vec<(f64, f64)> = front
@@ -50,13 +88,21 @@ pub fn hypervolume_2d(front: &[ObjectiveVector], reference: [f64; 2]) -> f64 {
         })
         .collect();
     pts.sort_by(|a, b| {
-        a.0.partial_cmp(&b.0).expect("finite").then(a.1.partial_cmp(&b.1).expect("finite"))
+        a.0.partial_cmp(&b.0)
+            .expect("ordered (non-NaN) coordinates")
+            .then(a.1.partial_cmp(&b.1).expect("ordered (non-NaN) coordinates"))
     });
     let mut hv = 0.0;
     let mut best_y = reference[1];
     for (x, y) in pts {
         if y < best_y {
-            hv += (reference[0] - x) * (best_y - y);
+            // The width guard keeps a clipped-to-reference x (width 0)
+            // from multiplying an infinite height into NaN: a zero-width
+            // strip contributes nothing, whatever its height.
+            let width = reference[0] - x;
+            if width > 0.0 {
+                hv += width * (best_y - y);
+            }
             best_y = y;
         }
     }
@@ -66,12 +112,25 @@ pub fn hypervolume_2d(front: &[ObjectiveVector], reference: [f64; 2]) -> f64 {
 /// Monte-Carlo hypervolume for any dimensionality (seeded, deterministic).
 ///
 /// Samples `samples` points uniformly in the box `[ideal, reference]` and
-/// returns the dominated fraction times the box volume.
+/// returns the dominated fraction times the box volume. The same seed
+/// and sample count always reproduce the same estimate; comparing two
+/// fronts under the *same* box/seed/samples (as the quality gates do)
+/// cancels most of the sampling error. The absolute error scales as
+/// `volume / sqrt(samples)` — see the `monte_carlo_tracks_exact_*`
+/// proptests for the measured envelope.
+///
+/// Returns 0 for an empty front. Front points may be non-finite: a
+/// `+inf` (or NaN) coordinate dominates no sample along that axis, a
+/// `-inf` coordinate dominates all of them — the estimate stays within
+/// the finite box volume either way, which is precisely why the truth
+/// harness uses this estimator for fronts that may carry infeasibility
+/// encodings.
 ///
 /// # Panics
 ///
 /// Panics if `ideal`/`reference` lengths differ from the front's
-/// dimensionality or if the box is degenerate.
+/// dimensionality, if the box is degenerate, or if either corner is
+/// non-finite (the sampler needs a bounded box).
 #[must_use]
 pub fn hypervolume_monte_carlo(
     front: &[ObjectiveVector],
@@ -81,6 +140,7 @@ pub fn hypervolume_monte_carlo(
     seed: u64,
 ) -> f64 {
     assert_eq!(ideal.len(), reference.len(), "box corners must match");
+    assert!(ideal.iter().chain(reference).all(|v| v.is_finite()), "box corners must be finite");
     assert!(
         ideal.iter().zip(reference).all(|(i, r)| i < r),
         "reference must dominate... be worse than ideal on every axis"
@@ -176,5 +236,80 @@ mod tests {
     #[test]
     fn empty_front_has_zero_volume() {
         assert_eq!(hypervolume_monte_carlo(&[], &[0.0], &[1.0], 100, 3), 0.0);
+        assert_eq!(hypervolume_2d(&[], [1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn coverage_of_empty_fronts_is_zero_both_ways() {
+        let a = vec![ov(&[1.0, 1.0])];
+        assert_eq!(coverage(&a, &[]), 0.0);
+        assert_eq!(coverage(&[], &a), 0.0);
+        assert_eq!(coverage(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn single_point_fronts() {
+        let p = vec![ov(&[1.0, 2.0])];
+        // Exact: one rectangle to the reference corner.
+        assert!((hypervolume_2d(&p, [5.0, 5.0]) - 12.0).abs() < 1e-12);
+        // A point outside the box contributes nothing.
+        assert_eq!(hypervolume_2d(&[ov(&[6.0, 6.0])], [5.0, 5.0]), 0.0);
+        // MC agrees within sampling error on the single rectangle.
+        let mc = hypervolume_monte_carlo(&p, &[0.0, 0.0], &[5.0, 5.0], 200_000, 7);
+        assert!((mc - 12.0).abs() < 0.3, "mc {mc}");
+        assert!((coverage(&p, &p) - 1.0).abs() < 1e-12);
+    }
+
+    /// The `+inf` infeasibility encoding must never inflate (or NaN) a
+    /// quality score: such points clip to the reference and contribute
+    /// zero volume in both estimators.
+    #[test]
+    fn plus_inf_infeasibility_encodings_contribute_nothing() {
+        let clean = vec![ov(&[1.0, 3.0]), ov(&[3.0, 1.0])];
+        let mut padded = clean.clone();
+        padded.push(ov(&[f64::INFINITY, 0.5]));
+        padded.push(ov(&[0.5, f64::INFINITY]));
+        padded.push(ov(&[f64::INFINITY, f64::INFINITY]));
+        let r = [4.0, 4.0];
+        let exact_clean = hypervolume_2d(&clean, r);
+        let exact_padded = hypervolume_2d(&padded, r);
+        assert!(exact_padded.is_finite(), "no NaN/inf leak: {exact_padded}");
+        // The (inf, 0.5) point clips to (4, 0.5): a zero-width strip
+        // that still lowers the staircase — its *own* contribution is
+        // zero, and it may only shadow area below y = 0.5 that nothing
+        // else claims. The clean points' area above y = 0.5 is intact.
+        assert!(exact_padded <= exact_clean + 4.0 * 0.5 + 1e-12);
+        assert!(exact_padded >= exact_clean - 4.0 * 0.5 - 1e-12);
+        let mc_clean = hypervolume_monte_carlo(&clean, &[0.0, 0.0], &[4.0, 4.0], 100_000, 11);
+        let mc_padded = hypervolume_monte_carlo(&padded, &[0.0, 0.0], &[4.0, 4.0], 100_000, 11);
+        // Same seed, same box: the padded front dominates a superset of
+        // the clean front's samples along the clipped axes only.
+        assert!(mc_padded.is_finite());
+        assert!(mc_padded >= mc_clean);
+    }
+
+    /// A `-inf` coordinate on the reference's edge used to produce
+    /// `0 × inf = NaN`; the width guard makes it contribute zero, and a
+    /// positive-width `-inf` strip is honestly infinite.
+    #[test]
+    fn minus_inf_coordinates_do_not_leak_nan() {
+        let r = [4.0, 4.0];
+        // Clipped to x = reference[0]: zero width, infinite height.
+        let edge = vec![ov(&[f64::INFINITY, f64::NEG_INFINITY])];
+        assert_eq!(hypervolume_2d(&edge, r), 0.0);
+        // Positive width with -inf height: unbounded volume, not NaN.
+        let strip = vec![ov(&[1.0, f64::NEG_INFINITY])];
+        assert_eq!(hypervolume_2d(&strip, r), f64::INFINITY);
+        // MC stays within the finite box whatever the front claims.
+        let mc = hypervolume_monte_carlo(&strip, &[0.0, 0.0], &[4.0, 4.0], 10_000, 5);
+        assert!(mc.is_finite());
+        assert!(mc <= 16.0 + 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "box corners must be finite")]
+    fn monte_carlo_rejects_infinite_corners() {
+        let front = vec![ov(&[1.0, 1.0])];
+        let _ = hypervolume_monte_carlo(&front, &[0.0, 0.0], &[f64::INFINITY, 4.0], 100, 1);
     }
 }

@@ -304,4 +304,28 @@ proptest! {
         prop_assert!((0.0..=1.0).contains(&c));
         prop_assert!((coverage(&a, &a) - 1.0).abs() < 1e-12);
     }
+
+    // Cross-check of the two hypervolume estimators: on random 2-D
+    // fronts in the unit square (box `[0,0]..[2,2]`, volume 4) the
+    // seeded Monte-Carlo estimate must land within 0.05 of the exact
+    // staircase value. Tolerance rationale: the per-sample standard
+    // deviation is at most `V·√(p(1−p)/N) ≤ 4·0.5/√100 000 ≈ 0.0063`,
+    // so 0.05 is ≈ 8σ — misses mean estimator bugs, not bad luck.
+    // Every seed must satisfy it, so the seed is drawn too.
+    #[test]
+    fn monte_carlo_tracks_exact_2d_hypervolume(
+        pts in prop::collection::vec((0.01f64..1.0, 0.01f64..1.0), 1..20),
+        seed in 0u64..1_000,
+    ) {
+        let front: Vec<ObjectiveVector> =
+            pts.iter().map(|&(x, y)| ObjectiveVector::new(vec![x, y])).collect();
+        let exact = hypervolume_2d(&front, [2.0, 2.0]);
+        let mc = wbsn_dse::quality::hypervolume_monte_carlo(
+            &front, &[0.0, 0.0], &[2.0, 2.0], 100_000, seed,
+        );
+        prop_assert!(
+            (mc - exact).abs() < 0.05,
+            "mc {} vs exact {} (seed {})", mc, exact, seed
+        );
+    }
 }

@@ -1,0 +1,160 @@
+//! Search-quality gates: NSGA-II and MOSA against exact ground truth.
+//!
+//! For every [`wbsn_dse::truth`] scenario the exact full-space Pareto
+//! front is computed by exhaustive enumeration (axis-major incremental
+//! sweep — property-tested bit-identical to the canonical sweep and
+//! the scalar reference), then each searcher at its *default* budget
+//! is measured against it on the two harness statistics:
+//!
+//! - **hypervolume ratio** — searcher HV / truth HV inside the truth
+//!   front's quality box, same seeded Monte-Carlo stream for both;
+//! - **front coverage** — fraction of true points the searcher weakly
+//!   dominates.
+//!
+//! The floors live next to the metric rationale in
+//! [`wbsn_dse::truth`]; `bench_gate` enforces the measured NSGA-II
+//! values in `benchmarks/BENCH_dse.json` as absolute lower bounds, and
+//! CI runs this file as a named step (`search-quality harness`) so a
+//! searcher regression fails loudly by name.
+//!
+//! The memo satellite rides along: memo-on and memo-off searches are
+//! already bit-identical (crates/dse/tests/properties.rs), so their
+//! quality must be *exactly* equal — asserted here with the real
+//! metrics rather than re-derived from front equality.
+
+use wbsn_dse::evaluator::ModelEvaluator;
+use wbsn_dse::memo::GenomeMemo;
+use wbsn_dse::mosa::{mosa, mosa_with_memo, MosaConfig};
+use wbsn_dse::nsga2::{nsga2, nsga2_with_memo, Nsga2Config, SearchResult};
+use wbsn_dse::objective::ObjectiveVector;
+use wbsn_dse::truth::{
+    scenarios, SearchQuality, TruthFront, TruthScenario, MOSA_MIN_FRONT_COVERAGE,
+    MOSA_MIN_HYPERVOLUME_RATIO, NSGA2_MIN_FRONT_COVERAGE, NSGA2_MIN_HYPERVOLUME_RATIO,
+};
+
+fn front_objectives(result: &SearchResult) -> Vec<ObjectiveVector> {
+    result.front.objectives().copied().collect()
+}
+
+fn truths() -> Vec<(TruthScenario, TruthFront)> {
+    let eval = ModelEvaluator::shimmer();
+    scenarios()
+        .into_iter()
+        .map(|s| {
+            let t = TruthFront::compute(&s, &eval);
+            (s, t)
+        })
+        .collect()
+}
+
+fn assert_meets(
+    searcher: &str,
+    scenario: &str,
+    q: SearchQuality,
+    min_hv_ratio: f64,
+    min_coverage: f64,
+) {
+    println!(
+        "{searcher} on {scenario}: hypervolume_ratio {:.4}, front_coverage {:.4}",
+        q.hypervolume_ratio, q.front_coverage
+    );
+    assert!(
+        q.hypervolume_ratio >= min_hv_ratio,
+        "{searcher} on {scenario}: hypervolume ratio {} below floor {min_hv_ratio}",
+        q.hypervolume_ratio
+    );
+    assert!(
+        q.front_coverage >= min_coverage,
+        "{searcher} on {scenario}: front coverage {} below floor {min_coverage}",
+        q.front_coverage
+    );
+}
+
+#[test]
+fn nsga2_meets_quality_gates_on_every_truth_scenario() {
+    let eval = ModelEvaluator::shimmer();
+    for (scenario, truth) in truths() {
+        let result = nsga2(&scenario.space, &eval, &Nsga2Config::default());
+        let q = truth.quality_of(&front_objectives(&result));
+        assert_meets(
+            "nsga2",
+            scenario.name,
+            q,
+            NSGA2_MIN_HYPERVOLUME_RATIO,
+            NSGA2_MIN_FRONT_COVERAGE,
+        );
+    }
+}
+
+#[test]
+fn mosa_meets_quality_gates_on_every_truth_scenario() {
+    let eval = ModelEvaluator::shimmer();
+    for (scenario, truth) in truths() {
+        let result = mosa(&scenario.space, &eval, &MosaConfig::default());
+        let q = truth.quality_of(&front_objectives(&result));
+        assert_meets("mosa", scenario.name, q, MOSA_MIN_HYPERVOLUME_RATIO, MOSA_MIN_FRONT_COVERAGE);
+    }
+}
+
+/// Satellite: the genome memo must be quality-invisible. Memo-on and
+/// memo-off runs are bitwise-identical by the properties suite; here
+/// the *measured quality* is asserted equal (exactly — same fronts,
+/// same seeded estimator) and above the gates, so a future memo bug
+/// that somehow slipped past bit-parity would still trip a quality
+/// assert.
+#[test]
+fn memoized_searchers_hit_identical_quality() {
+    let scenario = wbsn_dse::truth::paper_2node();
+    let truth = TruthFront::compute(&scenario, &ModelEvaluator::shimmer());
+    let eval = ModelEvaluator::shimmer();
+
+    let nsga_cfg = Nsga2Config::default();
+    let mut on = GenomeMemo::new(true);
+    let mut off = GenomeMemo::new(false);
+    let q_on = truth.quality_of(&front_objectives(&nsga2_with_memo(
+        &scenario.space,
+        &eval,
+        &nsga_cfg,
+        &mut on,
+    )));
+    let q_off = truth.quality_of(&front_objectives(&nsga2_with_memo(
+        &scenario.space,
+        &eval,
+        &nsga_cfg,
+        &mut off,
+    )));
+    assert!(on.hits() > 0, "memo-on run must actually dedupe");
+    assert_eq!(q_on, q_off, "nsga2 quality must not depend on the memo");
+    assert_meets(
+        "nsga2+memo",
+        scenario.name,
+        q_on,
+        NSGA2_MIN_HYPERVOLUME_RATIO,
+        NSGA2_MIN_FRONT_COVERAGE,
+    );
+
+    let mosa_cfg = MosaConfig::default();
+    let mut on = GenomeMemo::new(true);
+    let mut off = GenomeMemo::new(false);
+    let q_on = truth.quality_of(&front_objectives(&mosa_with_memo(
+        &scenario.space,
+        &eval,
+        &mosa_cfg,
+        &mut on,
+    )));
+    let q_off = truth.quality_of(&front_objectives(&mosa_with_memo(
+        &scenario.space,
+        &eval,
+        &mosa_cfg,
+        &mut off,
+    )));
+    assert!(on.hits() > 0, "memo-on run must actually dedupe");
+    assert_eq!(q_on, q_off, "mosa quality must not depend on the memo");
+    assert_meets(
+        "mosa+memo",
+        scenario.name,
+        q_on,
+        MOSA_MIN_HYPERVOLUME_RATIO,
+        MOSA_MIN_FRONT_COVERAGE,
+    );
+}

@@ -1,0 +1,20 @@
+// Known-bad fixture: clock reads inside a declared hot region. Both
+// the `Instant::now` and the `SystemTime::now` below must be reported
+// by `clock-discipline`; the pre-region read must not.
+
+use std::time::{Instant, SystemTime};
+
+pub fn walk(items: &[u64]) -> u64 {
+    let started = Instant::now();
+    let mut total = 0u64;
+    // verify: hot-path-begin(walk-loop)
+    for &x in items {
+        if Instant::now().duration_since(started).as_nanos() > 1_000_000 {
+            break;
+        }
+        let _wall = SystemTime::now();
+        total += x;
+    }
+    // verify: hot-path-end(walk-loop)
+    total
+}

@@ -1,0 +1,38 @@
+// Known-good fixture: the clock is read at the region boundary, the
+// hot loop polls the precomputed deadline, the one deliberate in-loop
+// read carries a reasoned allow, and test code may read clocks freely.
+// `clock-discipline` must report nothing.
+
+use std::time::{Duration, Instant};
+
+pub fn walk(items: &[u64]) -> u64 {
+    let deadline = Instant::now() + Duration::from_millis(1);
+    let mut total = 0u64;
+    let mut since_check = 0u32;
+    // verify: hot-path-begin(walk-loop)
+    for &x in items {
+        since_check += 1;
+        if since_check == 1024 {
+            since_check = 0;
+            // verify: allow(clock-discipline, reason = "amortized 1-in-1024 deadline poll")
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+        total += x;
+    }
+    // verify: hot-path-end(walk-loop)
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::Instant;
+
+    #[test]
+    fn test_code_may_read_clocks() {
+        let t0 = Instant::now();
+        assert_eq!(super::walk(&[1, 2, 3]), 6);
+        assert!(t0.elapsed().as_secs() < 60);
+    }
+}

@@ -3,8 +3,9 @@
 //!
 //! The workspace's correctness story rests on a handful of invariants
 //! that ordinary tests only probe at runtime and only on the paths they
-//! exercise: zero steady-state allocations in the `SoA` kernels,
-//! bit-identical objectives across all four engines, a typed (not
+//! exercise: zero steady-state allocations and no per-iteration clock
+//! reads in the `SoA` kernels' hot loops, bit-identical objectives
+//! across all four engines, a typed (not
 //! panicking) failure surface in the serve layer, one-lock-at-a-time
 //! discipline around the sharded memo, and a single definition of the
 //! MAC error-resolution sequence. This crate checks those invariants
@@ -29,7 +30,8 @@
 //!
 //! An `allow` suppresses one lint on the same line or on the line
 //! directly below the comment. Hot-path markers declare the regions the
-//! `hot-path-alloc` lint scans; they cannot nest and must balance.
+//! `hot-path-alloc` and `clock-discipline` lints scan; they cannot
+//! nest and must balance.
 
 pub mod lints;
 pub mod shape;
@@ -86,6 +88,7 @@ pub fn check_source(rel_path: &str, source: &str) -> Vec<Violation> {
         regions: &regions,
     };
     raw.extend(lints::hot_alloc::check(&ctx));
+    raw.extend(lints::clock_discipline::check(&ctx));
     raw.extend(lints::float_det::check(&ctx));
     raw.extend(lints::panic_surface::check(&ctx));
     raw.extend(lints::lock_discipline::check(&ctx));

@@ -1,0 +1,61 @@
+//! `clock-discipline`: no clock reads inside declared hot regions.
+//!
+//! The batch kernels' throughput contract is measured *around* the hot
+//! loops, never *inside* them: a stray `Instant::now()` in a per-point
+//! loop is a syscall-or-vDSO read per iteration — typically 20–30 ns,
+//! i.e. a double-digit percentage of a kernel that evaluates a design
+//! point in well under 100 ns — and it silently skews every gated
+//! `*_per_s` field in `BENCH_dse.json`. The same
+//! `// verify: hot-path-begin(name)` / `hot-path-end(name)` markers
+//! that declare allocation-free regions therefore also declare
+//! clock-free regions: timing belongs at the region boundary (the
+//! bench binaries' pattern), deadlines belong to the code that *polls*
+//! a precomputed instant outside the region.
+//!
+//! Deliberate exceptions (e.g. a coarse deadline check amortized over
+//! a large block) carry a `// verify: allow(clock-discipline,
+//! reason = "…")` at the call site, same as every other lint.
+//!
+//! The check is lexical and shallow, like `hot-path-alloc`: it sees
+//! the tokens of the region, not what callees do. A helper that reads
+//! the clock and is *called* from a hot region is not caught — the
+//! lint guarantees nobody *writes* a clock read into a hot region
+//! without saying why.
+
+use super::{is_path2, FileCtx};
+use crate::Violation;
+
+/// Clock-reading `Type::constructor` paths.
+const CLOCK_PATHS: &[(&str, &str)] = &[("Instant", "now"), ("SystemTime", "now")];
+
+/// Runs the lint over every hot region of the file.
+#[must_use]
+pub fn check(ctx: &FileCtx<'_>) -> Vec<Violation> {
+    if ctx.regions.is_empty() {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (i, tok) in ctx.toks.iter().enumerate() {
+        if !ctx.is_live(i) {
+            continue;
+        }
+        let Some(region) = ctx.regions.iter().find(|r| r.contains(tok.line)) else {
+            continue;
+        };
+        if let Some((head, tail)) = CLOCK_PATHS.iter().find(|(h, t)| is_path2(ctx.toks, i, h, t)) {
+            out.push(Violation::new(
+                "clock-discipline",
+                ctx.rel_path,
+                tok.line,
+                format!(
+                    "clock read `{head}::{tail}()` inside hot region `{}` — hot loops are \
+                     timed at their boundary, not per iteration; hoist the clock read out of \
+                     the region (poll a precomputed deadline instead) or annotate the \
+                     amortization argument",
+                    region.name
+                ),
+            ));
+        }
+    }
+    out
+}

@@ -4,6 +4,7 @@
 //! the runner in [`crate`] applies `// verify: allow` suppressions
 //! afterwards, so lints never need to know about annotations.
 
+pub mod clock_discipline;
 pub mod float_det;
 pub mod hot_alloc;
 pub mod lock_discipline;

@@ -6,6 +6,8 @@ use wbsn_verify::{check_source, Violation};
 
 const HOT_ALLOC_BAD: &str = include_str!("../fixtures/hot_alloc_bad.rs");
 const HOT_ALLOC_GOOD: &str = include_str!("../fixtures/hot_alloc_good.rs");
+const CLOCK_BAD: &str = include_str!("../fixtures/clock_bad.rs");
+const CLOCK_GOOD: &str = include_str!("../fixtures/clock_good.rs");
 const FLOAT_BAD: &str = include_str!("../fixtures/float_bad.rs");
 const FLOAT_GOOD: &str = include_str!("../fixtures/float_good.rs");
 const PANIC_BAD: &str = include_str!("../fixtures/panic_bad.rs");
@@ -40,6 +42,24 @@ fn hot_alloc_bad_trips_on_every_seeded_site() {
 fn hot_alloc_good_is_clean() {
     let vs = check_source(NEUTRAL_PATH, HOT_ALLOC_GOOD);
     assert!(vs.is_empty(), "annotated amortized push and test allocs must pass: {vs:#?}");
+}
+
+#[test]
+fn clock_bad_trips_on_both_in_region_reads() {
+    let vs = check_source(NEUTRAL_PATH, CLOCK_BAD);
+    assert_eq!(vs.len(), 2, "expected the in-loop Instant::now and SystemTime::now: {vs:#?}");
+    assert!(lints_of(&vs).iter().all(|l| *l == "clock-discipline"));
+    let lines: Vec<u32> = vs.iter().map(|v| v.line).collect();
+    assert_eq!(lines, vec![12, 15], "the pre-region read on line 8 must not trip");
+}
+
+#[test]
+fn clock_good_is_clean() {
+    let vs = check_source(NEUTRAL_PATH, CLOCK_GOOD);
+    assert!(
+        vs.is_empty(),
+        "boundary read, allowed amortized poll and test clocks must pass: {vs:#?}"
+    );
 }
 
 #[test]

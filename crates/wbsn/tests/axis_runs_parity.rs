@@ -1,0 +1,149 @@
+//! Differential property test: the axis-run incremental kernel
+//! (`WbsnModel::evaluate_objectives_batch_axis_runs`) against the plain
+//! batch kernel (`evaluate_objectives_batch`), which is itself
+//! bit-locked to the scalar reference by `soa_parity`.
+//!
+//! The contract under test is the strongest one the incremental kernel
+//! claims: **bit-identical** objectives for every feasible point and
+//! the **identical `ModelError`** for every infeasible one, in batch
+//! order, over (a) true axis-run batches — shared MAC + shared node
+//! prefix, last node sweeping the grid, the layout the axis-major
+//! enumeration produces and the run fast path actually accelerates —
+//! and (b) arbitrary shuffled batches, because the layout is a
+//! performance *hint*, never a correctness precondition. Batches salt
+//! in off-axis CRs (spill path), invalid MAC orders and payloads (dead
+//! run heads), low clocks (duty-cycle deaths inside runs) and heavy
+//! compression ratios (bandwidth/GTS deaths inside otherwise-alive
+//! runs), so every fallback branch of the run loop is crossed. Both
+//! kernels run on *separate persistent* scratches across the whole
+//! batch sequence, so a stale prefix carried between runs or batches
+//! would be caught.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wbsn::model::evaluate::{NodeConfig, WbsnModel};
+use wbsn::model::ieee802154::Ieee802154Config;
+use wbsn::model::shimmer::CompressionKind;
+use wbsn::model::soa::SoaScratch;
+use wbsn::model::space::{DesignPoint, NodeVec, CR_AXIS};
+use wbsn::model::units::Hertz;
+
+/// Draws one node: mostly canonical axis values (the dense fast path),
+/// salted with off-axis CRs (spill), invalid CRs, heavy-traffic CRs
+/// (capacity deaths) and low clocks (duty-cycle deaths).
+fn random_node(rng: &mut StdRng) -> NodeConfig {
+    let kind = if rng.gen_bool(0.5) { CompressionKind::Dwt } else { CompressionKind::Cs };
+    let cr = match rng.gen_range(0..10u8) {
+        0 => *[0.0, -0.25, 1.5].get(rng.gen_range(0..3usize)).expect("in range"),
+        1 => rng.gen_range(0.5..1.0),
+        2 => rng.gen_range(0.17..0.38),
+        _ => CR_AXIS[rng.gen_range(0..CR_AXIS.len())],
+    };
+    let f = *[1.0f64, 2.0, 4.0, 8.0].get(rng.gen_range(0..4usize)).expect("in range");
+    NodeConfig::new(kind, cr, Hertz::from_mhz(f))
+}
+
+/// Draws one MAC configuration, salted with invalid payloads and
+/// `SFO > BCO` order pairs (dead run heads).
+fn random_mac(rng: &mut StdRng) -> Ieee802154Config {
+    let payload = match rng.gen_range(0..8u8) {
+        0 => 0u16,
+        1 => 120,
+        _ => *[30u16, 50, 70, 90, 114].get(rng.gen_range(0..5usize)).expect("in range"),
+    };
+    Ieee802154Config {
+        payload_bytes: payload,
+        sfo: rng.gen_range(3..=9u8),
+        bco: rng.gen_range(3..=9u8),
+        beacon_payload_bytes: 0,
+        acknowledged: rng.gen_bool(0.9),
+    }
+}
+
+/// One axis run: a fixed MAC + node prefix, the last node sweeping
+/// every canonical `(CR, fµC)` cell (plus salted variants), exactly the
+/// consecutive-point structure the axis-major enumeration emits.
+fn push_axis_run(rng: &mut StdRng, points: &mut Vec<DesignPoint>) {
+    let mac = random_mac(rng);
+    let n = rng.gen_range(1..=4usize);
+    let prefix: Vec<NodeConfig> = (0..n - 1).map(|_| random_node(rng)).collect();
+    let kind = if rng.gen_bool(0.5) { CompressionKind::Dwt } else { CompressionKind::Cs };
+    for f in [4.0f64, 8.0, 1.0] {
+        for cr_level in 0..CR_AXIS.len() {
+            let cr = if rng.gen_range(0..16u8) == 0 {
+                rng.gen_range(0.17..0.38) // off-axis variant inside the run
+            } else {
+                CR_AXIS[cr_level]
+            };
+            let nodes: NodeVec = prefix
+                .iter()
+                .copied()
+                .chain(std::iter::once(NodeConfig::new(kind, cr, Hertz::from_mhz(f))))
+                .collect();
+            points.push(DesignPoint { mac, nodes });
+        }
+    }
+}
+
+fn assert_kernel_parity(
+    model: &WbsnModel,
+    points: &[DesignPoint],
+    plain: &mut SoaScratch,
+    runs: &mut SoaScratch,
+) {
+    let expected = model.evaluate_objectives_batch(points, plain).to_vec();
+    let actual = model.evaluate_objectives_batch_axis_runs(points, runs);
+    assert_eq!(expected.len(), actual.len());
+    for (i, (e, a)) in expected.iter().zip(actual).enumerate() {
+        match (e, a) {
+            (Ok(x), Ok(y)) => {
+                assert_eq!(x.energy.to_bits(), y.energy.to_bits(), "energy bits, point {i}");
+                assert_eq!(x.delay.to_bits(), y.delay.to_bits(), "delay bits, point {i}");
+                assert_eq!(x.prd.to_bits(), y.prd.to_bits(), "prd bits, point {i}");
+            }
+            (Err(x), Err(y)) => assert_eq!(x, y, "errors must be identical, point {i}"),
+            (e, a) => panic!("feasibility disagreement at point {i}: {e:?} vs {a:?}"),
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn axis_run_batches_are_bit_identical(seed in 0u64..1 << 48) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let model = WbsnModel::shimmer();
+        let mut plain = SoaScratch::new();
+        let mut runs = SoaScratch::new();
+        // A sequence of batches against the same warm scratches: each
+        // batch is a handful of axis runs back to back.
+        for _ in 0..3 {
+            let mut points = Vec::new();
+            for _ in 0..rng.gen_range(1..=3usize) {
+                push_axis_run(&mut rng, &mut points);
+            }
+            assert_kernel_parity(&model, &points, &mut plain, &mut runs);
+        }
+    }
+
+    #[test]
+    fn arbitrary_batches_are_bit_identical(seed in 0u64..1 << 48) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let model = WbsnModel::shimmer();
+        let mut plain = SoaScratch::new();
+        let mut runs = SoaScratch::new();
+        for _ in 0..3 {
+            let count = rng.gen_range(0..=96usize);
+            let points: Vec<DesignPoint> = (0..count)
+                .map(|_| {
+                    let n = rng.gen_range(0..=6usize);
+                    DesignPoint {
+                        mac: random_mac(&mut rng),
+                        nodes: (0..n).map(|_| random_node(&mut rng)).collect(),
+                    }
+                })
+                .collect();
+            assert_kernel_parity(&model, &points, &mut plain, &mut runs);
+        }
+    }
+}
