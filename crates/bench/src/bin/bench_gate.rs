@@ -61,6 +61,10 @@
 //!   regardless (escape hatch for known-slow runners).
 
 use std::process::ExitCode;
+use wbsn_bench::fidelity::{
+    gate_field, MIN_DELAY_HEADROOM, MIN_ENERGY_AGREEMENT_PCT, MIN_PRD_MARGIN,
+};
+use wbsn_dse::scenario::fidelity_families;
 use wbsn_dse::truth::{NSGA2_MIN_FRONT_COVERAGE, NSGA2_MIN_HYPERVOLUME_RATIO};
 
 /// How a gated field is judged.
@@ -80,22 +84,41 @@ enum Gate {
 
 /// The gated fields of `BENCH_dse.json` and how each is judged. The
 /// quality floors are the same constants the tier-1 `search_quality`
-/// harness asserts, so the gate and the test can never disagree.
-const GATED_FIELDS: [(&str, Gate); 13] = [
-    ("batch_evals_per_s", Gate::HigherIsBetter),
-    ("batch_evals_per_s_16node", Gate::HigherIsBetter),
-    ("fastpath_evals_per_s", Gate::HigherIsBetter),
-    ("soa_evals_per_s", Gate::HigherIsBetter),
-    ("soa_grouped_evals_per_s", Gate::HigherIsBetter),
-    ("full_evals_per_s", Gate::HigherIsBetter),
-    ("decode_eval_points_per_s", Gate::HigherIsBetter),
-    ("sweep_incremental_points_per_s", Gate::HigherIsBetter),
-    ("serve_queries_per_s", Gate::HigherIsBetter),
-    ("serve_p50_ms", Gate::LowerIsBetter),
-    ("serve_p99_ms", Gate::LowerIsBetter),
-    ("hypervolume_ratio_nsga2", Gate::Floor(NSGA2_MIN_HYPERVOLUME_RATIO)),
-    ("front_coverage_nsga2", Gate::Floor(NSGA2_MIN_FRONT_COVERAGE)),
-];
+/// and `model_vs_sim` harnesses assert, so the gate and the tests can
+/// never disagree. Every `fidelity_*` field (three metrics × every
+/// scenario family, written by `fidelity_sweep`) is an absolute
+/// [`Gate::Floor`] — the fidelity measurements are fully deterministic,
+/// so they are never tolerance-banded or retried as noise.
+fn gated_fields() -> Vec<(String, Gate)> {
+    let mut fields: Vec<(String, Gate)> = [
+        ("batch_evals_per_s", Gate::HigherIsBetter),
+        ("batch_evals_per_s_16node", Gate::HigherIsBetter),
+        ("fastpath_evals_per_s", Gate::HigherIsBetter),
+        ("soa_evals_per_s", Gate::HigherIsBetter),
+        ("soa_grouped_evals_per_s", Gate::HigherIsBetter),
+        ("full_evals_per_s", Gate::HigherIsBetter),
+        ("decode_eval_points_per_s", Gate::HigherIsBetter),
+        ("sweep_incremental_points_per_s", Gate::HigherIsBetter),
+        ("serve_queries_per_s", Gate::HigherIsBetter),
+        ("serve_p50_ms", Gate::LowerIsBetter),
+        ("serve_p99_ms", Gate::LowerIsBetter),
+        ("hypervolume_ratio_nsga2", Gate::Floor(NSGA2_MIN_HYPERVOLUME_RATIO)),
+        ("front_coverage_nsga2", Gate::Floor(NSGA2_MIN_FRONT_COVERAGE)),
+    ]
+    .into_iter()
+    .map(|(name, gate)| (name.to_string(), gate))
+    .collect();
+    for family in fidelity_families() {
+        for (metric, floor) in [
+            ("energy", MIN_ENERGY_AGREEMENT_PCT),
+            ("delay", MIN_DELAY_HEADROOM),
+            ("prd", MIN_PRD_MARGIN),
+        ] {
+            fields.push((gate_field(family.name, metric), Gate::Floor(floor)));
+        }
+    }
+    fields
+}
 
 /// Extracts the number following `"key":` from a flat JSON document.
 /// (The bench JSON is machine-written with simple scalar fields; a full
@@ -140,6 +163,7 @@ fn fraction_env(name: &str) -> Result<Option<f64>, String> {
 /// hard failures, whether every failure sits inside the retry band,
 /// and the per-field delta strings for the PASS summary line.
 fn judge(
+    fields: &[(String, Gate)],
     fresh_doc: &str,
     baseline_doc: &str,
     fresh_path: &str,
@@ -150,7 +174,8 @@ fn judge(
     let mut failures = 0usize;
     let mut all_borderline = true;
     let mut deltas: Vec<String> = Vec::new();
-    for (field, gate) in GATED_FIELDS {
+    for (field, gate) in fields {
+        let gate = *gate;
         let Some(fresh) = json_number(fresh_doc, field) else {
             eprintln!("bench_gate: no `{field}` in {fresh_path}");
             failures += 1;
@@ -255,7 +280,9 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     };
 
+    let fields = gated_fields();
     let (mut failures, mut all_borderline, mut deltas) = match judge(
+        &fields,
         &fresh_doc,
         &baseline_doc,
         &fresh_path,
@@ -295,6 +322,7 @@ fn main() -> ExitCode {
             };
             fresh_doc = doc;
             (failures, all_borderline, deltas) = match judge(
+                &fields,
                 &fresh_doc,
                 &baseline_doc,
                 &fresh_path,
@@ -329,14 +357,14 @@ fn main() -> ExitCode {
 
 #[cfg(test)]
 mod tests {
-    use super::{json_number, judge, regression, Gate, GATED_FIELDS, NSGA2_MIN_HYPERVOLUME_RATIO};
+    use super::{gated_fields, json_number, judge, regression, Gate, NSGA2_MIN_HYPERVOLUME_RATIO};
 
     /// Builds a complete bench document with every gated field healthy,
     /// except `hypervolume_ratio_nsga2` pinned to `hv`.
     fn doc_with_hv(hv: f64) -> String {
         use std::fmt::Write as _;
         let mut doc = String::from("{\n");
-        for (field, gate) in GATED_FIELDS {
+        for (field, gate) in gated_fields() {
             let v = match gate {
                 Gate::Floor(_) if field == "hypervolume_ratio_nsga2" => hv,
                 Gate::Floor(floor) => floor,
@@ -355,16 +383,36 @@ mod tests {
     /// (the statistics are deterministic).
     #[test]
     fn floor_gates_bind_absolutely() {
+        let fields = gated_fields();
         let good = doc_with_hv(NSGA2_MIN_HYPERVOLUME_RATIO);
         let (failures, _, _) =
-            judge(&good, &good, "fresh", "baseline", 0.20, 0.15).expect("judgeable");
+            judge(&fields, &good, &good, "fresh", "baseline", 0.20, 0.15).expect("judgeable");
         assert_eq!(failures, 0, "values at their floors must pass");
 
         let bad = doc_with_hv(NSGA2_MIN_HYPERVOLUME_RATIO - 0.01);
         let (failures, all_borderline, _) =
-            judge(&bad, &good, "fresh", "baseline", 0.20, 0.15).expect("judgeable");
+            judge(&fields, &bad, &good, "fresh", "baseline", 0.20, 0.15).expect("judgeable");
         assert_eq!(failures, 1, "a below-floor quality value must fail");
         assert!(!all_borderline, "a floor miss is a real regression, not noise to retry");
+    }
+
+    /// Every scenario family contributes its three fidelity floors to
+    /// the gate, and they are always [`Gate::Floor`] — never a
+    /// tolerance-banded comparison (the measurements are deterministic).
+    #[test]
+    fn every_fidelity_family_is_floor_gated() {
+        let fields = gated_fields();
+        for family in wbsn_dse::scenario::fidelity_families() {
+            for metric in ["energy", "delay", "prd"] {
+                let name = super::gate_field(family.name, metric);
+                let gate = fields
+                    .iter()
+                    .find(|(f, _)| *f == name)
+                    .unwrap_or_else(|| panic!("gate is missing `{name}`"));
+                assert!(matches!(gate.1, Gate::Floor(_)), "`{name}` must be an absolute floor");
+            }
+        }
+        assert!(fields.len() >= 13 + 18, "the gated field set shrank");
     }
 
     #[test]
@@ -415,9 +463,9 @@ mod tests {
             "/../../benchmarks/BENCH_dse.json"
         ))
         .expect("committed baseline exists");
-        for (field, _) in GATED_FIELDS {
+        for (field, _) in gated_fields() {
             assert!(
-                json_number(&doc, field).is_some(),
+                json_number(&doc, &field).is_some(),
                 "baseline snapshot is missing gated field `{field}`"
             );
         }

@@ -1,0 +1,122 @@
+//! Model-vs-sim fidelity sweep over the scenario families.
+//!
+//! Samples every [`wbsn_bench::fidelity`] family, prints the measured
+//! per-family error envelope, asserts the shared `MIN_*` floors, and
+//! merges the per-family `fidelity_*` scores into `BENCH_dse.json` so
+//! `bench_gate` floor-gates them across PRs (the same merge idiom as
+//! `serve_throughput`: every non-fidelity field of the document is
+//! preserved).
+//!
+//! Gated fields, three per family (all higher-is-better absolute
+//! floors — the measurements are fully deterministic, so there is no
+//! noise to tolerance-band):
+//! * `fidelity_energy_<family>` — worst-node energy agreement percent;
+//! * `fidelity_delay_<family>` — minimum Eq. 9 bound headroom factor;
+//! * `fidelity_prd_<family>` — PRD margin in PRD points.
+//!
+//! Run: `cargo run --release -p wbsn-bench --bin fidelity_sweep`
+//! Deep sweep: `FIDELITY_FULL=1` triples the per-family sample count
+//! (floors still assert; the goldens are checked by the tier-1 test
+//! suite at the fixed tier-1 count, not here).
+
+use std::fmt::Write as _;
+use wbsn_bench::fidelity::{
+    gate_field, measure_all, render_envelopes, sample_count, BASE_SEED, MIN_DELAY_HEADROOM,
+    MIN_DELAY_TIGHTNESS, MIN_ENERGY_AGREEMENT_PCT, MIN_PRD_MARGIN,
+};
+
+/// Replaces the `fidelity_*` lines of an existing `BENCH_dse.json`,
+/// preserving every other field; starts a fresh document when none
+/// exists (the `serve_throughput` merge idiom).
+fn merge_into_bench_json(doc: Option<&str>, fidelity_lines: &str) -> String {
+    match doc {
+        Some(doc) if doc.trim_start().starts_with('{') => {
+            let mut out = String::with_capacity(doc.len() + fidelity_lines.len());
+            let mut inserted = false;
+            for line in doc.lines() {
+                if line.trim_start().starts_with("\"fidelity_") {
+                    continue; // stale fidelity fields from a previous run
+                }
+                out.push_str(line);
+                out.push('\n');
+                if !inserted && line.trim_end().ends_with('{') {
+                    out.push_str(fidelity_lines);
+                    inserted = true;
+                }
+            }
+            out
+        }
+        _ => format!("{{\n{fidelity_lines}  \"bench\": \"fidelity_sweep\"\n}}\n"),
+    }
+}
+
+fn main() {
+    let n = sample_count();
+    println!("# model-vs-sim fidelity envelope ({n} scenarios/family, seeds {BASE_SEED}..)\n");
+
+    let envelopes = measure_all(n, BASE_SEED);
+    print!("{}", render_envelopes(&envelopes));
+
+    let mut fidelity_lines = String::new();
+    let mut failures = 0usize;
+    println!();
+    for e in &envelopes {
+        for (metric, value, floor) in [
+            ("energy", e.energy_agreement_pct(), MIN_ENERGY_AGREEMENT_PCT),
+            ("delay", e.delay_headroom(), MIN_DELAY_HEADROOM),
+            ("prd", e.prd_margin(), MIN_PRD_MARGIN),
+        ] {
+            let field = gate_field(e.family, metric);
+            let verdict = if value >= floor { "ok" } else { "FAIL" };
+            println!("{field}: {value:.4} (floor {floor}) {verdict}");
+            if value < floor {
+                failures += 1;
+            }
+            let _ = writeln!(fidelity_lines, "  \"{field}\": {value:.4},");
+        }
+        // Tightness is asserted but not gated per family: one shared
+        // non-vacuity line suffices (utilization swings with topology).
+        let tightness = 1.0 / e.delay_util_max;
+        if tightness < MIN_DELAY_TIGHTNESS {
+            println!(
+                "{}: bound tightness {tightness:.4} below {MIN_DELAY_TIGHTNESS} FAIL",
+                e.family
+            );
+            failures += 1;
+        }
+    }
+    assert_eq!(failures, 0, "{failures} fidelity floor(s) violated — see the report above");
+
+    let existing = std::fs::read_to_string("BENCH_dse.json").ok();
+    let merged = merge_into_bench_json(existing.as_deref(), &fidelity_lines);
+    match std::fs::write("BENCH_dse.json", &merged) {
+        Ok(()) => println!("\nmerged fidelity fields into BENCH_dse.json"),
+        Err(e) => eprintln!("\ncould not write BENCH_dse.json: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::merge_into_bench_json;
+
+    #[test]
+    fn merge_replaces_fidelity_fields_and_preserves_the_rest() {
+        let doc = "{\n  \"bench\": \"dse_throughput\",\n  \
+                   \"fidelity_energy_body_area_periodic\": 1.0,\n  \
+                   \"batch_evals_per_s\": 2.5\n}\n";
+        let merged =
+            merge_into_bench_json(Some(doc), "  \"fidelity_energy_body_area_periodic\": 97.5,\n");
+        assert!(merged.contains("\"fidelity_energy_body_area_periodic\": 97.5"));
+        assert!(!merged.contains("\"fidelity_energy_body_area_periodic\": 1.0"));
+        assert!(merged.contains("\"batch_evals_per_s\": 2.5"));
+        assert!(merged.contains("\"bench\": \"dse_throughput\""));
+    }
+
+    #[test]
+    fn merge_without_a_document_starts_a_fresh_one() {
+        let merged = merge_into_bench_json(None, "  \"fidelity_prd_cluster_bursty\": 7.0,\n");
+        assert!(merged.starts_with('{'));
+        assert!(merged.contains("\"fidelity_prd_cluster_bursty\": 7.0"));
+        assert!(merged.trim_end().ends_with('}'));
+    }
+}

@@ -17,6 +17,7 @@
 
 #![warn(missing_docs)]
 
+pub mod fidelity;
 pub mod figures;
 pub mod golden;
 

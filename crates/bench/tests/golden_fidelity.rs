@@ -1,0 +1,52 @@
+//! Golden snapshots of the per-family fidelity envelopes.
+//!
+//! Every measurement in the harness is a pure function of fixed seeds
+//! (deterministic generators, deterministic simulator, seeded codec
+//! noise), so the rendered envelope of each family is compared bitwise
+//! against `benchmarks/golden/fidelity_<family>.txt` at the fixed
+//! tier-1 sample count — `FIDELITY_FULL` never changes the goldens'
+//! shape, only the separate floor sweep. Re-bless after an intentional
+//! model/sim/generator change with `GOLDEN_BLESS=1`.
+
+use wbsn_bench::fidelity::{
+    measure_all, render_envelopes, FamilyEnvelope, BASE_SEED, MIN_DELAY_HEADROOM,
+    MIN_ENERGY_AGREEMENT_PCT, MIN_PRD_MARGIN, TIER1_SAMPLES,
+};
+use wbsn_bench::golden::assert_matches_golden;
+
+/// One measurement pass shared by every check in this file (the sims
+/// dominate the cost; rendering and floor checks are free).
+fn envelopes() -> Vec<FamilyEnvelope> {
+    measure_all(TIER1_SAMPLES, BASE_SEED)
+}
+
+#[test]
+fn fidelity_envelopes_match_their_goldens_and_floors() {
+    let envelopes = envelopes();
+    assert!(envelopes.len() >= 6, "the fidelity set shrank");
+    for e in &envelopes {
+        let name = format!("fidelity_{}.txt", e.family.replace('-', "_"));
+        assert_matches_golden(&name, &render_envelopes(std::slice::from_ref(e)));
+
+        // The same floors the bench gate enforces on BENCH_dse.json —
+        // shared constants, so the gate and this test cannot disagree.
+        assert!(
+            e.energy_agreement_pct() >= MIN_ENERGY_AGREEMENT_PCT,
+            "{}: energy agreement {:.4} below floor",
+            e.family,
+            e.energy_agreement_pct()
+        );
+        assert!(
+            e.delay_headroom() >= MIN_DELAY_HEADROOM,
+            "{}: Eq. 9 bound observed violated (headroom {:.4})",
+            e.family,
+            e.delay_headroom()
+        );
+        assert!(
+            e.prd_margin() >= MIN_PRD_MARGIN,
+            "{}: PRD margin {:.4} below floor",
+            e.family,
+            e.prd_margin()
+        );
+    }
+}

@@ -670,6 +670,7 @@ fn eval_point_via_walk(
     macs: &mut MacTable,
     cells: &mut Vec<CellBlock>,
     fallback: &mut EvalScratch,
+    spills: &mut u64,
     point: &DesignPoint,
     retransmission_factor: f64,
     theta: f64,
@@ -691,7 +692,10 @@ fn eval_point_via_walk(
             sl[j] = cell.k;
         });
     match walked {
-        Walked::Spill => model.evaluate_objectives(&point.mac, &point.nodes, fallback),
+        Walked::Spill => {
+            *spills += 1;
+            model.evaluate_objectives(&point.mac, &point.nodes, fallback)
+        }
         Walked::Dead(err) => Err(err),
         Walked::Alive { mac, total, sum_energy, sum_prd } => {
             let me = &macs.entries[mac];
@@ -768,6 +772,13 @@ pub struct SoaScratch {
     /// ([`GRID_CAPACITY`] / [`MAC_CAPACITY`]): the kernel degrades to
     /// the (bit-identical) scalar path instead of growing unboundedly.
     fallback: EvalScratch,
+    /// Cumulative count of points served by the scalar spill path
+    /// (off-axis picks, beacon payloads, deployments past
+    /// [`MAX_DENSE_NODES`], interning-cap overflow) across every batch
+    /// run through this scratch. Diagnostic only — results never depend
+    /// on the path taken — but it lets harnesses *assert* that a
+    /// workload really exercised the spill path instead of assuming it.
+    spills: u64,
 }
 
 /// One feasibility-pending point of a grouped batch: everything the
@@ -802,6 +813,16 @@ impl SoaScratch {
     #[must_use]
     pub fn mac_len(&self) -> usize {
         self.macs.entries.len()
+    }
+
+    /// Cumulative number of points this scratch has served through the
+    /// bit-identical scalar spill path (off-axis picks, beacon
+    /// payloads, deployments past [`MAX_DENSE_NODES`], interning-cap
+    /// overflow). Monotone across batches; compare before/after a batch
+    /// to attribute spills to it.
+    #[must_use]
+    pub fn spill_count(&self) -> u64 {
+        self.spills
     }
 
     /// Revalidates the node-model-derived caches against `model`,
@@ -844,7 +865,17 @@ impl WbsnModel {
         let theta = self.theta();
 
         let SoaScratch {
-            grid, macs, cells, energies, delays, prds, slots, results, fallback, ..
+            grid,
+            macs,
+            cells,
+            energies,
+            delays,
+            prds,
+            slots,
+            results,
+            fallback,
+            spills,
+            ..
         } = scratch;
         results.clear();
         results.reserve(points.len());
@@ -863,6 +894,7 @@ impl WbsnModel {
                 macs,
                 cells,
                 fallback,
+                spills,
                 point,
                 retransmission_factor,
                 theta,
@@ -914,7 +946,17 @@ impl WbsnModel {
         let theta = self.theta();
 
         let SoaScratch {
-            grid, macs, cells, energies, delays, prds, slots, results, fallback, ..
+            grid,
+            macs,
+            cells,
+            energies,
+            delays,
+            prds,
+            slots,
+            results,
+            fallback,
+            spills,
+            ..
         } = scratch;
         results.clear();
         results.reserve(points.len());
@@ -962,6 +1004,7 @@ impl WbsnModel {
             );
             let alive = match walked {
                 Walked::Spill => {
+                    *spills += 1;
                     results.push(self.evaluate_objectives(&head.mac, &head.nodes, fallback));
                     None
                 }
@@ -1052,6 +1095,7 @@ impl WbsnModel {
                             macs,
                             cells,
                             fallback,
+                            spills,
                             point,
                             retransmission_factor,
                             theta,
@@ -1075,6 +1119,7 @@ impl WbsnModel {
                         macs,
                         cells,
                         fallback,
+                        spills,
                         point,
                         retransmission_factor,
                         theta,
@@ -1352,7 +1397,7 @@ impl WbsnModel {
         let retransmission_factor = 1.0 / (1.0 - self.packet_error_rate());
         let theta = self.theta();
         out.reset(points);
-        let SoaScratch { grid, macs, cells, .. } = scratch;
+        let SoaScratch { grid, macs, cells, spills, .. } = scratch;
 
         for (pi, point) in points.iter().enumerate() {
             let n = point.nodes.len();
@@ -1382,16 +1427,19 @@ impl WbsnModel {
                 )
             };
             match walked {
-                Walked::Spill => match self.evaluate(&point.mac, &point.nodes) {
-                    Ok(eval) => {
-                        out.write_point_from_eval(pi, &eval);
-                        out.outcomes.push(Ok(eval.objectives));
+                Walked::Spill => {
+                    *spills += 1;
+                    match self.evaluate(&point.mac, &point.nodes) {
+                        Ok(eval) => {
+                            out.write_point_from_eval(pi, &eval);
+                            out.outcomes.push(Ok(eval.objectives));
+                        }
+                        Err(e) => {
+                            out.zero_point(pi);
+                            out.outcomes.push(Err(e));
+                        }
                     }
-                    Err(e) => {
-                        out.zero_point(pi);
-                        out.outcomes.push(Err(e));
-                    }
-                },
+                }
                 Walked::Dead(err) => {
                     out.zero_point(pi);
                     out.outcomes.push(Err(err));
@@ -1517,6 +1565,7 @@ impl WbsnModel {
             tile_metric_delay,
             tile_metric_prd,
             fallback,
+            spills,
             ..
         } = scratch;
         // Every slot of `results` is overwritten below — phase 1 resolves
@@ -1579,6 +1628,7 @@ impl WbsnModel {
             match walked {
                 Walked::Spill => {
                     point_nodes.truncate(start as usize);
+                    *spills += 1;
                     results[pi] =
                         self.grouped_spill::<FULL>(point, pi, full.as_deref_mut(), fallback);
                 }
@@ -1910,9 +1960,17 @@ mod tests {
         let points: Vec<DesignPoint> = (0..700)
             .map(|i| {
                 let mut p = base.point_at((i * 9973) as u128 % base.cardinality());
-                // ~2100 distinct CR values across the batch.
+                // ~2100 distinct CR values across the batch, every one
+                // provably off-axis (a 1e-4 ladder crosses the 0.01-step
+                // axis, so bitwise collisions are dodged explicitly): the
+                // walk spills at node 0 before any feasibility judgment,
+                // making the spill count exact.
                 for (j, node) in p.nodes.iter_mut().enumerate() {
-                    node.cr = 0.17 + (i * 3 + j) as f64 * 1e-4;
+                    let mut cr = 0.17 + (i * 3 + j + 1) as f64 * 1e-4;
+                    if crate::space::cr_axis_index(cr).is_some() {
+                        cr += 1e-9;
+                    }
+                    node.cr = cr;
                 }
                 p
             })
@@ -1922,6 +1980,11 @@ mod tests {
         let outcomes: Vec<PointOutcome> =
             model.evaluate_objectives_batch(&points, &mut soa).to_vec();
         assert!(soa.grid_len() <= GRID_SLOTS, "grid grew past its cap: {}", soa.grid_len());
+        assert_eq!(
+            soa.spill_count(),
+            points.len() as u64,
+            "every off-axis point must be accounted to the spill path"
+        );
         for (p, outcome) in points.iter().zip(outcomes) {
             let reference = model.evaluate_objectives(&p.mac, &p.nodes, &mut scalar);
             match (reference, outcome) {
@@ -1929,6 +1992,42 @@ mod tests {
                 (Err(a), Err(b)) => assert_eq!(a, b),
                 (a, b) => panic!("disagreement: {a:?} vs {b:?}"),
             }
+        }
+    }
+
+    /// The spill counter attributes points to the right engine: fully
+    /// on-axis batches never touch it, off-axis picks are counted once
+    /// per point, on every kernel (plain, axis-run, grouped, full).
+    #[test]
+    fn spill_count_tracks_off_axis_points_on_every_kernel() {
+        let model = WbsnModel::shimmer();
+        let space = DesignSpace::case_study(4);
+        let on_axis = space.sample_sweep(40);
+        let mut off_axis = on_axis.clone();
+        for p in &mut off_axis {
+            // Nudge node 0 so the walk hits the off-axis pick before any
+            // feasibility judgment: a point that is duty-infeasible at a
+            // later node still spills, keeping the expected count exact.
+            p.nodes[0].cr += 5e-4; // a tiny nudge is enough: indexing is bitwise
+        }
+        let mut full = FullEvalOut::new();
+        for kernel in 0..4u8 {
+            let mut soa = SoaScratch::new();
+            let run =
+                |pts: &[DesignPoint], soa: &mut SoaScratch, full: &mut FullEvalOut| match kernel {
+                    0 => drop(model.evaluate_objectives_batch(pts, soa)),
+                    1 => drop(model.evaluate_objectives_batch_axis_runs(pts, soa)),
+                    2 => drop(model.evaluate_objectives_batch_grouped(pts, soa)),
+                    _ => model.evaluate_batch_full(pts, soa, full),
+                };
+            run(&on_axis, &mut soa, &mut full);
+            assert_eq!(soa.spill_count(), 0, "kernel {kernel}: on-axis batch must not spill");
+            run(&off_axis, &mut soa, &mut full);
+            assert_eq!(
+                soa.spill_count(),
+                off_axis.len() as u64,
+                "kernel {kernel}: every off-axis point spills exactly once"
+            );
         }
     }
 

@@ -28,8 +28,10 @@ use crate::objective::ObjectiveVector;
 use crate::parallel::{parallel_map_with, parallel_map_with_block};
 use std::sync::{Arc, Mutex};
 use wbsn_model::evaluate::{EvalScratch, WbsnModel};
-use wbsn_model::soa::SoaScratch;
+use wbsn_model::lifetime::Battery;
+use wbsn_model::soa::{FullEvalOut, SoaScratch};
 use wbsn_model::space::DesignPoint;
+use wbsn_model::units::MilliWatts;
 use wbsn_model::NetworkObjectives;
 
 /// Maps a design point to objectives; `None` marks infeasibility.
@@ -329,6 +331,127 @@ impl Evaluator for EnergyDelayEvaluator {
     }
 }
 
+/// Warm per-worker state of the lifetime lane: the kernel scratch plus
+/// the full per-node output buffer its batch path reads the `Enode`
+/// lane from.
+#[derive(Debug, Default)]
+struct FullState {
+    soa: SoaScratch,
+    full: FullEvalOut,
+}
+
+/// The four-objective extension lane: the paper's `(Enet, delay, PRD)`
+/// plus a battery-lifetime axis from [`wbsn_model::lifetime`].
+///
+/// The lifetime objective is **negated days** until the *first* node
+/// drains its battery (the network is dead once any node is): smaller
+/// is better, like every other axis, so the searchers need no special
+/// casing. The first three components are produced by the exact same
+/// kernel walk as [`ModelEvaluator`] and are bit-identical to it —
+/// dropping the lane recovers the three-objective projection exactly
+/// (tested below). A zero-draw configuration maps to `-∞`, which
+/// [`ObjectiveVector`] accepts deliberately.
+///
+/// The batch path runs [`WbsnModel::evaluate_batch_full`] (or its
+/// MAC-grouped variant on wide networks) because the lifetime axis
+/// needs the per-node `Enode` lane — the aggregate objectives only
+/// carry the network mean.
+#[derive(Debug, Clone)]
+pub struct LifetimeEvaluator {
+    model: WbsnModel,
+    battery: Battery,
+    full_pool: Arc<Pool<FullState>>,
+}
+
+impl LifetimeEvaluator {
+    /// Uses the Shimmer case-study model and its 450 mAh / 3.7 V cell.
+    #[must_use]
+    pub fn shimmer() -> Self {
+        Self::new(WbsnModel::shimmer(), Battery::shimmer())
+    }
+
+    /// Uses a custom model and battery.
+    #[must_use]
+    pub fn new(model: WbsnModel, battery: Battery) -> Self {
+        Self { model, battery, full_pool: Arc::default() }
+    }
+
+    /// Negated lifetime-days at the worst per-node draw: the fourth
+    /// objective value.
+    fn lifetime_objective(&self, max_draw_mw: f64) -> f64 {
+        -self.battery.lifetime_days(MilliWatts::new(max_draw_mw))
+    }
+}
+
+impl Evaluator for LifetimeEvaluator {
+    fn evaluate(&self, point: &DesignPoint) -> Option<ObjectiveVector> {
+        self.model.evaluate(&point.mac, &point.nodes).ok().map(|e| {
+            let max_draw =
+                e.per_node.iter().map(|n| n.energy.total().value()).fold(0.0f64, f64::max);
+            let [energy, delay, prd] = e.objectives.to_array();
+            ObjectiveVector::from_slice(&[energy, delay, prd, self.lifetime_objective(max_draw)])
+        })
+    }
+
+    fn evaluate_batch(&self, points: &[DesignPoint]) -> Vec<Option<ObjectiveVector>> {
+        if points.len() < SOA_MIN_BATCH {
+            // The scalar path needs the full per-node evaluation (the
+            // lifetime axis reads every node's draw), which allocates
+            // its own output — nothing worth pooling per worker.
+            return parallel_map_with(points, || (), |(), point| self.evaluate(point));
+        }
+        let grouped = points.first().is_some_and(|p| p.nodes.len() >= GROUPED_MIN_NODES);
+        let run_kernel =
+            |state: &mut FullState, chunk: &[DesignPoint]| -> Vec<Option<ObjectiveVector>> {
+                if grouped {
+                    self.model.evaluate_batch_full_grouped(chunk, &mut state.soa, &mut state.full);
+                } else {
+                    self.model.evaluate_batch_full(chunk, &mut state.soa, &mut state.full);
+                }
+                let full = &state.full;
+                full.outcomes()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, outcome)| {
+                        outcome.as_ref().ok().map(|o| {
+                            let max_draw = full.energy()[full.node_range(i)]
+                                .iter()
+                                .copied()
+                                .fold(0.0f64, f64::max);
+                            let [energy, delay, prd] = o.to_array();
+                            ObjectiveVector::from_slice(&[
+                                energy,
+                                delay,
+                                prd,
+                                self.lifetime_objective(max_draw),
+                            ])
+                        })
+                    })
+                    .collect()
+            };
+        if crate::parallel::num_threads() == 1 {
+            let mut pooled = self.full_pool.take();
+            return run_kernel(&mut pooled.state, points);
+        }
+        let chunks: Vec<&[DesignPoint]> = points.chunks(SOA_CHUNK).collect();
+        let per_chunk: Vec<Vec<Option<ObjectiveVector>>> = parallel_map_with_block(
+            &chunks,
+            1,
+            || self.full_pool.take(),
+            |pooled, chunk| run_kernel(&mut pooled.state, chunk),
+        );
+        per_chunk.into_iter().flatten().collect()
+    }
+
+    fn num_objectives(&self) -> usize {
+        4
+    }
+
+    fn name(&self) -> &'static str {
+        "lifetime-extended"
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -467,6 +590,62 @@ mod tests {
 
         // The poisoned state was discarded: the next take builds fresh.
         assert!(pool.take().state.is_empty(), "panicked lease must not re-enter the pool");
+    }
+
+    /// Satellite: with the lifetime lane disabled (i.e. using
+    /// [`ModelEvaluator`]), results are bit-identical to the first three
+    /// components of the four-objective lane — the extension axis rides
+    /// on the same kernel walk and cannot perturb the paper's
+    /// objectives.
+    #[test]
+    fn lifetime_lane_first_three_objectives_are_bit_identical_to_model() {
+        let space = DesignSpace::case_study(6);
+        let points = space.sample_sweep(300);
+        let three = ModelEvaluator::shimmer();
+        let four = LifetimeEvaluator::shimmer();
+        assert_eq!(four.num_objectives(), 4);
+        for (a, b) in three.evaluate_batch(&points).iter().zip(four.evaluate_batch(&points)) {
+            match (a, b) {
+                (Some(a), Some(b)) => {
+                    assert_eq!(b.len(), 4);
+                    for k in 0..3 {
+                        assert_eq!(
+                            a.values()[k].to_bits(),
+                            b.values()[k].to_bits(),
+                            "objective {k} must be bit-identical with the lane enabled"
+                        );
+                    }
+                }
+                (None, None) => {}
+                (a, b) => panic!("feasibility disagreement: {a:?} vs {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn lifetime_batch_is_bit_identical_to_serial() {
+        let space = DesignSpace::case_study(6);
+        let points = space.sample_sweep(300);
+        let eval = LifetimeEvaluator::shimmer();
+        let serial = SerialEvaluator(eval.clone());
+        assert_eq!(eval.evaluate_batch(&points), serial.evaluate_batch(&points));
+        // Wide networks run the grouped full kernel: still invisible.
+        let wide = DesignSpace::case_study(GROUPED_MIN_NODES + 2).sample_sweep(150);
+        assert_eq!(eval.evaluate_batch(&wide), SerialEvaluator(eval.clone()).evaluate_batch(&wide));
+    }
+
+    #[test]
+    fn lifetime_objective_is_negated_days_of_the_worst_node() {
+        let space = DesignSpace::case_study(6);
+        let point = space.point_with(|n| n - 1);
+        let eval = LifetimeEvaluator::shimmer();
+        let obj = eval.evaluate(&point).expect("feasible");
+        let lifetime = obj.values()[3];
+        // Negated, finite, and bounded by the battery: no node draws
+        // little enough to last a year, none so much it dies in a day.
+        assert!(lifetime < 0.0, "{lifetime}");
+        assert!((-365.0..=-1.0).contains(&lifetime), "{lifetime}");
+        assert_eq!(eval.name(), "lifetime-extended");
     }
 
     #[test]

@@ -60,13 +60,16 @@ pub mod objective;
 pub mod parallel;
 pub mod pareto;
 pub mod quality;
+pub mod scenario;
 pub mod truth;
 
-pub use evaluator::{EnergyDelayEvaluator, Evaluator, ModelEvaluator, SerialEvaluator};
+pub use evaluator::{
+    EnergyDelayEvaluator, Evaluator, LifetimeEvaluator, ModelEvaluator, SerialEvaluator,
+};
 pub use genome::Genome;
 pub use memo::{GenomeMemo, ShardedGenomeMemo};
 pub use mosa::{mosa, mosa_restarts, mosa_with_memo, random_search, MosaConfig};
 pub use nsga2::{nsga2, nsga2_with_memo, Nsga2Config, SearchResult};
-pub use objective::{Dominance, ObjectiveVector, MAX_OBJECTIVES};
+pub use objective::{Dominance, ObjectiveVector, Objectives, MAX_OBJECTIVES};
 pub use pareto::ParetoArchive;
 pub use truth::{scenarios, SearchQuality, TruthFront, TruthScenario};

@@ -26,6 +26,55 @@ use std::fmt;
 /// Maximum number of objectives an [`ObjectiveVector`] can hold inline.
 pub const MAX_OBJECTIVES: usize = 4;
 
+/// Which objective projection an evaluator lane computes.
+///
+/// Every variant maps to one concrete evaluator (see
+/// `wbsn_dse::evaluator`) and one memo lane in the serve engine, so the
+/// enum is the single place the repertoire of projections is spelled
+/// out. All projections are minimized on every axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Objectives {
+    /// The paper's three objectives: energy, delay, PRD.
+    #[default]
+    EnergyDelayPrd,
+    /// The state-of-the-art baseline: energy and delay only.
+    EnergyDelay,
+    /// The paper's three objectives plus a battery-lifetime axis
+    /// (negated days on the Shimmer battery, so smaller is better like
+    /// every other axis). The first three components are bit-identical
+    /// to [`Objectives::EnergyDelayPrd`]; disabling the lane recovers
+    /// the three-objective projection exactly.
+    EnergyDelayPrdLifetime,
+}
+
+impl Objectives {
+    /// Every projection, in lane order (see [`Objectives::lane`]).
+    pub const ALL: [Self; 3] =
+        [Self::EnergyDelayPrd, Self::EnergyDelay, Self::EnergyDelayPrdLifetime];
+
+    /// Number of objective values the projection produces.
+    #[must_use]
+    pub const fn num_objectives(self) -> usize {
+        match self {
+            Self::EnergyDelayPrd => 3,
+            Self::EnergyDelay => 2,
+            Self::EnergyDelayPrdLifetime => 4,
+        }
+    }
+
+    /// Stable dense index of the projection (memo/evaluator lane
+    /// selection; outcomes of different projections have different
+    /// shapes and must never mix).
+    #[must_use]
+    pub const fn lane(self) -> usize {
+        match self {
+            Self::EnergyDelayPrd => 0,
+            Self::EnergyDelay => 1,
+            Self::EnergyDelayPrdLifetime => 2,
+        }
+    }
+}
+
 /// Relation between two objective vectors.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Dominance {
@@ -287,5 +336,15 @@ mod tests {
     #[test]
     fn debug_shows_active_prefix_only() {
         assert_eq!(format!("{:?}", ov(&[1.0, 2.0])), "ObjectiveVector([1.0, 2.0])");
+    }
+
+    #[test]
+    fn objectives_lanes_are_dense_and_distinct() {
+        for (i, o) in Objectives::ALL.iter().enumerate() {
+            assert_eq!(o.lane(), i, "ALL must be listed in lane order");
+            assert!(o.num_objectives() <= MAX_OBJECTIVES);
+        }
+        assert_eq!(Objectives::default(), Objectives::EnergyDelayPrd);
+        assert_eq!(Objectives::EnergyDelayPrdLifetime.num_objectives(), 4);
     }
 }

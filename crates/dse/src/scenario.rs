@@ -1,0 +1,473 @@
+//! Seed-driven scenario-family generators: randomized deployments as
+//! first-class model inputs.
+//!
+//! The paper validates its analytical model against simulation on one
+//! 6-node body-area layout; everything else in the design space rides
+//! on the assumption that the fidelity observed there generalizes.
+//! This module turns that assumption into something measurable: it
+//! generates *families* of scenarios — deployments sharing a topology,
+//! a traffic mode, and a node-heterogeneity policy, varying only with
+//! the seed — which the fidelity harness (`wbsn-bench`) runs through
+//! both the batch kernel and the `wbsn-sim` discrete-event simulator.
+//!
+//! # Family taxonomy
+//!
+//! A [`ScenarioFamily`] is the cross product of three axes:
+//!
+//! * **Topology** ([`Topology`]) — where nodes sit relative to the
+//!   coordinator, which the simulator turns into per-link distances:
+//!   the paper's body-area placement, square / hexagonal / triangular
+//!   room grids, and randomized-distance clusters. All placements stay
+//!   within ~2.5 m, where the default O-QPSK channel's packet-error
+//!   rate is negligible — matching the case study's "sufficient carrier
+//!   power" assumption (§4.3), so topology exercises the simulator's
+//!   geometry handling without injecting loss the analytical model
+//!   cannot see.
+//! * **Traffic** ([`Traffic`]) — periodic sensing (the paper's mode:
+//!   nodes stream compressed ECG continuously) or event-driven bursts
+//!   (an intruder-path / alert pattern layered on top: rare, small
+//!   unscheduled messages). Bursty traffic is deliberately *outside*
+//!   the analytical model; the fidelity harness measures how far it
+//!   pushes the error envelope instead of pretending it doesn't exist.
+//! * **Axis policy** ([`AxisPolicy`]) — whether node knobs are drawn
+//!   from the canonical design-space axes (`CR_AXIS`, the µC clock
+//!   levels) or continuously between them. On-axis picks exercise the
+//!   batch kernel's dense interned fast path; off-axis picks are
+//!   guaranteed (bitwise, via the axis-index helpers) to miss the
+//!   dense tables and take the scalar spill path, which
+//!   [`SoaScratch::spill_count`] makes assertable.
+//!
+//! # Seeding contract
+//!
+//! Generation is a pure function of `(family, seed)`: calling
+//! [`ScenarioFamily::generate`] with equal inputs yields bit-identical
+//! scenarios on any thread, in any order, on any platform (the
+//! workspace RNG is the deterministic xoshiro256** shim). Each family
+//! folds a fixed `salt` into the seed so the same seed produces
+//! *different* draws across families. [`ScenarioFamily::sample`]
+//! enumerates seeds `base..base + n`, so samples are reproducible
+//! subsets of one infinite, stable sequence per family.
+//!
+//! # Feasibility policy
+//!
+//! Fidelity families ([`fidelity_families`]) generate scenarios that
+//! are feasible by construction — µC clocks at or above 4 MHz (DWT
+//! below that exceeds 100 % duty), at most 6 nodes, and MAC
+//! configurations with enough GTS capacity — because the harness needs
+//! both model and simulator to produce numbers worth comparing. The
+//! [`overload_family`] deliberately breaks this: 9 nodes cannot fit
+//! the 7 GTS slots of a superframe, so every generated scenario must
+//! surface as [`ModelError::GtsCapacityExceeded`] — a typed rejection,
+//! never a panic — before any kernel walk.
+//!
+//! [`SoaScratch::spill_count`]: wbsn_model::soa::SoaScratch::spill_count
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wbsn_model::error::ModelError;
+use wbsn_model::evaluate::{NodeConfig, WbsnModel};
+use wbsn_model::ieee802154::Ieee802154Config;
+use wbsn_model::shimmer::CompressionKind;
+use wbsn_model::space::{cr_axis_index, DesignPoint, NodeVec, CR_AXIS};
+use wbsn_model::units::Hertz;
+
+/// Node placement relative to the coordinator. The simulator maps a
+/// topology to per-link distances; the analytical model is
+/// distance-blind, which is exactly why topology belongs in the
+/// fidelity sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Topology {
+    /// The paper's wearable placement: chest, wrists, ankles — fixed
+    /// anatomical distances with per-subject jitter.
+    BodyArea,
+    /// Square room lattice around the coordinator.
+    SquareGrid,
+    /// Hexagonal lattice: six equidistant first-ring neighbours.
+    HexGrid,
+    /// Triangular lattice (60° geometry, denser first ring).
+    TriangularGrid,
+    /// Randomized-distance clusters: a few cluster centres, members
+    /// jittered around them (the sensor-cloud idiom).
+    Clustered,
+}
+
+impl Topology {
+    /// Per-node coordinator distances in meters, deterministic in
+    /// `rng`. All topologies stay within ~2.5 m (see module docs).
+    fn distances(self, n: usize, rng: &mut StdRng) -> Vec<f64> {
+        match self {
+            Self::BodyArea => {
+                // Chest, left/right wrist, left/right ankle, head —
+                // cycled for n ≠ 6, each with ±10 % subject jitter.
+                const ANATOMY: [f64; 6] = [0.35, 0.55, 0.55, 1.15, 1.15, 0.45];
+                (0..n).map(|i| ANATOMY[i % ANATOMY.len()] * rng.gen_range(0.9..=1.1)).collect()
+            }
+            Self::SquareGrid => {
+                // Ring-ordered lattice offsets around the origin sink.
+                const OFFSETS: [(f64, f64); 8] = [
+                    (1.0, 0.0),
+                    (0.0, 1.0),
+                    (-1.0, 0.0),
+                    (0.0, -1.0),
+                    (1.0, 1.0),
+                    (-1.0, 1.0),
+                    (-1.0, -1.0),
+                    (1.0, -1.0),
+                ];
+                let pitch = rng.gen_range(0.5..=0.8);
+                (0..n)
+                    .map(|i| {
+                        let (x, y) = OFFSETS[i % OFFSETS.len()];
+                        let ring = 1.0 + (i / OFFSETS.len()) as f64;
+                        (x * x + y * y).sqrt() * pitch * ring
+                    })
+                    .collect()
+            }
+            Self::HexGrid => {
+                let pitch = rng.gen_range(0.5..=0.8);
+                // First hex ring is equidistant; later rings double.
+                (0..n).map(|i| pitch * (1.0 + (i / 6) as f64)).collect()
+            }
+            Self::TriangularGrid => {
+                let pitch = rng.gen_range(0.4..=0.7);
+                // Alternating ring radii of the triangular lattice:
+                // pitch, √3·pitch, 2·pitch, …
+                (0..n)
+                    .map(|i| match i % 3 {
+                        0 => pitch,
+                        1 => pitch * 3f64.sqrt(),
+                        _ => pitch * 2.0,
+                    })
+                    .collect()
+            }
+            Self::Clustered => {
+                // Two cluster centres, members jittered ±20 cm.
+                let centres: [f64; 2] = [rng.gen_range(0.6..=1.2), rng.gen_range(1.4..=2.2)];
+                (0..n)
+                    .map(|i| {
+                        let c = centres[i % centres.len()];
+                        (c + rng.gen_range(-0.2f64..=0.2)).max(0.2)
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+/// What the nodes send beyond their compressed sensing stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Traffic {
+    /// The paper's mode: periodic compressed-ECG streaming only.
+    Periodic,
+    /// Periodic streaming plus rare event-driven alert bursts (an
+    /// intruder-path pattern): unscheduled messages the analytical
+    /// model does not account for.
+    EventBursts {
+        /// Mean seconds between alerts per node (exponential).
+        mean_interval_s: f64,
+        /// Alert payload in bytes.
+        payload_bytes: u16,
+    },
+}
+
+/// Whether node knobs land on the canonical design-space axes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AxisPolicy {
+    /// Draw CR and fµC from the canonical axes: the batch kernel
+    /// serves every point from its dense interned tables.
+    OnAxis,
+    /// Draw CR (and fµC) continuously between axis values, dodging
+    /// bitwise collisions: every generated node forces the kernel's
+    /// scalar spill path.
+    OffAxis,
+}
+
+/// A family of scenarios: fixed topology, traffic mode, axis policy
+/// and node count; the seed supplies everything else.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScenarioFamily {
+    /// Stable identifier (table rows, golden files, gate fields).
+    pub name: &'static str,
+    /// Node placement.
+    pub topology: Topology,
+    /// Traffic mode.
+    pub traffic: Traffic,
+    /// On- or off-axis knob policy.
+    pub axis_policy: AxisPolicy,
+    /// Deployment size.
+    pub node_count: usize,
+    /// Folded into every seed so families draw distinct streams.
+    salt: u64,
+}
+
+/// One generated deployment: a first-class model input (`mac` +
+/// `nodes`) plus the simulator-side knobs (distances, traffic) the
+/// analytical model is blind to.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Name of the generating family.
+    pub family: &'static str,
+    /// The seed that produced this scenario.
+    pub seed: u64,
+    /// MAC configuration (model + sim).
+    pub mac: Ieee802154Config,
+    /// Per-node configurations (model + sim).
+    pub nodes: Vec<NodeConfig>,
+    /// Node-to-coordinator distances in meters (sim only).
+    pub distances_m: Vec<f64>,
+    /// Traffic mode (sim only).
+    pub traffic: Traffic,
+}
+
+impl Scenario {
+    /// The scenario as a batch-kernel design point.
+    #[must_use]
+    pub fn point(&self) -> DesignPoint {
+        let mut nodes = NodeVec::new();
+        for n in &self.nodes {
+            nodes.push(*n);
+        }
+        DesignPoint { mac: self.mac, nodes }
+    }
+
+    /// Runs the scenario through the scalar model: `Ok` when feasible,
+    /// the model's typed error otherwise. Generated scenarios must
+    /// never panic the kernel — infeasibility (duty, GTS, bandwidth)
+    /// always surfaces here as a [`ModelError`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the scalar model's typed rejection verbatim.
+    pub fn validate(&self, model: &WbsnModel) -> Result<(), ModelError> {
+        model.evaluate(&self.mac, &self.nodes).map(|_| ())
+    }
+}
+
+/// MAC configurations with enough GTS capacity for ≤ 6 streaming nodes
+/// (payloads ≥ 90 B, superframe orders ≥ 6 — verified by the validity
+/// suite across every fidelity family).
+const FEASIBLE_MACS: [(u16, u8, u8); 4] = [(114, 6, 6), (90, 6, 6), (114, 7, 7), (90, 7, 7)];
+
+/// µC clock levels that keep DWT under 100 % duty.
+const FEASIBLE_MHZ: [f64; 2] = [4.0, 8.0];
+
+impl ScenarioFamily {
+    /// Generates the scenario for `seed`: a pure, total function of
+    /// `(self, seed)` (see the module-level seeding contract).
+    #[must_use]
+    pub fn generate(&self, seed: u64) -> Scenario {
+        let mut rng = StdRng::seed_from_u64(seed ^ self.salt);
+        let (payload, sfo, bco) = FEASIBLE_MACS[rng.gen_range(0..FEASIBLE_MACS.len())];
+        let mac =
+            Ieee802154Config::new(payload, sfo, bco).expect("curated MAC configurations are valid");
+        let nodes = (0..self.node_count).map(|_| self.draw_node(&mut rng)).collect();
+        let distances_m = self.topology.distances(self.node_count, &mut rng);
+        Scenario { family: self.name, seed, mac, nodes, distances_m, traffic: self.traffic }
+    }
+
+    /// Generates `n` scenarios for seeds `base_seed..base_seed + n`.
+    #[must_use]
+    pub fn sample(&self, n: usize, base_seed: u64) -> Vec<Scenario> {
+        (0..n as u64).map(|i| self.generate(base_seed + i)).collect()
+    }
+
+    /// One node draw under the family's axis policy.
+    fn draw_node(&self, rng: &mut StdRng) -> NodeConfig {
+        let kind = if rng.gen_bool(0.5) { CompressionKind::Dwt } else { CompressionKind::Cs };
+        let (cr, f_mcu) = match self.axis_policy {
+            AxisPolicy::OnAxis => {
+                let cr = CR_AXIS[rng.gen_range(0..CR_AXIS.len())];
+                let mhz = FEASIBLE_MHZ[rng.gen_range(0..FEASIBLE_MHZ.len())];
+                (cr, Hertz::from_mhz(mhz))
+            }
+            AxisPolicy::OffAxis => {
+                let mut cr = rng.gen_range(CR_AXIS[0]..=CR_AXIS[CR_AXIS.len() - 1]);
+                if cr_axis_index(cr).is_some() {
+                    // A uniform draw almost never lands bitwise on an
+                    // axis value; when it does, nudge off it so the
+                    // off-axis guarantee is absolute.
+                    cr += 1e-9;
+                }
+                // Off-axis clock too: continuous in the feasible band,
+                // never one of the four canonical levels (which are
+                // whole MHz; a fractional draw cannot collide).
+                let mhz = rng.gen_range(4.0f64..8.0);
+                let mhz = if mhz.fract() == 0.0 { mhz + 1e-6 } else { mhz };
+                (cr, Hertz::from_mhz(mhz))
+            }
+        };
+        NodeConfig::new(kind, cr, f_mcu)
+    }
+}
+
+/// The fidelity-swept families: every topology, both traffic modes,
+/// both axis policies — all feasible by construction.
+#[must_use]
+pub fn fidelity_families() -> Vec<ScenarioFamily> {
+    vec![
+        ScenarioFamily {
+            name: "body-area-periodic",
+            topology: Topology::BodyArea,
+            traffic: Traffic::Periodic,
+            axis_policy: AxisPolicy::OnAxis,
+            node_count: 6,
+            salt: 0xB0DA_0001,
+        },
+        ScenarioFamily {
+            name: "body-area-bursty",
+            topology: Topology::BodyArea,
+            traffic: Traffic::EventBursts { mean_interval_s: 10.0, payload_bytes: 20 },
+            axis_policy: AxisPolicy::OnAxis,
+            node_count: 6,
+            salt: 0xB0DA_0002,
+        },
+        ScenarioFamily {
+            name: "square-grid-periodic",
+            topology: Topology::SquareGrid,
+            traffic: Traffic::Periodic,
+            axis_policy: AxisPolicy::OffAxis,
+            node_count: 4,
+            salt: 0x59A8_0003,
+        },
+        ScenarioFamily {
+            name: "hex-grid-bursty",
+            topology: Topology::HexGrid,
+            traffic: Traffic::EventBursts { mean_interval_s: 12.0, payload_bytes: 24 },
+            axis_policy: AxisPolicy::OffAxis,
+            node_count: 6,
+            salt: 0x4E8A_0004,
+        },
+        ScenarioFamily {
+            name: "tri-grid-periodic",
+            topology: Topology::TriangularGrid,
+            traffic: Traffic::Periodic,
+            axis_policy: AxisPolicy::OffAxis,
+            node_count: 3,
+            salt: 0x7A1A_0005,
+        },
+        ScenarioFamily {
+            name: "cluster-bursty",
+            topology: Topology::Clustered,
+            traffic: Traffic::EventBursts { mean_interval_s: 8.0, payload_bytes: 16 },
+            axis_policy: AxisPolicy::OnAxis,
+            node_count: 5,
+            salt: 0xC105_0006,
+        },
+    ]
+}
+
+/// The deliberately infeasible regime: 9 nodes cannot share the 7 GTS
+/// slots of a superframe, so every generated scenario must be rejected
+/// as [`ModelError::GtsCapacityExceeded`] — typed, never UB.
+#[must_use]
+pub fn overload_family() -> ScenarioFamily {
+    ScenarioFamily {
+        name: "grid-overload",
+        topology: Topology::SquareGrid,
+        traffic: Traffic::Periodic,
+        axis_policy: AxisPolicy::OnAxis,
+        node_count: 9,
+        salt: 0x0BAD_0007,
+    }
+}
+
+/// Every family: the fidelity set plus the overload regime.
+#[must_use]
+pub fn families() -> Vec<ScenarioFamily> {
+    let mut all = fidelity_families();
+    all.push(overload_family());
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        for family in families() {
+            let a = family.generate(42);
+            let b = family.generate(42);
+            assert_eq!(a, b, "{}", family.name);
+            let c = family.generate(43);
+            assert_ne!(a, c, "{}: distinct seeds must draw differently", family.name);
+        }
+    }
+
+    #[test]
+    fn families_draw_distinct_streams_from_one_seed() {
+        let fams = fidelity_families();
+        for (i, a) in fams.iter().enumerate() {
+            for b in &fams[i + 1..] {
+                assert_ne!(
+                    a.generate(7).nodes,
+                    b.generate(7).nodes,
+                    "{} vs {}: salts must decorrelate families",
+                    a.name,
+                    b.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shapes_match_the_family() {
+        for family in families() {
+            let s = family.generate(1);
+            assert_eq!(s.nodes.len(), family.node_count, "{}", family.name);
+            assert_eq!(s.distances_m.len(), family.node_count, "{}", family.name);
+            assert_eq!(s.family, family.name);
+            assert!(
+                s.distances_m.iter().all(|d| (0.1..=3.0).contains(d)),
+                "{}: distances stay in the low-loss band: {:?}",
+                family.name,
+                s.distances_m
+            );
+            assert_eq!(s.point().nodes.len(), family.node_count);
+        }
+    }
+
+    #[test]
+    fn axis_policy_is_bitwise_honest() {
+        use wbsn_model::space::f_mcu_axis_index;
+        for family in families() {
+            for seed in 0..32 {
+                let s = family.generate(seed);
+                for node in &s.nodes {
+                    match family.axis_policy {
+                        AxisPolicy::OnAxis => {
+                            assert!(cr_axis_index(node.cr).is_some(), "{}", family.name);
+                            assert!(f_mcu_axis_index(node.f_mcu).is_some(), "{}", family.name);
+                        }
+                        AxisPolicy::OffAxis => {
+                            assert!(cr_axis_index(node.cr).is_none(), "{}", family.name);
+                            assert!(f_mcu_axis_index(node.f_mcu).is_none(), "{}", family.name);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fidelity_families_are_feasible_and_overload_is_typed() {
+        let model = WbsnModel::shimmer();
+        for family in fidelity_families() {
+            for seed in 0..16 {
+                let s = family.generate(seed);
+                s.validate(&model).unwrap_or_else(|e| {
+                    panic!("{} seed {seed}: expected feasible, got {e:?}", family.name)
+                });
+            }
+        }
+        for seed in 0..16 {
+            let s = overload_family().generate(seed);
+            match s.validate(&model) {
+                Err(ModelError::GtsCapacityExceeded { required, available }) => {
+                    assert!(required > available);
+                }
+                other => panic!("overload seed {seed}: expected GTS overflow, got {other:?}"),
+            }
+        }
+    }
+}

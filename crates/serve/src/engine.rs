@@ -28,23 +28,18 @@ use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender, SyncSender, TryS
 use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
-use wbsn_dse::evaluator::{EnergyDelayEvaluator, Evaluator, ModelEvaluator};
+use wbsn_dse::evaluator::{EnergyDelayEvaluator, Evaluator, LifetimeEvaluator, ModelEvaluator};
 use wbsn_dse::memo::ShardedGenomeMemo;
 use wbsn_dse::objective::ObjectiveVector;
 use wbsn_dse::pareto::ParetoArchive;
 use wbsn_dse::Genome;
 use wbsn_model::evaluate::WbsnModel;
+use wbsn_model::lifetime::Battery;
 use wbsn_model::space::{DesignPoint, DesignSpace};
 
-/// Which objective projection a request wants.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum Objectives {
-    /// The paper's three objectives: energy, delay, PRD.
-    #[default]
-    EnergyDelayPrd,
-    /// The state-of-the-art baseline: energy and delay only.
-    EnergyDelay,
-}
+// The projection repertoire lives with the evaluators in `wbsn-dse`;
+// the engine re-exports it so request construction stays one import.
+pub use wbsn_dse::objective::Objectives;
 
 /// What a request asks the engine to compute.
 #[derive(Debug, Clone, PartialEq)]
@@ -285,9 +280,12 @@ struct Shared {
     full: ModelEvaluator,
     /// The energy/delay baseline evaluator.
     energy_delay: EnergyDelayEvaluator,
+    /// The four-objective lifetime-extended evaluator.
+    lifetime: LifetimeEvaluator,
     /// Cross-request memos, one per objective projection (outcomes of
-    /// different projections have different shapes and must not mix).
-    memos: [ShardedGenomeMemo; 2],
+    /// different projections have different shapes and must not mix);
+    /// indexed by [`Objectives::lane`].
+    memos: [ShardedGenomeMemo; Objectives::ALL.len()],
     cfg: ServeConfig,
     stats: Stats,
 }
@@ -297,14 +295,12 @@ impl Shared {
         match objectives {
             Objectives::EnergyDelayPrd => &self.full,
             Objectives::EnergyDelay => &self.energy_delay,
+            Objectives::EnergyDelayPrdLifetime => &self.lifetime,
         }
     }
 
     fn memo(&self, objectives: Objectives) -> &ShardedGenomeMemo {
-        match objectives {
-            Objectives::EnergyDelayPrd => &self.memos[0],
-            Objectives::EnergyDelay => &self.memos[1],
-        }
+        &self.memos[objectives.lane()]
     }
 }
 
@@ -413,17 +409,16 @@ impl ServeEngine {
         assert!(cfg.degrade_stride >= 1, "the degraded stride cannot be zero");
         let (queue_tx, queue_rx) = mpsc::sync_channel(cfg.queue_capacity);
         let workers = cfg.workers;
-        let memos = [
-            ShardedGenomeMemo::new(cfg.memo_shards, cfg.memo_capacity_per_shard),
-            ShardedGenomeMemo::new(cfg.memo_shards, cfg.memo_capacity_per_shard),
-        ];
+        let memos = Objectives::ALL
+            .map(|_| ShardedGenomeMemo::new(cfg.memo_shards, cfg.memo_capacity_per_shard));
         let shared = Arc::new(Shared {
             queue_rx: Mutex::new(queue_rx),
             queue_depth: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
             consecutive_panics: (0..workers).map(|_| AtomicU32::new(0)).collect(),
             full: ModelEvaluator::new(model.clone()),
-            energy_delay: EnergyDelayEvaluator::new(model),
+            energy_delay: EnergyDelayEvaluator::new(model.clone()),
+            lifetime: LifetimeEvaluator::new(model, Battery::shimmer()),
             memos,
             cfg,
             stats: Stats::default(),

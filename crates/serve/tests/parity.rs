@@ -6,7 +6,7 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Duration;
-use wbsn_dse::evaluator::{EnergyDelayEvaluator, Evaluator, ModelEvaluator};
+use wbsn_dse::evaluator::{EnergyDelayEvaluator, Evaluator, LifetimeEvaluator, ModelEvaluator};
 use wbsn_dse::exhaustive::exhaustive;
 use wbsn_dse::Genome;
 use wbsn_model::space::{DesignPoint, DesignSpace};
@@ -47,6 +47,7 @@ fn direct(objectives: Objectives) -> Box<dyn Evaluator> {
     match objectives {
         Objectives::EnergyDelayPrd => Box::new(ModelEvaluator::shimmer()),
         Objectives::EnergyDelay => Box::new(EnergyDelayEvaluator::shimmer()),
+        Objectives::EnergyDelayPrdLifetime => Box::new(LifetimeEvaluator::shimmer()),
     }
 }
 
@@ -63,10 +64,9 @@ proptest! {
         space in tiny_space(),
         workers in 1usize..=4,
         chunk_points in 1usize..=7,
-        three_objectives in 0u8..=1,
+        lane in 0usize..Objectives::ALL.len(),
     ) {
-        let objectives =
-            if three_objectives == 1 { Objectives::EnergyDelayPrd } else { Objectives::EnergyDelay };
+        let objectives = Objectives::ALL[lane];
         let points = all_points(&space);
         let expected = direct(objectives).evaluate_batch(&points);
 

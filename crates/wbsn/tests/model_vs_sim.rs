@@ -1,5 +1,8 @@
 //! Integration: the analytical model agrees with the packet-level
-//! simulator — the heart of the paper's validation (Fig. 3).
+//! simulator — the heart of the paper's validation (Fig. 3), plus the
+//! generalization of that validation across every scenario family
+//! (topology × traffic × axis policy) through the statistical fidelity
+//! harness of `wbsn_bench::fidelity`.
 
 use wbsn::model::evaluate::{half_dwt_half_cs, NodeConfig, WbsnModel};
 use wbsn::model::ieee802154::Ieee802154Config;
@@ -92,5 +95,55 @@ fn goodput_matches_model_output_rate() {
     for n in &report.nodes {
         let goodput = n.goodput_bps(report.duration_s);
         assert!((goodput - 112.5).abs() < 6.0, "goodput {goodput}");
+    }
+}
+
+/// The paper's single-deployment validation, generalized: every
+/// scenario family (body-area / grids / clusters × periodic / bursty
+/// traffic × on-/off-axis knobs) is sampled and its measured
+/// model-vs-sim error envelope held to the shared fidelity floors —
+/// the same `MIN_*` constants `bench_gate` enforces on the
+/// `fidelity_*` fields of `BENCH_dse.json`, so the gate and this test
+/// cannot disagree. `FIDELITY_FULL=1` deepens the sweep (more seeds
+/// per family); the default is the tier-1 count.
+///
+/// En route, the harness itself asserts (not assumes) that both full
+/// batch kernels agree bitwise on every sampled scenario and that the
+/// scalar-spill counter accounts for exactly every point of the
+/// off-axis families.
+#[test]
+fn fidelity_envelope_holds_across_every_scenario_family() {
+    use wbsn_bench::fidelity::{
+        measure_all, sample_count, BASE_SEED, MIN_DELAY_HEADROOM, MIN_DELAY_TIGHTNESS,
+        MIN_ENERGY_AGREEMENT_PCT, MIN_PRD_MARGIN,
+    };
+
+    let envelopes = measure_all(sample_count(), BASE_SEED);
+    assert!(envelopes.len() >= 6, "the fidelity family set shrank");
+    for e in &envelopes {
+        assert!(
+            e.energy_agreement_pct() >= MIN_ENERGY_AGREEMENT_PCT,
+            "{}: worst-node energy agreement {:.4} % fell below the {MIN_ENERGY_AGREEMENT_PCT} % floor",
+            e.family,
+            e.energy_agreement_pct()
+        );
+        assert!(
+            e.delay_headroom() >= MIN_DELAY_HEADROOM,
+            "{}: the Eq. 9 bound was observed violated (headroom {:.4})",
+            e.family,
+            e.delay_headroom()
+        );
+        assert!(
+            1.0 / e.delay_util_max >= MIN_DELAY_TIGHTNESS,
+            "{}: the Eq. 9 bound went vacuous (utilization {:.4})",
+            e.family,
+            e.delay_util_max
+        );
+        assert!(
+            e.prd_margin() >= MIN_PRD_MARGIN,
+            "{}: PRD margin {:.4} fell below the {MIN_PRD_MARGIN}-point floor",
+            e.family,
+            e.prd_margin()
+        );
     }
 }
