@@ -23,6 +23,12 @@
 //!   scenario-query rate;
 //! * `serve_p50_ms` / `serve_p99_ms` — single-client serve latency
 //!   percentiles (**lower is better**: the gate fails when they rise);
+//! * `serve_small_qps_16pt` — 16-point small-query rate at concurrency
+//!   16 with cross-request coalescing on;
+//! * `serve_small_p99_ms_16pt` — its p99 latency (**lower is better**);
+//! * `serve_small_coalesce_ratio_16pt` — coalescing-on over
+//!   coalescing-off rate at that level (**absolute floor** 1.3: the
+//!   coalescer must keep earning its keep, not merely exist);
 //! * `hypervolume_ratio_nsga2` / `front_coverage_nsga2` — NSGA-II
 //!   search quality against the exact paper-2node Pareto front
 //!   (**absolute floors**, not tolerance bands: the values are fully
@@ -67,6 +73,17 @@ use wbsn_bench::fidelity::{
 use wbsn_dse::scenario::fidelity_families;
 use wbsn_dse::truth::{NSGA2_MIN_FRONT_COVERAGE, NSGA2_MIN_HYPERVOLUME_RATIO};
 
+/// Multi-core scaling floor: on a runner that actually has cores
+/// (`threads` > 1 in the fresh run), the batch path's best multi-thread
+/// parallel efficiency — `thread_sweep_best_efficiency`, written by a
+/// `THREAD_SWEEP=1` run of `dse_throughput` — must stay above this
+/// fraction of linear scaling.
+const MIN_MULTICORE_EFFICIENCY: f64 = 0.5;
+
+/// The coalescer's acceptance floor: 16-point queries at concurrency 16
+/// must sustain at least this rate ratio with coalescing on vs off.
+const MIN_SMALL_COALESCE_RATIO: f64 = 1.3;
+
 /// How a gated field is judged.
 #[derive(Clone, Copy)]
 enum Gate {
@@ -102,6 +119,9 @@ fn gated_fields() -> Vec<(String, Gate)> {
         ("serve_queries_per_s", Gate::HigherIsBetter),
         ("serve_p50_ms", Gate::LowerIsBetter),
         ("serve_p99_ms", Gate::LowerIsBetter),
+        ("serve_small_qps_16pt", Gate::HigherIsBetter),
+        ("serve_small_p99_ms_16pt", Gate::LowerIsBetter),
+        ("serve_small_coalesce_ratio_16pt", Gate::Floor(MIN_SMALL_COALESCE_RATIO)),
         ("hypervolume_ratio_nsga2", Gate::Floor(NSGA2_MIN_HYPERVOLUME_RATIO)),
         ("front_coverage_nsga2", Gate::Floor(NSGA2_MIN_FRONT_COVERAGE)),
     ]
@@ -239,6 +259,45 @@ fn judge(
     Ok((failures, all_borderline, deltas))
 }
 
+/// The self-arming multi-core scaling gate. A fresh run that used more
+/// than one thread and carries `thread_sweep_best_efficiency` (written
+/// by a `THREAD_SWEEP=1` run of `dse_throughput`) is held to
+/// [`MIN_MULTICORE_EFFICIENCY`]; a 1-thread run keeps the gate
+/// disarmed, and a multi-thread run without sweep data gets a notice.
+/// The old CI step only *noticed* multi-core runners — now the sweep
+/// data arms enforcement by itself. Returns the number of failures.
+fn scaling_gate(fresh_doc: &str) -> usize {
+    let threads = json_number(fresh_doc, "threads").unwrap_or(1.0);
+    if threads <= 1.0 {
+        println!("bench_gate: 1-thread run — multi-core scaling gate disarmed");
+        return 0;
+    }
+    match json_number(fresh_doc, "thread_sweep_best_efficiency") {
+        Some(eff) if eff >= MIN_MULTICORE_EFFICIENCY => {
+            println!(
+                "bench_gate: thread_sweep_best_efficiency {eff:.3} vs floor \
+                 {MIN_MULTICORE_EFFICIENCY:.2} ({threads:.0} threads) ok"
+            );
+            0
+        }
+        Some(eff) => {
+            eprintln!(
+                "bench_gate: FAIL — thread_sweep_best_efficiency {eff:.3} is below the \
+                 {MIN_MULTICORE_EFFICIENCY:.2} floor on a {threads:.0}-thread runner"
+            );
+            1
+        }
+        None => {
+            println!(
+                "bench_gate: notice — {threads:.0} threads but no \
+                 `thread_sweep_best_efficiency`; run dse_throughput with THREAD_SWEEP=1 \
+                 to arm the scaling gate"
+            );
+            0
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let fresh_path = args.next().unwrap_or_else(|| "BENCH_dse.json".into());
@@ -337,6 +396,8 @@ fn main() -> ExitCode {
         }
     }
 
+    failures += scaling_gate(&fresh_doc);
+
     if skip {
         println!("bench_gate: BENCH_GATE_SKIP set — result ignored");
         return ExitCode::SUCCESS;
@@ -357,7 +418,10 @@ fn main() -> ExitCode {
 
 #[cfg(test)]
 mod tests {
-    use super::{gated_fields, json_number, judge, regression, Gate, NSGA2_MIN_HYPERVOLUME_RATIO};
+    use super::{
+        gated_fields, json_number, judge, regression, scaling_gate, Gate,
+        NSGA2_MIN_HYPERVOLUME_RATIO,
+    };
 
     /// Builds a complete bench document with every gated field healthy,
     /// except `hypervolume_ratio_nsga2` pinned to `hv`.
@@ -412,7 +476,7 @@ mod tests {
                 assert!(matches!(gate.1, Gate::Floor(_)), "`{name}` must be an absolute floor");
             }
         }
-        assert!(fields.len() >= 13 + 18, "the gated field set shrank");
+        assert!(fields.len() >= 16 + 18, "the gated field set shrank");
     }
 
     #[test]
@@ -451,6 +515,34 @@ mod tests {
             assert!(regression(fresh, baseline, lower) > 0.20, "25% worse must fail at 20%");
             assert!(regression(baseline, baseline, lower) <= 0.20, "flat runs pass");
         }
+    }
+
+    /// The scaling gate arms itself: disarmed on 1-thread runs, notice
+    /// only when a multi-thread run lacks sweep data, and enforcing the
+    /// efficiency floor as soon as the data is present.
+    #[test]
+    fn scaling_gate_arms_only_on_multithread_runs_with_sweep_data() {
+        assert_eq!(scaling_gate(r#"{"threads": 1}"#), 0, "1-thread runs stay disarmed");
+        assert_eq!(
+            scaling_gate(r#"{"threads": 1, "thread_sweep_best_efficiency": 0.1}"#),
+            0,
+            "even a poor efficiency figure is moot without the cores"
+        );
+        assert_eq!(
+            scaling_gate(r#"{"threads": 4}"#),
+            0,
+            "missing sweep data on a multi-core runner is a notice, not a failure"
+        );
+        assert_eq!(
+            scaling_gate(r#"{"threads": 4, "thread_sweep_best_efficiency": 0.72}"#),
+            0,
+            "efficiency above the floor passes"
+        );
+        assert_eq!(
+            scaling_gate(r#"{"threads": 4, "thread_sweep_best_efficiency": 0.31}"#),
+            1,
+            "sub-floor efficiency on a real multi-core runner must fail"
+        );
     }
 
     /// The committed baseline must carry every gated field — including

@@ -195,16 +195,19 @@ fn batch_through_soa(
         );
     }
     // Node-count-keyed engine choice: grouped only pays off on wide
-    // networks. Keyed on the first point — search batches decode from
-    // one space, so node counts are homogeneous in practice, and both
-    // engines are bit-identical, so a mixed batch is merely served by
-    // one engine throughout (never wrong). `axis_runs` (the caller's
-    // layout hint) selects the shared-prefix kernel on narrow networks;
-    // the grouped engine already amortizes across points its own way,
-    // so the hint defers to it on wide ones.
-    let grouped = points.first().is_some_and(|p| p.nodes.len() >= GROUPED_MIN_NODES);
+    // networks. The batch is split into homogeneous node-count runs
+    // (coalesced super-batches mix request shapes; search batches decode
+    // from one space, so they are a single run) and chunks never span a
+    // run boundary, so each chunk's engine is keyed on its *own* first
+    // point — a 6-node member never drags an 18-node sibling onto the
+    // ungrouped walk. Both engines are bit-identical, so the split is
+    // pure dispatch. `axis_runs` (the caller's layout hint) selects the
+    // shared-prefix kernel on narrow networks; the grouped engine
+    // already amortizes across points its own way, so the hint defers
+    // to it on wide ones.
     let run_kernel =
         |scratch: &mut SoaScratch, chunk: &[DesignPoint]| -> Vec<Option<ObjectiveVector>> {
+            let grouped = chunk.first().is_some_and(|p| p.nodes.len() >= GROUPED_MIN_NODES);
             let outcomes = if grouped {
                 model.evaluate_objectives_batch_grouped(chunk, scratch)
             } else if axis_runs {
@@ -214,13 +217,19 @@ fn batch_through_soa(
             };
             outcomes.iter().map(|outcome| outcome.as_ref().ok().map(&project)).collect()
         };
+    let runs = crate::parallel::homogeneous_runs(points, |p| p.nodes.len());
     if crate::parallel::num_threads() == 1 {
-        // No workers to feed: run the kernel over the whole batch in one
+        // No workers to feed: run the kernel over each whole run in one
         // call, skipping the chunk partition and the flatten copy.
         let mut pooled = pools.soa.take();
-        return run_kernel(&mut pooled.state, points);
+        let mut out = Vec::with_capacity(points.len());
+        for &(start, end) in &runs {
+            out.extend(run_kernel(&mut pooled.state, &points[start..end]));
+        }
+        return out;
     }
-    let chunks: Vec<&[DesignPoint]> = points.chunks(SOA_CHUNK).collect();
+    let chunks: Vec<&[DesignPoint]> =
+        runs.iter().flat_map(|&(start, end)| points[start..end].chunks(SOA_CHUNK)).collect();
     let per_chunk: Vec<Vec<Option<ObjectiveVector>>> = parallel_map_with_block(
         &chunks,
         1,
@@ -400,9 +409,9 @@ impl Evaluator for LifetimeEvaluator {
             // its own output — nothing worth pooling per worker.
             return parallel_map_with(points, || (), |(), point| self.evaluate(point));
         }
-        let grouped = points.first().is_some_and(|p| p.nodes.len() >= GROUPED_MIN_NODES);
         let run_kernel =
             |state: &mut FullState, chunk: &[DesignPoint]| -> Vec<Option<ObjectiveVector>> {
+                let grouped = chunk.first().is_some_and(|p| p.nodes.len() >= GROUPED_MIN_NODES);
                 if grouped {
                     self.model.evaluate_batch_full_grouped(chunk, &mut state.soa, &mut state.full);
                 } else {
@@ -429,11 +438,17 @@ impl Evaluator for LifetimeEvaluator {
                     })
                     .collect()
             };
+        let runs = crate::parallel::homogeneous_runs(points, |p| p.nodes.len());
         if crate::parallel::num_threads() == 1 {
             let mut pooled = self.full_pool.take();
-            return run_kernel(&mut pooled.state, points);
+            let mut out = Vec::with_capacity(points.len());
+            for &(start, end) in &runs {
+                out.extend(run_kernel(&mut pooled.state, &points[start..end]));
+            }
+            return out;
         }
-        let chunks: Vec<&[DesignPoint]> = points.chunks(SOA_CHUNK).collect();
+        let chunks: Vec<&[DesignPoint]> =
+            runs.iter().flat_map(|&(start, end)| points[start..end].chunks(SOA_CHUNK)).collect();
         let per_chunk: Vec<Vec<Option<ObjectiveVector>>> = parallel_map_with_block(
             &chunks,
             1,
@@ -556,14 +571,31 @@ mod tests {
                 "{n_nodes} nodes"
             );
         }
-        // A mixed batch keys on its first point; still invisible
-        // whichever engine serves the rest.
+        // A mixed batch is split into homogeneous node-count runs and
+        // each run keys its own engine; still invisible whichever side
+        // of the threshold leads.
         for lead in [6usize, GROUPED_MIN_NODES + 2] {
             let mut points = DesignSpace::case_study(lead).sample_sweep(100);
             let other = 6 + GROUPED_MIN_NODES + 2 - lead;
             points.extend(DesignSpace::case_study(other).sample_sweep(100));
             assert_eq!(eval.evaluate_batch(&points), serial.evaluate_batch(&points));
         }
+        // A coalesced-super-batch shape: several short alternating runs,
+        // so narrow and wide members take turns within one batch. Each
+        // run must dispatch its own kernel without perturbing siblings.
+        let narrow = DesignSpace::case_study(6).sample_sweep(40);
+        let wide = DesignSpace::case_study(GROUPED_MIN_NODES + 2).sample_sweep(40);
+        let mut points = Vec::new();
+        for (a, b) in narrow.chunks(10).zip(wide.chunks(10)) {
+            points.extend_from_slice(a);
+            points.extend_from_slice(b);
+        }
+        assert_eq!(eval.evaluate_batch(&points), serial.evaluate_batch(&points));
+        let lifetime = LifetimeEvaluator::shimmer();
+        assert_eq!(
+            lifetime.evaluate_batch(&points),
+            SerialEvaluator(lifetime.clone()).evaluate_batch(&points)
+        );
     }
 
     /// A state leased while its thread panics must be discarded, not

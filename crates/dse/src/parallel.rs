@@ -19,16 +19,72 @@ const MIN_BLOCK: usize = 16;
 /// heterogeneous costs (infeasible points fail fast).
 const MAX_BLOCK: usize = 64;
 
-/// Worker threads to use: `WBSN_THREADS` when set (≥1), otherwise the
+/// Process-wide scoped thread-budget override (0 = none installed).
+/// Set only through [`with_threads`], which restores the previous
+/// value on exit, panic included.
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Worker threads to use: the innermost [`with_threads`] override when
+/// one is active, else `WBSN_THREADS` when set (≥1), otherwise the
 /// machine's available parallelism.
 #[must_use]
 pub fn num_threads() -> usize {
+    let forced = THREAD_OVERRIDE.load(Ordering::Relaxed);
+    if forced > 0 {
+        return forced;
+    }
     if let Ok(v) = std::env::var("WBSN_THREADS") {
         if let Ok(n) = v.parse::<usize>() {
             return n.max(1);
         }
     }
     std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Runs `f` with [`num_threads`] pinned to `threads` (clamped to ≥1),
+/// restoring the previous setting afterwards — the mechanism behind
+/// the bench harness's thread-scaling sweep, which must measure 1, 2,
+/// …, N worker threads in one process without touching the
+/// environment. The override is process-global: concurrent callers of
+/// [`num_threads`] observe it too, so keep scopes short and don't nest
+/// conflicting sweeps.
+pub fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREAD_OVERRIDE.store(self.0, Ordering::Relaxed);
+        }
+    }
+    let prev = THREAD_OVERRIDE.swap(threads.max(1), Ordering::Relaxed);
+    let _restore = Restore(prev);
+    f()
+}
+
+/// Maximal runs of consecutive items sharing a key, as `(start, end)`
+/// half-open index ranges covering `items` exactly.
+///
+/// The batch evaluators chunk *within* these runs so no evaluation
+/// chunk ever spans a node-count boundary: each chunk's kernel choice
+/// (grouped vs. ungrouped `SoA`) is keyed on its own run, which makes
+/// mixed-node-count super-batches dispatch the right kernel per
+/// homogeneous stretch instead of keying the whole batch on its first
+/// point.
+pub fn homogeneous_runs<T, K: PartialEq>(
+    items: &[T],
+    key: impl Fn(&T) -> K,
+) -> Vec<(usize, usize)> {
+    let mut runs: Vec<(usize, usize)> = Vec::new();
+    let mut start = 0usize;
+    for i in 1..items.len() {
+        if key(&items[i]) != key(&items[i - 1]) {
+            runs.push((start, i));
+            start = i;
+        }
+    }
+    if start < items.len() {
+        runs.push((start, items.len()));
+    }
+    runs
 }
 
 /// Maps `items` through `f` in input order, fanning out across threads.
@@ -211,6 +267,35 @@ mod tests {
     #[test]
     fn thread_count_is_positive() {
         assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn with_threads_overrides_and_restores() {
+        let outer = num_threads();
+        let (inner, nested) = with_threads(3, || (num_threads(), with_threads(2, num_threads)));
+        assert_eq!(inner, 3);
+        assert_eq!(nested, 2);
+        assert_eq!(num_threads(), outer, "the override must not outlive its scope");
+    }
+
+    #[test]
+    fn with_threads_restores_on_panic() {
+        let outer = num_threads();
+        let result = std::panic::catch_unwind(|| {
+            with_threads(7, || panic!("die inside the override"));
+        });
+        assert!(result.is_err());
+        assert_eq!(num_threads(), outer);
+    }
+
+    #[test]
+    fn homogeneous_runs_split_exactly_at_key_changes() {
+        let items = [3, 3, 3, 5, 5, 3, 7];
+        assert_eq!(homogeneous_runs(&items, |&x| x), vec![(0, 3), (3, 5), (5, 6), (6, 7)]);
+        assert_eq!(homogeneous_runs(&[] as &[i32], |&x| x), Vec::new());
+        assert_eq!(homogeneous_runs(&[9], |&x| x), vec![(0, 1)]);
+        let uniform = [4u8; 100];
+        assert_eq!(homogeneous_runs(&uniform, |&x| x), vec![(0, 100)]);
     }
 
     /// A panicking closure must surface its own payload (not a generic

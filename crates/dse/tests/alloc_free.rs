@@ -65,9 +65,43 @@ fn batch_decode_and_evaluate_are_allocation_free_in_steady_state() {
     assert_eq!(feasible, feasible_warm);
     assert_eq!(delta, 0, "decode+evaluate steady state performed {delta} heap allocations");
 
+    fastpath_sweep_loop_is_allocation_free_once_warm();
     soa_batch_path_is_allocation_free_in_steady_state();
     full_eval_batch_paths_are_allocation_free_in_steady_state();
     genome_decode_and_objective_construction_are_allocation_free();
+}
+
+// Called from the single #[test] above. Mirrors `dse_throughput`'s
+// fast-path loop exactly — `sample_sweep(512)` cycled modulo through
+// one warm `EvalScratch` — so the bench's `fastpath_allocs_per_eval`
+// field is pinned at a hard 0 here, not a small amortized residue:
+// one warmup pass over every distinct point retires the first-use memo
+// growth that used to leak ~0.0006 allocs/eval into the counted window.
+fn fastpath_sweep_loop_is_allocation_free_once_warm() {
+    let model = WbsnModel::shimmer();
+    let space = DesignSpace::case_study(6);
+    let points = space.sample_sweep(512);
+    let mut scratch = EvalScratch::new();
+
+    let mut feasible_warm = 0u64;
+    for p in &points {
+        if model.evaluate_objectives(&p.mac, &p.nodes, &mut scratch).is_ok() {
+            feasible_warm += 1;
+        }
+    }
+    assert!(feasible_warm > 0, "sweep must hit feasible configurations");
+
+    let before = allocations();
+    let mut feasible = 0u64;
+    for i in 0..4096usize {
+        let p = &points[i % points.len()];
+        if model.evaluate_objectives(&p.mac, &p.nodes, &mut scratch).is_ok() {
+            feasible += 1;
+        }
+    }
+    let delta = allocations() - before;
+    assert_eq!(feasible % feasible_warm, 0, "cycling the sweep repeats the same outcomes");
+    assert_eq!(delta, 0, "warm fast-path sweep performed {delta} heap allocations");
 }
 
 // Called from the single #[test] above (the allocation counter is a

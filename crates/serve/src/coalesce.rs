@@ -1,0 +1,548 @@
+//! The coalescing batch-former: merges concurrent small requests into
+//! shared `SoA` super-batches.
+//!
+//! A 16-point query pays the same queue handoff, scratch lease and
+//! kernel dispatch as a 1024-point one, so under small-query
+//! concurrency the fixed per-request cost dominates. The former sits
+//! between the submission queue and the worker pool: the worker whose
+//! turn it is at the queue holds the first *eligible* request (a point
+//! or genome batch of at most [`ServeConfig::coalesce_max_points`]
+//! points) open for [`ServeConfig::coalesce_max_wait`], admits
+//! co-queued eligible peers into one shared super-batch per objective
+//! lane, evaluates the union through a single
+//! [`wbsn_dse::evaluator::Evaluator::evaluate_batch`] call on one warm
+//! scratch, and scatters per-request responses back — bitwise
+//! identical to uncoalesced execution.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **No budget is spent waiting for peers.** The admission window
+//!    is clamped to the earliest member deadline, so a tightly
+//!    budgeted request never idles past its own deadline to benefit a
+//!    sibling.
+//! 2. **Failures stay member-confined.** A panic mid-super-batch fails
+//!    exactly the unanswered members (each with its own
+//!    [`ServeError::WorkerPanic`]); a member's deadline expiring
+//!    mid-batch returns its bitwise prefix without poisoning siblings,
+//!    which keep evaluating.
+//! 3. **Memo accounting stays transparent.** Gather consults the
+//!    cross-request memo per member in arrival order and dedups
+//!    repeat genomes across members through a pending map; scatter
+//!    records and re-reads strictly in member order, so a
+//!    single-worker engine reports exactly the memo hits the
+//!    uncoalesced engine would.
+//!
+//! Sweeps and requests larger than the threshold bypass the former
+//! untouched and take the classic per-request path ([`engine::process`]).
+
+use crate::engine::{
+    self, Job, Objectives, Query, QueryResult, ScenarioRequest, ScenarioResponse, ServeConfig,
+    Shared,
+};
+use crate::error::ServeError;
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::time::Instant;
+use wbsn_dse::objective::ObjectiveVector;
+use wbsn_dse::Genome;
+use wbsn_model::space::{DesignPoint, DesignSpace};
+
+/// One schedulable piece of a worker's turn.
+pub(crate) enum Unit {
+    /// A request served on the classic per-request path: a sweep, a
+    /// request over the coalescing threshold, or an eligible request
+    /// that found no lane-mates inside the window.
+    Single(Job),
+    /// Two or more coalesced requests sharing one evaluation batch.
+    Super(SuperBatch),
+}
+
+/// How one member slot resolves against the shared batch.
+#[derive(Clone, Copy)]
+enum Slot {
+    /// Answered from the cross-request memo at gather time.
+    Hit(Option<ObjectiveVector>),
+    /// Owns index `0` of the shared evaluation batch.
+    Eval(usize),
+    /// Same genome as the eval slot an earlier member owns; resolved
+    /// through the memo at scatter time (a genuine cross-request hit
+    /// once the owner has recorded it).
+    Ref(usize),
+}
+
+/// One request inside a super-batch.
+struct Member {
+    /// Chaos-schedule coordinate (consulted by chaos builds only).
+    #[cfg_attr(not(feature = "chaos"), allow(dead_code))]
+    seq: u64,
+    deadline: Option<Instant>,
+    /// Taken when the member is answered; a member with no responder
+    /// is settled and must not be touched again.
+    responder: Option<Sender<Result<ScenarioResponse, ServeError>>>,
+    shape: Shape,
+    /// One slot per requested point/genome, in request order.
+    slots: Vec<Slot>,
+    /// Memo hits collected at gather time.
+    gather_hits: u64,
+}
+
+/// The member's request payload.
+enum Shape {
+    Points(Vec<DesignPoint>),
+    Genomes { space: DesignSpace, genomes: Vec<Genome> },
+}
+
+impl Member {
+    /// Answers the member (at most once) and settles it.
+    fn answer(&mut self, shared: &Shared, result: Result<ScenarioResponse, ServeError>) {
+        if let Some(tx) = self.responder.take() {
+            if result.is_ok() {
+                shared.stats.completed.fetch_add(1, Ordering::Relaxed);
+            }
+            let _ = tx.send(result);
+        }
+    }
+}
+
+/// A formed super-batch: members of one objective lane sharing one
+/// evaluation batch.
+pub(crate) struct SuperBatch {
+    objectives: Objectives,
+    members: Vec<Member>,
+}
+
+/// Is this job eligible to coalesce, and how many points does it
+/// contribute? Sweeps and requests above the threshold always bypass.
+fn eligible_len(job: &Job, cfg: &ServeConfig) -> Option<usize> {
+    if cfg.coalesce_max_points == 0 {
+        return None;
+    }
+    let cap = cfg.coalesce_max_points.min(cfg.chunk_points);
+    let len = match &job.request.query {
+        Query::Evaluate(points) => points.len(),
+        Query::EvaluateGenomes { genomes, .. } => genomes.len(),
+        Query::ParetoSweep { .. } => return None,
+    };
+    (len <= cap).then_some(len)
+}
+
+/// Converts an eligible job into a super-batch member, or returns it
+/// unchanged when its shape cannot coalesce (sweeps never reach here;
+/// the fallback keeps the conversion total without a panic site).
+fn member_of(job: Job) -> Result<Member, Box<Job>> {
+    let Job { seq, request, deadline, responder } = job;
+    let ScenarioRequest { query, objectives, budget } = request;
+    let shape = match query {
+        Query::Evaluate(points) => Shape::Points(points),
+        Query::EvaluateGenomes { space, genomes } => Shape::Genomes { space, genomes },
+        q @ Query::ParetoSweep { .. } => {
+            return Err(Box::new(Job {
+                seq,
+                request: ScenarioRequest { query: q, objectives, budget },
+                deadline,
+                responder,
+            }));
+        }
+    };
+    Ok(Member {
+        seq,
+        deadline,
+        responder: Some(responder),
+        shape,
+        slots: Vec::new(),
+        gather_hits: 0,
+    })
+}
+
+/// Files `job` into its objective lane, keeping first-appearance lane
+/// order so scatter order equals arrival order.
+fn admit(lanes: &mut [Vec<Job>], lane_order: &mut Vec<usize>, job: Job) {
+    let lane = job.request.objectives.lane();
+    if lanes[lane].is_empty() {
+        lane_order.push(lane);
+    }
+    lanes[lane].push(job);
+}
+
+/// Forms one worker turn from the just-dequeued `first` job. Called
+/// with the queue mutex held (the turn at the single-consumer queue),
+/// so the admission window also serializes against sibling workers —
+/// exactly the window during which peers can only be waiting in the
+/// queue anyway.
+///
+/// Returns the units to process, in admission order: per-lane
+/// super-batches (lanes in first-appearance order), then the
+/// ineligible job that closed the window, if any.
+pub(crate) fn form_turn(shared: &Shared, first: Job, rx: &Receiver<Job>) -> Vec<Unit> {
+    let cfg = &shared.cfg;
+    let Some(mut total) = eligible_len(&first, cfg) else {
+        return vec![Unit::Single(first)];
+    };
+    #[cfg(feature = "chaos")]
+    if let Some(chaos) = &cfg.chaos {
+        if chaos.starves_window(first.seq) {
+            // Window-timer starvation: burn the whole (deadline-clamped)
+            // window without admitting anyone, then serve the opener on
+            // the classic path. Proves the deadline clamp: a budgeted
+            // opener comes back expired at ~its budget, never at the
+            // full window.
+            starve(cfg, &first);
+            return vec![Unit::Single(first)];
+        }
+    }
+    let mut lanes: [Vec<Job>; Objectives::ALL.len()] = std::array::from_fn(|_| Vec::new());
+    let mut lane_order: Vec<usize> = Vec::new();
+    let mut window_end = Instant::now() + cfg.coalesce_max_wait;
+    if let Some(d) = first.deadline {
+        window_end = window_end.min(d);
+    }
+    admit(&mut lanes, &mut lane_order, first);
+    let mut trailing: Option<Job> = None;
+    while total < cfg.chunk_points {
+        let now = Instant::now();
+        if now >= window_end {
+            break;
+        }
+        match rx.recv_timeout(window_end - now) {
+            Ok(job) => {
+                shared.queue_depth.fetch_sub(1, Ordering::AcqRel);
+                if let Some(len) = eligible_len(&job, cfg) {
+                    total += len;
+                    if let Some(d) = job.deadline {
+                        window_end = window_end.min(d);
+                    }
+                    admit(&mut lanes, &mut lane_order, job);
+                } else {
+                    // An ineligible request closes the window: it must
+                    // not wait behind the peers' admission, and the
+                    // classic path serves it right after the formed
+                    // super-batches.
+                    trailing = Some(job);
+                    break;
+                }
+            }
+            Err(RecvTimeoutError::Timeout | RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    let mut units: Vec<Unit> = Vec::new();
+    for lane in lane_order {
+        let jobs = std::mem::take(&mut lanes[lane]);
+        let objectives = match jobs.first() {
+            Some(job) => job.request.objectives,
+            None => continue,
+        };
+        if jobs.len() == 1 {
+            // A lane of one shares nothing; the classic path is
+            // cheaper and keeps the classic fault coordinates.
+            for job in jobs {
+                units.push(Unit::Single(job));
+            }
+            continue;
+        }
+        let mut members: Vec<Member> = Vec::with_capacity(jobs.len());
+        for job in jobs {
+            match member_of(job) {
+                Ok(member) => members.push(member),
+                Err(job) => units.push(Unit::Single(*job)),
+            }
+        }
+        units.push(Unit::Super(SuperBatch { objectives, members }));
+    }
+    if let Some(job) = trailing {
+        units.push(Unit::Single(job));
+    }
+    units
+}
+
+/// Burns the (deadline-clamped) admission window without draining.
+#[cfg(feature = "chaos")]
+fn starve(cfg: &ServeConfig, first: &Job) {
+    let mut window_end = Instant::now() + cfg.coalesce_max_wait;
+    if let Some(d) = first.deadline {
+        window_end = window_end.min(d);
+    }
+    let now = Instant::now();
+    if window_end > now {
+        std::thread::sleep(window_end - now);
+    }
+}
+
+/// Processes every unit of a turn, each under its own unwind boundary.
+/// Returns `false` when any unit panicked: the caller retires the
+/// worker after the whole turn is answered, so jobs already pulled off
+/// the queue are never stranded.
+pub(crate) fn run_turn(shared: &Shared, worker: usize, turn: Vec<Unit>) -> bool {
+    let mut clean = true;
+    for unit in turn {
+        match unit {
+            Unit::Single(job) => {
+                let Job { seq, request, deadline, responder } = job;
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    engine::process(shared, seq, &request, deadline)
+                }));
+                match outcome {
+                    Ok(result) => {
+                        if result.is_ok() {
+                            shared.stats.completed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        let _ = responder.send(result);
+                    }
+                    Err(payload) => {
+                        // Confined to this request: answer it typed,
+                        // finish the turn, retire afterwards. Pool drop
+                        // guards discarded any leased scratch during
+                        // the unwind, so the warm pool stays clean.
+                        clean = false;
+                        shared.stats.panics.fetch_add(1, Ordering::Relaxed);
+                        let message = engine::panic_message(payload.as_ref());
+                        let _ = responder.send(Err(ServeError::WorkerPanic { worker, message }));
+                    }
+                }
+            }
+            Unit::Super(mut batch) => {
+                shared.stats.super_batches.fetch_add(1, Ordering::Relaxed);
+                shared
+                    .stats
+                    .coalesced_requests
+                    .fetch_add(batch.members.len() as u64, Ordering::Relaxed);
+                let outcome = catch_unwind(AssertUnwindSafe(|| batch.run(shared)));
+                if let Err(payload) = outcome {
+                    // The panic fails exactly the members not yet
+                    // answered; settled members (scattered or expired
+                    // before the panic) keep their responses.
+                    clean = false;
+                    let message = engine::panic_message(payload.as_ref());
+                    for member in &mut batch.members {
+                        if member.responder.is_some() {
+                            shared.stats.panics.fetch_add(1, Ordering::Relaxed);
+                            member.answer(
+                                shared,
+                                Err(ServeError::WorkerPanic { worker, message: message.clone() }),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+    clean
+}
+
+impl SuperBatch {
+    /// Gather → evaluate → scatter. Any panic unwinds to [`run_turn`],
+    /// which fails the unanswered members.
+    fn run(&mut self, shared: &Shared) {
+        let evaluator = shared.evaluator(self.objectives);
+        let memo = shared.memo(self.objectives);
+        let chunk_size = shared.cfg.chunk_points;
+
+        // Gather: resolve every member's slots against the memo, in
+        // member (= arrival) order, and build the shared evaluation
+        // batch. `pending` dedups repeat genomes ACROSS members only:
+        // within one member, duplicates each get their own eval slot,
+        // exactly like the classic path's miss pass (which evaluates
+        // a chunk's duplicates before recording any of them).
+        let mut eval_points: Vec<DesignPoint> = Vec::new();
+        let mut pending: HashMap<Genome, usize> = HashMap::new();
+        for member in &mut self.members {
+            match &member.shape {
+                Shape::Points(points) => {
+                    member.slots.reserve(points.len());
+                    for point in points {
+                        member.slots.push(Slot::Eval(eval_points.len()));
+                        eval_points.push(point.clone());
+                    }
+                }
+                Shape::Genomes { space, genomes } => {
+                    member.slots.reserve(genomes.len());
+                    let mut introduced: Vec<(Genome, usize)> = Vec::new();
+                    for genome in genomes {
+                        if let Some(&idx) = pending.get(genome) {
+                            member.slots.push(Slot::Ref(idx));
+                        } else if let Some(cached) = memo.get(genome) {
+                            member.gather_hits += 1;
+                            member.slots.push(Slot::Hit(cached));
+                        } else {
+                            let idx = eval_points.len();
+                            eval_points.push(genome.decode(space));
+                            member.slots.push(Slot::Eval(idx));
+                            introduced.push((genome.clone(), idx));
+                        }
+                    }
+                    for (genome, idx) in introduced {
+                        pending.entry(genome).or_insert(idx);
+                    }
+                }
+            }
+        }
+
+        // Evaluate the union in chunk_points chunks — normally exactly
+        // one evaluate_batch call on one warm scratch. Before each
+        // chunk: chaos slow-member faults, then the deadline sweep
+        // (expiring members leave with their bitwise prefix; the rest
+        // of the batch keeps going), then chaos panic faults.
+        let mut evaluated: Vec<Option<ObjectiveVector>> = Vec::with_capacity(eval_points.len());
+        let total_chunks = eval_points.len().div_ceil(chunk_size).max(1);
+        for chunk_idx in 0..total_chunks {
+            #[cfg(feature = "chaos")]
+            self.chaos_slow_members(shared);
+            self.expire_members(shared, &evaluated, chunk_size);
+            #[cfg(feature = "chaos")]
+            self.chaos_panic(shared, chunk_idx);
+            let start = chunk_idx * chunk_size;
+            if start < eval_points.len() {
+                let end = (start + chunk_size).min(eval_points.len());
+                evaluated.extend(evaluator.evaluate_batch(&eval_points[start..end]));
+            }
+        }
+
+        // Scatter: strictly in member order. Eval slots record into
+        // the memo as the classic miss pass would; Ref slots re-read
+        // the memo, so a hit on a sibling's just-recorded genome is
+        // counted exactly when the classic sequential execution would
+        // count it (and falls back to the shared batch's value when
+        // the owner expired without recording).
+        for i in 0..self.members.len() {
+            let member = &mut self.members[i];
+            if member.responder.is_none() {
+                continue;
+            }
+            let mut outcomes: Vec<Option<ObjectiveVector>> = Vec::with_capacity(member.slots.len());
+            let mut hits = member.gather_hits;
+            match &member.shape {
+                Shape::Points(_) => {
+                    for slot in &member.slots {
+                        if let Slot::Eval(idx) = slot {
+                            outcomes.push(evaluated[*idx]);
+                        }
+                    }
+                }
+                Shape::Genomes { genomes, .. } => {
+                    for (slot, genome) in member.slots.iter().zip(genomes) {
+                        match slot {
+                            Slot::Hit(cached) => outcomes.push(*cached),
+                            Slot::Eval(idx) => {
+                                let outcome = evaluated[*idx];
+                                memo.record(genome.clone(), outcome);
+                                outcomes.push(outcome);
+                            }
+                            Slot::Ref(idx) => {
+                                if let Some(cached) = memo.get(genome) {
+                                    hits += 1;
+                                    outcomes.push(cached);
+                                } else {
+                                    let outcome = evaluated[*idx];
+                                    memo.record(genome.clone(), outcome);
+                                    outcomes.push(outcome);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            let points_resolved = outcomes.len() as u64;
+            let chunks_completed = member.slots.len().div_ceil(chunk_size);
+            member.answer(
+                shared,
+                Ok(ScenarioResponse {
+                    result: QueryResult::Evaluations(outcomes),
+                    stride: 1,
+                    degraded: false,
+                    chunks_completed,
+                    points_resolved,
+                    memo_hits: hits,
+                }),
+            );
+        }
+    }
+
+    /// Answers every unanswered, non-empty member whose deadline has
+    /// passed with its bitwise result prefix (everything resolvable
+    /// from the chunks evaluated so far). Finer-grained than the
+    /// classic path's chunk-granular partials — a super-chunk boundary
+    /// can fall mid-member — but still a bitwise prefix of the full
+    /// result. Siblings are untouched; the expired member's pending
+    /// eval slots are simply never recorded into the memo.
+    fn expire_members(
+        &mut self,
+        shared: &Shared,
+        evaluated: &[Option<ObjectiveVector>],
+        chunk_size: usize,
+    ) {
+        for member in &mut self.members {
+            if member.responder.is_none()
+                || member.slots.is_empty()
+                || !engine::expired(member.deadline)
+            {
+                continue;
+            }
+            shared.stats.deadline_expired.fetch_add(1, Ordering::Relaxed);
+            let mut prefix: Vec<Option<ObjectiveVector>> = Vec::new();
+            let mut hits = 0u64;
+            for slot in &member.slots {
+                let resolved = match slot {
+                    Slot::Hit(cached) => Some((*cached, true)),
+                    Slot::Eval(idx) => (*idx < evaluated.len()).then(|| (evaluated[*idx], false)),
+                    Slot::Ref(idx) => (*idx < evaluated.len()).then(|| (evaluated[*idx], true)),
+                };
+                let Some((outcome, hit)) = resolved else {
+                    break;
+                };
+                hits += u64::from(hit);
+                prefix.push(outcome);
+            }
+            let points_resolved = prefix.len() as u64;
+            let chunks_completed = prefix.len() / chunk_size;
+            member.answer(
+                shared,
+                Err(ServeError::DeadlineExceeded {
+                    partial: Box::new(ScenarioResponse {
+                        result: QueryResult::Evaluations(prefix),
+                        stride: 1,
+                        degraded: false,
+                        chunks_completed,
+                        points_resolved,
+                        memo_hits: hits,
+                    }),
+                }),
+            );
+        }
+    }
+
+    /// Chaos slow-member faults: a scheduled member stalls the whole
+    /// super-batch before each chunk while it is still unanswered —
+    /// the stimulus for proving a sibling's deadline math survives a
+    /// slow peer.
+    #[cfg(feature = "chaos")]
+    fn chaos_slow_members(&self, shared: &Shared) {
+        let Some(chaos) = &shared.cfg.chaos else {
+            return;
+        };
+        for member in &self.members {
+            if member.responder.is_some() {
+                if let Some(delay) = chaos.member_slowdown(member.seq) {
+                    std::thread::sleep(delay);
+                }
+            }
+        }
+    }
+
+    /// Chaos mid-super-batch panic: fires when any still-unanswered
+    /// member is scheduled at this chunk coordinate.
+    #[cfg(feature = "chaos")]
+    fn chaos_panic(&self, shared: &Shared, chunk: usize) {
+        let Some(chaos) = &shared.cfg.chaos else {
+            return;
+        };
+        let scheduled = self
+            .members
+            .iter()
+            .find(|m| m.responder.is_some() && chaos.panics_in_super_batch(m.seq, chunk));
+        if let Some(member) = scheduled {
+            // verify: allow(panic-surface, reason = "chaos-injected fault: the panic IS the test stimulus; catch_unwind in run_turn converts it to one WorkerPanic per unanswered member")
+            panic!("chaos: injected super-batch panic (request {}, chunk {chunk})", member.seq);
+        }
+    }
+}

@@ -22,7 +22,6 @@
 //!    are all observationally transparent (property-tested).
 
 use crate::error::ServeError;
-use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex, PoisonError};
@@ -200,6 +199,18 @@ pub struct ServeConfig {
     pub memo_shards: usize,
     /// LRU capacity per memo shard. Default 4096.
     pub memo_capacity_per_shard: usize,
+    /// Cross-request coalescing threshold: point/genome requests of at
+    /// most this many points are eligible to merge with concurrent
+    /// peers into one shared super-batch (sweeps and larger requests
+    /// always bypass the coalescer). Default 0 — coalescing disabled,
+    /// every request takes the classic per-request path.
+    pub coalesce_max_points: usize,
+    /// Admission-window length of the coalescer: how long a worker
+    /// holds the first eligible request open for peers to join its
+    /// super-batch. The window is deadline-aware — it is clamped to the
+    /// earliest member deadline, so no request's budget is spent
+    /// waiting for company. Default 200 µs.
+    pub coalesce_max_wait: Duration,
     /// Fault-injection schedule (chaos builds only).
     #[cfg(feature = "chaos")]
     pub chaos: Option<Arc<crate::chaos::ChaosSchedule>>,
@@ -218,6 +229,8 @@ impl Default for ServeConfig {
             backoff_max: Duration::from_millis(160),
             memo_shards: 16,
             memo_capacity_per_shard: 4096,
+            coalesce_max_points: 0,
+            coalesce_max_wait: Duration::from_micros(200),
             #[cfg(feature = "chaos")]
             chaos: None,
         }
@@ -241,6 +254,10 @@ pub struct EngineStats {
     pub respawns: u64,
     /// Sweep requests served degraded (stride > 1).
     pub degraded_sweeps: u64,
+    /// Requests answered from a shared multi-member super-batch.
+    pub coalesced_requests: u64,
+    /// Multi-member super-batches formed by the coalescer.
+    pub super_batches: u64,
     /// Lookups answered by the cross-request genome memo.
     pub memo_hits: u64,
     /// Genomes currently resident in the memo.
@@ -249,33 +266,35 @@ pub struct EngineStats {
 
 /// Raw atomic counters behind [`EngineStats`].
 #[derive(Debug, Default)]
-struct Stats {
-    submitted: AtomicU64,
-    rejected: AtomicU64,
-    completed: AtomicU64,
-    deadline_expired: AtomicU64,
-    panics: AtomicU64,
-    respawns: AtomicU64,
-    degraded: AtomicU64,
+pub(crate) struct Stats {
+    pub(crate) submitted: AtomicU64,
+    pub(crate) rejected: AtomicU64,
+    pub(crate) completed: AtomicU64,
+    pub(crate) deadline_expired: AtomicU64,
+    pub(crate) panics: AtomicU64,
+    pub(crate) respawns: AtomicU64,
+    pub(crate) degraded: AtomicU64,
+    pub(crate) coalesced_requests: AtomicU64,
+    pub(crate) super_batches: AtomicU64,
 }
 
 /// One queued request: everything a worker needs to serve and answer it.
-struct Job {
-    seq: u64,
-    request: ScenarioRequest,
-    deadline: Option<Instant>,
-    responder: Sender<Result<ScenarioResponse, ServeError>>,
+pub(crate) struct Job {
+    pub(crate) seq: u64,
+    pub(crate) request: ScenarioRequest,
+    pub(crate) deadline: Option<Instant>,
+    pub(crate) responder: Sender<Result<ScenarioResponse, ServeError>>,
 }
 
 /// State shared by the engine handle, workers, and supervisor.
-struct Shared {
-    queue_rx: Mutex<Receiver<Job>>,
+pub(crate) struct Shared {
+    pub(crate) queue_rx: Mutex<Receiver<Job>>,
     /// Jobs accepted but not yet picked up by a worker.
-    queue_depth: AtomicUsize,
-    shutdown: AtomicBool,
+    pub(crate) queue_depth: AtomicUsize,
+    pub(crate) shutdown: AtomicBool,
     /// Per-worker-slot consecutive-panic counters (respawn backoff);
     /// cleared by the slot's worker on its next successful request.
-    consecutive_panics: Vec<AtomicU32>,
+    pub(crate) consecutive_panics: Vec<AtomicU32>,
     /// The three-objective evaluator (shared warm scratch pools).
     full: ModelEvaluator,
     /// The energy/delay baseline evaluator.
@@ -286,12 +305,12 @@ struct Shared {
     /// different projections have different shapes and must not mix);
     /// indexed by [`Objectives::lane`].
     memos: [ShardedGenomeMemo; Objectives::ALL.len()],
-    cfg: ServeConfig,
-    stats: Stats,
+    pub(crate) cfg: ServeConfig,
+    pub(crate) stats: Stats,
 }
 
 impl Shared {
-    fn evaluator(&self, objectives: Objectives) -> &dyn Evaluator {
+    pub(crate) fn evaluator(&self, objectives: Objectives) -> &dyn Evaluator {
         match objectives {
             Objectives::EnergyDelayPrd => &self.full,
             Objectives::EnergyDelay => &self.energy_delay,
@@ -299,7 +318,7 @@ impl Shared {
         }
     }
 
-    fn memo(&self, objectives: Objectives) -> &ShardedGenomeMemo {
+    pub(crate) fn memo(&self, objectives: Objectives) -> &ShardedGenomeMemo {
         &self.memos[objectives.lane()]
     }
 }
@@ -533,6 +552,8 @@ impl ServeEngine {
             worker_panics: s.panics.load(Ordering::Relaxed),
             respawns: s.respawns.load(Ordering::Relaxed),
             degraded_sweeps: s.degraded.load(Ordering::Relaxed),
+            coalesced_requests: s.coalesced_requests.load(Ordering::Relaxed),
+            super_batches: s.super_batches.load(Ordering::Relaxed),
             memo_hits: self.shared.memos.iter().map(ShardedGenomeMemo::hits).sum(),
             memo_len: self.shared.memos.iter().map(|m| m.len() as u64).sum(),
         }
@@ -566,7 +587,7 @@ fn spawn_worker(
 }
 
 /// Extracts a human-readable message from a panic payload.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     payload
         .downcast_ref::<String>()
         .cloned()
@@ -577,39 +598,32 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 // verify: hot-path-begin(worker-drain-loop)
 fn worker_loop(shared: &Arc<Shared>, id: usize, obituary_tx: &Sender<usize>) {
     loop {
-        // Lock held across the blocking recv: the mutex doubles as the
-        // worker's turn at the shared single-consumer queue (idle
-        // workers park on the mutex, the holder parks in recv).
-        let job = {
+        // Lock held across the blocking recv AND the coalescer's
+        // admission window: the mutex doubles as the worker's turn at
+        // the shared single-consumer queue (idle workers park on the
+        // mutex, the holder parks in recv), and the turn holder is the
+        // one forming super-batches from co-queued peers.
+        let turn = {
             let rx = shared.queue_rx.lock().unwrap_or_else(PoisonError::into_inner);
-            rx.recv()
-        };
-        let Ok(job) = job else {
-            return; // engine dropped and queue drained
-        };
-        shared.queue_depth.fetch_sub(1, Ordering::AcqRel);
-        let Job { seq, request, deadline, responder } = job;
-        let outcome = catch_unwind(AssertUnwindSafe(|| process(shared, seq, &request, deadline)));
-        match outcome {
-            Ok(result) => {
-                if result.is_ok() {
-                    shared.stats.completed.fetch_add(1, Ordering::Relaxed);
+            match rx.recv() {
+                Ok(job) => {
+                    shared.queue_depth.fetch_sub(1, Ordering::AcqRel);
+                    crate::coalesce::form_turn(shared, job, &rx)
                 }
-                shared.consecutive_panics[id].store(0, Ordering::Relaxed);
-                let _ = responder.send(result);
+                Err(_) => return, // engine dropped and queue drained
             }
-            Err(payload) => {
-                // The panic is confined to this request: answer it with
-                // the typed failure, then retire the thread — any state
-                // it leased was discarded by the pool drop guards
-                // during the unwind, so the warm pool stays clean. The
-                // supervisor respawns a replacement.
-                shared.stats.panics.fetch_add(1, Ordering::Relaxed);
-                let message = panic_message(payload.as_ref());
-                let _ = responder.send(Err(ServeError::WorkerPanic { worker: id, message }));
-                let _ = obituary_tx.send(id);
-                return;
-            }
+        };
+        // Process every unit of the turn even if one of them panics:
+        // a panicked super-batch fails only its members, and jobs
+        // already pulled off the queue must never be stranded. A
+        // poisoned turn retires the thread afterwards (the pool drop
+        // guards already discarded anything the unwind was leasing)
+        // and the supervisor respawns a replacement.
+        if crate::coalesce::run_turn(shared, id, turn) {
+            shared.consecutive_panics[id].store(0, Ordering::Relaxed);
+        } else {
+            let _ = obituary_tx.send(id);
+            return;
         }
     }
 }
@@ -679,7 +693,7 @@ fn supervisor_loop(
 }
 
 /// Serves one request on the calling worker thread.
-fn process(
+pub(crate) fn process(
     shared: &Shared,
     seq: u64,
     request: &ScenarioRequest,
@@ -699,7 +713,7 @@ fn process(
 }
 
 /// Whether the request's budget has run out.
-fn expired(deadline: Option<Instant>) -> bool {
+pub(crate) fn expired(deadline: Option<Instant>) -> bool {
     deadline.is_some_and(|d| Instant::now() >= d)
 }
 

@@ -315,6 +315,13 @@ fn seeded_chaos_storm_never_corrupts_surviving_requests() {
         slow_per_mille: 80,
         slow_duration: Duration::from_millis(300),
         reject_per_mille: 60,
+        // Coalescing is off in this storm (the classic path is what
+        // it pins down); the coalescer faults get their own seeded
+        // storm in tests/coalesce.rs.
+        super_panic_per_mille: 0,
+        member_slow_per_mille: 0,
+        member_slow_duration: Duration::ZERO,
+        starve_per_mille: 0,
     };
     // Seed pinned so the storm is repeatable; the assertion below
     // double-checks it schedules every outcome class.

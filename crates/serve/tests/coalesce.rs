@@ -1,0 +1,645 @@
+//! The coalescing batch-former under test: fault-free super-batches
+//! are observationally invisible (bitwise responses, transparent memo
+//! accounting), and every coalescer fault point — panic mid-super-batch,
+//! slow member, window-timer starvation — stays member-confined.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use wbsn_dse::evaluator::{EnergyDelayEvaluator, Evaluator, LifetimeEvaluator, ModelEvaluator};
+use wbsn_dse::Genome;
+use wbsn_model::space::{DesignPoint, DesignSpace};
+use wbsn_model::units::Hertz;
+use wbsn_serve::chaos::{ChaosKnobs, ChaosSchedule};
+use wbsn_serve::{
+    Objectives, Query, QueryResult, ScenarioRequest, ServeConfig, ServeEngine, ServeError,
+};
+
+/// Installs a process-wide panic hook that swallows the engine's
+/// injected-chaos panics (they are the *point* of these tests) while
+/// delegating every real panic to the default reporter.
+fn quiet_chaos_panics() {
+    static INSTALL: std::sync::Once = std::sync::Once::new();
+    INSTALL.call_once(|| {
+        let default_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected =
+                info.payload().downcast_ref::<String>().is_some_and(|m| m.starts_with("chaos:"));
+            if !injected {
+                default_hook(info);
+            }
+        }));
+    });
+}
+
+/// A small fixed space (16 points) shared by the targeted tests.
+fn small_space() -> DesignSpace {
+    let mut space = DesignSpace::case_study(2);
+    space.cr_values.truncate(2);
+    space.f_mcu_values.truncate(2);
+    space.payload_values.truncate(1);
+    space.order_pairs.truncate(1);
+    space
+}
+
+fn all_points(space: &DesignSpace) -> Vec<DesignPoint> {
+    let total = space.cardinality();
+    (0..total).map(|n| space.point_at(n)).collect()
+}
+
+fn engine_with(chaos: ChaosSchedule, mut cfg: ServeConfig) -> ServeEngine {
+    cfg.chaos = Some(Arc::new(chaos));
+    ServeEngine::start(cfg)
+}
+
+/// The reference evaluator for an objective projection, over the same
+/// Shimmer model `ServeEngine::start` uses.
+fn direct(objectives: Objectives) -> Box<dyn Evaluator> {
+    match objectives {
+        Objectives::EnergyDelayPrd => Box::new(ModelEvaluator::shimmer()),
+        Objectives::EnergyDelay => Box::new(EnergyDelayEvaluator::shimmer()),
+        Objectives::EnergyDelayPrdLifetime => Box::new(LifetimeEvaluator::shimmer()),
+    }
+}
+
+const WAIT: Duration = Duration::from_mins(1);
+
+/// Coalescing happens and is invisible: with the single worker pinned,
+/// co-queued small requests of one lane form exactly one super-batch
+/// whose scattered responses are bitwise equal to the direct
+/// reference, while a lone-lane sibling takes the classic path.
+#[test]
+fn pinned_worker_coalesces_queued_small_requests_into_one_super_batch() {
+    quiet_chaos_panics();
+    let space = small_space();
+    let points = all_points(&space);
+    let expected = ModelEvaluator::shimmer().evaluate_batch(&points);
+    let expected_lifetime = LifetimeEvaluator::shimmer().evaluate_batch(&points);
+
+    // Request 0 (a sweep: always coalesce-ineligible) sleeps 150 ms on
+    // its first chunk, pinning the worker while the small requests
+    // pile up in the queue.
+    let chaos = ChaosSchedule::builder().slow_on(0, 0, Duration::from_millis(150)).build();
+    let engine = engine_with(
+        chaos,
+        ServeConfig {
+            workers: 1,
+            coalesce_max_points: 16,
+            coalesce_max_wait: Duration::from_millis(100),
+            ..ServeConfig::default()
+        },
+    );
+
+    let pinned = engine.submit(ScenarioRequest::sweep(space.clone())).expect("alive");
+    std::thread::sleep(Duration::from_millis(50));
+    let smalls: Vec<_> = (0..4)
+        .map(|_| engine.submit(ScenarioRequest::evaluate(points.clone())).expect("alive"))
+        .collect();
+    // A lane-mate-less request: same turn, but its lane holds only it,
+    // so it must ride the classic path, uncounted by the coalescer.
+    let lone = engine
+        .submit(
+            ScenarioRequest::evaluate(points.clone())
+                .with_objectives(Objectives::EnergyDelayPrdLifetime),
+        )
+        .expect("alive");
+
+    pinned.wait_timeout(WAIT).expect("the pinned sweep completes");
+    for handle in smalls {
+        let response = handle.wait_timeout(WAIT).expect("coalesced members complete");
+        assert_eq!(response.result.evaluations(), Some(expected.as_slice()));
+        assert_eq!(response.points_resolved, points.len() as u64);
+        assert_eq!(response.memo_hits, 0);
+        assert!(!response.degraded);
+        assert_eq!(response.stride, 1);
+    }
+    let lone = lone.wait_timeout(WAIT).expect("the lone-lane request completes");
+    assert_eq!(lone.result.evaluations(), Some(expected_lifetime.as_slice()));
+
+    let stats = engine.stats();
+    assert_eq!(stats.super_batches, 1, "one lane with peers -> one super-batch");
+    assert_eq!(stats.coalesced_requests, 4, "the lone-lane request must not be counted");
+    assert_eq!(stats.completed, 6);
+    assert_eq!(stats.worker_panics, 0);
+}
+
+/// Mixed objective lanes in one admission window form one super-batch
+/// per lane, each scattering bitwise-exact responses.
+#[test]
+fn mixed_lanes_form_one_super_batch_per_lane() {
+    quiet_chaos_panics();
+    let space = small_space();
+    let points = all_points(&space);
+    let expected_full = ModelEvaluator::shimmer().evaluate_batch(&points);
+    let expected_base = EnergyDelayEvaluator::shimmer().evaluate_batch(&points);
+
+    let chaos = ChaosSchedule::builder().slow_on(0, 0, Duration::from_millis(150)).build();
+    let engine = engine_with(
+        chaos,
+        ServeConfig {
+            workers: 1,
+            coalesce_max_points: 16,
+            coalesce_max_wait: Duration::from_millis(100),
+            ..ServeConfig::default()
+        },
+    );
+
+    let pinned = engine.submit(ScenarioRequest::sweep(space.clone())).expect("alive");
+    std::thread::sleep(Duration::from_millis(50));
+    let mut handles = Vec::new();
+    for i in 0..6 {
+        let request = if i % 2 == 0 {
+            ScenarioRequest::evaluate(points.clone())
+        } else {
+            ScenarioRequest::evaluate(points.clone()).with_objectives(Objectives::EnergyDelay)
+        };
+        handles.push((engine.submit(request).expect("alive"), i % 2 == 0));
+    }
+
+    pinned.wait_timeout(WAIT).expect("the pinned sweep completes");
+    for (handle, full) in handles {
+        let response = handle.wait_timeout(WAIT).expect("members complete");
+        let expected = if full { &expected_full } else { &expected_base };
+        assert_eq!(response.result.evaluations(), Some(expected.as_slice()));
+    }
+    let stats = engine.stats();
+    assert_eq!(stats.super_batches, 2, "two lanes with peers -> two super-batches");
+    assert_eq!(stats.coalesced_requests, 6);
+}
+
+/// Coalescer fault point 1 (panic mid-super-batch): the panic fails
+/// exactly the super-batch's members — each with its own typed
+/// `WorkerPanic` — while the trailing ineligible request of the same
+/// turn, the pinned opener, and post-respawn requests all stay exact.
+#[test]
+fn super_batch_panic_fails_only_its_members() {
+    quiet_chaos_panics();
+    let space = small_space();
+    let points = all_points(&space);
+    let expected = ModelEvaluator::shimmer().evaluate_batch(&points);
+
+    let chaos = ChaosSchedule::builder()
+        .slow_on(0, 0, Duration::from_millis(150))
+        .panic_in_super_batch(2, 0)
+        .build();
+    let engine = engine_with(
+        chaos,
+        ServeConfig {
+            workers: 1,
+            coalesce_max_points: 16,
+            coalesce_max_wait: Duration::from_millis(100),
+            backoff_base: Duration::from_millis(1),
+            backoff_max: Duration::from_millis(8),
+            ..ServeConfig::default()
+        },
+    );
+
+    // The pin must be coalesce-ineligible (a sweep), or it would open
+    // the window itself and join the doomed super-batch.
+    let pinned = engine.submit(ScenarioRequest::sweep(space.clone())).expect("alive");
+    std::thread::sleep(Duration::from_millis(50));
+    let members: Vec<_> = (0..4)
+        .map(|_| engine.submit(ScenarioRequest::evaluate(points.clone())).expect("alive"))
+        .collect();
+    // Submitted last: the ineligible sweep closes the admission window
+    // and trails the super-batch in the same worker turn — the turn
+    // must finish it even though the super-batch poisoned the worker.
+    let trailing = engine.submit(ScenarioRequest::sweep(space.clone())).expect("alive");
+
+    let first = pinned.wait_timeout(WAIT).expect("the pinned opener completes");
+    assert!(first.result.front().is_some());
+    for handle in members {
+        match handle.wait_timeout(WAIT) {
+            Err(ServeError::WorkerPanic { message, .. }) => {
+                assert!(message.starts_with("chaos:"), "typed panic carries the payload");
+            }
+            other => panic!("every super-batch member must fail typed, got {other:?}"),
+        }
+    }
+    let swept = trailing.wait_timeout(WAIT).expect("the trailing single survives the turn");
+    assert!(swept.result.front().is_some());
+
+    // The supervisor respawned the poisoned worker and the pools are
+    // clean: a fresh request answers bitwise-exactly.
+    let after = engine
+        .submit(ScenarioRequest::evaluate(points.clone()))
+        .expect("alive")
+        .wait_timeout(WAIT)
+        .expect("the respawned pool serves requests");
+    assert_eq!(after.result.evaluations(), Some(expected.as_slice()));
+
+    let stats = engine.stats();
+    assert_eq!(stats.worker_panics, 4, "one typed failure per member, nothing else");
+    assert_eq!(stats.super_batches, 1);
+    assert_eq!(stats.coalesced_requests, 4);
+    assert!(stats.respawns >= 1, "the supervisor replaced the poisoned worker");
+    assert_eq!(stats.completed, 3, "opener + trailing sweep + after-batch + nothing else");
+}
+
+/// Coalescer fault point 2 (slow member): a scheduled slow member
+/// stalls its super-batch past a budgeted sibling's deadline; the
+/// sibling leaves with a non-empty bitwise prefix of its own points
+/// while the slow member itself completes bitwise-exactly.
+#[test]
+fn slow_member_expires_budgeted_sibling_with_bitwise_prefix() {
+    quiet_chaos_panics();
+    let space = small_space();
+    let points = all_points(&space);
+    let a_points = points[..6].to_vec();
+    let b_points = points[10..].to_vec();
+    let expected_a = ModelEvaluator::shimmer().evaluate_batch(&a_points);
+    let expected_b = ModelEvaluator::shimmer().evaluate_batch(&b_points);
+
+    // Request 0 pins the worker 100 ms; member A (seq 1) sleeps 150 ms
+    // before each super-chunk. With chunk_points = 8 the 12 shared
+    // points split into two chunks, so the deadline sweep before chunk
+    // 1 (~t=350 ms) catches B's 325 ms budget with A's 6 points plus
+    // B's first 2 evaluated: B's prefix is its own first 2 points.
+    let chaos = ChaosSchedule::builder()
+        .slow_on(0, 0, Duration::from_millis(100))
+        .slow_member(1, Duration::from_millis(150))
+        .build();
+    let engine = engine_with(
+        chaos,
+        ServeConfig {
+            workers: 1,
+            chunk_points: 8,
+            coalesce_max_points: 8,
+            coalesce_max_wait: Duration::from_millis(100),
+            ..ServeConfig::default()
+        },
+    );
+
+    let pinned = engine.submit(ScenarioRequest::evaluate(points.clone())).expect("alive");
+    std::thread::sleep(Duration::from_millis(40));
+    let a = engine.submit(ScenarioRequest::evaluate(a_points)).expect("alive");
+    let b = engine
+        .submit(ScenarioRequest::evaluate(b_points).with_budget(Duration::from_millis(325)))
+        .expect("alive");
+
+    pinned.wait_timeout(WAIT).expect("the pinned opener completes");
+    let slow = a.wait_timeout(WAIT).expect("the slow member itself completes");
+    assert_eq!(slow.result.evaluations(), Some(expected_a.as_slice()));
+    match b.wait_timeout(WAIT) {
+        Err(ServeError::DeadlineExceeded { partial }) => {
+            assert_eq!(partial.points_resolved, 2, "chunk 0 resolved B's first two points");
+            assert_eq!(partial.result.evaluations(), Some(&expected_b[..2]));
+        }
+        other => panic!("the budgeted sibling must expire with a prefix, got {other:?}"),
+    }
+
+    let stats = engine.stats();
+    assert_eq!(stats.deadline_expired, 1);
+    assert_eq!(stats.worker_panics, 0, "expiry must not poison the worker or siblings");
+    assert_eq!(stats.super_batches, 1);
+    assert_eq!(stats.coalesced_requests, 2);
+}
+
+/// Coalescer fault point 3 (window-timer starvation): a starved
+/// admission window is clamped to the opener's deadline — a budgeted
+/// opener comes back expired at roughly its budget, far below the
+/// configured window, while an unbudgeted opener burns the full
+/// window and still answers bitwise-exactly.
+#[test]
+fn starved_window_is_clamped_to_the_opener_deadline() {
+    quiet_chaos_panics();
+    let space = small_space();
+    let points = all_points(&space);
+    let expected = ModelEvaluator::shimmer().evaluate_batch(&points);
+
+    // Budgeted opener against an absurd 30 s window: the deadline
+    // clamp must bound the starvation sleep by the 150 ms budget.
+    let engine = engine_with(
+        ChaosSchedule::builder().starve_window(0).build(),
+        ServeConfig {
+            workers: 1,
+            coalesce_max_points: 16,
+            coalesce_max_wait: Duration::from_secs(30),
+            ..ServeConfig::default()
+        },
+    );
+    let start = Instant::now();
+    let outcome = engine
+        .submit(ScenarioRequest::evaluate(points.clone()).with_budget(Duration::from_millis(150)))
+        .expect("alive")
+        .wait_timeout(WAIT);
+    let elapsed = start.elapsed();
+    match outcome {
+        Err(ServeError::DeadlineExceeded { partial }) => {
+            assert_eq!(partial.points_resolved, 0, "the whole budget was starved away");
+        }
+        other => panic!("the starved budgeted opener must expire, got {other:?}"),
+    }
+    assert!(
+        elapsed < Duration::from_secs(5),
+        "the clamp must cut the 30 s window to the 150 ms budget (elapsed {elapsed:?})"
+    );
+
+    // Unbudgeted opener: nothing clamps the window, so starvation
+    // burns all of it — and the answer is still exact.
+    let engine = engine_with(
+        ChaosSchedule::builder().starve_window(0).build(),
+        ServeConfig {
+            workers: 1,
+            coalesce_max_points: 16,
+            coalesce_max_wait: Duration::from_millis(300),
+            ..ServeConfig::default()
+        },
+    );
+    let start = Instant::now();
+    let response = engine
+        .submit(ScenarioRequest::evaluate(points.clone()))
+        .expect("alive")
+        .wait_timeout(WAIT)
+        .expect("starvation only delays an unbudgeted request");
+    assert!(start.elapsed() >= Duration::from_millis(300), "the full window was burned");
+    assert_eq!(response.result.evaluations(), Some(expected.as_slice()));
+}
+
+/// The seeded coalescer storm: one repeatable schedule mixing
+/// super-batch panics, slow members, and starved windows over a stream
+/// of mixed-shape unbudgeted requests. Every request resolves to
+/// exactly one typed outcome — a bitwise-exact response or a
+/// `WorkerPanic` carrying the injected payload — the engine survives,
+/// and the stats ledger balances.
+#[test]
+fn seeded_coalescer_storm_keeps_every_outcome_typed_and_exact() {
+    const REQUESTS: usize = 32;
+    quiet_chaos_panics();
+    let space = small_space();
+    let points = all_points(&space);
+    let full = ModelEvaluator::shimmer();
+    let reference_front = wbsn_dse::exhaustive::exhaustive(&space, &full, 1 << 20).front;
+
+    let knobs = ChaosKnobs {
+        requests: REQUESTS as u64 + 1,
+        chunks_per_request: 4,
+        // The classic fault points are pinned down by tests/chaos.rs;
+        // this storm isolates the three coalescer fault points.
+        panic_per_mille: 0,
+        slow_per_mille: 0,
+        slow_duration: Duration::ZERO,
+        reject_per_mille: 0,
+        super_panic_per_mille: 60,
+        member_slow_per_mille: 80,
+        member_slow_duration: Duration::from_millis(5),
+        starve_per_mille: 80,
+    };
+    let chaos = ChaosSchedule::seeded(0xDAC2012, &knobs);
+    assert!(chaos.scheduled_super_panics() >= 1, "the seed must schedule super-batch panics");
+    assert!(chaos.scheduled_member_slowdowns() >= 1, "… and member slowdowns");
+    assert!(chaos.scheduled_starvations() >= 1, "… and starved windows");
+
+    let engine = engine_with(
+        chaos,
+        ServeConfig {
+            workers: 2,
+            chunk_points: 32,
+            coalesce_max_points: 32,
+            coalesce_max_wait: Duration::from_millis(2),
+            queue_capacity: REQUESTS + 1,
+            backoff_base: Duration::from_millis(1),
+            backoff_max: Duration::from_millis(8),
+            ..ServeConfig::default()
+        },
+    );
+
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut handles = Vec::new();
+    for i in 0..REQUESTS {
+        let (request, expected) = match i % 4 {
+            0 | 1 => {
+                let start = rng.gen_range(0..points.len() - 4);
+                let slice = points[start..start + 4].to_vec();
+                let expected = full.evaluate_batch(&slice);
+                let mut request = ScenarioRequest::evaluate(slice);
+                if i % 8 >= 4 {
+                    request = request.with_objectives(Objectives::EnergyDelay);
+                }
+                let expected = if i % 8 >= 4 {
+                    direct(Objectives::EnergyDelay).evaluate_batch(&points[start..start + 4])
+                } else {
+                    expected
+                };
+                (request, Some(expected))
+            }
+            2 => {
+                let genomes: Vec<Genome> =
+                    (0..6).map(|_| Genome::random(&space, &mut rng)).collect();
+                let decoded: Vec<DesignPoint> = genomes.iter().map(|g| g.decode(&space)).collect();
+                (
+                    ScenarioRequest::evaluate_genomes(space.clone(), genomes),
+                    Some(full.evaluate_batch(&decoded)),
+                )
+            }
+            // The bypass lane: sweeps are never coalesced, and must
+            // ride the storm untouched between super-batches.
+            _ => (ScenarioRequest::sweep(space.clone()), None),
+        };
+        handles.push((engine.submit(request).expect("alive"), expected));
+    }
+
+    let (mut ok, mut panicked) = (0u64, 0u64);
+    for (handle, expected) in handles {
+        let seq = handle.seq();
+        match handle.wait_timeout(WAIT) {
+            Ok(response) => {
+                ok += 1;
+                if let Some(evals) = expected {
+                    assert_eq!(
+                        response.result.evaluations(),
+                        Some(evals.as_slice()),
+                        "request {seq} survived the storm but came back corrupted"
+                    );
+                } else {
+                    assert_eq!(response.result.front(), Some(&reference_front));
+                }
+            }
+            Err(ServeError::WorkerPanic { message, .. }) => {
+                panicked += 1;
+                assert!(message.starts_with("chaos:"), "request {seq}: only injected panics");
+            }
+            Err(ServeError::WaitTimedOut) => panic!("request {seq} hung"),
+            Err(other) => panic!("request {seq}: unexpected outcome {other}"),
+        }
+    }
+    assert_eq!(ok + panicked, REQUESTS as u64, "every request resolves exactly once");
+    assert!(panicked >= 1, "the pinned seed must fire at least one super-batch panic");
+
+    let stats = engine.stats();
+    assert_eq!(stats.completed, ok);
+    assert_eq!(stats.worker_panics, panicked);
+    assert!(stats.super_batches >= 1, "the storm must actually coalesce");
+    assert!(stats.respawns >= 1);
+    assert_eq!(stats.rejected, 0);
+    assert_eq!(stats.deadline_expired, 0, "unbudgeted requests cannot expire");
+
+    // After the storm: a clean batch answers bitwise-exactly.
+    let expected = full.evaluate_batch(&points);
+    for _ in 0..4 {
+        let response = engine
+            .submit(ScenarioRequest::evaluate(points.clone()))
+            .expect("engine survives the storm")
+            .wait_timeout(WAIT)
+            .expect("clean requests complete");
+        assert_eq!(response.result.evaluations(), Some(expected.as_slice()));
+    }
+}
+
+/// Random tiny design spaces (the dse property-test idiom): every grid
+/// axis truncated to a random prefix so radices vary per case.
+fn tiny_space() -> impl Strategy<Value = DesignSpace> {
+    (1usize..=3, 1usize..=2, 1usize..=2, 1usize..=3, 1usize..=3).prop_map(
+        |(n_cr, n_f, n_payload, n_orders, n_nodes)| {
+            let mut space = DesignSpace::case_study(n_nodes);
+            space.cr_values.truncate(n_cr);
+            space.f_mcu_values = [4.0, 8.0][..n_f].iter().map(|&m| Hertz::from_mhz(m)).collect();
+            space.payload_values.truncate(n_payload);
+            space.order_pairs.truncate(n_orders);
+            space
+        },
+    )
+}
+
+/// A random stream of small coalesce-eligible requests over `space`.
+fn random_requests(space: &DesignSpace, n: usize, seed: u64) -> Vec<ScenarioRequest> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let points = all_points(space);
+    (0..n)
+        .map(|_| {
+            let len = rng.gen_range(1..=8.min(points.len()));
+            let objectives = Objectives::ALL[rng.gen_range(0..Objectives::ALL.len())];
+            if rng.gen_bool(0.5) {
+                let start = rng.gen_range(0..=points.len() - len);
+                ScenarioRequest::evaluate(points[start..start + len].to_vec())
+                    .with_objectives(objectives)
+            } else {
+                let genomes: Vec<Genome> =
+                    (0..len).map(|_| Genome::random(space, &mut rng)).collect();
+                ScenarioRequest::evaluate_genomes(space.clone(), genomes)
+                    .with_objectives(objectives)
+            }
+        })
+        .collect()
+}
+
+/// The direct (uncoalesced, unserved) reference for one request.
+fn reference(
+    space: &DesignSpace,
+    request: &ScenarioRequest,
+) -> Vec<Option<wbsn_dse::objective::ObjectiveVector>> {
+    let evaluator = direct(request.objectives);
+    match &request.query {
+        Query::Evaluate(points) => evaluator.evaluate_batch(points),
+        Query::EvaluateGenomes { genomes, .. } => {
+            let decoded: Vec<DesignPoint> = genomes.iter().map(|g| g.decode(space)).collect();
+            evaluator.evaluate_batch(&decoded)
+        }
+        Query::ParetoSweep { .. } => unreachable!("the stream holds no sweeps"),
+    }
+}
+
+proptest! {
+    // Satellite: any interleaving of concurrent small requests through
+    // the coalescing engine produces responses bitwise-identical to
+    // the direct reference — whatever super-batches happen to form —
+    // and the per-response memo-hit ledger sums to the engine total.
+    #[test]
+    fn coalesced_interleavings_are_bitwise_identical_to_direct(
+        space in tiny_space(),
+        n_requests in 1usize..=24,
+        workers in 1usize..=4,
+        window_on in 0usize..=1,
+        seed in 0u64..1_000_000,
+    ) {
+        let requests = random_requests(&space, n_requests, seed);
+        let expected: Vec<_> = requests.iter().map(|r| reference(&space, r)).collect();
+
+        let engine = ServeEngine::start(ServeConfig {
+            workers,
+            chunk_points: 32,
+            coalesce_max_points: 32,
+            coalesce_max_wait: if window_on == 1 {
+                Duration::from_millis(1)
+            } else {
+                Duration::ZERO
+            },
+            queue_capacity: n_requests.max(1),
+            ..ServeConfig::default()
+        });
+        let handles: Vec<_> = requests
+            .iter()
+            .map(|r| engine.submit(r.clone()).expect("alive"))
+            .collect();
+        let mut ledger = 0u64;
+        for (handle, expected) in handles.into_iter().zip(&expected) {
+            let response = handle.wait_timeout(WAIT).expect("fault-free requests complete");
+            prop_assert_eq!(response.result.evaluations(), Some(expected.as_slice()));
+            prop_assert_eq!(response.points_resolved, expected.len() as u64);
+            prop_assert_eq!(response.stride, 1);
+            prop_assert!(!response.degraded);
+            ledger += response.memo_hits;
+        }
+        let stats = engine.stats();
+        prop_assert_eq!(stats.memo_hits, ledger, "per-response hits must sum to the engine total");
+        prop_assert_eq!(stats.completed, n_requests as u64);
+        prop_assert_eq!(stats.worker_panics, 0);
+    }
+
+    // Satellite (memo-accounting transparency): on a single worker the
+    // coalescing engine reports exactly the memo hits the uncoalesced
+    // engine reports for the same FIFO request stream — gather dedup,
+    // scatter-order recording, and Ref re-reads are invisible in the
+    // ledger, not just in the values.
+    #[test]
+    fn single_worker_memo_accounting_matches_the_uncoalesced_engine(
+        space in tiny_space(),
+        n_requests in 1usize..=16,
+        seed in 0u64..1_000_000,
+    ) {
+        let requests = random_requests(&space, n_requests, seed);
+
+        let run = |coalesce_max_points: usize| {
+            let engine = ServeEngine::start(ServeConfig {
+                workers: 1,
+                chunk_points: 32,
+                coalesce_max_points,
+                coalesce_max_wait: Duration::from_millis(1),
+                queue_capacity: n_requests.max(1),
+                ..ServeConfig::default()
+            });
+            let handles: Vec<_> = requests
+                .iter()
+                .map(|r| engine.submit(r.clone()).expect("alive"))
+                .collect();
+            let responses: Vec<_> = handles
+                .into_iter()
+                .map(|h| h.wait_timeout(WAIT).expect("fault-free requests complete"))
+                .collect();
+            (responses, engine.stats())
+        };
+
+        let (coalesced, coalesced_stats) = run(32);
+        let (classic, classic_stats) = run(0);
+        prop_assert_eq!(classic_stats.super_batches, 0, "max_points = 0 must disable the former");
+        for (a, b) in coalesced.iter().zip(&classic) {
+            prop_assert_eq!(&a.result, &b.result);
+            prop_assert_eq!(a.memo_hits, b.memo_hits, "per-request hit counts must match");
+        }
+        prop_assert_eq!(coalesced_stats.memo_hits, classic_stats.memo_hits);
+        prop_assert_eq!(coalesced_stats.memo_len, classic_stats.memo_len);
+    }
+}
+
+/// `QueryResult` equality in the proptest above needs `PartialEq`;
+/// pin that the derive still covers the evaluation variant bitwise.
+#[test]
+fn query_result_equality_is_bitwise_over_evaluations() {
+    let space = small_space();
+    let points = all_points(&space);
+    let a = QueryResult::Evaluations(ModelEvaluator::shimmer().evaluate_batch(&points));
+    let b = QueryResult::Evaluations(ModelEvaluator::shimmer().evaluate_batch(&points));
+    assert_eq!(a, b);
+}

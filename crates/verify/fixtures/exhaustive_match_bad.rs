@@ -1,0 +1,37 @@
+//! Known-bad fixture for `exhaustive-match`: wildcard arms in matches
+//! over the `ServeError` failure taxonomy.
+
+fn classify(err: &ServeError) -> &'static str {
+    match err {
+        ServeError::QueueFull => "backpressure",
+        _ => "other",
+    }
+}
+
+fn retryable(err: &ServeError) -> bool {
+    match err {
+        ServeError::WorkerPanic { .. } => true,
+        ServeError::DeadlineExceeded { .. } => false,
+        _ if cfg!(test) => false,
+        ServeError::EngineShutdown => false,
+    }
+}
+
+fn nested(outcome: Result<u32, ServeError>) -> u32 {
+    match outcome {
+        Ok(n) => n,
+        Err(err) => match err {
+            ServeError::WaitTimedOut => 1,
+            _ => 0,
+        },
+    }
+}
+
+fn unrelated_wildcard_is_fine(n: u32) -> &'static str {
+    // The wildcard here must NOT trip: the match is over a plain
+    // integer; the arm *body* naming a variant does not classify.
+    match n {
+        0 => "zero",
+        _ => stringify!(ServeError::EngineShutdown),
+    }
+}

@@ -1,0 +1,38 @@
+//! Known-good fixture for `exhaustive-match`: exhaustive taxonomy
+//! matches, out-of-scope wildcards, the annotated escape hatch, and
+//! test-code exemption.
+
+fn classify(err: &ServeError) -> &'static str {
+    match err {
+        ServeError::QueueFull => "backpressure",
+        ServeError::DeadlineExceeded { .. } => "expired",
+        ServeError::WorkerPanic { .. } => "fault",
+        ServeError::EngineShutdown => "shutdown",
+        ServeError::WaitTimedOut => "caller",
+    }
+}
+
+fn wildcard_over_another_enum(n: u32) -> bool {
+    match n {
+        0 => true,
+        _ => false,
+    }
+}
+
+fn annotated_escape_hatch(err: &ServeError) -> bool {
+    match err {
+        ServeError::QueueFull => true,
+        // verify: allow(exhaustive-match, reason = "fixture: the reasoned escape hatch stays available")
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    fn tests_may_collapse_variants(err: &ServeError) -> bool {
+        match err {
+            ServeError::WorkerPanic { .. } => true,
+            _ => false,
+        }
+    }
+}

@@ -91,6 +91,7 @@ pub fn check_source(rel_path: &str, source: &str) -> Vec<Violation> {
     raw.extend(lints::clock_discipline::check(&ctx));
     raw.extend(lints::float_det::check(&ctx));
     raw.extend(lints::panic_surface::check(&ctx));
+    raw.extend(lints::exhaustive_match::check(&ctx));
     raw.extend(lints::lock_discipline::check(&ctx));
     raw.extend(lints::single_def::check(&ctx));
 

@@ -1,0 +1,192 @@
+//! `exhaustive-match`: every `match` over [`ServeError`] in
+//! `wbsn-serve` non-test code must be exhaustive — no `_` arm.
+//!
+//! The failure taxonomy is load-bearing: callers branch on the typed
+//! variants to decide retry/degrade/report policy, and the chaos suite
+//! asserts exact outcome classes per request. A wildcard arm in the
+//! serve crate itself silently folds any *future* variant into
+//! whatever the `_` arm happens to do, so adding an error class would
+//! compile clean while quietly misrouting it. Naming every variant
+//! turns that into a compile error at each decision site instead.
+//!
+//! A `match` is in scope when any arm *pattern* names a `ServeError`
+//! variant (`QueueFull`, `DeadlineExceeded`, `WorkerPanic`,
+//! `EngineShutdown`, `WaitTimedOut`); matching on payload fields or
+//! constructing errors in arm *bodies* does not classify. Test code is
+//! exempt (tests legitimately collapse the cases they do not assert).
+//!
+//! [`ServeError`]: ../../../serve/src/error.rs
+
+use super::FileCtx;
+use crate::tokenizer::{Tok, TokKind};
+use crate::Violation;
+
+/// The scope prefix: serve crate sources, tests excluded by path and
+/// by `#[cfg(test)]` marking.
+pub const SCOPE_PREFIX: &str = "crates/serve/src/";
+
+/// The `ServeError` variants: an arm pattern naming any of these
+/// classifies its `match` as a match over the failure taxonomy.
+const VARIANTS: &[&str] =
+    &["QueueFull", "DeadlineExceeded", "WorkerPanic", "EngineShutdown", "WaitTimedOut"];
+
+/// Runs the lint when `ctx` is serve non-test code.
+#[must_use]
+pub fn check(ctx: &FileCtx<'_>) -> Vec<Violation> {
+    if !ctx.rel_path.starts_with(SCOPE_PREFIX) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (i, tok) in ctx.toks.iter().enumerate() {
+        if !ctx.is_live(i) || tok.kind != TokKind::Ident || tok.text != "match" {
+            continue;
+        }
+        let Some(body) = body_start(ctx.toks, i + 1) else {
+            continue;
+        };
+        if let Some(wildcard_line) = wildcard_in_serve_error_match(ctx.toks, body) {
+            out.push(Violation::new(
+                "exhaustive-match",
+                ctx.rel_path,
+                wildcard_line,
+                "`_` arm in a `match` over `ServeError` — name every variant so a future \
+                 error class forces a decision at this site instead of folding into the wildcard"
+                    .to_string(),
+            ));
+        }
+    }
+    out
+}
+
+/// Finds the `{` opening the match body: the first brace outside any
+/// parenthesis/bracket nesting of the scrutinee expression. (Bare
+/// struct literals are illegal in scrutinee position, so the first
+/// top-level brace is the body.) Bails at `;` — a `match` token with
+/// no body is macro input, not a match expression.
+fn body_start(toks: &[Tok], mut i: usize) -> Option<usize> {
+    let mut parens = 0i32;
+    let mut brackets = 0i32;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "(" => parens += 1,
+                ")" => parens -= 1,
+                "[" => brackets += 1,
+                "]" => brackets -= 1,
+                "{" if parens == 0 && brackets == 0 => return Some(i),
+                ";" if parens == 0 && brackets == 0 => return None,
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Walks the arms of the match body opening at `body` (index of `{`).
+/// Returns the wildcard arm's line when some arm pattern names a
+/// `ServeError` variant AND some arm is a top-level `_` (bare or
+/// guarded) — the combination the lint rejects.
+fn wildcard_in_serve_error_match(toks: &[Tok], body: usize) -> Option<u32> {
+    let mut classified = false;
+    let mut wildcard: Option<u32> = None;
+    let mut i = body + 1;
+    loop {
+        // `i` sits at the start of an arm pattern (or the body's `}`).
+        if i >= toks.len() || is_punct(toks, i, "}") {
+            break;
+        }
+        // Scan the pattern (everything up to the arm's `=>` at nesting
+        // depth zero; a `match` guard rides along harmlessly).
+        let pattern_start = i;
+        let mut depth = (0i32, 0i32, 0i32); // parens, brackets, braces
+        let arrow = loop {
+            if i + 1 >= toks.len() {
+                return None; // unterminated body: not a match expression
+            }
+            if depth == (0, 0, 0) && is_punct(toks, i, "=") && is_punct(toks, i + 1, ">") {
+                break i;
+            }
+            if toks[i].kind == TokKind::Punct {
+                match toks[i].text.as_str() {
+                    "(" => depth.0 += 1,
+                    ")" => depth.0 -= 1,
+                    "[" => depth.1 += 1,
+                    "]" => depth.1 -= 1,
+                    "{" => depth.2 += 1,
+                    "}" => depth.2 -= 1,
+                    _ => {}
+                }
+                if depth.2 < 0 {
+                    return None; // ran past the body: macro soup, bail
+                }
+            }
+            i += 1;
+        };
+        let pattern = &toks[pattern_start..arrow];
+        if pattern.iter().any(|t| t.kind == TokKind::Ident && VARIANTS.contains(&t.text.as_str())) {
+            classified = true;
+        }
+        if is_wildcard_pattern(pattern) {
+            wildcard.get_or_insert(toks[pattern_start].line);
+        }
+        i = skip_arm_body(toks, arrow + 2)?;
+    }
+    if classified {
+        wildcard
+    } else {
+        None
+    }
+}
+
+/// Is this arm pattern a top-level wildcard: bare `_`, or `_` with a
+/// match guard (`_ if …`)? Tuple/struct wildcards like `Some(_)` have
+/// their `_` past the first token and do not count.
+fn is_wildcard_pattern(pattern: &[Tok]) -> bool {
+    match pattern {
+        [first] => first.text == "_",
+        [first, second, ..] => first.text == "_" && second.text == "if",
+        [] => false,
+    }
+}
+
+/// Skips one arm body starting at `i` (just past `=>`): a braced block
+/// to its matching `}`, or an expression to the `,` (or body-`}`) at
+/// nesting depth zero. Returns the index of the next arm's first
+/// token, or `None` on a malformed stream.
+fn skip_arm_body(toks: &[Tok], mut i: usize) -> Option<usize> {
+    let mut depth = (0i32, 0i32, 0i32);
+    while i < toks.len() {
+        if toks[i].kind == TokKind::Punct {
+            match toks[i].text.as_str() {
+                "(" => depth.0 += 1,
+                ")" => depth.0 -= 1,
+                "[" => depth.1 += 1,
+                "]" => depth.1 -= 1,
+                "{" => depth.2 += 1,
+                "}" => {
+                    depth.2 -= 1;
+                    if depth.2 < 0 {
+                        // The match body's own `}` ends the last arm.
+                        return Some(i);
+                    }
+                    if depth == (0, 0, 0) {
+                        // A block arm ends at its brace; a trailing
+                        // comma is optional.
+                        let next = i + 1;
+                        return Some(if is_punct(toks, next, ",") { next + 1 } else { next });
+                    }
+                }
+                "," if depth == (0, 0, 0) => return Some(i + 1),
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+fn is_punct(toks: &[Tok], i: usize, text: &str) -> bool {
+    toks.get(i).is_some_and(|t| t.kind == TokKind::Punct && t.text == text)
+}

@@ -5,6 +5,7 @@
 //! afterwards, so lints never need to know about annotations.
 
 pub mod clock_discipline;
+pub mod exhaustive_match;
 pub mod float_det;
 pub mod hot_alloc;
 pub mod lock_discipline;

@@ -17,6 +17,8 @@ const LOCKS_GOOD: &str = include_str!("../fixtures/locks_good.rs");
 const SINGLE_DEF_BAD: &str = include_str!("../fixtures/single_def_bad.rs");
 const SINGLE_DEF_GOOD: &str = include_str!("../fixtures/single_def_good.rs");
 const TOKENIZER_EDGES: &str = include_str!("../fixtures/tokenizer_edges.rs");
+const EXHAUSTIVE_BAD: &str = include_str!("../fixtures/exhaustive_match_bad.rs");
+const EXHAUSTIVE_GOOD: &str = include_str!("../fixtures/exhaustive_match_good.rs");
 
 /// A serve-crate path (panic-surface + lock-discipline scope).
 const SERVE_PATH: &str = "crates/serve/src/fixture.rs";
@@ -154,6 +156,29 @@ fn walk_point_triple_must_be_ordered() {
 
     let good = "fn walk_point() {\n let d = DutyCycleExceeded;\n let b = BandwidthExceeded;\n let g = GtsCapacityExceeded;\n}";
     assert!(check_source(KERNEL_PATH, good).is_empty());
+}
+
+#[test]
+fn exhaustive_match_bad_trips_on_every_wildcard_taxonomy_arm() {
+    let vs = check_source(SERVE_PATH, EXHAUSTIVE_BAD);
+    assert_eq!(vs.len(), 3, "bare, guarded and nested wildcards must trip: {vs:#?}");
+    assert!(lints_of(&vs).iter().all(|l| *l == "exhaustive-match"));
+    let lines: Vec<u32> = vs.iter().map(|v| v.line).collect();
+    assert_eq!(lines, vec![7, 15, 25], "the non-ServeError wildcard on line 35 must not trip");
+}
+
+#[test]
+fn exhaustive_match_bad_is_silent_outside_serve_scope() {
+    assert!(check_source(NEUTRAL_PATH, EXHAUSTIVE_BAD).is_empty());
+}
+
+#[test]
+fn exhaustive_match_good_is_clean() {
+    let vs = check_source(SERVE_PATH, EXHAUSTIVE_GOOD);
+    assert!(
+        vs.is_empty(),
+        "exhaustive taxonomy, foreign wildcards, annotated arm and test code must pass: {vs:#?}"
+    );
 }
 
 #[test]
